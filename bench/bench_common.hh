@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ */
+
+#ifndef CENTAUR_BENCH_BENCH_COMMON_HH
+#define CENTAUR_BENCH_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "sim/table.hh"
+
+namespace centaur::bench {
+
+/** Column label "<model> b<batch>". */
+inline std::string
+pointLabel(const SweepEntry &e)
+{
+    return e.modelName + " b" + std::to_string(e.batch);
+}
+
+/** Geometric mean of a nonempty vector. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace centaur::bench
+
+#endif // CENTAUR_BENCH_BENCH_COMMON_HH

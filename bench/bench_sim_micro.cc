@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * event queue scheduling, cache tag lookups, DRAM bank timing, the
+ * Zipf sampler and the EB-Streamer gather loop. These bound the
+ * wall-clock cost of the paper-reproduction sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.hh"
+#include "dlrm/reference_model.hh"
+#include "fpga/mlp_unit.hh"
+#include "mem/dram.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace centaur;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            q.schedule(static_cast<Tick>((i * 7919) % 100000),
+                       [&sink] { ++sink; });
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheRandomAccess(benchmark::State &state)
+{
+    Cache cache(CacheConfig{"llc", 35 * kMiB, 20, 64, 18.0,
+                            ReplacementPolicy::Lru});
+    Rng rng(42);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.nextBelow(1 << 28) * 64));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheRandomAccess);
+
+void
+BM_DramRandomAccess(benchmark::State &state)
+{
+    DramModel dram;
+    Rng rng(42);
+    Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dram.access(rng.nextBelow(1 << 24) * 64, t));
+        t += 5000;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramRandomAccess);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    ZipfSampler zipf(static_cast<std::uint64_t>(state.range(0)), 0.9);
+    Rng rng(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1 << 12)->Arg(1 << 20);
+
+void
+BM_MlpUnitGemmTiming(benchmark::State &state)
+{
+    CentaurConfig cfg;
+    MlpUnit unit(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unit.gemm(128, 512, 240, 0));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlpUnitGemmTiming);
+
+void
+BM_ReferenceForward(benchmark::State &state)
+{
+    const DlrmConfig cfg = dlrmPreset(1);
+    ReferenceModel model(cfg);
+    WorkloadConfig wl;
+    wl.batch = 4;
+    WorkloadGenerator gen(cfg, wl);
+    const InferenceBatch batch = gen.next();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.forward(batch));
+    state.SetItemsProcessed(state.iterations() * wl.batch);
+}
+BENCHMARK(BM_ReferenceForward);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Architect's tour of the Centaur design space: sweeps the three
+ * knobs the paper's Discussion section calls out - chiplet link
+ * bandwidth, cache-bypass routing and PE-array size - on one model
+ * and prints latency plus whether the design still fits the GX1150.
+ * Start here before committing to an accelerator configuration.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/centaur_system.hh"
+#include "core/experiment.hh"
+#include "fpga/resource_model.hh"
+#include "sim/table.hh"
+
+using namespace centaur;
+
+namespace {
+
+double
+runPoint(const DlrmConfig &model, const CentaurConfig &acc,
+         std::uint32_t batch)
+{
+    CentaurSystem sys(model, acc);
+    WorkloadConfig wl;
+    wl.batch = batch;
+    wl.seed = 99;
+    WorkloadGenerator gen(model, wl);
+    return usFromTicks(measureInference(sys, gen, 1).latency());
+}
+
+} // namespace
+
+int
+main()
+{
+    const DlrmConfig model = dlrmPreset(4);
+    const std::uint32_t batch = 32;
+
+    TextTable table("Centaur design-space sweep, DLRM(4) batch 32");
+    table.setHeader({"variant", "latency (us)", "GFLOPS", "DSP",
+                     "fits GX1150"});
+
+    auto add = [&](const char *name, const CentaurConfig &acc) {
+        const ResourceModel res(acc);
+        table.addRow({name,
+                      TextTable::fmt(runPoint(model, acc, batch)),
+                      TextTable::fmt(acc.peakGflops(), 0),
+                      std::to_string(res.deviceUsage().dsp),
+                      res.fits() ? "yes" : "NO"});
+    };
+
+    add("baseline (HARPv2)", CentaurConfig{});
+
+    CentaurConfig fast_links;
+    for (auto &l : fast_links.channel.links)
+        l.bandwidthGBps *= 4.0;
+    fast_links.channel.maxOutstandingLines *= 4;
+    add("4x link bandwidth", fast_links);
+
+    CentaurConfig bypass;
+    bypass.bypassCpuCache = true;
+    add("cache-bypass path", bypass);
+
+    CentaurConfig bypass_fast = fast_links;
+    bypass_fast.bypassCpuCache = true;
+    add("4x links + bypass", bypass_fast);
+
+    CentaurConfig big_array;
+    big_array.mlpPeRows = 6;
+    big_array.mlpPeCols = 6;
+    add("6x6 PE array", big_array);
+
+    CentaurConfig kitchen_sink = bypass_fast;
+    kitchen_sink.mlpPeRows = 6;
+    kitchen_sink.mlpPeCols = 6;
+    add("4x links + bypass + 6x6", kitchen_sink);
+
+    table.print(std::cout);
+
+    std::printf("reading the table: links dominate for gather-bound "
+                "models; the PE array only pays off for MLP-heavy\n"
+                "workloads (try dlrmPreset(6)); the bypass needs fast "
+                "links before it matters - exactly the paper's "
+                "Section VII argument.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Streaming-service ranking scenario: a custom (non-Table I) model
+ * with user/movie/genre-style embedding tables of different sizes,
+ * and production-like Zipfian item popularity. Demonstrates
+ * configuring your own DlrmConfig and how index locality changes
+ * the CPU-vs-Centaur picture (skewed indices make CPU caches work;
+ * Centaur's advantage is largest on cold, uniform traffic).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "core/system.hh"
+#include "sim/table.hh"
+
+using namespace centaur;
+
+int
+main()
+{
+    // A "video on demand" ranker: 8 tables x 48 lookups, 1M-row
+    // catalog tables (4 GB total), a slightly deeper bottom MLP.
+    DlrmConfig model;
+    model.name = "vod-ranker";
+    model.numTables = 8;
+    model.lookupsPerTable = 48;
+    model.rowsPerTable = 1000000;
+    model.bottomMlp = {256, 128, 32};
+    model.topMlp = {64, 16};
+
+    std::printf("%s: %u tables x %u lookups, %.2f GB embeddings, "
+                "%.1f KB MLP\n\n",
+                model.name.c_str(), model.numTables,
+                model.lookupsPerTable,
+                static_cast<double>(model.totalTableBytes()) / 1e9,
+                static_cast<double>(model.mlpParamBytes()) / 1024.0);
+
+    TextTable table("uniform vs Zipfian item popularity (batch 16)");
+    table.setHeader({"design", "distribution", "latency (us)",
+                     "emb GB/s", "p(top-1 sample)"});
+
+    for (DesignPoint dp : {DesignPoint::CpuOnly,
+                           DesignPoint::Centaur}) {
+        for (auto dist : {IndexDistribution::Uniform,
+                          IndexDistribution::Zipf}) {
+            auto sys = makeSystem(dp, model);
+            WorkloadConfig wl;
+            wl.batch = 16;
+            wl.dist = dist;
+            wl.zipfSkew = 1.0;
+            wl.seed = 2024;
+            WorkloadGenerator gen(model, wl);
+            const auto res = measureInference(*sys, gen, 2);
+            table.addRow(
+                {sys->name(),
+                 dist == IndexDistribution::Zipf ? "zipf(1.0)"
+                                                 : "uniform",
+                 TextTable::fmt(usFromTicks(res.latency())),
+                 TextTable::fmt(res.effectiveEmbGBps),
+                 TextTable::fmt(res.probabilities.front(), 4)});
+        }
+    }
+    table.print(std::cout);
+
+    std::printf("takeaway: popularity skew lets the CPU's LLC absorb "
+                "part of the gather traffic, narrowing (but not\n"
+                "closing) Centaur's embedding-layer advantage - worth "
+                "checking against your own trace.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: build a Table I model, run one inference on each of
+ * the three design points and print latency, phase breakdown,
+ * effective embedding throughput and energy.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/system.hh"
+#include "dlrm/model_config.hh"
+#include "dlrm/workload.hh"
+
+using namespace centaur;
+
+int
+main()
+{
+    // DLRM(1): 5 embedding tables, 20 gathers each, 128 MB of
+    // tables, 57 KB of MLP weights.
+    const DlrmConfig model = dlrmPreset(1);
+    const std::uint32_t batch = 16;
+
+    std::printf("model %s: %u tables x %u gathers, %.1f MB tables, "
+                "%.1f KB MLP\n\n",
+                model.name.c_str(), model.numTables,
+                model.lookupsPerTable,
+                static_cast<double>(model.totalTableBytes()) / 1e6,
+                static_cast<double>(model.mlpParamBytes()) / 1024.0);
+
+    for (DesignPoint dp : {DesignPoint::CpuGpu, DesignPoint::CpuOnly,
+                           DesignPoint::Centaur}) {
+        auto sys = makeSystem(dp, model);
+        WorkloadConfig wl;
+        wl.batch = batch;
+        wl.seed = 7;
+        WorkloadGenerator gen(model, wl);
+        const InferenceResult res = measureInference(*sys, gen, 1);
+
+        std::printf("%-9s latency %8.2f us | emb %5.2f GB/s | "
+                    "%5.1f W | %8.2f uJ\n",
+                    sys->name().c_str(), usFromTicks(res.latency()),
+                    res.effectiveEmbGBps, res.powerWatts,
+                    res.energyJoules * 1e6);
+        std::printf("          breakdown:");
+        for (std::size_t p = 0; p < kNumPhases; ++p) {
+            const auto ph = static_cast<Phase>(p);
+            if (res.phaseTicks(ph) == 0)
+                continue;
+            std::printf(" %s %.1f%%", phaseName(ph),
+                        res.phaseShare(ph) * 100.0);
+        }
+        std::printf("\n          p(click|sample0) = %.4f\n\n",
+                    res.probabilities.empty()
+                        ? 0.0
+                        : res.probabilities.front());
+    }
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Command-line experiment runner: pick a Table I preset, design
+ * point, batch size and index distribution; get latency breakdown,
+ * throughput, energy and a bottleneck analysis. The fastest way to
+ * poke at the simulator without writing code.
+ *
+ * Usage:
+ *   example_run_experiment [preset 1-6] [cpu|gpu|centaur]
+ *                          [batch] [uniform|zipf] [warmups]
+ * Defaults: 1 centaur 16 uniform 1
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/analysis.hh"
+#include "core/centaur_system.hh"
+#include "core/cpu_only_system.hh"
+#include "core/experiment.hh"
+
+using namespace centaur;
+
+int
+main(int argc, char **argv)
+{
+    const int preset = argc > 1 ? std::atoi(argv[1]) : 1;
+    const char *design = argc > 2 ? argv[2] : "centaur";
+    const std::uint32_t batch =
+        argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 16;
+    const bool zipf = argc > 4 && std::strcmp(argv[4], "zipf") == 0;
+    const int warmups = argc > 5 ? std::atoi(argv[5]) : 1;
+
+    if (preset < 1 || preset > 6 || batch == 0) {
+        std::fprintf(stderr,
+                     "usage: %s [preset 1-6] [cpu|gpu|centaur] "
+                     "[batch] [uniform|zipf] [warmups]\n",
+                     argv[0]);
+        return 1;
+    }
+
+    DesignPoint dp = DesignPoint::Centaur;
+    if (std::strcmp(design, "cpu") == 0)
+        dp = DesignPoint::CpuOnly;
+    else if (std::strcmp(design, "gpu") == 0)
+        dp = DesignPoint::CpuGpu;
+
+    const DlrmConfig model = dlrmPreset(preset);
+    auto sys = makeSystem(dp, model);
+    WorkloadConfig wl;
+    wl.batch = batch;
+    wl.dist = zipf ? IndexDistribution::Zipf
+                   : IndexDistribution::Uniform;
+    wl.seed = sweepSeed(preset, batch);
+    WorkloadGenerator gen(model, wl);
+
+    const InferenceResult res = measureInference(*sys, gen, warmups);
+
+    std::printf("%s on %s, batch %u, %s indices\n", sys->name().c_str(),
+                model.name.c_str(), batch, zipf ? "zipf" : "uniform");
+    std::printf("  latency        %10.2f us\n",
+                usFromTicks(res.latency()));
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        const auto ph = static_cast<Phase>(p);
+        if (res.phaseTicks(ph) == 0)
+            continue;
+        std::printf("    %-6s       %10.2f us  (%.1f%%)\n",
+                    phaseName(ph), usFromTicks(res.phaseTicks(ph)),
+                    res.phaseShare(ph) * 100.0);
+    }
+    std::printf("  emb throughput %10.2f GB/s\n",
+                res.effectiveEmbGBps);
+    std::printf("  power/energy   %10.1f W / %.2f uJ\n",
+                res.powerWatts, res.energyJoules * 1e6);
+    std::printf("  p(sample 0)    %10.4f\n\n",
+                res.probabilities.empty() ? 0.0
+                                          : res.probabilities[0]);
+
+    std::vector<PhaseVerdict> verdicts;
+    if (dp == DesignPoint::Centaur)
+        verdicts = analyzeCentaur(res, model, CentaurConfig{});
+    else if (dp == DesignPoint::CpuOnly)
+        verdicts = analyzeCpuOnly(res, model);
+    for (const auto &v : verdicts)
+        std::printf("  %-5s limited by %-18s (%.0f%% of ceiling) - "
+                    "%s\n",
+                    phaseName(v.phase), bottleneckName(v.limiter),
+                    v.utilization * 100.0, v.note.c_str());
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tail-latency study: drives each design point with Poisson request
+ * traffic at increasing offered load and reports p50/p99 latency,
+ * utilization and SLA hit rate. This is the provisioning view of the
+ * paper's speedups: lower service time buys either lower tails or
+ * more load per node.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/server.hh"
+#include "core/system.hh"
+#include "dlrm/model_config.hh"
+#include "sim/table.hh"
+
+using namespace centaur;
+
+int
+main()
+{
+    const DlrmConfig model = dlrmPreset(1);
+    constexpr double kSlaUs = 500.0;
+
+    std::printf("Poisson serving of %s, 8 samples/request, "
+                "SLA %.0f us\n\n",
+                model.name.c_str(), kSlaUs);
+
+    TextTable table("tail latency vs offered load");
+    table.setHeader({"design", "offered rps", "p50 (us)", "p99 (us)",
+                     "util", "SLA hit", "J/request"});
+
+    for (DesignPoint dp : {DesignPoint::CpuOnly,
+                           DesignPoint::Centaur}) {
+        for (double rps : {1000.0, 4000.0, 12000.0}) {
+            auto sys = makeSystem(dp, model);
+            ServerConfig cfg;
+            cfg.arrivalRatePerSec = rps;
+            cfg.batchPerRequest = 8;
+            cfg.requests = 250;
+            cfg.seed = 7;
+            InferenceServer server(*sys, cfg, kSlaUs);
+            const auto s = server.run();
+            table.addRow({sys->name(), TextTable::fmt(rps, 0),
+                          TextTable::fmt(s.p50Us, 0),
+                          TextTable::fmt(s.p99Us, 0),
+                          TextTable::fmt(s.utilization, 2),
+                          TextTable::fmt(s.slaHitRate * 100, 1) + "%",
+                          TextTable::fmt(s.energyJoules / s.served *
+                                             1000.0, 2) + " mJ"});
+        }
+    }
+    table.print(std::cout);
+
+    std::printf("takeaway: the CPU node saturates (util -> 1, p99 "
+                "explodes) at loads Centaur absorbs with slack -\n"
+                "the SLA/TCO argument of Section IV-A in queueing "
+                "form.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Bottleneck analysis: classifies what limits each phase of a
+ * measured inference against the platform's configured ceilings
+ * (link payload bandwidth, DRAM bandwidth, dense-array FLOPS,
+ * round-trip latency, dispatch overhead). This is the question an
+ * architect asks of every profile; the Discussion-section ablations
+ * are parameter sweeps along exactly these verdicts.
+ */
+
+#ifndef CENTAUR_CORE_ANALYSIS_HH
+#define CENTAUR_CORE_ANALYSIS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/result.hh"
+#include "cpu/cpu_config.hh"
+#include "dlrm/model_config.hh"
+#include "fpga/centaur_config.hh"
+#include "mem/dram.hh"
+
+namespace centaur {
+
+/** What limits a phase. */
+enum class Bottleneck : std::uint8_t
+{
+    LinkBandwidth,  //!< chiplet channel payload bandwidth
+    LinkLatency,    //!< round trips / credit window, not bandwidth
+    DramBandwidth,  //!< memory system throughput
+    MemoryParallelism, //!< too few outstanding misses (CPU gathers)
+    Compute,        //!< FLOPS of the executing engine
+    Dispatch,       //!< per-operator software overhead
+};
+
+/** Analyzer verdict for one phase. */
+struct PhaseVerdict
+{
+    Phase phase = Phase::Emb;
+    Bottleneck limiter = Bottleneck::Compute;
+    /** Achieved fraction of the limiting resource's ceiling. */
+    double utilization = 0.0;
+    std::string note;
+};
+
+/** Display name for a bottleneck class. */
+const char *bottleneckName(Bottleneck b);
+
+/**
+ * Analyze a Centaur inference: EMB against the channel, MLP against
+ * the PE arrays.
+ */
+std::vector<PhaseVerdict>
+analyzeCentaur(const InferenceResult &res, const DlrmConfig &model,
+               const CentaurConfig &acc,
+               const DramConfig &dram = DramConfig{});
+
+/**
+ * Analyze a CPU-only inference: EMB against DRAM and per-thread
+ * memory-level parallelism, MLP against AVX2 peak.
+ */
+std::vector<PhaseVerdict>
+analyzeCpuOnly(const InferenceResult &res, const DlrmConfig &model,
+               const CpuConfig &cpu = CpuConfig{},
+               const DramConfig &dram = DramConfig{});
+
+} // namespace centaur
+
+#endif // CENTAUR_CORE_ANALYSIS_HH

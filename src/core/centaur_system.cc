@@ -1,0 +1,100 @@
+#include "core/centaur_system.hh"
+
+#include <algorithm>
+
+namespace centaur {
+
+CentaurSystem::CentaurSystem(const DlrmConfig &cfg,
+                             const CentaurConfig &acc,
+                             const DramConfig &dram)
+    : System(cfg), _acc(acc), _hier(broadwellHierarchyConfig()),
+      _dram(dram), _channel(acc.channel), _iommu(acc.iommu),
+      _streamer(_acc, _channel, _iommu, _hier.llc(), _dram),
+      _mlpUnit(_acc), _fiUnit(_acc), _sigmoid(_acc)
+{
+    // Boot-time software interface (Section IV-E): the CPU programs
+    // the base pointers over MMIO once; MLP weights are uploaded to
+    // the FPGA weight SRAM and stay persistent, so neither is on the
+    // per-inference critical path.
+    const MemoryLayout &layout = _model.layout();
+    auto &regs = _streamer.bpregs();
+    regs.setIndexArray(layout.indexArrayBase);
+    regs.setDenseFeatures(layout.denseFeatureBase);
+    regs.setMlpWeights(layout.mlpWeightBase);
+    regs.setOutput(layout.outputBase);
+    regs.setTableBases(layout.tableBases);
+}
+
+InferenceResult
+CentaurSystem::infer(const InferenceBatch &batch)
+{
+    const DlrmConfig &cfg = config();
+    InferenceResult res;
+    res.design = design();
+    res.batch = batch.batch;
+    res.start = _now;
+
+    // ----- MMIO pointer updates + doorbell (Other) -----
+    const Tick t_mmio =
+        _now + _acc.mmioWritesPerInference *
+                   ticksFromNs(_acc.mmioWriteNs);
+
+    // ----- DNF: dense feature fetch (overlaps IDX/EMB) -----
+    const std::uint64_t dnf_bytes =
+        static_cast<std::uint64_t>(batch.batch) * cfg.denseDim * 4;
+    const StreamResult dnf = _streamer.streamFromMemory(
+        _streamer.bpregs().denseFeatures(), dnf_bytes, t_mmio);
+
+    // ----- IDX: sparse index array fetch -----
+    const std::uint64_t idx_bytes = batch.totalLookups() * 4;
+    const StreamResult idx = _streamer.streamFromMemory(
+        _streamer.bpregs().indexArray(), idx_bytes, t_mmio);
+
+    // ----- EMB: hardware gathers + on-the-fly reductions -----
+    const EbGatherResult g = _streamer.gather(_model, batch, idx.end);
+    res.effectiveEmbGBps = g.effectiveGBps();
+
+    // ----- bottom MLP (overlaps EMB; needs only dense features) ----
+    const DenseExecResult bot = _mlpUnit.mlpStack(
+        cfg.bottomLayerDims(), batch.batch, dnf.end);
+
+    // ----- feature interaction on the FI PEs -----
+    const Tick fi_start = std::max(g.end, bot.end);
+    const DenseExecResult fi = _fiUnit.run(
+        batch.batch, cfg.numTables + 1, cfg.embeddingDim, fi_start);
+
+    // ----- top MLP -----
+    const DenseExecResult top = _mlpUnit.mlpStack(
+        cfg.topLayerDims(), batch.batch, fi.end);
+
+    // ----- sigmoid + writeback (Other) -----
+    const Tick sig_end = _sigmoid.time(batch.batch, top.end);
+    const StreamResult wb = _streamer.writeback(
+        _streamer.bpregs().output(),
+        static_cast<std::uint64_t>(batch.batch) * 4, sig_end);
+
+    // ----- phase accounting (segments chain to the total) -----
+    const Tick mlp_start = std::max(g.end, dnf.end);
+    res.phase[static_cast<std::size_t>(Phase::Idx)] = idx.end - t_mmio;
+    res.phase[static_cast<std::size_t>(Phase::Emb)] = g.end - idx.end;
+    res.phase[static_cast<std::size_t>(Phase::Dnf)] =
+        dnf.end > g.end ? dnf.end - g.end : 0;
+    res.phase[static_cast<std::size_t>(Phase::Mlp)] =
+        top.end - mlp_start;
+    res.phase[static_cast<std::size_t>(Phase::Other)] =
+        (t_mmio - _now) + (sig_end - top.end) + (wb.end - sig_end);
+
+    res.end = wb.end;
+    _now = wb.end;
+
+    // ----- functional result: exact dense path, LUT sigmoid -----
+    const ForwardResult fwd = _model.forward(batch);
+    res.probabilities.resize(fwd.logits.size());
+    for (std::size_t i = 0; i < fwd.logits.size(); ++i)
+        res.probabilities[i] = _sigmoid.eval(fwd.logits[i]);
+
+    finalize(res);
+    return res;
+}
+
+} // namespace centaur

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The Centaur design point (Section IV): the package-integrated
+ * CPU+FPGA. The EB-Streamer gathers embeddings straight out of CPU
+ * memory over the coherent chiplet links while the dense complex
+ * runs the bottom MLP on prefetched dense features; feature
+ * interaction and the top MLP follow on the PE arrays, and a sigmoid
+ * LUT finishes the probability, which streams back to CPU memory.
+ */
+
+#ifndef CENTAUR_CORE_CENTAUR_SYSTEM_HH
+#define CENTAUR_CORE_CENTAUR_SYSTEM_HH
+
+#include "cache/hierarchy.hh"
+#include "core/system.hh"
+#include "fpga/centaur_config.hh"
+#include "fpga/eb_streamer.hh"
+#include "fpga/feature_interaction_unit.hh"
+#include "fpga/mlp_unit.hh"
+#include "fpga/resource_model.hh"
+#include "fpga/sigmoid_unit.hh"
+#include "interconnect/aggregate_link.hh"
+#include "interconnect/iommu.hh"
+#include "mem/dram.hh"
+
+namespace centaur {
+
+/** Centaur (CPU+FPGA) inference system. */
+class CentaurSystem : public System
+{
+  public:
+    explicit CentaurSystem(const DlrmConfig &cfg,
+                           const CentaurConfig &acc = CentaurConfig{},
+                           const DramConfig &dram = DramConfig{});
+
+    DesignPoint design() const override { return DesignPoint::Centaur; }
+    InferenceResult infer(const InferenceBatch &batch) override;
+
+    const CentaurConfig &acceleratorConfig() const { return _acc; }
+    ResourceModel resources() const { return ResourceModel(_acc); }
+    EbStreamer &streamer() { return _streamer; }
+    ChannelAggregate &channel() { return _channel; }
+    Iommu &iommu() { return _iommu; }
+
+  private:
+    CentaurConfig _acc;
+    CacheHierarchy _hier; //!< the (mostly idle) CPU's caches
+    DramModel _dram;
+    ChannelAggregate _channel;
+    Iommu _iommu;
+    EbStreamer _streamer;
+    MlpUnit _mlpUnit;
+    FeatureInteractionUnit _fiUnit;
+    SigmoidUnit _sigmoid;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CORE_CENTAUR_SYSTEM_HH

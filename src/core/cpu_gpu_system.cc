@@ -1,0 +1,82 @@
+#include "core/cpu_gpu_system.hh"
+
+namespace centaur {
+
+CpuGpuSystem::CpuGpuSystem(const DlrmConfig &cfg, const CpuConfig &cpu,
+                           const GpuConfig &gpu, const DramConfig &dram)
+    : System(cfg), _cpu(cpu), _hier(broadwellHierarchyConfig()),
+      _dram(dram), _gather(_cpu, _hier, _dram), _gpu(gpu)
+{
+}
+
+InferenceResult
+CpuGpuSystem::infer(const InferenceBatch &batch)
+{
+    const DlrmConfig &cfg = config();
+    InferenceResult res;
+    res.design = design();
+    res.batch = batch.batch;
+    res.start = _now;
+
+    // ----- embedding layers on the CPU (EMB) -----
+    const GatherResult g = _gather.run(_model, batch, _now);
+    res.phase[static_cast<std::size_t>(Phase::Emb)] = g.latency();
+    res.emb.instructions = g.instructions;
+    res.emb.llcAccesses = g.llcAccesses;
+    res.emb.llcMisses = g.llcMisses;
+    res.effectiveEmbGBps = g.effectiveGBps();
+    Tick now = g.end;
+
+    // ----- CPU -> GPU copy of reduced embeddings + dense (Other) ----
+    const std::uint64_t h2d_bytes =
+        static_cast<std::uint64_t>(batch.batch) * cfg.numTables *
+            cfg.vectorBytes() +
+        static_cast<std::uint64_t>(batch.batch) * cfg.denseDim * 4;
+    Tick t = _gpu.copy(h2d_bytes, now);
+    res.phase[static_cast<std::size_t>(Phase::Other)] += t - now;
+    now = t;
+
+    // ----- GPU-side dense compute (MLP) -----
+    auto run_stack = [&](const std::vector<std::uint32_t> &dims) {
+        for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+            const auto k = _gpu.gemm(batch.batch, dims[l], dims[l + 1],
+                                     now);
+            res.phase[static_cast<std::size_t>(Phase::Mlp)] +=
+                k.latency();
+            now = k.end;
+        }
+    };
+    run_stack(cfg.bottomLayerDims());
+
+    // Interaction kernel: batched R x R^T (counted as Other, as in
+    // the CPU-only breakdown).
+    const std::uint32_t n_vec = cfg.numTables + 1;
+    const auto inter = _gpu.gemm(batch.batch * n_vec, cfg.embeddingDim,
+                                 n_vec, now);
+    res.phase[static_cast<std::size_t>(Phase::Other)] +=
+        inter.latency();
+    now = inter.end;
+
+    run_stack(cfg.topLayerDims());
+
+    // Sigmoid kernel (Other).
+    t = _gpu.elementwise(batch.batch, now);
+    res.phase[static_cast<std::size_t>(Phase::Other)] += t - now;
+    now = t;
+
+    // ----- GPU -> CPU result copy (Other) -----
+    t = _gpu.copy(static_cast<std::uint64_t>(batch.batch) * 4, now);
+    res.phase[static_cast<std::size_t>(Phase::Other)] += t - now;
+    now = t;
+
+    res.end = now;
+    _now = now;
+
+    const ForwardResult fwd = _model.forward(batch);
+    res.probabilities = fwd.probabilities;
+
+    finalize(res);
+    return res;
+}
+
+} // namespace centaur

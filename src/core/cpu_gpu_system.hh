@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The CPU-GPU baseline (Section V): embedding tables stay in CPU
+ * memory (they exceed GPU HBM capacity), the CPU gathers and
+ * reduces, then ships reduced embeddings + dense features over PCIe
+ * to a V100 that runs the MLPs and interaction.
+ */
+
+#ifndef CENTAUR_CORE_CPU_GPU_SYSTEM_HH
+#define CENTAUR_CORE_CPU_GPU_SYSTEM_HH
+
+#include "cache/hierarchy.hh"
+#include "core/system.hh"
+#include "cpu/cpu_config.hh"
+#include "cpu/gather_engine.hh"
+#include "gpu/gpu_model.hh"
+#include "mem/dram.hh"
+
+namespace centaur {
+
+/** CPU-GPU inference system. */
+class CpuGpuSystem : public System
+{
+  public:
+    explicit CpuGpuSystem(const DlrmConfig &cfg,
+                          const CpuConfig &cpu = CpuConfig{},
+                          const GpuConfig &gpu = GpuConfig{},
+                          const DramConfig &dram = DramConfig{});
+
+    DesignPoint design() const override { return DesignPoint::CpuGpu; }
+    InferenceResult infer(const InferenceBatch &batch) override;
+
+    const GpuModel &gpu() const { return _gpu; }
+
+  private:
+    CpuConfig _cpu;
+    CacheHierarchy _hier;
+    DramModel _dram;
+    GatherEngine _gather;
+    GpuModel _gpu;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CORE_CPU_GPU_SYSTEM_HH

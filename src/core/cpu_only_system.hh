@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The CPU-only baseline (Section III): the entire model - embedding
+ * gathers, MLPs, interaction, sigmoid - executes on the Broadwell
+ * Xeon, the deployment configuration hyperscalers use in production.
+ */
+
+#ifndef CENTAUR_CORE_CPU_ONLY_SYSTEM_HH
+#define CENTAUR_CORE_CPU_ONLY_SYSTEM_HH
+
+#include "cache/hierarchy.hh"
+#include "core/system.hh"
+#include "cpu/cpu_config.hh"
+#include "cpu/gather_engine.hh"
+#include "cpu/gemm_model.hh"
+#include "mem/dram.hh"
+
+namespace centaur {
+
+/** CPU-only inference system. */
+class CpuOnlySystem : public System
+{
+  public:
+    explicit CpuOnlySystem(const DlrmConfig &cfg,
+                           const CpuConfig &cpu = CpuConfig{},
+                           const DramConfig &dram = DramConfig{});
+
+    DesignPoint design() const override { return DesignPoint::CpuOnly; }
+    InferenceResult infer(const InferenceBatch &batch) override;
+
+    CacheHierarchy &hierarchy() { return _hier; }
+    DramModel &dram() { return _dram; }
+    const CpuConfig &cpuConfig() const { return _cpu; }
+
+  private:
+    /** Time the bottom/top MLP stacks; accumulates stats into @p r. */
+    Tick runMlpStack(const std::vector<std::uint32_t> &dims,
+                     std::uint32_t batch, Addr in_base, Addr w_base,
+                     Tick start, InferenceResult &r);
+
+    CpuConfig _cpu;
+    CacheHierarchy _hier;
+    DramModel _dram;
+    GatherEngine _gather;
+    CpuGemmModel _gemm;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CORE_CPU_ONLY_SYSTEM_HH

@@ -1,0 +1,58 @@
+#include "core/experiment.hh"
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+std::uint64_t
+sweepSeed(int preset, std::uint32_t batch)
+{
+    return 0xC0FFEEULL * 1000003ULL + static_cast<std::uint64_t>(preset) *
+               4096ULL + batch;
+}
+
+std::vector<SweepEntry>
+runSweep(DesignPoint dp, const std::vector<int> &presets,
+         const std::vector<std::uint32_t> &batches, int warmup_runs,
+         IndexDistribution dist)
+{
+    std::vector<SweepEntry> out;
+    for (int preset : presets) {
+        const DlrmConfig cfg = dlrmPreset(preset);
+        for (std::uint32_t batch : batches) {
+            auto sys = makeSystem(dp, cfg);
+            WorkloadConfig wl;
+            wl.batch = batch;
+            wl.dist = dist;
+            wl.seed = sweepSeed(preset, batch);
+            WorkloadGenerator gen(cfg, wl);
+            SweepEntry entry;
+            entry.modelName = cfg.name;
+            entry.preset = preset;
+            entry.batch = batch;
+            entry.result = measureInference(*sys, gen, warmup_runs);
+            out.push_back(std::move(entry));
+        }
+    }
+    return out;
+}
+
+std::vector<SweepEntry>
+runPaperSweep(DesignPoint dp, int warmup_runs)
+{
+    return runSweep(dp, {1, 2, 3, 4, 5, 6}, paperBatchSizes(),
+                    warmup_runs);
+}
+
+const SweepEntry &
+findEntry(const std::vector<SweepEntry> &entries, int preset,
+          std::uint32_t batch)
+{
+    for (const auto &e : entries)
+        if (e.preset == preset && e.batch == batch)
+            return e;
+    fatal("sweep entry for preset ", preset, " batch ", batch,
+          " not found");
+}
+
+} // namespace centaur

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Sweep helpers shared by the benchmark harnesses: run a design
+ * point across the Table I presets and the paper's batch sizes with
+ * deterministic seeding, and look results back up.
+ */
+
+#ifndef CENTAUR_CORE_EXPERIMENT_HH
+#define CENTAUR_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/result.hh"
+#include "core/system.hh"
+#include "dlrm/model_config.hh"
+#include "dlrm/workload.hh"
+
+namespace centaur {
+
+/** One (model, batch) sweep measurement. */
+struct SweepEntry
+{
+    std::string modelName;
+    int preset = 0;
+    std::uint32_t batch = 0;
+    InferenceResult result;
+};
+
+/**
+ * Measure @p dp on every (preset, batch) pair. Each point uses a
+ * fresh system (cold platform state) plus @p warmup_runs warmup
+ * inferences, mirroring the paper's warmed-cache methodology.
+ */
+std::vector<SweepEntry>
+runSweep(DesignPoint dp, const std::vector<int> &presets,
+         const std::vector<std::uint32_t> &batches, int warmup_runs = 1,
+         IndexDistribution dist = IndexDistribution::Uniform);
+
+/** Convenience: all six presets x the paper's batch sizes. */
+std::vector<SweepEntry> runPaperSweep(DesignPoint dp,
+                                      int warmup_runs = 1);
+
+/** Locate a sweep entry; fatal if absent. */
+const SweepEntry &findEntry(const std::vector<SweepEntry> &entries,
+                            int preset, std::uint32_t batch);
+
+/** Deterministic per-point workload seed. */
+std::uint64_t sweepSeed(int preset, std::uint32_t batch);
+
+} // namespace centaur
+
+#endif // CENTAUR_CORE_EXPERIMENT_HH

@@ -1,0 +1,23 @@
+#include "core/result.hh"
+
+namespace centaur {
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Idx:
+        return "IDX";
+      case Phase::Emb:
+        return "EMB";
+      case Phase::Dnf:
+        return "DNF";
+      case Phase::Mlp:
+        return "MLP";
+      case Phase::Other:
+        return "Other";
+    }
+    return "?";
+}
+
+} // namespace centaur

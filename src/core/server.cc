@@ -1,0 +1,93 @@
+#include "core/server.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+#include "sim/random.hh"
+
+namespace centaur {
+
+InferenceServer::InferenceServer(System &sys, const ServerConfig &cfg,
+                                 double sla_target_us)
+    : _sys(sys), _cfg(cfg), _slaTargetUs(sla_target_us)
+{
+    if (cfg.arrivalRatePerSec <= 0.0)
+        fatal("server needs a positive arrival rate");
+    if (cfg.requests == 0)
+        fatal("server needs at least one request");
+}
+
+ServerStats
+InferenceServer::run()
+{
+    Rng arrivals(_cfg.seed * 7919 + 13);
+    WorkloadConfig wl;
+    wl.batch = _cfg.batchPerRequest;
+    wl.seed = _cfg.seed;
+    wl.dist = _cfg.dist;
+    WorkloadGenerator gen(_sys.config(), wl);
+
+    StatHistogram latency(0.0, 100000.0, 2000); // us, 50 us buckets
+    StatAverage service;
+    StatAverage queueing;
+
+    double clock_us = 0.0;     // arrival process clock
+    double server_free = 0.0;  // server availability
+    double busy_us = 0.0;
+    double energy = 0.0;
+    std::uint64_t sla_hits = 0;
+
+    const double mean_gap_us = 1e6 / _cfg.arrivalRatePerSec;
+    double last_completion = 0.0;
+
+    for (std::uint32_t r = 0; r < _cfg.requests; ++r) {
+        // Exponential inter-arrival gap.
+        const double u = std::max(arrivals.nextDouble(), 1e-12);
+        clock_us += -std::log(u) * mean_gap_us;
+
+        const InferenceBatch batch = gen.next();
+        const InferenceResult res = _sys.infer(batch);
+        const double service_us = usFromTicks(res.latency());
+
+        const double start = std::max(clock_us, server_free);
+        const double done = start + service_us;
+        server_free = done;
+        busy_us += service_us;
+        energy += res.energyJoules;
+        last_completion = std::max(last_completion, done);
+
+        const double total = done - clock_us;
+        latency.sample(total);
+        service.sample(service_us);
+        queueing.sample(start - clock_us);
+        if (_slaTargetUs > 0.0 && total <= _slaTargetUs)
+            ++sla_hits;
+    }
+
+    ServerStats out;
+    out.served = _cfg.requests;
+    out.meanServiceUs = service.mean();
+    out.meanQueueUs = queueing.mean();
+    out.meanLatencyUs = latency.mean();
+    out.p50Us = latency.quantile(0.50);
+    out.p95Us = latency.quantile(0.95);
+    out.p99Us = latency.quantile(0.99);
+    out.offeredRps = _cfg.arrivalRatePerSec;
+    out.throughputRps =
+        last_completion > 0.0
+            ? static_cast<double>(_cfg.requests) * 1e6 /
+                  last_completion
+            : 0.0;
+    out.utilization =
+        last_completion > 0.0 ? busy_us / last_completion : 0.0;
+    out.energyJoules = energy;
+    out.slaTarget = _slaTargetUs;
+    out.slaHitRate = _slaTargetUs > 0.0
+                         ? static_cast<double>(sla_hits) /
+                               static_cast<double>(_cfg.requests)
+                         : 0.0;
+    return out;
+}
+
+} // namespace centaur

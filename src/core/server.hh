@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Inference-serving simulation on top of a design point.
+ *
+ * The paper motivates Centaur with user-facing cloud serving under
+ * firm SLAs (Section IV-A); this layer closes the loop: Poisson
+ * request arrivals feed a FIFO queue in front of one inference
+ * system, and the simulator reports the end-to-end (queue + service)
+ * latency distribution, throughput, utilization and energy - the
+ * quantities an operator actually provisions against.
+ */
+
+#ifndef CENTAUR_CORE_SERVER_HH
+#define CENTAUR_CORE_SERVER_HH
+
+#include <cstdint>
+
+#include "core/system.hh"
+#include "dlrm/workload.hh"
+#include "sim/stats.hh"
+
+namespace centaur {
+
+/** Serving-loop parameters. */
+struct ServerConfig
+{
+    /** Mean request arrival rate (Poisson), requests per second. */
+    double arrivalRatePerSec = 2000.0;
+    /** Samples (users/items to score) per request. */
+    std::uint32_t batchPerRequest = 8;
+    /** Requests to simulate. */
+    std::uint32_t requests = 200;
+    /** Workload RNG seed. */
+    std::uint64_t seed = 1;
+    /** Index popularity distribution. */
+    IndexDistribution dist = IndexDistribution::Uniform;
+};
+
+/** Aggregate serving results. */
+struct ServerStats
+{
+    std::uint64_t served = 0;
+    double meanServiceUs = 0.0;
+    double meanQueueUs = 0.0;
+    double meanLatencyUs = 0.0; //!< queue + service
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    double throughputRps = 0.0;
+    double offeredRps = 0.0;
+    double utilization = 0.0; //!< busy time / wall time
+    double energyJoules = 0.0;
+
+    /** Fraction of requests within an SLA budget (microseconds). */
+    double slaTarget = 0.0;
+    double slaHitRate = 0.0;
+};
+
+/**
+ * A single-queue, single-server inference service wrapped around a
+ * design point.
+ */
+class InferenceServer
+{
+  public:
+    /**
+     * @param sys design point to serve on (state advances)
+     * @param cfg serving-loop parameters
+     * @param sla_target_us optional SLA budget for hit-rate stats
+     */
+    InferenceServer(System &sys, const ServerConfig &cfg,
+                    double sla_target_us = 0.0);
+
+    /** Simulate the configured number of requests. */
+    ServerStats run();
+
+    const ServerConfig &config() const { return _cfg; }
+
+  private:
+    System &_sys;
+    ServerConfig _cfg;
+    double _slaTargetUs;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CORE_SERVER_HH

@@ -1,0 +1,35 @@
+#include "core/system.hh"
+
+#include "core/centaur_system.hh"
+#include "core/cpu_gpu_system.hh"
+#include "core/cpu_only_system.hh"
+#include "sim/log.hh"
+
+namespace centaur {
+
+std::unique_ptr<System>
+makeSystem(DesignPoint dp, const DlrmConfig &cfg)
+{
+    switch (dp) {
+      case DesignPoint::CpuOnly:
+        return std::make_unique<CpuOnlySystem>(cfg);
+      case DesignPoint::CpuGpu:
+        return std::make_unique<CpuGpuSystem>(cfg);
+      case DesignPoint::Centaur:
+        return std::make_unique<CentaurSystem>(cfg);
+    }
+    panic("unknown design point");
+}
+
+InferenceResult
+measureInference(System &sys, WorkloadGenerator &gen, int warmup_runs)
+{
+    for (int i = 0; i < warmup_runs; ++i) {
+        const InferenceBatch warm = gen.next();
+        (void)sys.infer(warm);
+    }
+    const InferenceBatch measured = gen.next();
+    return sys.infer(measured);
+}
+
+} // namespace centaur

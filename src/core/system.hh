@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Abstract inference system: one of the paper's three evaluated
+ * design points (CPU-only, CPU-GPU, Centaur) bound to a DLRM model.
+ * All systems share the functional ReferenceModel; they differ only
+ * in how execution is timed and where energy goes.
+ */
+
+#ifndef CENTAUR_CORE_SYSTEM_HH
+#define CENTAUR_CORE_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "core/result.hh"
+#include "dlrm/reference_model.hh"
+#include "dlrm/workload.hh"
+#include "power/power_model.hh"
+
+namespace centaur {
+
+/**
+ * Base class for inference design points.
+ */
+class System
+{
+  public:
+    explicit System(const DlrmConfig &cfg,
+                    const PowerConfig &power = PowerConfig{})
+        : _model(cfg), _power(power)
+    {
+    }
+
+    virtual ~System() = default;
+
+    /** Which Table IV design point this is. */
+    virtual DesignPoint design() const = 0;
+
+    /** Run one inference; advances internal time. */
+    virtual InferenceResult infer(const InferenceBatch &batch) = 0;
+
+    std::string name() const { return designPointName(design()); }
+    const ReferenceModel &model() const { return _model; }
+    const DlrmConfig &config() const { return _model.config(); }
+    const PowerModel &power() const { return _power; }
+
+  protected:
+    /** Attach power/energy numbers to a finished result. */
+    void
+    finalize(InferenceResult &res)
+    {
+        res.powerWatts = _power.watts(design());
+        res.energyJoules = _power.energyJoules(design(), res.latency());
+    }
+
+    ReferenceModel _model;
+    PowerModel _power;
+    Tick _now = 0;
+};
+
+/** Factory covering all three design points with default configs. */
+std::unique_ptr<System> makeSystem(DesignPoint dp,
+                                   const DlrmConfig &cfg);
+
+/**
+ * Run @p warmup_runs throwaway inferences (cache/TLB warmup, as the
+ * paper does before wall-clock measurement), then one measured run.
+ */
+InferenceResult measureInference(System &sys, WorkloadGenerator &gen,
+                                 int warmup_runs = 1);
+
+} // namespace centaur
+
+#endif // CENTAUR_CORE_SYSTEM_HH

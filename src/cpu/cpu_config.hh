@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CPU model parameters, defaulted to the paper's evaluation platform:
+ * the Xeon E5-2680v4 (Broadwell) half of Intel HARPv2 - 14 cores at
+ * 2.4 GHz, AVX2, 10 L1 MSHRs per core, 4-channel DDR4 at 77 GB/s.
+ */
+
+#ifndef CENTAUR_CPU_CPU_CONFIG_HH
+#define CENTAUR_CPU_CPU_CONFIG_HH
+
+#include <cstdint>
+
+namespace centaur {
+
+/** Static CPU parameters used by the timing models. */
+struct CpuConfig
+{
+    std::uint32_t cores = 14;
+    double freqGHz = 2.4;
+    double ipc = 2.0; //!< sustained scalar micro-op throughput
+
+    /** Hardware L1 miss-status-holding registers per core. */
+    std::uint32_t mshrsPerCore = 10;
+
+    /**
+     * Effective concurrently-outstanding miss lines per thread for
+     * the SparseLengthsSum gather loop. Far below mshrsPerCore: the
+     * dependent index->address->load chain and the ROB window keep a
+     * latency-optimized core from exposing more memory-level
+     * parallelism - the central observation of Section III-C.
+     * Four lines = two 128 B embedding vectors in
+     * flight (well below the 10 hardware MSHRs); calibrated so 14
+     * cores sustain the paper's ~18-20 GB/s ceiling at batch 128
+     * while a single thread stays near 1 GB/s.
+     */
+    std::uint32_t gatherWindowLines = 4;
+
+    /** AVX2: 2 FMA ports x 8 fp32 lanes x 2 flops = 32 flops/cycle. */
+    std::uint32_t simdFlopsPerCycle = 32;
+
+    /** OpenMP parallel-region fork/join overhead (microseconds). */
+    double ompForkJoinUs = 2.5;
+
+    /** Per-operator framework dispatch overhead (microseconds):
+     *  the PyTorch/ATen operator entry path measured around the
+     *  paper's 1.5-nightly era. */
+    double dispatchUs = 4.0;
+
+    /** Scalar instructions per embedding lookup (loop + addressing
+     *  + AVX reduce), for the MPKI model of Fig 6. */
+    std::uint32_t instrPerLookup = 170;
+
+    /** Instructions per sparse-index fetch. */
+    std::uint32_t instrPerIndex = 4;
+
+    /** Peak fraction of SIMD throughput large GEMMs achieve. */
+    double gemmPeakEfficiency = 0.85;
+
+    /**
+     * GEMM flops-per-core at which efficiency reaches half its peak;
+     * models the poor utilization of small inference GEMMs.
+     */
+    double gemmHalfEffFlops = 2.0e7;
+
+    double flopsPerCorePerSec() const
+    {
+        return freqGHz * 1e9 * simdFlopsPerCycle;
+    }
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CPU_CPU_CONFIG_HH

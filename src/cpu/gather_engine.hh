@@ -1,0 +1,90 @@
+/**
+ * @file
+ * CPU-side embedding gather/reduce timing model (SparseLengthsSum).
+ *
+ * Work items are (table, sample) pairs sharded across OpenMP-style
+ * threads, matching how the PyTorch backend parallelizes embedding
+ * bags. Each thread walks its lookups through the cache hierarchy;
+ * misses go to the shared DRAM model and at most
+ * CpuConfig::gatherWindowLines misses overlap per thread - the
+ * mechanism behind the paper's low effective-throughput findings.
+ */
+
+#ifndef CENTAUR_CPU_GATHER_ENGINE_HH
+#define CENTAUR_CPU_GATHER_ENGINE_HH
+
+#include <cstdint>
+
+#include "cache/hierarchy.hh"
+#include "cpu/cpu_config.hh"
+#include "dlrm/reference_model.hh"
+#include "dlrm/workload.hh"
+#include "mem/dram.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** Timing and cache statistics of one embedding-layer execution. */
+struct GatherResult
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t bytesGathered = 0; //!< useful embedding bytes
+    std::uint64_t instructions = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint32_t threadsUsed = 0;
+
+    Tick latency() const { return end - start; }
+
+    /** The paper's "effective memory throughput" metric (Sec III-C). */
+    double
+    effectiveGBps() const
+    {
+        return gbPerSec(bytesGathered, latency());
+    }
+
+    double
+    llcMissRate() const
+    {
+        return llcAccesses ? static_cast<double>(llcMisses) /
+                                 static_cast<double>(llcAccesses)
+                           : 0.0;
+    }
+
+    double
+    mpki() const
+    {
+        return instructions ? static_cast<double>(llcMisses) * 1000.0 /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+};
+
+/**
+ * Executes the frontend embedding layers of a DLRM model on the CPU
+ * timing model.
+ */
+class GatherEngine
+{
+  public:
+    GatherEngine(const CpuConfig &cfg, CacheHierarchy &hierarchy,
+                 DramModel &dram);
+
+    /**
+     * Run gathers + reductions for @p batch of @p model, starting at
+     * @p start. Timing only; numerics come from the ReferenceModel.
+     */
+    GatherResult run(const ReferenceModel &model,
+                     const InferenceBatch &batch, Tick start);
+
+  private:
+    const CpuConfig &_cfg;
+    CacheHierarchy &_hier;
+    DramModel &_dram;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CPU_GATHER_ENGINE_HH

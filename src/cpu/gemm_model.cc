@@ -1,0 +1,94 @@
+#include "cpu/gemm_model.hh"
+
+#include <algorithm>
+
+namespace centaur {
+
+namespace {
+
+/** Sustained LLC streaming bandwidth for cache-resident operands. */
+constexpr double kLlcStreamGBps = 40.0;
+
+/** Floor on achieved throughput (scalar fallback paths). */
+constexpr double kMinGflopsPerThread = 10.0;
+
+} // namespace
+
+CpuGemmModel::CpuGemmModel(const CpuConfig &cfg,
+                           CacheHierarchy &hierarchy, DramModel &dram)
+    : _cfg(cfg), _hier(hierarchy), _dram(dram)
+{
+}
+
+GemmStats
+CpuGemmModel::run(std::uint32_t m, std::uint32_t k, std::uint32_t n,
+                  Addr a_base, Addr w_base, Addr c_base, Tick start)
+{
+    GemmStats res;
+    res.start = start;
+    res.flops = 2ULL * m * k * n;
+
+    const std::uint64_t llc_acc0 = _hier.llc().accesses();
+    const std::uint64_t llc_miss0 = _hier.llc().misses();
+
+    // Walk the operand footprints through the cache model. Weights
+    // are typically resident (warmed at deployment, Section III-B);
+    // inputs stream in; outputs stream out.
+    const std::uint64_t a_bytes = 4ULL * m * k;
+    const std::uint64_t w_bytes = 4ULL * k * n;
+    const std::uint64_t c_bytes = 4ULL * m * n;
+    _hier.accessRange(a_base, a_bytes);
+    _hier.accessRange(w_base, w_bytes);
+    _hier.accessRange(c_base, c_bytes);
+
+    res.llcAccesses = _hier.llc().accesses() - llc_acc0;
+    res.llcMisses = _hier.llc().misses() - llc_miss0;
+
+    // Thread count ramps with available work, mirroring MKL/ATen
+    // heuristics that keep small GEMMs on few threads.
+    const std::uint32_t threads = std::clamp<std::uint32_t>(
+        static_cast<std::uint32_t>(res.flops / 200000), 1, _cfg.cores);
+    res.threadsUsed = threads;
+
+    // Efficiency ramp: eff = peak / (1 + f_half / f_thread).
+    const double f_thread =
+        static_cast<double>(res.flops) / threads;
+    const double eff =
+        _cfg.gemmPeakEfficiency / (1.0 + _cfg.gemmHalfEffFlops / f_thread);
+    const double gflops_per_thread =
+        std::max(_cfg.flopsPerCorePerSec() * eff / 1e9,
+                 kMinGflopsPerThread);
+    const double compute_secs = static_cast<double>(res.flops) /
+                                (threads * gflops_per_thread * 1e9);
+
+    // Bandwidth terms: LLC misses stream from DRAM, the rest of the
+    // operand traffic streams from the LLC.
+    const std::uint64_t miss_bytes =
+        res.llcMisses * _hier.lineBytes();
+    const double dram_secs =
+        static_cast<double>(miss_bytes) /
+        (0.6 * _dram.config().peakBandwidthGBps() * 1e9);
+    const double llc_secs = static_cast<double>(
+                                a_bytes + w_bytes + c_bytes) /
+                            (kLlcStreamGBps * 1e9);
+
+    const double busy_secs =
+        std::max({compute_secs, dram_secs, llc_secs});
+
+    Tick latency = ticksFromUs(_cfg.dispatchUs);
+    if (threads > 1)
+        latency += ticksFromUs(_cfg.ompForkJoinUs);
+    latency += static_cast<Tick>(busy_secs * kTicksPerSec);
+    res.end = start + latency;
+
+    // AVX2 FMA retires 16 flops per instruction; add 30% loop and
+    // address-generation overhead plus the dispatch path.
+    res.instructions =
+        static_cast<std::uint64_t>(static_cast<double>(res.flops) /
+                                   16.0 * 1.3) +
+        static_cast<std::uint64_t>(_cfg.dispatchUs *
+                                   _cfg.ipc * _cfg.freqGHz * 1e3);
+    return res;
+}
+
+} // namespace centaur

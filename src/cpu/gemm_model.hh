@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CPU GEMM timing model.
+ *
+ * Captures the two regimes the paper's MLP measurements show: small
+ * inference GEMMs are dispatch- and bandwidth-bound (achieving a few
+ * GFLOPS), while larger batched GEMMs ramp toward a fraction of AVX2
+ * peak. Weight streams walk the cache hierarchy so the MLP rows of
+ * Fig 6 (low LLC miss rate, low MPKI) fall out of the same machinery
+ * as the embedding rows.
+ */
+
+#ifndef CENTAUR_CPU_GEMM_MODEL_HH
+#define CENTAUR_CPU_GEMM_MODEL_HH
+
+#include <cstdint>
+
+#include "cache/hierarchy.hh"
+#include "cpu/cpu_config.hh"
+#include "mem/dram.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** Timing and cache statistics of one GEMM execution. */
+struct GemmStats
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint32_t threadsUsed = 0;
+
+    Tick latency() const { return end - start; }
+
+    double
+    achievedGflops() const
+    {
+        const double secs = secFromTicks(latency());
+        return secs > 0.0 ? static_cast<double>(flops) / secs / 1e9
+                          : 0.0;
+    }
+};
+
+/**
+ * Models C[MxN] = A[MxK] x W[KxN] on the multicore CPU.
+ */
+class CpuGemmModel
+{
+  public:
+    CpuGemmModel(const CpuConfig &cfg, CacheHierarchy &hierarchy,
+                 DramModel &dram);
+
+    /**
+     * Time one GEMM starting at @p start.
+     *
+     * @param a_base address of the streaming input operand
+     * @param w_base address of the (typically cache-warm) weights
+     * @param c_base address of the output tensor
+     */
+    GemmStats run(std::uint32_t m, std::uint32_t k, std::uint32_t n,
+                  Addr a_base, Addr w_base, Addr c_base, Tick start);
+
+  private:
+    const CpuConfig &_cfg;
+    CacheHierarchy &_hier;
+    DramModel &_dram;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CPU_GEMM_MODEL_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Functional multi-layer perceptron with hash-synthesized parameters.
+ * Serves as the numerical ground truth every design point's compute
+ * path (CPU AVX model, GPU model, Centaur PE array) must match.
+ */
+
+#ifndef CENTAUR_DLRM_MLP_HH
+#define CENTAUR_DLRM_MLP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace centaur {
+
+/** Activation applied after a layer. */
+enum class Activation : std::uint8_t
+{
+    None,
+    Relu,
+};
+
+/**
+ * A dense MLP: y = act(W x + b) per layer. Parameters are synthesized
+ * deterministically from (mlp_id, layer, i, j) hashes so CPU, GPU and
+ * FPGA models all see identical weights with no storage or loading.
+ */
+class Mlp
+{
+  public:
+    /**
+     * @param mlp_id stable identity for parameter synthesis
+     * @param layer_dims widths including input, e.g. {13,128,64,32}
+     * @param hidden_act activation on all but the final layer
+     * @param final_act activation on the final layer
+     */
+    Mlp(std::uint64_t mlp_id, std::vector<std::uint32_t> layer_dims,
+        Activation hidden_act = Activation::Relu,
+        Activation final_act = Activation::Relu);
+
+    /** Weight element W[layer][out_idx][in_idx]. */
+    float weight(std::size_t layer, std::uint32_t out_idx,
+                 std::uint32_t in_idx) const;
+
+    /** Bias element b[layer][out_idx]. */
+    float bias(std::size_t layer, std::uint32_t out_idx) const;
+
+    /** Forward one sample: @p in has inputDim() floats. */
+    std::vector<float> forward(const float *in) const;
+
+    /** Forward a batch laid out row-major [batch x inputDim()]. */
+    std::vector<float> forwardBatch(const float *in,
+                                    std::uint32_t batch) const;
+
+    std::uint32_t inputDim() const { return _dims.front(); }
+    std::uint32_t outputDim() const { return _dims.back(); }
+    std::size_t layers() const { return _dims.size() - 1; }
+    const std::vector<std::uint32_t> &dims() const { return _dims; }
+
+    /** fp32 parameter count (weights + biases). */
+    std::uint64_t paramCount() const;
+
+    /** Multiply-accumulates per forwarded sample. */
+    std::uint64_t macsPerSample() const;
+
+  private:
+    std::uint64_t _id;
+    std::vector<std::uint32_t> _dims;
+    Activation _hiddenAct;
+    Activation _finalAct;
+};
+
+/** Numerically exact logistic sigmoid (reference). */
+float referenceSigmoid(float x);
+
+} // namespace centaur
+
+#endif // CENTAUR_DLRM_MLP_HH

@@ -1,0 +1,140 @@
+#include "dlrm/model_config.hh"
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+std::vector<std::uint32_t>
+DlrmConfig::bottomLayerDims() const
+{
+    std::vector<std::uint32_t> dims;
+    dims.push_back(denseDim);
+    dims.insert(dims.end(), bottomMlp.begin(), bottomMlp.end());
+    return dims;
+}
+
+std::vector<std::uint32_t>
+DlrmConfig::topLayerDims() const
+{
+    std::vector<std::uint32_t> dims;
+    dims.push_back(interactionDim());
+    dims.insert(dims.end(), topMlp.begin(), topMlp.end());
+    dims.push_back(1);
+    return dims;
+}
+
+namespace {
+
+std::uint64_t
+stackParams(const std::vector<std::uint32_t> &dims)
+{
+    std::uint64_t params = 0;
+    for (std::size_t i = 0; i + 1 < dims.size(); ++i)
+        params += static_cast<std::uint64_t>(dims[i]) * dims[i + 1] +
+                  dims[i + 1];
+    return params;
+}
+
+std::uint64_t
+stackMacs(const std::vector<std::uint32_t> &dims)
+{
+    std::uint64_t macs = 0;
+    for (std::size_t i = 0; i + 1 < dims.size(); ++i)
+        macs += static_cast<std::uint64_t>(dims[i]) * dims[i + 1];
+    return macs;
+}
+
+} // namespace
+
+std::uint64_t
+DlrmConfig::mlpParamCount() const
+{
+    return stackParams(bottomLayerDims()) + stackParams(topLayerDims());
+}
+
+std::uint64_t
+DlrmConfig::mlpMacsPerSample() const
+{
+    return stackMacs(bottomLayerDims()) + stackMacs(topLayerDims());
+}
+
+std::uint64_t
+DlrmConfig::interactionMacsPerSample() const
+{
+    // Pairwise dot products of (numTables + 1) embedding-dim vectors.
+    const std::uint64_t n = numTables + 1;
+    return n * (n - 1) / 2 * embeddingDim;
+}
+
+DlrmConfig
+dlrmPreset(int which)
+{
+    DlrmConfig cfg;
+    cfg.embeddingDim = 32;
+    cfg.denseDim = 13;
+    // 57.4 KB MLP stack: bottom 13-128-64-32, top <int>-42-12-1
+    // (14,673 fp32 params at 5 tables).
+    cfg.bottomMlp = {128, 64, 32};
+    cfg.topMlp = {42, 12};
+    switch (which) {
+      case 1:
+        cfg.name = "DLRM(1)";
+        cfg.numTables = 5;
+        cfg.lookupsPerTable = 20;
+        cfg.rowsPerTable = 200000; // 5 x 25.6 MB = 128 MB
+        break;
+      case 2:
+        cfg.name = "DLRM(2)";
+        cfg.numTables = 50;
+        cfg.lookupsPerTable = 20;
+        cfg.rowsPerTable = 200000; // 50 x 25.6 MB = 1.28 GB
+        break;
+      case 3:
+        cfg.name = "DLRM(3)";
+        cfg.numTables = 5;
+        cfg.lookupsPerTable = 80;
+        cfg.rowsPerTable = 200000;
+        break;
+      case 4:
+        cfg.name = "DLRM(4)";
+        cfg.numTables = 50;
+        cfg.lookupsPerTable = 80;
+        cfg.rowsPerTable = 200000;
+        break;
+      case 5:
+        cfg.name = "DLRM(5)";
+        cfg.numTables = 50;
+        cfg.lookupsPerTable = 80;
+        cfg.rowsPerTable = 500000; // 50 x 64 MB = 3.2 GB
+        break;
+      case 6:
+        cfg.name = "DLRM(6)";
+        cfg.numTables = 5;
+        cfg.lookupsPerTable = 2;
+        cfg.rowsPerTable = 200000;
+        // 557 KB MLP stack: bottom 13-512-240-32, top <int>-64-16-1.
+        cfg.bottomMlp = {512, 240, 32};
+        cfg.topMlp = {64, 16};
+        break;
+      default:
+        fatal("dlrmPreset expects 1..6, got ", which);
+    }
+    return cfg;
+}
+
+std::vector<DlrmConfig>
+allDlrmPresets()
+{
+    std::vector<DlrmConfig> all;
+    for (int i = 1; i <= 6; ++i)
+        all.push_back(dlrmPreset(i));
+    return all;
+}
+
+std::vector<std::uint32_t>
+paperBatchSizes()
+{
+    return {1, 4, 16, 32, 64, 128};
+}
+
+} // namespace centaur

@@ -1,0 +1,127 @@
+#include "dlrm/trace.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+TraceWriter::TraceWriter(std::ostream &os, const DlrmConfig &cfg)
+    : _os(os), _cfg(cfg)
+{
+    _os << "centaur-trace v1 " << cfg.numTables << ' '
+        << cfg.lookupsPerTable << ' ' << cfg.denseDim << '\n';
+}
+
+bool
+TraceWriter::append(const InferenceBatch &batch)
+{
+    if (batch.indices.size() != _cfg.numTables ||
+        batch.lookupsPerTable != _cfg.lookupsPerTable)
+        return false;
+    for (const auto &t : batch.indices)
+        if (t.size() != static_cast<std::size_t>(batch.batch) *
+                            batch.lookupsPerTable)
+            return false;
+    if (batch.dense.size() != static_cast<std::size_t>(batch.batch) *
+                                  _cfg.denseDim)
+        return false;
+
+    _os << "batch " << batch.batch << '\n';
+    for (std::size_t t = 0; t < batch.indices.size(); ++t) {
+        _os << "t " << t;
+        for (auto idx : batch.indices[t])
+            _os << ' ' << idx;
+        _os << '\n';
+    }
+    _os << "d";
+    for (float v : batch.dense)
+        _os << ' ' << v;
+    _os << '\n';
+    ++_batches;
+    return true;
+}
+
+TraceReader::TraceReader(std::istream &is) : _is(is)
+{
+    std::string magic;
+    std::string version;
+    _is >> magic >> version >> _numTables >> _lookups >> _denseDim;
+    _valid = _is.good() && magic == "centaur-trace" &&
+             version == "v1" && _numTables > 0;
+}
+
+bool
+TraceReader::next(InferenceBatch &out)
+{
+    if (!_valid)
+        return false;
+    std::string tag;
+    if (!(_is >> tag))
+        return false; // clean end of trace
+    if (tag != "batch") {
+        _valid = false;
+        return false;
+    }
+    std::uint32_t n = 0;
+    if (!(_is >> n) || n == 0) {
+        _valid = false;
+        return false;
+    }
+
+    out.batch = n;
+    out.lookupsPerTable = _lookups;
+    out.indices.assign(_numTables, {});
+    for (std::uint32_t t = 0; t < _numTables; ++t) {
+        std::uint32_t table_id = 0;
+        if (!(_is >> tag >> table_id) || tag != "t" ||
+            table_id != t) {
+            _valid = false;
+            return false;
+        }
+        auto &idx = out.indices[t];
+        idx.resize(static_cast<std::size_t>(n) * _lookups);
+        for (auto &v : idx) {
+            if (!(_is >> v)) {
+                _valid = false;
+                return false;
+            }
+        }
+    }
+    if (!(_is >> tag) || tag != "d") {
+        _valid = false;
+        return false;
+    }
+    out.dense.resize(static_cast<std::size_t>(n) * _denseDim);
+    for (auto &v : out.dense) {
+        if (!(_is >> v)) {
+            _valid = false;
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+TraceReader::compatibleWith(const DlrmConfig &cfg) const
+{
+    return _valid && _numTables == cfg.numTables &&
+           _lookups == cfg.lookupsPerTable &&
+           _denseDim == cfg.denseDim;
+}
+
+std::string
+captureTrace(const DlrmConfig &cfg, const WorkloadConfig &wl,
+             std::size_t batches)
+{
+    std::ostringstream oss;
+    TraceWriter writer(oss, cfg);
+    WorkloadGenerator gen(cfg, wl);
+    for (std::size_t i = 0; i < batches; ++i) {
+        if (!writer.append(gen.next()))
+            panic("generated batch does not match its own config");
+    }
+    return oss.str();
+}
+
+} // namespace centaur

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Inference-trace capture and replay.
+ *
+ * The paper evaluates with DLRM's synthetic uniform indices; real
+ * deployments replay production traces. This module serializes
+ * batches to a compact line-oriented text format so traffic recorded
+ * elsewhere (or synthesized once) can be replayed bit-identically
+ * across design points, machines and runs.
+ *
+ * Format (whitespace-separated, one record per line):
+ *   centaur-trace v1 <numTables> <lookupsPerTable> <denseDim>
+ *   batch <n>
+ *   t <table> <idx> <idx> ...        (n * lookupsPerTable values)
+ *   d <float> <float> ...            (n * denseDim values)
+ *   ... repeated per batch ...
+ */
+
+#ifndef CENTAUR_DLRM_TRACE_HH
+#define CENTAUR_DLRM_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dlrm/model_config.hh"
+#include "dlrm/workload.hh"
+
+namespace centaur {
+
+/** Writes batches to a trace stream. */
+class TraceWriter
+{
+  public:
+    /**
+     * @param os destination stream (kept by reference)
+     * @param cfg model the trace belongs to (geometry header)
+     */
+    TraceWriter(std::ostream &os, const DlrmConfig &cfg);
+
+    /** Append one batch. @return false if the shape mismatches. */
+    bool append(const InferenceBatch &batch);
+
+    std::size_t batchesWritten() const { return _batches; }
+
+  private:
+    std::ostream &_os;
+    DlrmConfig _cfg;
+    std::size_t _batches = 0;
+};
+
+/** Reads batches back from a trace stream. */
+class TraceReader
+{
+  public:
+    /**
+     * Parse the header. Fails (isValid() == false) on a malformed
+     * or version-mismatched stream.
+     */
+    explicit TraceReader(std::istream &is);
+
+    bool isValid() const { return _valid; }
+    std::uint32_t numTables() const { return _numTables; }
+    std::uint32_t lookupsPerTable() const { return _lookups; }
+    std::uint32_t denseDim() const { return _denseDim; }
+
+    /**
+     * Read the next batch. @return false at end-of-trace or on a
+     * malformed record (check isValid() to distinguish).
+     */
+    bool next(InferenceBatch &out);
+
+    /**
+     * True when the trace geometry matches @p cfg, i.e. it can be
+     * replayed against that model.
+     */
+    bool compatibleWith(const DlrmConfig &cfg) const;
+
+  private:
+    std::istream &_is;
+    bool _valid = false;
+    std::uint32_t _numTables = 0;
+    std::uint32_t _lookups = 0;
+    std::uint32_t _denseDim = 0;
+};
+
+/** Capture @p batches generated batches into a trace string. */
+std::string captureTrace(const DlrmConfig &cfg,
+                         const WorkloadConfig &wl,
+                         std::size_t batches);
+
+} // namespace centaur
+
+#endif // CENTAUR_DLRM_TRACE_HH

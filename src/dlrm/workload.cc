@@ -1,0 +1,41 @@
+#include "dlrm/workload.hh"
+
+namespace centaur {
+
+WorkloadGenerator::WorkloadGenerator(const DlrmConfig &model,
+                                     const WorkloadConfig &cfg)
+    : _model(model), _cfg(cfg), _rng(cfg.seed),
+      _zipf(model.rowsPerTable, cfg.zipfSkew)
+{
+}
+
+std::uint64_t
+WorkloadGenerator::drawIndex()
+{
+    if (_cfg.dist == IndexDistribution::Zipf)
+        return _zipf.sample(_rng);
+    return _rng.nextBelow(_model.rowsPerTable);
+}
+
+InferenceBatch
+WorkloadGenerator::next()
+{
+    InferenceBatch out;
+    out.batch = _cfg.batch;
+    out.lookupsPerTable = _model.lookupsPerTable;
+    out.indices.resize(_model.numTables);
+    const std::size_t per_table =
+        static_cast<std::size_t>(_cfg.batch) * _model.lookupsPerTable;
+    for (auto &table : out.indices) {
+        table.resize(per_table);
+        for (auto &idx : table)
+            idx = drawIndex();
+    }
+    out.dense.resize(static_cast<std::size_t>(_cfg.batch) *
+                     _model.denseDim);
+    for (auto &v : out.dense)
+        v = static_cast<float>(_rng.nextDouble(-1.0, 1.0));
+    return out;
+}
+
+} // namespace centaur

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Inference request synthesis: batches of sparse indices and dense
+ * features, with uniform (DLRM-default) or Zipfian (production-skew)
+ * index distributions, fully deterministic under a seed.
+ */
+
+#ifndef CENTAUR_DLRM_WORKLOAD_HH
+#define CENTAUR_DLRM_WORKLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dlrm/model_config.hh"
+#include "sim/random.hh"
+
+namespace centaur {
+
+/** How sparse indices are drawn. */
+enum class IndexDistribution : std::uint8_t
+{
+    Uniform, //!< DLRM's bundled generator (what the paper measures)
+    Zipf,    //!< production-like popularity skew
+};
+
+/** Workload knobs. */
+struct WorkloadConfig
+{
+    std::uint32_t batch = 1;
+    IndexDistribution dist = IndexDistribution::Uniform;
+    double zipfSkew = 0.9;
+    std::uint64_t seed = 42;
+};
+
+/** One generated inference batch. */
+struct InferenceBatch
+{
+    std::uint32_t batch = 0;
+    std::uint32_t lookupsPerTable = 0;
+    /** indices[table][sample * lookupsPerTable + j] */
+    std::vector<std::vector<std::uint64_t>> indices;
+    /** dense[sample * denseDim + d] */
+    std::vector<float> dense;
+
+    std::uint64_t
+    totalLookups() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &t : indices)
+            total += t.size();
+        return total;
+    }
+
+    /** Useful bytes gathered, given the embedding vector size. */
+    std::uint64_t
+    gatheredBytes(std::uint64_t vector_bytes) const
+    {
+        return totalLookups() * vector_bytes;
+    }
+};
+
+/**
+ * Deterministic batch generator for one model configuration.
+ */
+class WorkloadGenerator
+{
+  public:
+    WorkloadGenerator(const DlrmConfig &model, const WorkloadConfig &cfg);
+
+    /** Generate the next batch (advances the stream). */
+    InferenceBatch next();
+
+    const WorkloadConfig &config() const { return _cfg; }
+
+  private:
+    std::uint64_t drawIndex();
+
+    DlrmConfig _model;
+    WorkloadConfig _cfg;
+    Rng _rng;
+    ZipfSampler _zipf;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_DLRM_WORKLOAD_HH

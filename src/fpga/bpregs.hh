@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Base-pointer register set (BPregs) of the sparse accelerator
+ * complex (Figure 10). The CPU writes these over MMIO at boot /
+ * per-inference: virtual base addresses of the sparse index array,
+ * the embedding tables, MLP weights and dense features.
+ */
+
+#ifndef CENTAUR_FPGA_BPREGS_HH
+#define CENTAUR_FPGA_BPREGS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** MMIO-programmed base pointer registers. */
+class BasePointerRegs
+{
+  public:
+    void setIndexArray(Addr a) { _indexArray = a; _valid |= 1; }
+    void setDenseFeatures(Addr a) { _denseFeatures = a; _valid |= 2; }
+    void setMlpWeights(Addr a) { _mlpWeights = a; _valid |= 4; }
+    void setOutput(Addr a) { _output = a; _valid |= 8; }
+
+    void
+    setTableBases(std::vector<Addr> bases)
+    {
+        _tables = std::move(bases);
+        _valid |= 16;
+    }
+
+    Addr indexArray() const { checkValid(1, "index array"); return _indexArray; }
+    Addr denseFeatures() const { checkValid(2, "dense features"); return _denseFeatures; }
+    Addr mlpWeights() const { checkValid(4, "MLP weights"); return _mlpWeights; }
+    Addr output() const { checkValid(8, "output"); return _output; }
+
+    Addr
+    tableBase(std::size_t t) const
+    {
+        checkValid(16, "table bases");
+        if (t >= _tables.size())
+            panic("BPregs: table ", t, " out of range");
+        return _tables[t];
+    }
+
+    std::size_t tableCount() const { return _tables.size(); }
+    bool ready() const { return (_valid & 31u) == 31u; }
+
+  private:
+    void
+    checkValid(std::uint32_t bit, const char *what) const
+    {
+        if (!(_valid & bit))
+            panic("BPregs: reading unprogrammed ", what, " pointer");
+    }
+
+    Addr _indexArray = 0;
+    Addr _denseFeatures = 0;
+    Addr _mlpWeights = 0;
+    Addr _output = 0;
+    std::vector<Addr> _tables;
+    std::uint32_t _valid = 0;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_FPGA_BPREGS_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Static configuration of the Centaur accelerator as synthesized on
+ * the Arria 10 GX1150 of Intel HARPv2 (Section IV, Tables II/III):
+ * a sparse complex (EB-Streamer: BPregs, sparse-index SRAM, gather
+ * unit, reduction unit) and a dense complex (4x4 PE array MLP unit,
+ * 4-PE feature-interaction unit, sigmoid unit, weight SRAM) clocked
+ * at 200 MHz for an aggregate ~313 GFLOPS.
+ */
+
+#ifndef CENTAUR_FPGA_CENTAUR_CONFIG_HH
+#define CENTAUR_FPGA_CENTAUR_CONFIG_HH
+
+#include <cstdint>
+
+#include "interconnect/aggregate_link.hh"
+#include "interconnect/iommu.hh"
+
+namespace centaur {
+
+/** Full parameter set of the Centaur accelerator. */
+struct CentaurConfig
+{
+    // ----- dense accelerator complex -----
+    std::uint32_t mlpPeRows = 4; //!< MLP unit spatial PE array
+    std::uint32_t mlpPeCols = 4;
+    std::uint32_t fiPes = 4; //!< feature-interaction PEs
+
+    std::uint32_t tileDim = 32; //!< FP_MATRIX_MULT operand size
+    /**
+     * MAC lanes per PE. 20 PEs x 39 MACs x 2 flops x 200 MHz
+     * = 312.8 GFLOPS, the paper's quoted aggregate throughput.
+     */
+    std::uint32_t macsPerCyclePerPe = 39;
+    std::uint32_t pipelineFillCycles = 12;
+    std::uint32_t layerControlCycles = 32; //!< per-layer FSM overhead
+
+    double freqHz = 200e6;
+
+    // ----- sparse accelerator complex (EB-Streamer) -----
+    /** Sparse-index SRAM capacity (12.2 Mbit of 32-bit IDs). */
+    std::uint32_t indexSramEntries = 381000;
+    /** EB-RU scalar ALU lanes (one embedding element each). */
+    std::uint32_t reduceLanes = 32;
+
+    // ----- CPU<->FPGA integration -----
+    ChannelConfig channel = ChannelConfig::harpV2();
+    IommuConfig iommu{2048, 2 * kMiB, 4.0, 250.0};
+    /**
+     * Route FPGA gathers around the CPU cache hierarchy straight to
+     * the memory controller (the Fig 8 cache-bypassing path; not
+     * available on HARPv2, explored as ablation B).
+     */
+    bool bypassCpuCache = false;
+
+    // ----- software interface (Section IV-E) -----
+    double mmioWriteNs = 200.0;
+    std::uint32_t mmioWritesPerInference = 4; //!< ptr updates + doorbell
+
+    /** CPU-side LLC service time for a coherent FPGA read hit. */
+    double llcServiceNs = 30.0;
+    /** Memory-controller issue overhead for FPGA-originated reads. */
+    double memCtrlIssueNs = 8.0;
+
+    std::uint32_t mlpPes() const { return mlpPeRows * mlpPeCols; }
+    std::uint32_t totalPes() const { return mlpPes() + fiPes; }
+
+    /** Aggregate dense throughput in GFLOPS. */
+    double
+    peakGflops() const
+    {
+        return static_cast<double>(totalPes()) * macsPerCyclePerPe *
+               2.0 * freqHz / 1e9;
+    }
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_FPGA_CENTAUR_CONFIG_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * EB-Streamer: Centaur's sparse accelerator complex (Figure 10).
+ *
+ * The embedding gather unit (EB-GU) walks the sparse-index SRAM,
+ * translates row addresses through the FPGA-side IOMMU and issues
+ * credit-limited fine-grained (64 B) reads over the CPU<->FPGA
+ * channel; returning vectors are reduced on the fly by the embedding
+ * reduction unit (EB-RU). Because gathers are orchestrated entirely
+ * in hardware, throughput approaches the channel's effective payload
+ * bandwidth - the paper's central result (Fig 13).
+ */
+
+#ifndef CENTAUR_FPGA_EB_STREAMER_HH
+#define CENTAUR_FPGA_EB_STREAMER_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "dlrm/reference_model.hh"
+#include "dlrm/workload.hh"
+#include "fpga/bpregs.hh"
+#include "fpga/centaur_config.hh"
+#include "interconnect/aggregate_link.hh"
+#include "interconnect/iommu.hh"
+#include "mem/dram.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** Timing result of one embedding gather + reduction pass. */
+struct EbGatherResult
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::uint64_t vectors = 0;
+    std::uint64_t bytesGathered = 0;
+    std::uint64_t llcHits = 0;   //!< coherent-path LLC hits
+    std::uint64_t tlbMisses = 0; //!< IOMMU walk count
+
+    Tick latency() const { return end - start; }
+
+    /** Effective gather throughput, the Fig 13 metric. */
+    double
+    effectiveGBps() const
+    {
+        return gbPerSec(bytesGathered, latency());
+    }
+};
+
+/** Timing result of a sequential DMA stream (index / dense fetch). */
+struct StreamResult
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::uint64_t bytes = 0;
+
+    Tick latency() const { return end - start; }
+};
+
+/**
+ * The sparse accelerator complex. Owns BPregs and the index SRAM
+ * bookkeeping; borrows the channel, IOMMU, CPU LLC and DRAM from the
+ * platform.
+ */
+class EbStreamer
+{
+  public:
+    EbStreamer(const CentaurConfig &cfg, ChannelAggregate &channel,
+               Iommu &iommu, Cache &cpu_llc, DramModel &dram);
+
+    BasePointerRegs &bpregs() { return _bpregs; }
+    const BasePointerRegs &bpregs() const { return _bpregs; }
+
+    /**
+     * Sequentially stream @p bytes from CPU memory starting at
+     * @p base (used for the IDX and DNF fetch phases).
+     */
+    StreamResult streamFromMemory(Addr base, std::uint64_t bytes,
+                                  Tick start);
+
+    /**
+     * Gather and reduce every embedding vector of @p batch.
+     * Numerics are computed by the reference model; this resolves
+     * hardware timing and CPU-side cache effects.
+     */
+    EbGatherResult gather(const ReferenceModel &model,
+                          const InferenceBatch &batch, Tick start);
+
+    /** Stream FPGA results back to CPU memory (FPGA->CPU write). */
+    StreamResult writeback(Addr base, std::uint64_t bytes, Tick start);
+
+  private:
+    /** CPU-side service of one 64 B line read (coherent or bypass). */
+    Tick serviceLine(Addr line, Tick arrive, bool *llc_hit);
+
+    const CentaurConfig &_cfg;
+    ChannelAggregate &_channel;
+    Iommu &_iommu;
+    Cache &_llc;
+    DramModel &_dram;
+    BasePointerRegs _bpregs;
+    Tick _cyclePs;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_FPGA_EB_STREAMER_HH

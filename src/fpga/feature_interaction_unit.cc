@@ -1,0 +1,56 @@
+#include "fpga/feature_interaction_unit.hh"
+
+#include <algorithm>
+
+namespace centaur {
+
+FeatureInteractionUnit::FeatureInteractionUnit(const CentaurConfig &cfg)
+    : _cfg(cfg), _pe(cfg), _cyclePs(periodFromHz(cfg.freqHz))
+{
+}
+
+DenseExecResult
+FeatureInteractionUnit::run(std::uint32_t batch, std::uint32_t n_vec,
+                            std::uint32_t dim, Tick start) const
+{
+    DenseExecResult res;
+    res.start = start;
+    // Full R x R^T per sample (lower triangle selected afterwards).
+    res.macs = static_cast<std::uint64_t>(batch) * n_vec * n_vec * dim;
+
+    const std::uint32_t tile = _cfg.tileDim;
+    const std::uint32_t tiles_v = (n_vec + tile - 1) / tile;
+    const std::uint32_t tiles_k = (dim + tile - 1) / tile;
+    const std::uint32_t pes = _cfg.fiPes;
+
+    // Samples round-robin across the four interaction PEs; each
+    // sample's output tiles run sequentially on its PE.
+    std::vector<Cycles> pe_busy(pes, 0);
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        Cycles sample_cycles = 0;
+        for (std::uint32_t tm = 0; tm < tiles_v; ++tm) {
+            const std::uint32_t m_eff =
+                std::min(tile, n_vec - tm * tile);
+            for (std::uint32_t tn = 0; tn < tiles_v; ++tn) {
+                const std::uint32_t n_eff =
+                    std::min(tile, n_vec - tn * tile);
+                for (std::uint32_t tk = 0; tk < tiles_k; ++tk) {
+                    const std::uint32_t k_eff =
+                        std::min(tile, dim - tk * tile);
+                    sample_cycles +=
+                        _pe.tileCycles(m_eff, n_eff, k_eff);
+                }
+            }
+        }
+        pe_busy[b % pes] += sample_cycles;
+    }
+
+    Cycles busiest = 0;
+    for (Cycles c : pe_busy)
+        busiest = std::max(busiest, c);
+    res.cycles = busiest + _cfg.layerControlCycles;
+    res.end = start + res.cycles * _cyclePs;
+    return res;
+}
+
+} // namespace centaur

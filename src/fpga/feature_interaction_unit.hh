@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Feature-interaction unit: four PEs executing the batched GEMM
+ * R x R^T over the concatenated (numTables + 1) reduced/bottom
+ * vectors of each sample (Figure 3 / Figure 11), producing the
+ * pairwise dot products consumed by the top MLP.
+ */
+
+#ifndef CENTAUR_FPGA_FEATURE_INTERACTION_UNIT_HH
+#define CENTAUR_FPGA_FEATURE_INTERACTION_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dlrm/reference_model.hh"
+#include "fpga/centaur_config.hh"
+#include "fpga/mlp_unit.hh"
+#include "fpga/pe.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+/**
+ * Timing + functional model of the batched-GEMM interaction stage.
+ */
+class FeatureInteractionUnit
+{
+  public:
+    explicit FeatureInteractionUnit(const CentaurConfig &cfg);
+
+    /**
+     * Time the interaction of a batch: per sample, an
+     * (n_vec x dim) x (dim x n_vec) GEMM; the hardware computes the
+     * full product and selects the lower triangle.
+     */
+    DenseExecResult run(std::uint32_t batch, std::uint32_t n_vec,
+                        std::uint32_t dim, Tick start) const;
+
+    /**
+     * Functional interaction, delegating to the reference model's
+     * dot-product routine (identical accumulation order).
+     */
+    std::vector<float>
+    forwardSample(const ReferenceModel &model, const float *bottom_out,
+                  const std::vector<const float *> &reduced) const
+    {
+        return model.interactSample(bottom_out, reduced);
+    }
+
+  private:
+    const CentaurConfig &_cfg;
+    Pe _pe;
+    Tick _cyclePs;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_FPGA_FEATURE_INTERACTION_UNIT_HH

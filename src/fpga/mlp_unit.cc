@@ -1,0 +1,105 @@
+#include "fpga/mlp_unit.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+MlpUnit::MlpUnit(const CentaurConfig &cfg)
+    : _cfg(cfg), _pe(cfg), _cyclePs(periodFromHz(cfg.freqHz))
+{
+}
+
+DenseExecResult
+MlpUnit::gemm(std::uint32_t m, std::uint32_t k, std::uint32_t n,
+              Tick start) const
+{
+    DenseExecResult res;
+    res.start = start;
+    res.macs = static_cast<std::uint64_t>(m) * k * n;
+
+    const std::uint32_t tile = _cfg.tileDim;
+    const std::uint32_t tiles_m = (m + tile - 1) / tile;
+    const std::uint32_t tiles_n = (n + tile - 1) / tile;
+    const std::uint32_t tiles_k = (k + tile - 1) / tile;
+    const std::uint32_t pes = _cfg.mlpPes();
+
+    // When there are fewer output tiles than PEs (skinny inference
+    // layers, e.g. a wide-interaction top layer at low batch), the
+    // control unit splits the k-dimension across the idle PEs and
+    // merges their partial sums with one extra accumulation pass.
+    const std::uint32_t out_tiles = tiles_m * tiles_n;
+    const std::uint32_t k_split =
+        std::max<std::uint32_t>(1, std::min(pes / std::max(out_tiles, 1u),
+                                            tiles_k));
+
+    // Output tiles round-robin across the PE array; each PE runs its
+    // share of k-steps sequentially (output-stationary accumulation).
+    std::vector<Cycles> pe_busy(pes, 0);
+    std::uint32_t next_pe = 0;
+    for (std::uint32_t tm = 0; tm < tiles_m; ++tm) {
+        const std::uint32_t m_eff = std::min(tile, m - tm * tile);
+        for (std::uint32_t tn = 0; tn < tiles_n; ++tn) {
+            const std::uint32_t n_eff = std::min(tile, n - tn * tile);
+            // k-steps for this output tile, divided over k_split PEs.
+            const std::uint32_t k_steps =
+                (tiles_k + k_split - 1) / k_split;
+            for (std::uint32_t part = 0; part < k_split; ++part) {
+                Cycles part_total = 0;
+                for (std::uint32_t s = 0; s < k_steps; ++s) {
+                    const std::uint32_t tk = part * k_steps + s;
+                    if (tk >= tiles_k)
+                        break;
+                    const std::uint32_t k_eff =
+                        std::min(tile, k - tk * tile);
+                    part_total += _pe.tileCycles(m_eff, n_eff, k_eff);
+                }
+                if (k_split > 1) {
+                    // Partial-sum merge pass for this PE's slice.
+                    part_total += _pe.tileCycles(m_eff, n_eff, 1);
+                }
+                pe_busy[next_pe] += part_total;
+                next_pe = (next_pe + 1) % pes;
+            }
+        }
+    }
+
+    Cycles busiest = 0;
+    for (Cycles c : pe_busy)
+        busiest = std::max(busiest, c);
+    res.cycles = busiest + _cfg.layerControlCycles;
+    res.end = start + res.cycles * _cyclePs;
+    return res;
+}
+
+DenseExecResult
+MlpUnit::mlpStack(const std::vector<std::uint32_t> &dims,
+                  std::uint32_t batch, Tick start) const
+{
+    if (dims.size() < 2)
+        panic("MLP stack needs at least two layer widths");
+    DenseExecResult total;
+    total.start = start;
+    Tick now = start;
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+        const auto layer = gemm(batch, dims[l], dims[l + 1], now);
+        now = layer.end;
+        total.macs += layer.macs;
+        total.cycles += layer.cycles;
+    }
+    total.end = now;
+    return total;
+}
+
+std::vector<float>
+MlpUnit::forward(const Mlp &mlp, const float *in,
+                 std::uint32_t batch) const
+{
+    // The output-stationary k-tile schedule accumulates each output
+    // element over ascending input indices - the same order as the
+    // reference implementation - so the numerics coincide exactly.
+    return mlp.forwardBatch(in, batch);
+}
+
+} // namespace centaur

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * MLP unit: the 4x4 spatial PE array of the dense accelerator
+ * complex (Figure 11/12). Executes GEMMs with an output-stationary
+ * dataflow: output tiles are distributed round-robin across PEs,
+ * weight/input tiles are broadcast along rows/columns, and partial
+ * sums accumulate in per-PE SRAM. Weights persist in on-chip SRAM
+ * across inferences, so no weight traffic crosses the chiplet links
+ * at inference time.
+ */
+
+#ifndef CENTAUR_FPGA_MLP_UNIT_HH
+#define CENTAUR_FPGA_MLP_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dlrm/mlp.hh"
+#include "fpga/centaur_config.hh"
+#include "fpga/pe.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** Timing result of a dense-unit execution. */
+struct DenseExecResult
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::uint64_t macs = 0;
+    Cycles cycles = 0;
+
+    Tick latency() const { return end - start; }
+
+    double
+    achievedGflops() const
+    {
+        const double secs = secFromTicks(latency());
+        return secs > 0.0
+                   ? static_cast<double>(macs) * 2.0 / secs / 1e9
+                   : 0.0;
+    }
+};
+
+/**
+ * The 4x4 output-stationary PE array plus its control unit.
+ */
+class MlpUnit
+{
+  public:
+    explicit MlpUnit(const CentaurConfig &cfg);
+
+    /** Time one GEMM of [m x k] x [k x n] on the array. */
+    DenseExecResult gemm(std::uint32_t m, std::uint32_t k,
+                         std::uint32_t n, Tick start) const;
+
+    /**
+     * Time a full MLP stack (layer dims including input) over a
+     * batch; layers execute back-to-back on the array.
+     */
+    DenseExecResult mlpStack(const std::vector<std::uint32_t> &dims,
+                             std::uint32_t batch, Tick start) const;
+
+    /**
+     * Functional forward of @p mlp on the PE array. The array's
+     * k-tile accumulation visits inputs in the same ascending order
+     * as the reference, so results are bit-identical to
+     * Mlp::forwardBatch by construction; this wrapper exists so the
+     * equivalence is asserted in one place.
+     */
+    std::vector<float> forward(const Mlp &mlp, const float *in,
+                               std::uint32_t batch) const;
+
+  private:
+    const CentaurConfig &_cfg;
+    Pe _pe;
+    Tick _cyclePs;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_FPGA_MLP_UNIT_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Processing engine (PE) timing model: one instance of the Altera
+ * FP_MATRIX_MULT floating-point IP configured for 32x32 operand
+ * tiles (Section IV-D). A PE retires CentaurConfig::macsPerCyclePerPe
+ * multiply-accumulates per 200 MHz cycle; a tile op over m_eff valid
+ * rows costs ceil(m_eff * tile * tile / macs) cycles plus pipeline
+ * fill.
+ */
+
+#ifndef CENTAUR_FPGA_PE_HH
+#define CENTAUR_FPGA_PE_HH
+
+#include <cstdint>
+
+#include "fpga/centaur_config.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** Timing helper for one FP_MATRIX_MULT processing engine. */
+class Pe
+{
+  public:
+    explicit Pe(const CentaurConfig &cfg) : _cfg(cfg) {}
+
+    /**
+     * Cycles for one (m_eff x tile) x (tile x n_eff) tile operation
+     * with a k-depth of @p k_eff. Invalid (padded) rows/cols are
+     * skipped by the control FSM.
+     */
+    Cycles
+    tileCycles(std::uint32_t m_eff, std::uint32_t n_eff,
+               std::uint32_t k_eff) const
+    {
+        const std::uint64_t macs = static_cast<std::uint64_t>(m_eff) *
+                                   n_eff * k_eff;
+        const Cycles compute =
+            (macs + _cfg.macsPerCyclePerPe - 1) /
+            _cfg.macsPerCyclePerPe;
+        return compute + _cfg.pipelineFillCycles;
+    }
+
+  private:
+    const CentaurConfig &_cfg;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_FPGA_PE_HH

@@ -1,0 +1,132 @@
+#include "fpga/resource_model.hh"
+
+#include <cmath>
+
+namespace centaur {
+
+namespace {
+
+// Per-PE synthesis costs (one FP_MATRIX_MULT instance plus its
+// accumulator SRAM and control), calibrated against Table III.
+constexpr std::uint64_t kCombPerPe = 2560;
+constexpr std::uint64_t kRegPerPe = 8192;
+constexpr std::uint64_t kAccumBitsPerPe = 147456; //!< 144 Kbit
+constexpr double kDspPerMacLane = 32.0 / 39.0;
+
+// EB-RU per reduce lane.
+constexpr std::uint64_t kRegPerReduceLane = 258;
+constexpr std::uint64_t kDspPerReduceLane = 3;
+
+// ALM packing: each ALM provides one comb LUT and two registers;
+// calibrated packing coefficients reproduce the 127,719 ALM total.
+constexpr double kAlmPerComb = 0.5;
+constexpr double kAlmPerReg = 0.5325;
+
+// M20K block packing: shallow/wide arrays leave blocks half full.
+constexpr double kM20kBits = 20480.0;
+constexpr double kBramPackingEff = 0.5175;
+
+// CCI-P channel interface buffering (Table II only; the paper's
+// Table III rows likewise do not sum to the Table II total).
+constexpr std::uint64_t kInterfaceBufferBits = 1000000;
+
+std::uint64_t
+dspPerPe(const CentaurConfig &cfg)
+{
+    return static_cast<std::uint64_t>(
+        std::ceil(cfg.macsPerCyclePerPe * kDspPerMacLane));
+}
+
+} // namespace
+
+ResourceModel::ResourceModel(const CentaurConfig &cfg) : _cfg(cfg)
+{
+}
+
+std::vector<ModuleUsage>
+ResourceModel::moduleUsage() const
+{
+    std::vector<ModuleUsage> rows;
+
+    // ----- sparse accelerator complex -----
+    rows.push_back({"Sparse", "Base ptr reg.", 98, 211, 0, 0});
+    rows.push_back({"Sparse", "Gather unit", 295, 216, 0, 0});
+    rows.push_back({"Sparse", "Reduction unit", 108,
+                    kRegPerReduceLane * _cfg.reduceLanes, 0,
+                    kDspPerReduceLane * _cfg.reduceLanes});
+    rows.push_back({"Sparse", "SRAM arrays", 350, 98,
+                    static_cast<std::uint64_t>(_cfg.indexSramEntries) *
+                        32,
+                    0});
+
+    // ----- dense accelerator complex -----
+    const std::uint64_t pe_dsp = dspPerPe(_cfg);
+    rows.push_back({"Dense", "MLP unit", kCombPerPe * _cfg.mlpPes(),
+                    kRegPerPe * _cfg.mlpPes(),
+                    kAccumBitsPerPe * _cfg.mlpPes(),
+                    pe_dsp * _cfg.mlpPes()});
+    rows.push_back({"Dense", "Feat. int. unit",
+                    kCombPerPe * _cfg.fiPes / 1, kRegPerPe * _cfg.fiPes,
+                    kAccumBitsPerPe * _cfg.fiPes, pe_dsp * _cfg.fiPes});
+    // Dense feature + top-MLP input SRAMs plus the sigmoid LUT DSPs.
+    rows.push_back({"Dense", "SRAM arrays", 1000, 11000, 1600000, 48});
+    rows.push_back({"Dense", "Weights", 13, 77, 5200000, 0});
+
+    // ----- everything else -----
+    rows.push_back({"Others", "Misc.", 587, 6000, 608000, 0});
+    return rows;
+}
+
+ModuleUsage
+ResourceModel::complexTotal(const std::string &complex) const
+{
+    ModuleUsage total;
+    total.complex = complex;
+    total.module = "Total";
+    for (const auto &row : moduleUsage()) {
+        if (row.complex != complex)
+            continue;
+        total.lcComb += row.lcComb;
+        total.lcReg += row.lcReg;
+        total.blockMemBits += row.blockMemBits;
+        total.dsp += row.dsp;
+    }
+    return total;
+}
+
+DeviceUsage
+ResourceModel::deviceUsage() const
+{
+    std::uint64_t comb = 0;
+    std::uint64_t reg = 0;
+    DeviceUsage dev;
+    for (const auto &row : moduleUsage()) {
+        comb += row.lcComb;
+        reg += row.lcReg;
+        dev.dsp += row.dsp;
+        dev.blockMemBits += row.blockMemBits;
+        dev.ramBlocks += static_cast<std::uint64_t>(std::ceil(
+            static_cast<double>(row.blockMemBits) /
+            (kM20kBits * kBramPackingEff)));
+    }
+    dev.blockMemBits += kInterfaceBufferBits;
+    dev.ramBlocks += static_cast<std::uint64_t>(std::ceil(
+        kInterfaceBufferBits / (kM20kBits * kBramPackingEff)));
+    dev.alms = static_cast<std::uint64_t>(
+        kAlmPerComb * static_cast<double>(comb) +
+        kAlmPerReg * static_cast<double>(reg));
+    dev.plls = 2 * _cfg.totalPes() + 8;
+    return dev;
+}
+
+bool
+ResourceModel::fits(const DeviceCapacity &cap) const
+{
+    const DeviceUsage use = deviceUsage();
+    return use.alms <= cap.alms &&
+           use.blockMemBits <= cap.blockMemBits &&
+           use.ramBlocks <= cap.ramBlocks && use.dsp <= cap.dsp &&
+           use.plls <= cap.plls;
+}
+
+} // namespace centaur

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Analytical FPGA resource model for the Centaur design on the
+ * Arria 10 GX1150, reproducing the paper's Table II (device
+ * utilization) and Table III (sparse vs dense module split). Module
+ * costs are parameterized by the accelerator configuration so the
+ * PE-scaling ablation reports resource growth alongside performance.
+ */
+
+#ifndef CENTAUR_FPGA_RESOURCE_MODEL_HH
+#define CENTAUR_FPGA_RESOURCE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/centaur_config.hh"
+
+namespace centaur {
+
+/** One module row of Table III. */
+struct ModuleUsage
+{
+    std::string complex; //!< "Sparse", "Dense" or "Others"
+    std::string module;
+    std::uint64_t lcComb = 0;
+    std::uint64_t lcReg = 0;
+    std::uint64_t blockMemBits = 0;
+    std::uint64_t dsp = 0;
+};
+
+/** Device-level totals of Table II. */
+struct DeviceUsage
+{
+    std::uint64_t alms = 0;
+    std::uint64_t blockMemBits = 0;
+    std::uint64_t ramBlocks = 0;
+    std::uint64_t dsp = 0;
+    std::uint64_t plls = 0;
+};
+
+/** Arria 10 GX1150 capacity. */
+struct DeviceCapacity
+{
+    std::uint64_t alms = 427200;
+    std::uint64_t blockMemBits = 55562240; //!< 2713 x 20 Kbit M20K
+    std::uint64_t ramBlocks = 2713;
+    std::uint64_t dsp = 1518;
+    std::uint64_t plls = 176;
+};
+
+/**
+ * Derives per-module and device-level resource usage from a
+ * CentaurConfig. Defaults reproduce Tables II/III within 2%.
+ */
+class ResourceModel
+{
+  public:
+    explicit ResourceModel(const CentaurConfig &cfg);
+
+    /** Table III rows, in paper order. */
+    std::vector<ModuleUsage> moduleUsage() const;
+
+    /** Aggregate of the Table III rows per complex. */
+    ModuleUsage complexTotal(const std::string &complex) const;
+
+    /** Table II totals (includes channel interface buffers). */
+    DeviceUsage deviceUsage() const;
+
+    static DeviceCapacity gx1150() { return DeviceCapacity{}; }
+
+    /** True when the design fits the device. */
+    bool fits(const DeviceCapacity &cap = gx1150()) const;
+
+  private:
+    CentaurConfig _cfg;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_FPGA_RESOURCE_MODEL_HH

@@ -1,0 +1,37 @@
+#include "fpga/sigmoid_unit.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+SigmoidUnit::SigmoidUnit(const CentaurConfig &cfg,
+                         std::uint32_t segments, float range)
+    : _cfg(cfg), _range(range),
+      _step(2.0f * range / static_cast<float>(segments)),
+      _cyclePs(periodFromHz(cfg.freqHz))
+{
+    if (segments == 0 || range <= 0.0f)
+        fatal("sigmoid LUT needs positive segments and range");
+    _nodes.resize(segments + 1);
+    for (std::uint32_t i = 0; i <= segments; ++i) {
+        const float x = -range + _step * static_cast<float>(i);
+        _nodes[i] = 1.0f / (1.0f + std::exp(-x));
+    }
+}
+
+float
+SigmoidUnit::eval(float x) const
+{
+    if (x <= -_range)
+        return _nodes.front();
+    if (x >= _range)
+        return _nodes.back();
+    const float pos = (x + _range) / _step;
+    const auto seg = static_cast<std::uint32_t>(pos);
+    const float frac = pos - static_cast<float>(seg);
+    return _nodes[seg] + (_nodes[seg + 1] - _nodes[seg]) * frac;
+}
+
+} // namespace centaur

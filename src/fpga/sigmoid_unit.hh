@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sigmoid unit: hardware-style piecewise-linear sigmoid over a
+ * segment LUT, the final stage of the dense accelerator complex
+ * (Figure 9). Accuracy is bounded by the segment count; the default
+ * 64 segments over [-8, 8] keep the absolute error under 1e-3,
+ * ample for click-probability ranking.
+ */
+
+#ifndef CENTAUR_FPGA_SIGMOID_UNIT_HH
+#define CENTAUR_FPGA_SIGMOID_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/centaur_config.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** Piecewise-linear sigmoid LUT. */
+class SigmoidUnit
+{
+  public:
+    /**
+     * @param cfg accelerator config (clock)
+     * @param segments linear segments across [-range, range]
+     * @param range saturation boundary
+     */
+    explicit SigmoidUnit(const CentaurConfig &cfg,
+                         std::uint32_t segments = 64,
+                         float range = 8.0f);
+
+    /** Evaluate the LUT approximation. */
+    float eval(float x) const;
+
+    /** Pipeline timing: one element per cycle after fill. */
+    Tick
+    time(std::uint64_t elements, Tick start) const
+    {
+        return start + (_cfg.pipelineFillCycles + elements) * _cyclePs;
+    }
+
+    std::uint32_t segments() const
+    {
+        return static_cast<std::uint32_t>(_nodes.size() - 1);
+    }
+
+    float range() const { return _range; }
+
+  private:
+    const CentaurConfig &_cfg;
+    float _range;
+    float _step;
+    std::vector<float> _nodes; //!< sigmoid sampled at segment edges
+    Tick _cyclePs;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_FPGA_SIGMOID_UNIT_HH

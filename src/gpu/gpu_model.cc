@@ -1,0 +1,47 @@
+#include "gpu/gpu_model.hh"
+
+#include <algorithm>
+
+namespace centaur {
+
+GpuModel::GpuModel(const GpuConfig &cfg) : _cfg(cfg)
+{
+}
+
+Tick
+GpuModel::copy(std::uint64_t bytes, Tick start) const
+{
+    return start + ticksFromUs(_cfg.pcieSetupUs) +
+           serializationTicks(bytes, _cfg.pcieGBps);
+}
+
+GpuExecResult
+GpuModel::gemm(std::uint32_t m, std::uint32_t k, std::uint32_t n,
+               Tick start) const
+{
+    GpuExecResult res;
+    res.start = start;
+    res.flops = 2ULL * m * k * n;
+
+    const double f = static_cast<double>(res.flops);
+    const double eff =
+        _cfg.peakEfficiency / (1.0 + _cfg.halfEffFlops / f);
+    const double gflops =
+        std::max(_cfg.peakGflops * eff, _cfg.minGflops);
+    const double secs = f / (gflops * 1e9);
+
+    res.end = start + ticksFromUs(_cfg.kernelLaunchUs) +
+              static_cast<Tick>(secs * kTicksPerSec);
+    return res;
+}
+
+Tick
+GpuModel::elementwise(std::uint64_t n, Tick start) const
+{
+    // Bandwidth-bound trivially; dominated by launch overhead.
+    const double secs = static_cast<double>(n) * 4.0 / (700e9);
+    return start + ticksFromUs(_cfg.kernelLaunchUs) +
+           static_cast<Tick>(secs * kTicksPerSec);
+}
+
+} // namespace centaur

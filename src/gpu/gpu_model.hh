@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Discrete-GPU model for the CPU-GPU baseline (Section V): an
+ * NVIDIA DGX-1 V100 used as an MLP offload target. Embedding tables
+ * stay in CPU memory (they exceed GPU HBM capacity), so the CPU
+ * gathers/reduces and ships reduced embeddings over PCIe - the
+ * copy + launch overheads that make CPU-GPU lose to CPU-only on
+ * average (Fig 15).
+ */
+
+#ifndef CENTAUR_GPU_GPU_MODEL_HH
+#define CENTAUR_GPU_GPU_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** V100-like device parameters. */
+struct GpuConfig
+{
+    double peakGflops = 14000.0; //!< V100 FP32
+    double peakEfficiency = 0.7;
+    /** Flops at which a kernel reaches half its peak efficiency;
+     *  inference-sized GEMMs sit far below the ramp. */
+    double halfEffFlops = 4.0e7;
+    double minGflops = 60.0; //!< launch-bound floor
+
+    double kernelLaunchUs = 10.0;  //!< driver + dispatch per kernel
+    double pcieGBps = 12.0;       //!< effective h2d/d2h bandwidth
+    double pcieSetupUs = 12.0;      //!< software stack per cudaMemcpy
+};
+
+/** Timing result of one GPU operation. */
+struct GpuExecResult
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::uint64_t flops = 0;
+
+    Tick latency() const { return end - start; }
+};
+
+/**
+ * Latency model for transfers and GEMM kernels on the discrete GPU.
+ */
+class GpuModel
+{
+  public:
+    explicit GpuModel(const GpuConfig &cfg = GpuConfig{});
+
+    /** Host-to-device (or device-to-host) copy over PCIe. */
+    Tick copy(std::uint64_t bytes, Tick start) const;
+
+    /** One GEMM kernel [m x k] x [k x n]. */
+    GpuExecResult gemm(std::uint32_t m, std::uint32_t k,
+                       std::uint32_t n, Tick start) const;
+
+    /** Elementwise kernel (sigmoid, concat, ...) over n elements. */
+    Tick elementwise(std::uint64_t n, Tick start) const;
+
+    const GpuConfig &config() const { return _cfg; }
+
+  private:
+    GpuConfig _cfg;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_GPU_GPU_MODEL_HH

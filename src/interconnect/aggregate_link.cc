@@ -1,0 +1,106 @@
+#include "interconnect/aggregate_link.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+ChannelConfig
+ChannelConfig::harpV2()
+{
+    ChannelConfig cfg;
+    // One cache-coherent UPI link: lower latency, 12.8 GB/s raw.
+    cfg.links.push_back(LinkConfig{"upi", 12.8, 300.0, 40, 64});
+    // Two PCIe gen3 x8 links: 8 GB/s raw each, higher latency.
+    cfg.links.push_back(LinkConfig{"pcie0", 8.0, 420.0, 40, 64});
+    cfg.links.push_back(LinkConfig{"pcie1", 8.0, 420.0, 40, 64});
+    cfg.maxOutstandingLines = 176;
+    return cfg;
+}
+
+double
+ChannelConfig::rawBandwidthGBps() const
+{
+    double sum = 0.0;
+    for (const auto &l : links)
+        sum += l.bandwidthGBps;
+    return sum;
+}
+
+double
+ChannelConfig::effectiveBandwidthGBps() const
+{
+    double sum = 0.0;
+    for (const auto &l : links)
+        sum += l.effectiveBandwidthGBps();
+    return sum;
+}
+
+ChannelAggregate::ChannelAggregate(const ChannelConfig &cfg) : _cfg(cfg)
+{
+    if (cfg.links.empty())
+        fatal("channel aggregate needs at least one link");
+    for (const auto &lc : cfg.links)
+        _links.push_back(std::make_unique<Link>(lc));
+}
+
+LinkTransfer
+ChannelAggregate::transfer(std::uint64_t payload_bytes, Tick ready,
+                           LinkDir dir)
+{
+    // Steer to the link that can start (and roughly finish) earliest:
+    // least busy first, breaking ties toward higher bandwidth.
+    std::size_t best = 0;
+    Tick best_start = std::numeric_limits<Tick>::max();
+    double best_bw = 0.0;
+    for (std::size_t i = 0; i < _links.size(); ++i) {
+        const Tick start =
+            std::max(ready, _links[i]->busyUntil(dir));
+        const double bw = _links[i]->config().bandwidthGBps;
+        if (start < best_start ||
+            (start == best_start && bw > best_bw)) {
+            best = i;
+            best_start = start;
+            best_bw = bw;
+        }
+    }
+    return _links[best]->transfer(payload_bytes, ready, dir);
+}
+
+Tick
+ChannelAggregate::earliestFree(LinkDir dir) const
+{
+    Tick t = std::numeric_limits<Tick>::max();
+    for (const auto &l : _links)
+        t = std::min(t, l->busyUntil(dir));
+    return t;
+}
+
+std::uint64_t
+ChannelAggregate::payloadBytes(LinkDir dir) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &l : _links)
+        sum += l->payloadBytes(dir);
+    return sum;
+}
+
+std::uint64_t
+ChannelAggregate::wireBytes(LinkDir dir) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &l : _links)
+        sum += l->wireBytes(dir);
+    return sum;
+}
+
+void
+ChannelAggregate::reset()
+{
+    for (auto &l : _links)
+        l->reset();
+}
+
+} // namespace centaur

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The HARPv2 CPU<->FPGA channel: one coherent UPI link plus two PCIe
+ * links, exposed as a single logical pipe with least-loaded steering.
+ * Raw aggregate bandwidth is 28.8 GB/s per direction (2 x 8 GB/s PCIe
+ * + 12.8 GB/s UPI), effective payload bandwidth about 17-18 GB/s
+ * after per-packet protocol overhead - both as quoted in the paper.
+ */
+
+#ifndef CENTAUR_INTERCONNECT_AGGREGATE_LINK_HH
+#define CENTAUR_INTERCONNECT_AGGREGATE_LINK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "interconnect/link.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** Parameters for the aggregated CPU<->FPGA channel. */
+struct ChannelConfig
+{
+    std::vector<LinkConfig> links;
+    /**
+     * Maximum in-flight 64 B read responses the FPGA can track
+     * (limited by AFU tag space / credit depth on HARPv2).
+     */
+    std::uint32_t maxOutstandingLines = 176;
+
+    /** HARPv2-like default: 1 x UPI + 2 x PCIe gen3 x8. */
+    static ChannelConfig harpV2();
+
+    double rawBandwidthGBps() const;
+    double effectiveBandwidthGBps() const;
+};
+
+/**
+ * Least-loaded multi-link channel.
+ *
+ * Callers time individual transfers; the channel picks the link whose
+ * relevant direction frees earliest, which matches HARPv2's VA
+ * (virtual-auto) channel mapping behaviour.
+ */
+class ChannelAggregate
+{
+  public:
+    explicit ChannelAggregate(const ChannelConfig &cfg);
+
+    /** Time a transfer of @p payload_bytes, earliest at @p ready. */
+    LinkTransfer transfer(std::uint64_t payload_bytes, Tick ready,
+                          LinkDir dir);
+
+    /** Earliest tick any link frees in direction @p dir. */
+    Tick earliestFree(LinkDir dir) const;
+
+    std::uint64_t payloadBytes(LinkDir dir) const;
+    std::uint64_t wireBytes(LinkDir dir) const;
+
+    std::uint32_t maxOutstandingLines() const
+    {
+        return _cfg.maxOutstandingLines;
+    }
+
+    const ChannelConfig &config() const { return _cfg; }
+    std::size_t linkCount() const { return _links.size(); }
+    const Link &link(std::size_t i) const { return *_links[i]; }
+
+    void reset();
+
+  private:
+    ChannelConfig _cfg;
+    std::vector<std::unique_ptr<Link>> _links;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_INTERCONNECT_AGGREGATE_LINK_HH

@@ -1,0 +1,67 @@
+#include "interconnect/iommu.hh"
+
+namespace centaur {
+
+Iommu::Iommu(const IommuConfig &cfg)
+    : _cfg(cfg), _hitLatency(ticksFromNs(cfg.hitLatencyNs)),
+      _walkLatency(ticksFromNs(cfg.walkLatencyNs))
+{
+}
+
+TranslationResult
+Iommu::translate(Addr virt)
+{
+    const std::uint64_t page = virt / _cfg.pageBytes;
+    TranslationResult res;
+    res.physical = virt; // identity map in the simulated space
+    auto it = _entries.find(page);
+    if (it != _entries.end()) {
+        ++_hits;
+        res.tlbHit = true;
+        res.latency = _hitLatency;
+        touch(page);
+    } else {
+        ++_misses;
+        res.tlbHit = false;
+        res.latency = _hitLatency + _walkLatency;
+        install(page);
+    }
+    return res;
+}
+
+void
+Iommu::preload(Addr virt)
+{
+    const std::uint64_t page = virt / _cfg.pageBytes;
+    if (_entries.find(page) == _entries.end())
+        install(page);
+}
+
+void
+Iommu::flush()
+{
+    _lru.clear();
+    _entries.clear();
+}
+
+void
+Iommu::touch(std::uint64_t page)
+{
+    auto it = _entries.find(page);
+    _lru.erase(it->second);
+    _lru.push_front(page);
+    it->second = _lru.begin();
+}
+
+void
+Iommu::install(std::uint64_t page)
+{
+    if (_entries.size() >= _cfg.tlbEntries && !_lru.empty()) {
+        _entries.erase(_lru.back());
+        _lru.pop_back();
+    }
+    _lru.push_front(page);
+    _entries[page] = _lru.begin();
+}
+
+} // namespace centaur

@@ -1,0 +1,62 @@
+#include "interconnect/link.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+Link::Link(const LinkConfig &cfg)
+    : _cfg(cfg), _latency(ticksFromNs(cfg.latencyNs))
+{
+    if (cfg.bandwidthGBps <= 0.0)
+        fatal("link '", cfg.name, "' needs positive bandwidth");
+    if (cfg.maxPayloadBytes == 0)
+        fatal("link '", cfg.name, "' needs a nonzero max payload");
+}
+
+LinkTransfer
+Link::transfer(std::uint64_t payload_bytes, Tick ready, LinkDir dir)
+{
+    const int d = static_cast<int>(dir);
+    LinkTransfer out;
+    if (payload_bytes == 0) {
+        out.firstByte = out.lastByte = ready + _latency;
+        return out;
+    }
+
+    const std::uint64_t packets =
+        (payload_bytes + _cfg.maxPayloadBytes - 1) / _cfg.maxPayloadBytes;
+    const std::uint64_t wire =
+        payload_bytes + packets * _cfg.headerBytes;
+
+    const Tick start = std::max(ready, _busyUntil[d]);
+    const Tick serialization =
+        serializationTicks(wire, _cfg.bandwidthGBps);
+    _busyUntil[d] = start + serialization;
+
+    _payloadBytes[d] += payload_bytes;
+    _wireBytes[d] += wire;
+
+    // First packet lands after its own serialization plus latency;
+    // the pipe streams so the last byte follows serialization of all.
+    const Tick first_pkt = serializationTicks(
+        std::min<std::uint64_t>(payload_bytes, _cfg.maxPayloadBytes) +
+            _cfg.headerBytes,
+        _cfg.bandwidthGBps);
+    out.firstByte = start + first_pkt + _latency;
+    out.lastByte = start + serialization + _latency;
+    return out;
+}
+
+void
+Link::reset()
+{
+    for (int d = 0; d < 2; ++d) {
+        _busyUntil[d] = 0;
+        _payloadBytes[d] = 0;
+        _wireBytes[d] = 0;
+    }
+}
+
+} // namespace centaur

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Point-to-point chiplet link model (UPI or PCIe lane bundle).
+ *
+ * A link is a full-duplex pipe with a raw per-direction bandwidth, a
+ * propagation + protocol latency, and a fixed per-packet header that
+ * models flit/TLP framing and coherence-protocol overhead. Payloads
+ * larger than the maximum payload size are segmented. Effective
+ * payload bandwidth is therefore raw * payload/(payload+header), which
+ * is how HARPv2's 28.8 GB/s theoretical turns into the paper's
+ * 17-18 GB/s effective (Section VI-B).
+ */
+
+#ifndef CENTAUR_INTERCONNECT_LINK_HH
+#define CENTAUR_INTERCONNECT_LINK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** Transfer direction relative to the CPU. */
+enum class LinkDir : std::uint8_t
+{
+    CpuToFpga = 0,
+    FpgaToCpu = 1,
+};
+
+/** Static parameters of one physical link. */
+struct LinkConfig
+{
+    std::string name = "link";
+    double bandwidthGBps = 8.0; //!< raw, per direction
+    double latencyNs = 350.0;   //!< propagation + protocol stack
+    std::uint32_t headerBytes = 40;
+    std::uint32_t maxPayloadBytes = 64;
+
+    /** Fraction of raw bandwidth available to payload bytes. */
+    double
+    payloadEfficiency() const
+    {
+        return static_cast<double>(maxPayloadBytes) /
+               static_cast<double>(maxPayloadBytes + headerBytes);
+    }
+
+    double
+    effectiveBandwidthGBps() const
+    {
+        return bandwidthGBps * payloadEfficiency();
+    }
+};
+
+/** Completion information for one link transfer. */
+struct LinkTransfer
+{
+    Tick firstByte = 0; //!< arrival of the first payload byte
+    Tick lastByte = 0;  //!< arrival of the last payload byte
+};
+
+/**
+ * One full-duplex link with independent per-direction serialization.
+ */
+class Link
+{
+  public:
+    explicit Link(const LinkConfig &cfg);
+
+    /**
+     * Send @p payload_bytes in direction @p dir, earliest at @p ready.
+     * Pipelined: latency is charged once, serialization per packet.
+     */
+    LinkTransfer transfer(std::uint64_t payload_bytes, Tick ready,
+                          LinkDir dir);
+
+    /** Earliest tick the @p dir pipe could accept a new packet. */
+    Tick busyUntil(LinkDir dir) const
+    {
+        return _busyUntil[static_cast<int>(dir)];
+    }
+
+    std::uint64_t payloadBytes(LinkDir dir) const
+    {
+        return _payloadBytes[static_cast<int>(dir)];
+    }
+
+    std::uint64_t wireBytes(LinkDir dir) const
+    {
+        return _wireBytes[static_cast<int>(dir)];
+    }
+
+    void reset();
+
+    const LinkConfig &config() const { return _cfg; }
+
+  private:
+    LinkConfig _cfg;
+    Tick _latency;
+    Tick _busyUntil[2] = {0, 0};
+    std::uint64_t _payloadBytes[2] = {0, 0};
+    std::uint64_t _wireBytes[2] = {0, 0};
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_INTERCONNECT_LINK_HH

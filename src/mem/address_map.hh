@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Physical-address to DRAM coordinate mapping (channel, bank, row,
+ * column) with XOR-permuted channel/bank selection to spread sparse
+ * embedding-gather streams across banks.
+ */
+
+#ifndef CENTAUR_MEM_ADDRESS_MAP_HH
+#define CENTAUR_MEM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** DRAM coordinates of a cache-line-sized access. */
+struct DramCoord
+{
+    std::uint32_t channel;
+    std::uint32_t bank; //!< flat (rank x bank) index within a channel
+    std::uint64_t row;
+    std::uint32_t column; //!< line index within the row buffer
+
+    bool
+    operator==(const DramCoord &o) const
+    {
+        return channel == o.channel && bank == o.bank && row == o.row &&
+               column == o.column;
+    }
+};
+
+/**
+ * Interleaves 64 B lines across channels, then splits the per-channel
+ * line index into column / bank / row fields. Bank bits are XOR-folded
+ * with low row bits so that large power-of-two strides (common when a
+ * table's row pitch is a power of two) still spread across banks.
+ */
+class AddressMap
+{
+  public:
+    AddressMap(std::uint32_t channels, std::uint32_t banks_per_channel,
+               std::uint32_t lines_per_row)
+        : _channels(channels), _banks(banks_per_channel),
+          _linesPerRow(lines_per_row)
+    {
+    }
+
+    DramCoord
+    map(Addr addr) const
+    {
+        const std::uint64_t line = addr / 64;
+        const auto channel =
+            static_cast<std::uint32_t>((line ^ (line >> 7)) % _channels);
+        const std::uint64_t chan_line = line / _channels;
+        const auto column =
+            static_cast<std::uint32_t>(chan_line % _linesPerRow);
+        const std::uint64_t row_major = chan_line / _linesPerRow;
+        const std::uint64_t row = row_major / _banks;
+        const auto bank = static_cast<std::uint32_t>(
+            (row_major ^ row) % _banks);
+        return DramCoord{channel, bank, row, column};
+    }
+
+    std::uint32_t channels() const { return _channels; }
+    std::uint32_t banksPerChannel() const { return _banks; }
+    std::uint32_t linesPerRow() const { return _linesPerRow; }
+
+  private:
+    std::uint32_t _channels;
+    std::uint32_t _banks;
+    std::uint32_t _linesPerRow;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_MEM_ADDRESS_MAP_HH

@@ -1,0 +1,97 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+namespace centaur {
+
+DramModel::DramModel(const DramConfig &cfg)
+    : _cfg(cfg),
+      _map(cfg.channels, cfg.banksPerChannel(), cfg.linesPerRow()),
+      _banks(cfg.channels,
+             std::vector<BankState>(cfg.banksPerChannel())),
+      _busBusyUntil(cfg.channels, 0), _tRcd(ticksFromNs(cfg.tRcdNs)),
+      _tCas(ticksFromNs(cfg.tCasNs)), _tRp(ticksFromNs(cfg.tRpNs)),
+      _burst(ticksFromNs(cfg.burstNs)),
+      _controller(ticksFromNs(cfg.controllerNs)),
+      _tRefi(ticksFromNs(cfg.tRefiNs)), _tRfc(ticksFromNs(cfg.tRfcNs))
+{
+}
+
+DramAccessResult
+DramModel::access(Addr addr, Tick issue)
+{
+    const DramCoord coord = _map.map(addr);
+    BankState &bank = _banks[coord.channel][coord.bank];
+    Tick &bus = _busBusyUntil[coord.channel];
+
+    Tick start = std::max(issue + _controller, bank.readyAt);
+
+    // All-bank refresh: commands arriving during the tRFC window at
+    // the tail of each tREFI period wait it out; refresh also closes
+    // every row buffer.
+    if (_tRefi > 0) {
+        const Tick period_end = (start / _tRefi + 1) * _tRefi;
+        if (start >= period_end - _tRfc) {
+            start = period_end;
+            bank.open = false;
+        }
+    }
+
+    DramAccessResult res;
+    res.rowOpen = bank.open;
+    Tick cas_issued;
+    if (bank.open && bank.openRow == coord.row) {
+        res.rowHit = true;
+        cas_issued = start;
+    } else if (bank.open) {
+        // Precharge the open row, activate the new one.
+        cas_issued = start + _tRp + _tRcd;
+    } else {
+        cas_issued = start + _tRcd;
+    }
+    bank.open = true;
+    bank.openRow = coord.row;
+
+    const Tick data_start = std::max(cas_issued + _tCas, bus);
+    const Tick done = data_start + _burst;
+    bus = done;
+    // The bank frees once the column access completes into the row
+    // buffer; data-bus scheduling is independent of bank occupancy.
+    bank.readyAt = cas_issued + _burst;
+
+    ++_reads;
+    if (res.rowHit)
+        ++_rowHits;
+    _stats.scalar("bytes") += static_cast<double>(_cfg.lineBytes);
+    _stats.average("latency_ns").sample(nsFromTicks(done - issue));
+
+    res.completion = done;
+    return res;
+}
+
+Tick
+DramModel::accessRange(Addr addr, std::uint64_t bytes, Tick issue)
+{
+    if (bytes == 0)
+        return issue;
+    const Addr first = addr / _cfg.lineBytes;
+    const Addr last = (addr + bytes - 1) / _cfg.lineBytes;
+    Tick done = issue;
+    for (Addr line = first; line <= last; ++line)
+        done = std::max(done,
+                        access(line * _cfg.lineBytes, issue).completion);
+    return done;
+}
+
+void
+DramModel::reset()
+{
+    for (auto &channel : _banks)
+        std::fill(channel.begin(), channel.end(), BankState{});
+    std::fill(_busBusyUntil.begin(), _busBusyUntil.end(), 0);
+    _reads = 0;
+    _rowHits = 0;
+    _stats.resetAll();
+}
+
+} // namespace centaur

@@ -1,0 +1,52 @@
+#include "power/power_model.hh"
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+const char *
+designPointName(DesignPoint dp)
+{
+    switch (dp) {
+      case DesignPoint::CpuOnly:
+        return "CPU-only";
+      case DesignPoint::CpuGpu:
+        return "CPU-GPU";
+      case DesignPoint::Centaur:
+        return "Centaur";
+    }
+    return "unknown";
+}
+
+PowerModel::PowerModel(const PowerConfig &cfg) : _cfg(cfg)
+{
+}
+
+double
+PowerModel::watts(DesignPoint dp) const
+{
+    switch (dp) {
+      case DesignPoint::CpuOnly:
+        return _cfg.cpuOnlyWatts;
+      case DesignPoint::CpuGpu:
+        return _cfg.cpuGpuCpuWatts + _cfg.cpuGpuGpuWatts;
+      case DesignPoint::Centaur:
+        return _cfg.centaurWatts;
+    }
+    panic("unknown design point");
+}
+
+double
+PowerModel::energyJoules(DesignPoint dp, Tick latency) const
+{
+    return watts(dp) * secFromTicks(latency);
+}
+
+double
+PowerModel::efficiency(DesignPoint dp, Tick latency) const
+{
+    const double joules = energyJoules(dp, latency);
+    return joules > 0.0 ? 1.0 / joules : 0.0;
+}
+
+} // namespace centaur

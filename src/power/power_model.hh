@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Power and energy model calibrated to the paper's Table IV wall
+ * measurements (pcm-power / nvprof): CPU-only 80 W, CPU-GPU
+ * 91 W CPU + 56 W GPU, Centaur 74 W (CPU+FPGA socket + DIMMs).
+ * Energy = power x end-to-end latency, the paper's own methodology.
+ */
+
+#ifndef CENTAUR_POWER_POWER_MODEL_HH
+#define CENTAUR_POWER_POWER_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** The three evaluated system design points. */
+enum class DesignPoint : std::uint8_t
+{
+    CpuOnly = 0,
+    CpuGpu = 1,
+    Centaur = 2,
+};
+
+/** Human-readable design point name. */
+const char *designPointName(DesignPoint dp);
+
+/** Table IV wall-power numbers (watts). */
+struct PowerConfig
+{
+    double cpuOnlyWatts = 80.0;
+    double cpuGpuCpuWatts = 91.0;
+    double cpuGpuGpuWatts = 56.0;
+    double centaurWatts = 74.0;
+};
+
+/**
+ * Static power per design point and derived energy metrics.
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerConfig &cfg = PowerConfig{});
+
+    /** Wall power while serving inference (watts). */
+    double watts(DesignPoint dp) const;
+
+    /** Energy for one inference of @p latency (joules). */
+    double energyJoules(DesignPoint dp, Tick latency) const;
+
+    /** Inferences per joule, the Fig 15(b) efficiency metric. */
+    double efficiency(DesignPoint dp, Tick latency) const;
+
+    const PowerConfig &config() const { return _cfg; }
+
+  private:
+    PowerConfig _cfg;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_POWER_POWER_MODEL_HH

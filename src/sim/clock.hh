@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Clock-domain helper converting between cycles in a component clock
+ * (CPU 2.4 GHz, FPGA 200 MHz, DDR4 1.2 GHz) and global ticks.
+ */
+
+#ifndef CENTAUR_SIM_CLOCK_HH
+#define CENTAUR_SIM_CLOCK_HH
+
+#include "sim/log.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** A fixed-frequency clock domain. */
+class ClockDomain
+{
+  public:
+    explicit ClockDomain(double hz) : _hz(hz), _period(periodFromHz(hz))
+    {
+        if (hz <= 0.0)
+            panic("clock frequency must be positive, got ", hz);
+    }
+
+    double frequencyHz() const { return _hz; }
+    Tick period() const { return _period; }
+
+    /** Ticks spanned by @p cycles of this clock. */
+    Tick toTicks(Cycles cycles) const { return cycles * _period; }
+
+    /** Whole cycles elapsed after @p ticks (rounded up). */
+    Cycles
+    toCycles(Tick ticks) const
+    {
+        return (ticks + _period - 1) / _period;
+    }
+
+    /** Next clock edge at or after @p t. */
+    Tick
+    nextEdge(Tick t) const
+    {
+        return ((t + _period - 1) / _period) * _period;
+    }
+
+  private:
+    double _hz;
+    Tick _period;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_SIM_CLOCK_HH

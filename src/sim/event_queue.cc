@@ -1,0 +1,66 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+void
+EventQueue::schedule(Tick when, std::function<void()> action)
+{
+    if (when < _now)
+        panic("scheduling event at tick ", when, " in the past (now ",
+              _now, ")");
+    _queue.push(Event{when, _nextSeq++, std::move(action)});
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return _now;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!_queue.empty() && _queue.top().when <= limit)
+        step();
+    if (_now < limit && _queue.empty())
+        _now = limit;
+    return _now;
+}
+
+bool
+EventQueue::step()
+{
+    if (_queue.empty())
+        return false;
+    // Move the event out before popping so the action may schedule
+    // new events (which mutates the queue) while it runs.
+    Event ev = _queue.top();
+    _queue.pop();
+    _now = ev.when;
+    ++_executed;
+    ev.action();
+    return true;
+}
+
+void
+EventQueue::clear()
+{
+    while (!_queue.empty())
+        _queue.pop();
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    if (when < _now)
+        panic("advancing clock backwards: ", when, " < ", _now);
+    _now = when;
+}
+
+} // namespace centaur

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The EventQueue orders arbitrary callbacks by tick with stable FIFO
+ * ordering among same-tick events. Components either schedule events
+ * here or (for throughput-critical models such as the DRAM data bus)
+ * keep "busy-until" resource clocks and only consult the queue for
+ * cross-component synchronization.
+ */
+
+#ifndef CENTAUR_SIM_EVENT_QUEUE_HH
+#define CENTAUR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** A scheduled callback. */
+struct Event
+{
+    Tick when = 0;
+    std::uint64_t seq = 0; //!< insertion order, breaks same-tick ties
+    std::function<void()> action;
+};
+
+/**
+ * A tick-ordered event queue with deterministic same-tick ordering.
+ *
+ * Events scheduled for the same tick execute in insertion order, which
+ * keeps simulations reproducible across runs and platforms.
+ */
+class EventQueue
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Number of events waiting to execute. */
+    std::size_t pending() const { return _queue.size(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Schedule @p action to run at absolute tick @p when.
+     * Scheduling in the past is a simulator bug.
+     */
+    void schedule(Tick when, std::function<void()> action);
+
+    /** Schedule @p action to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, std::function<void()> action)
+    {
+        schedule(_now + delta, std::move(action));
+    }
+
+    /** Run events until the queue drains. Returns the final tick. */
+    Tick run();
+
+    /**
+     * Run events with tick <= @p limit. Events scheduled beyond the
+     * limit stay queued; time advances to min(limit, last executed).
+     */
+    Tick runUntil(Tick limit);
+
+    /** Execute at most one event. @return false if the queue is empty. */
+    bool step();
+
+    /** Drop all pending events (time does not move). */
+    void clear();
+
+    /**
+     * Advance the clock to @p when without executing anything.
+     * Used by batch-mode component models that resolve latencies
+     * analytically but still want a consistent global clock.
+     */
+    void advanceTo(Tick when);
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> _queue;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_SIM_EVENT_QUEUE_HH

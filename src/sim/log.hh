@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal gem5-style status and error reporting: panic() for simulator
+ * bugs (aborts), fatal() for user configuration errors (exits), and
+ * warn()/inform() for status messages.
+ */
+
+#ifndef CENTAUR_SIM_LOG_HH
+#define CENTAUR_SIM_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace centaur {
+
+namespace detail {
+
+/** Stream-compose a message from a pack of arguments. */
+template <typename... Args>
+std::string
+composeMessage(const Args &...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal simulator invariant violation and abort. Use for
+ * conditions that should never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::composeMessage(args...).c_str());
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user-facing error (bad configuration,
+ * invalid arguments) and exit with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::composeMessage(args...).c_str());
+    std::exit(1);
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::composeMessage(args...).c_str());
+}
+
+/** Report a normal operational status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::composeMessage(args...).c_str());
+}
+
+} // namespace centaur
+
+#endif // CENTAUR_SIM_LOG_HH

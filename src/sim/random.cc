@@ -1,0 +1,142 @@
+#include "sim/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+namespace {
+
+constexpr std::uint64_t kCdfTableLimit = 1 << 16;
+
+double
+generalizedHarmonic(std::uint64_t n, double s)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), s);
+    return sum;
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : _state(seed ? seed : 1)
+{
+}
+
+std::uint64_t
+Rng::next()
+{
+    // xorshift64* (Vigna 2016).
+    _state ^= _state >> 12;
+    _state ^= _state << 25;
+    _state ^= _state >> 27;
+    return _state * 0x2545F4914F6CDD1DULL;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBelow called with zero bound");
+    // Rejection-free multiply-shift; bias is negligible for the
+    // population sizes used here (< 2^32 rows) but we debias anyway
+    // with a single rejection loop for exactness in tests.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Rng::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    if (_hasSpare) {
+        _hasSpare = false;
+        return _spare;
+    }
+    double u;
+    double v;
+    double s;
+    do {
+        u = nextDouble(-1.0, 1.0);
+        v = nextDouble(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    _spare = v * mul;
+    _hasSpare = true;
+    return u * mul;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : _n(n), _s(s)
+{
+    if (n == 0)
+        panic("ZipfSampler requires a nonzero population");
+    if (s < 0.0)
+        panic("ZipfSampler requires nonnegative skew, got ", s);
+    if (n <= kCdfTableLimit) {
+        _cdf.resize(n);
+        double running = 0.0;
+        const double h = generalizedHarmonic(n, s);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            running += 1.0 / std::pow(static_cast<double>(i + 1), s) / h;
+            _cdf[i] = running;
+        }
+        _cdf.back() = 1.0;
+    } else {
+        // Jain's approximation: exact zeta over the first two terms,
+        // integral approximation of the tail.
+        _zeta2 = generalizedHarmonic(2, s);
+        const double nd = static_cast<double>(n);
+        if (std::abs(s - 1.0) < 1e-9) {
+            _zetaN = std::log(nd) + 0.5772156649;
+        } else {
+            _zetaN = _zeta2 +
+                     (std::pow(nd, 1.0 - s) - std::pow(2.0, 1.0 - s)) /
+                         (1.0 - s);
+        }
+        _alpha = 1.0 / (1.0 - s == 0.0 ? 1e-12 : (1.0 - s));
+        _eta = (1.0 - std::pow(2.0 / nd, 1.0 - s)) /
+               (1.0 - _zeta2 / _zetaN);
+    }
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    if (!_cdf.empty()) {
+        const double u = rng.nextDouble();
+        auto it = std::lower_bound(_cdf.begin(), _cdf.end(), u);
+        return static_cast<std::uint64_t>(it - _cdf.begin());
+    }
+    // Large-population analytical inversion.
+    const double u = rng.nextDouble();
+    const double uz = u * _zetaN;
+    if (uz < 1.0)
+        return 0;
+    if (uz < _zeta2)
+        return 1;
+    const double nd = static_cast<double>(_n);
+    const auto rank = static_cast<std::uint64_t>(
+        nd * std::pow(_eta * u - _eta + 1.0, _alpha));
+    return std::min(rank, _n - 1);
+}
+
+} // namespace centaur

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis:
+ * a xorshift64* engine, uniform helpers and a Zipfian sampler used to
+ * model skewed embedding-index popularity.
+ */
+
+#ifndef CENTAUR_SIM_RANDOM_HH
+#define CENTAUR_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace centaur {
+
+/**
+ * xorshift64* PRNG. Small, fast and fully deterministic across
+ * platforms, which matters for reproducible experiments.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double nextDouble(double lo, double hi);
+
+    /** Gaussian via Box-Muller (mean 0, stddev 1). */
+    double nextGaussian();
+
+  private:
+    std::uint64_t _state;
+    bool _hasSpare = false;
+    double _spare = 0.0;
+};
+
+/**
+ * Zipfian sampler over [0, n) with skew parameter s, using the
+ * Gray et al. rejection-inversion-free CDF-table method for small n
+ * and an analytical approximation for large n.
+ *
+ * Embedding-index popularity in production recommendation traffic is
+ * heavily skewed; DLRM's bundled generator is uniform. Both are
+ * exposed by the workload generator; Zipf enables locality studies.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n population size (number of embedding rows)
+     * @param s skew (0 = uniform-like, ~1 = classic Zipf)
+     */
+    ZipfSampler(std::uint64_t n, double s);
+
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t population() const { return _n; }
+    double skew() const { return _s; }
+
+  private:
+    std::uint64_t _n;
+    double _s;
+    // Exact CDF table for small populations.
+    std::vector<double> _cdf;
+    // Analytical constants for the large-population approximation
+    // (Nicola/Jain bounded-Pareto style inversion).
+    double _alpha = 0.0;
+    double _eta = 0.0;
+    double _zetaN = 0.0;
+    double _zeta2 = 0.0;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_SIM_RANDOM_HH

@@ -1,0 +1,125 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+void
+StatAverage::sample(double v)
+{
+    ++_count;
+    _sum += v;
+    _min = std::min(_min, v);
+    _max = std::max(_max, v);
+}
+
+void
+StatAverage::reset()
+{
+    _count = 0;
+    _sum = 0.0;
+    _min = std::numeric_limits<double>::infinity();
+    _max = -std::numeric_limits<double>::infinity();
+}
+
+StatHistogram::StatHistogram(double lo, double hi, std::size_t buckets)
+    : _lo(lo), _hi(hi), _width((hi - lo) / static_cast<double>(buckets)),
+      _buckets(buckets, 0)
+{
+    if (hi <= lo || buckets == 0)
+        panic("invalid histogram bounds [", lo, ", ", hi, ") x", buckets);
+}
+
+void
+StatHistogram::sample(double v)
+{
+    _avg.sample(v);
+    if (v < _lo) {
+        ++_underflow;
+    } else if (v >= _hi) {
+        ++_overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _lo) / _width);
+        idx = std::min(idx, _buckets.size() - 1);
+        ++_buckets[idx];
+    }
+}
+
+void
+StatHistogram::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = 0;
+    _overflow = 0;
+    _avg.reset();
+}
+
+double
+StatHistogram::quantile(double q) const
+{
+    const std::uint64_t total = count();
+    if (total == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    std::uint64_t running = _underflow;
+    if (running >= target)
+        return _lo;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        running += _buckets[i];
+        if (running >= target)
+            return _lo + _width * static_cast<double>(i + 1);
+    }
+    return _hi;
+}
+
+StatScalar &
+StatGroup::scalar(const std::string &name)
+{
+    return _scalars[name];
+}
+
+StatAverage &
+StatGroup::average(const std::string &name)
+{
+    return _averages[name];
+}
+
+double
+StatGroup::scalarValue(const std::string &name) const
+{
+    auto it = _scalars.find(name);
+    return it == _scalars.end() ? 0.0 : it->second.value();
+}
+
+const StatAverage *
+StatGroup::findAverage(const std::string &name) const
+{
+    auto it = _averages.find(name);
+    return it == _averages.end() ? nullptr : &it->second;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, s] : _scalars)
+        s.reset();
+    for (auto &[name, a] : _averages)
+        a.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, s] : _scalars)
+        os << _name << '.' << name << ' ' << s.value() << '\n';
+    for (const auto &[name, a] : _averages) {
+        os << _name << '.' << name << ".mean " << a.mean() << '\n';
+        os << _name << '.' << name << ".count " << a.count() << '\n';
+    }
+}
+
+} // namespace centaur

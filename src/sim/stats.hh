@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lightweight statistics framework: named scalars, averages and
+ * histograms registered into a StatGroup that can be dumped as text.
+ * Modeled loosely on gem5's stats package, scoped to what the
+ * reproduction needs.
+ */
+
+#ifndef CENTAUR_SIM_STATS_HH
+#define CENTAUR_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace centaur {
+
+/** A monotonically accumulating scalar statistic. */
+class StatScalar
+{
+  public:
+    StatScalar() = default;
+
+    void operator+=(double v) { _value += v; }
+    void operator++() { _value += 1.0; }
+    void operator++(int) { _value += 1.0; }
+    void set(double v) { _value = v; }
+    void reset() { _value = 0.0; }
+
+    double value() const { return _value; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** Running mean/min/max over observed samples. */
+class StatAverage
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width bucketed histogram with underflow/overflow buckets. */
+class StatHistogram
+{
+  public:
+    /**
+     * @param lo lower bound of the first bucket
+     * @param hi upper bound of the last bucket
+     * @param buckets number of equal-width buckets between lo and hi
+     */
+    StatHistogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return _avg.count(); }
+    double mean() const { return _avg.mean(); }
+    double min() const { return _avg.min(); }
+    double max() const { return _avg.max(); }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    /** Smallest value v such that at least @p q of samples are <= v. */
+    double quantile(double q) const;
+
+  private:
+    double _lo;
+    double _hi;
+    double _width;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    StatAverage _avg;
+};
+
+/**
+ * A named collection of statistics. Components own a StatGroup and
+ * register their stats with stable names so experiment harnesses can
+ * query and print them uniformly.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    StatScalar &scalar(const std::string &name);
+    StatAverage &average(const std::string &name);
+
+    /** @return registered scalar value, or 0 if absent. */
+    double scalarValue(const std::string &name) const;
+
+    /** @return registered average, or nullptr if absent. */
+    const StatAverage *findAverage(const std::string &name) const;
+
+    const std::string &name() const { return _name; }
+
+    /** Reset every registered stat to its initial state. */
+    void resetAll();
+
+    /** Dump all stats, one `group.stat value` line each. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string _name;
+    std::map<std::string, StatScalar> _scalars;
+    std::map<std::string, StatAverage> _averages;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_SIM_STATS_HH

@@ -1,0 +1,79 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace centaur {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    _rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return std::string(buf);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_header.size(), 0);
+    auto widen = [&widths](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i >= widths.size())
+                widths.resize(i + 1, 0);
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    };
+    widen(_header);
+    for (const auto &row : _rows)
+        widen(row);
+
+    os << "== " << _title << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << cell;
+        }
+        os << '\n';
+    };
+    emit(_header);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : _rows)
+        emit(row);
+    os << '\n';
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ',';
+            os << row[i];
+        }
+        os << '\n';
+    };
+    emit(_header);
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+} // namespace centaur

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Console table printer used by the benchmark harnesses to emit
+ * paper-style rows (aligned text plus optional CSV).
+ */
+
+#ifndef CENTAUR_SIM_TABLE_HH
+#define CENTAUR_SIM_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace centaur {
+
+/** An aligned text table with a title, header row and data rows. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : _title(std::move(title)) {}
+
+    void setHeader(std::vector<std::string> header);
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Print with column alignment and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV (no title). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return _rows.size(); }
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_SIM_TABLE_HH

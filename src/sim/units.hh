@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fundamental simulation units: ticks (picoseconds), byte sizes,
+ * frequencies and bandwidth conversion helpers.
+ *
+ * All timing in centaur-sim is expressed in an integral Tick equal to
+ * one picosecond. A picosecond base lets us represent a 2.4 GHz CPU
+ * clock (416.67 ps), a 200 MHz FPGA clock (5000 ps) and DDR4-2400
+ * timing (0.833 ns tCK) without fractional drift.
+ */
+
+#ifndef CENTAUR_SIM_UNITS_HH
+#define CENTAUR_SIM_UNITS_HH
+
+#include <cstdint>
+
+namespace centaur {
+
+/** Simulation time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock edges in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** An address in the simulated (physical or virtual) address space. */
+using Addr = std::uint64_t;
+
+/** Ticks per common time units. */
+constexpr Tick kTicksPerPs = 1;
+constexpr Tick kTicksPerNs = 1000;
+constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** Byte-size helpers (binary prefixes). */
+constexpr std::uint64_t kKiB = 1024ULL;
+constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/** Byte-size helpers (decimal prefixes, used by the paper's Table I). */
+constexpr std::uint64_t kKB = 1000ULL;
+constexpr std::uint64_t kMB = 1000ULL * kKB;
+constexpr std::uint64_t kGB = 1000ULL * kMB;
+
+/** Convert a frequency in Hz to the tick period of one cycle. */
+constexpr Tick
+periodFromHz(double hz)
+{
+    return static_cast<Tick>(static_cast<double>(kTicksPerSec) / hz + 0.5);
+}
+
+/** Convert nanoseconds (possibly fractional) to ticks. */
+constexpr Tick
+ticksFromNs(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs) + 0.5);
+}
+
+/** Convert microseconds (possibly fractional) to ticks. */
+constexpr Tick
+ticksFromUs(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTicksPerUs) + 0.5);
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+nsFromTicks(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+/** Convert ticks to (fractional) microseconds. */
+constexpr double
+usFromTicks(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerUs);
+}
+
+/** Convert ticks to (fractional) milliseconds. */
+constexpr double
+msFromTicks(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerMs);
+}
+
+/** Convert ticks to (fractional) seconds. */
+constexpr double
+secFromTicks(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+/**
+ * Effective bandwidth in GB/s (decimal) for @p bytes transferred over
+ * @p ticks of simulated time. Returns 0 for a zero-length interval.
+ */
+constexpr double
+gbPerSec(std::uint64_t bytes, Tick ticks)
+{
+    if (ticks == 0)
+        return 0.0;
+    return static_cast<double>(bytes) / secFromTicks(ticks) / 1e9;
+}
+
+/**
+ * Serialization time for @p bytes on a pipe of @p gb_per_sec decimal
+ * GB/s. Rounds up to the next tick so back-to-back transfers never
+ * exceed the configured bandwidth.
+ */
+constexpr Tick
+serializationTicks(std::uint64_t bytes, double gb_per_sec)
+{
+    const double secs = static_cast<double>(bytes) / (gb_per_sec * 1e9);
+    const double ticks = secs * static_cast<double>(kTicksPerSec);
+    const Tick whole = static_cast<Tick>(ticks);
+    return (static_cast<double>(whole) < ticks) ? whole + 1 : whole;
+}
+
+} // namespace centaur
+
+#endif // CENTAUR_SIM_UNITS_HH

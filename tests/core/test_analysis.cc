@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the bottleneck analyzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hh"
+#include "core/centaur_system.hh"
+#include "core/cpu_only_system.hh"
+#include "core/experiment.hh"
+
+namespace centaur {
+namespace {
+
+InferenceResult
+runOn(System &sys, const DlrmConfig &cfg, std::uint32_t batch)
+{
+    WorkloadConfig wl;
+    wl.batch = batch;
+    wl.seed = 5;
+    WorkloadGenerator gen(cfg, wl);
+    return measureInference(sys, gen, 1);
+}
+
+PhaseVerdict
+verdictFor(const std::vector<PhaseVerdict> &vs, Phase p)
+{
+    for (const auto &v : vs)
+        if (v.phase == p)
+            return v;
+    ADD_FAILURE() << "no verdict for phase";
+    return {};
+}
+
+TEST(Analysis, CentaurLargeGatherIsLinkBandwidthBound)
+{
+    const DlrmConfig cfg = dlrmPreset(4);
+    CentaurSystem sys(cfg);
+    const auto res = runOn(sys, cfg, 64);
+    const auto v = verdictFor(
+        analyzeCentaur(res, cfg, sys.acceleratorConfig()),
+        Phase::Emb);
+    EXPECT_EQ(v.limiter, Bottleneck::LinkBandwidth);
+    EXPECT_GT(v.utilization, 0.55);
+}
+
+TEST(Analysis, CentaurTinyGatherIsLatencyBound)
+{
+    DlrmConfig cfg = dlrmPreset(1);
+    cfg.lookupsPerTable = 2;
+    CentaurSystem sys(cfg);
+    const auto res = runOn(sys, cfg, 1);
+    const auto v = verdictFor(
+        analyzeCentaur(res, cfg, sys.acceleratorConfig()),
+        Phase::Emb);
+    EXPECT_EQ(v.limiter, Bottleneck::LinkLatency);
+}
+
+TEST(Analysis, CentaurSmallBatchMlpIsUnderfilled)
+{
+    const DlrmConfig cfg = dlrmPreset(1);
+    CentaurSystem sys(cfg);
+    const auto res = runOn(sys, cfg, 1);
+    const auto v = verdictFor(
+        analyzeCentaur(res, cfg, sys.acceleratorConfig()),
+        Phase::Mlp);
+    EXPECT_EQ(v.limiter, Bottleneck::Dispatch);
+}
+
+TEST(Analysis, CpuSmallBatchGatherIsDispatchBound)
+{
+    const DlrmConfig cfg = dlrmPreset(1);
+    CpuOnlySystem sys(cfg);
+    const auto res = runOn(sys, cfg, 1);
+    const auto v =
+        verdictFor(analyzeCpuOnly(res, cfg), Phase::Emb);
+    EXPECT_EQ(v.limiter, Bottleneck::Dispatch);
+}
+
+TEST(Analysis, CpuLargeBatchGatherIsMlpLimited)
+{
+    // The paper's central CPU diagnosis: plenty of DRAM headroom,
+    // not enough outstanding misses.
+    const DlrmConfig cfg = dlrmPreset(4);
+    CpuOnlySystem sys(cfg);
+    const auto res = runOn(sys, cfg, 64);
+    const auto v =
+        verdictFor(analyzeCpuOnly(res, cfg), Phase::Emb);
+    EXPECT_EQ(v.limiter, Bottleneck::MemoryParallelism);
+    EXPECT_LT(v.utilization, 0.6);
+}
+
+TEST(Analysis, CpuMlpIsFarFromPeak)
+{
+    const DlrmConfig cfg = dlrmPreset(6);
+    CpuOnlySystem sys(cfg);
+    const auto res = runOn(sys, cfg, 16);
+    const auto v =
+        verdictFor(analyzeCpuOnly(res, cfg), Phase::Mlp);
+    EXPECT_EQ(v.limiter, Bottleneck::Dispatch);
+    EXPECT_LT(v.utilization, 0.3);
+}
+
+TEST(Analysis, UtilizationsAreFractions)
+{
+    const DlrmConfig cfg = dlrmPreset(1);
+    CentaurSystem sys(cfg);
+    const auto res = runOn(sys, cfg, 16);
+    for (const auto &v :
+         analyzeCentaur(res, cfg, sys.acceleratorConfig())) {
+        EXPECT_GE(v.utilization, 0.0);
+        EXPECT_LE(v.utilization, 1.1);
+        EXPECT_FALSE(v.note.empty());
+    }
+}
+
+TEST(Analysis, BottleneckNamesAreDistinct)
+{
+    EXPECT_STRNE(bottleneckName(Bottleneck::LinkBandwidth),
+                 bottleneckName(Bottleneck::LinkLatency));
+    EXPECT_STRNE(bottleneckName(Bottleneck::DramBandwidth),
+                 bottleneckName(Bottleneck::MemoryParallelism));
+    EXPECT_STRNE(bottleneckName(Bottleneck::Compute),
+                 bottleneckName(Bottleneck::Dispatch));
+}
+
+} // namespace
+} // namespace centaur

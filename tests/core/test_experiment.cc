@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the sweep/measurement helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace centaur {
+namespace {
+
+TEST(Experiment, SweepSeedIsDeterministicAndDistinct)
+{
+    EXPECT_EQ(sweepSeed(1, 16), sweepSeed(1, 16));
+    EXPECT_NE(sweepSeed(1, 16), sweepSeed(2, 16));
+    EXPECT_NE(sweepSeed(1, 16), sweepSeed(1, 32));
+}
+
+TEST(Experiment, RunSweepProducesAllPoints)
+{
+    const auto entries =
+        runSweep(DesignPoint::Centaur, {1}, {1, 4}, 0);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].preset, 1);
+    EXPECT_EQ(entries[0].batch, 1u);
+    EXPECT_EQ(entries[1].batch, 4u);
+    EXPECT_EQ(entries[0].modelName, "DLRM(1)");
+}
+
+TEST(Experiment, FindEntryLocatesPoints)
+{
+    const auto entries =
+        runSweep(DesignPoint::Centaur, {1}, {1, 4}, 0);
+    EXPECT_EQ(findEntry(entries, 1, 4).batch, 4u);
+}
+
+TEST(Experiment, SweepResultsHaveTiming)
+{
+    const auto entries = runSweep(DesignPoint::Centaur, {1}, {1}, 0);
+    EXPECT_GT(entries[0].result.latency(), 0u);
+    EXPECT_GT(entries[0].result.effectiveEmbGBps, 0.0);
+}
+
+TEST(Experiment, MeasureInferenceWarmupAffectsCaches)
+{
+    const DlrmConfig cfg = dlrmPreset(1);
+    auto cold = makeSystem(DesignPoint::CpuOnly, cfg);
+    auto warm = makeSystem(DesignPoint::CpuOnly, cfg);
+    WorkloadConfig wl;
+    wl.batch = 4;
+    wl.seed = 1;
+    WorkloadGenerator g1(cfg, wl);
+    WorkloadGenerator g2(cfg, wl);
+    const auto r_cold = measureInference(*cold, g1, 0);
+    const auto r_warm = measureInference(*warm, g2, 2);
+    // Warmup leaves table lines resident: fewer misses per access.
+    EXPECT_LE(r_warm.emb.llcMissRate(), r_cold.emb.llcMissRate());
+}
+
+TEST(Experiment, SweepIsReproducible)
+{
+    const auto a = runSweep(DesignPoint::Centaur, {1}, {4}, 1);
+    const auto b = runSweep(DesignPoint::Centaur, {1}, {4}, 1);
+    EXPECT_EQ(a[0].result.latency(), b[0].result.latency());
+    EXPECT_EQ(a[0].result.probabilities, b[0].result.probabilities);
+}
+
+} // namespace
+} // namespace centaur

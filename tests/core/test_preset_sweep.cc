@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Parameterized invariants across every Table I preset: each design
+ * point must satisfy the same structural properties on each model
+ * (functional agreement, breakdown accounting, throughput ceilings).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/centaur_system.hh"
+#include "core/cpu_only_system.hh"
+#include "core/experiment.hh"
+#include "interconnect/aggregate_link.hh"
+#include "mem/dram.hh"
+
+namespace centaur {
+namespace {
+
+class PresetSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    static constexpr std::uint32_t kBatch = 8;
+
+    InferenceBatch
+    batchFor(const DlrmConfig &cfg)
+    {
+        WorkloadConfig wl;
+        wl.batch = kBatch;
+        wl.seed = sweepSeed(GetParam(), kBatch);
+        WorkloadGenerator gen(cfg, wl);
+        return gen.next();
+    }
+};
+
+TEST_P(PresetSweep, FunctionalAgreementCpuVsCentaur)
+{
+    const DlrmConfig cfg = dlrmPreset(GetParam());
+    const auto batch = batchFor(cfg);
+    CpuOnlySystem cpu(cfg);
+    CentaurSystem cen(cfg);
+    const auto rc = cpu.infer(batch);
+    const auto rf = cen.infer(batch);
+    ASSERT_EQ(rc.probabilities.size(), kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i)
+        EXPECT_NEAR(rc.probabilities[i], rf.probabilities[i], 2e-3f);
+}
+
+TEST_P(PresetSweep, BreakdownSumsToLatencyOnBothSystems)
+{
+    const DlrmConfig cfg = dlrmPreset(GetParam());
+    const auto batch = batchFor(cfg);
+    for (DesignPoint dp :
+         {DesignPoint::CpuOnly, DesignPoint::Centaur}) {
+        auto sys = makeSystem(dp, cfg);
+        const auto r = sys->infer(batch);
+        Tick sum = 0;
+        for (std::size_t p = 0; p < kNumPhases; ++p)
+            sum += r.phase[p];
+        EXPECT_EQ(sum, r.latency()) << sys->name();
+    }
+}
+
+TEST_P(PresetSweep, ThroughputCeilingsRespected)
+{
+    const DlrmConfig cfg = dlrmPreset(GetParam());
+    const auto batch = batchFor(cfg);
+    CpuOnlySystem cpu(cfg);
+    CentaurSystem cen(cfg);
+    EXPECT_LE(cpu.infer(batch).effectiveEmbGBps,
+              DramConfig{}.peakBandwidthGBps());
+    EXPECT_LE(cen.infer(batch).effectiveEmbGBps,
+              ChannelConfig::harpV2().effectiveBandwidthGBps());
+}
+
+TEST_P(PresetSweep, CentaurWinsAtThisBatch)
+{
+    // At batch 8 every preset sits firmly in Centaur's win region.
+    const DlrmConfig cfg = dlrmPreset(GetParam());
+    const auto batch = batchFor(cfg);
+    CpuOnlySystem cpu(cfg);
+    CentaurSystem cen(cfg);
+    EXPECT_GT(cpu.infer(batch).latency(),
+              cen.infer(batch).latency());
+}
+
+TEST_P(PresetSweep, EnergyFollowsTableFourOrdering)
+{
+    const DlrmConfig cfg = dlrmPreset(GetParam());
+    const auto batch = batchFor(cfg);
+    CpuOnlySystem cpu(cfg);
+    CentaurSystem cen(cfg);
+    const auto rc = cpu.infer(batch);
+    const auto rf = cen.infer(batch);
+    // Centaur is both faster and lower power here, so energy must
+    // drop strictly.
+    EXPECT_LT(rf.energyJoules, rc.energyJoules);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+} // namespace
+} // namespace centaur

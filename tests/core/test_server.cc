@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the inference-serving simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/server.hh"
+
+namespace centaur {
+namespace {
+
+DlrmConfig
+smallModel()
+{
+    DlrmConfig cfg;
+    cfg.numTables = 3;
+    cfg.lookupsPerTable = 8;
+    cfg.rowsPerTable = 50000;
+    return cfg;
+}
+
+ServerConfig
+lightLoad()
+{
+    ServerConfig cfg;
+    cfg.arrivalRatePerSec = 200.0; // far below service capacity
+    cfg.batchPerRequest = 2;
+    cfg.requests = 60;
+    return cfg;
+}
+
+TEST(Server, ServesAllRequests)
+{
+    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    InferenceServer server(*sys, lightLoad());
+    const auto stats = server.run();
+    EXPECT_EQ(stats.served, 60u);
+    EXPECT_GT(stats.meanServiceUs, 0.0);
+}
+
+TEST(Server, LightLoadHasNoQueueing)
+{
+    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    InferenceServer server(*sys, lightLoad());
+    const auto stats = server.run();
+    EXPECT_LT(stats.meanQueueUs, stats.meanServiceUs * 0.2);
+    EXPECT_LT(stats.utilization, 0.5);
+    EXPECT_NEAR(stats.meanLatencyUs,
+                stats.meanServiceUs + stats.meanQueueUs, 1.0);
+}
+
+TEST(Server, OverloadBuildsQueueAndSaturatesThroughput)
+{
+    auto sys = makeSystem(DesignPoint::CpuOnly, smallModel());
+    ServerConfig cfg = lightLoad();
+    cfg.arrivalRatePerSec = 1e6; // absurd offered load
+    cfg.requests = 80;
+    InferenceServer server(*sys, cfg);
+    const auto stats = server.run();
+    EXPECT_GT(stats.meanQueueUs, stats.meanServiceUs);
+    EXPECT_GT(stats.utilization, 0.95);
+    EXPECT_LT(stats.throughputRps, stats.offeredRps);
+}
+
+TEST(Server, TailIsAtLeastMedian)
+{
+    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    ServerConfig cfg = lightLoad();
+    cfg.arrivalRatePerSec = 5000.0;
+    cfg.requests = 150;
+    InferenceServer server(*sys, cfg);
+    const auto stats = server.run();
+    EXPECT_GE(stats.p95Us, stats.p50Us);
+    EXPECT_GE(stats.p99Us, stats.p95Us);
+}
+
+TEST(Server, SlaHitRateCountsCorrectly)
+{
+    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    InferenceServer strict(*sys, lightLoad(), 0.001); // impossible
+    EXPECT_DOUBLE_EQ(strict.run().slaHitRate, 0.0);
+
+    auto sys2 = makeSystem(DesignPoint::Centaur, smallModel());
+    InferenceServer loose(*sys2, lightLoad(), 1e9); // trivial
+    EXPECT_DOUBLE_EQ(loose.run().slaHitRate, 1.0);
+}
+
+TEST(Server, EnergyAccumulatesAcrossRequests)
+{
+    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    InferenceServer server(*sys, lightLoad());
+    const auto stats = server.run();
+    EXPECT_GT(stats.energyJoules, 0.0);
+}
+
+TEST(Server, DeterministicUnderSeed)
+{
+    auto a = makeSystem(DesignPoint::Centaur, smallModel());
+    auto b = makeSystem(DesignPoint::Centaur, smallModel());
+    const auto sa = InferenceServer(*a, lightLoad()).run();
+    const auto sb = InferenceServer(*b, lightLoad()).run();
+    EXPECT_DOUBLE_EQ(sa.meanLatencyUs, sb.meanLatencyUs);
+    EXPECT_DOUBLE_EQ(sa.p99Us, sb.p99Us);
+}
+
+TEST(Server, CentaurSustainsHigherLoadThanCpuOnly)
+{
+    // The end-to-end speedup translates into serving headroom.
+    ServerConfig cfg = lightLoad();
+    cfg.arrivalRatePerSec = 8000.0;
+    cfg.requests = 120;
+    auto cpu = makeSystem(DesignPoint::CpuOnly, smallModel());
+    auto cen = makeSystem(DesignPoint::Centaur, smallModel());
+    const auto sc = InferenceServer(*cpu, cfg).run();
+    const auto sf = InferenceServer(*cen, cfg).run();
+    EXPECT_LT(sf.p99Us, sc.p99Us);
+    EXPECT_LT(sf.utilization, sc.utilization);
+}
+
+TEST(ServerDeath, RejectsBadConfig)
+{
+    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    ServerConfig bad = lightLoad();
+    bad.arrivalRatePerSec = 0.0;
+    EXPECT_DEATH(InferenceServer(*sys, bad), "arrival");
+    ServerConfig none = lightLoad();
+    none.requests = 0;
+    EXPECT_DEATH(InferenceServer(*sys, none), "request");
+}
+
+} // namespace
+} // namespace centaur

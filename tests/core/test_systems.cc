@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Integration tests across the three design points: functional
+ * equivalence, phase accounting, energy wiring and the paper's
+ * qualitative performance orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/centaur_system.hh"
+#include "core/cpu_gpu_system.hh"
+#include "core/cpu_only_system.hh"
+#include "core/system.hh"
+
+namespace centaur {
+namespace {
+
+DlrmConfig
+smallModel()
+{
+    DlrmConfig cfg;
+    cfg.name = "small";
+    cfg.numTables = 4;
+    cfg.lookupsPerTable = 16;
+    cfg.rowsPerTable = 50000;
+    return cfg;
+}
+
+InferenceBatch
+makeBatch(const DlrmConfig &cfg, std::uint32_t batch,
+          std::uint64_t seed = 9)
+{
+    WorkloadConfig wl;
+    wl.batch = batch;
+    wl.seed = seed;
+    WorkloadGenerator gen(cfg, wl);
+    return gen.next();
+}
+
+TEST(Systems, AllThreeProduceTheSameProbabilities)
+{
+    const DlrmConfig cfg = smallModel();
+    const auto batch = makeBatch(cfg, 8);
+
+    CpuOnlySystem cpu(cfg);
+    CpuGpuSystem gpu(cfg);
+    CentaurSystem cen(cfg);
+
+    const auto rc = cpu.infer(batch);
+    const auto rg = gpu.infer(batch);
+    const auto rf = cen.infer(batch);
+
+    ASSERT_EQ(rc.probabilities.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        // CPU and GPU use exact sigmoid: identical numerics.
+        EXPECT_FLOAT_EQ(rc.probabilities[i], rg.probabilities[i]);
+        // Centaur's LUT sigmoid is within 1e-3 of exact.
+        EXPECT_NEAR(rc.probabilities[i], rf.probabilities[i], 2e-3f);
+    }
+}
+
+TEST(Systems, PhaseTicksSumToLatency)
+{
+    const DlrmConfig cfg = smallModel();
+    const auto batch = makeBatch(cfg, 4);
+    for (DesignPoint dp : {DesignPoint::CpuOnly, DesignPoint::CpuGpu,
+                           DesignPoint::Centaur}) {
+        auto sys = makeSystem(dp, cfg);
+        const auto r = sys->infer(batch);
+        Tick sum = 0;
+        for (std::size_t p = 0; p < kNumPhases; ++p)
+            sum += r.phase[p];
+        EXPECT_EQ(sum, r.latency()) << sys->name();
+    }
+}
+
+TEST(Systems, EnergyEqualsPowerTimesLatency)
+{
+    const DlrmConfig cfg = smallModel();
+    const auto batch = makeBatch(cfg, 4);
+    for (DesignPoint dp : {DesignPoint::CpuOnly, DesignPoint::CpuGpu,
+                           DesignPoint::Centaur}) {
+        auto sys = makeSystem(dp, cfg);
+        const auto r = sys->infer(batch);
+        EXPECT_NEAR(r.energyJoules,
+                    r.powerWatts * secFromTicks(r.latency()),
+                    1e-12)
+            << sys->name();
+    }
+}
+
+TEST(Systems, CentaurIsFasterAtSmallBatch)
+{
+    // The paper's core end-to-end claim at the latency-critical
+    // small-batch operating point.
+    const DlrmConfig cfg = smallModel();
+    const auto batch = makeBatch(cfg, 1);
+    CpuOnlySystem cpu(cfg);
+    CentaurSystem cen(cfg);
+    EXPECT_GT(cpu.infer(batch).latency(),
+              cen.infer(batch).latency() * 2);
+}
+
+TEST(Systems, CpuOnlyBeatsCpuGpuAtSmallBatch)
+{
+    // Section VI-D: PCIe copies + kernel launches make the GPU a
+    // net loss for latency-bound inference.
+    const DlrmConfig cfg = smallModel();
+    const auto batch = makeBatch(cfg, 1);
+    CpuOnlySystem cpu(cfg);
+    CpuGpuSystem gpu(cfg);
+    EXPECT_LT(cpu.infer(batch).latency(), gpu.infer(batch).latency());
+}
+
+TEST(Systems, CentaurEmbThroughputBeatsCpuAtSmallBatch)
+{
+    const DlrmConfig cfg = smallModel();
+    const auto batch = makeBatch(cfg, 1);
+    CpuOnlySystem cpu(cfg);
+    CentaurSystem cen(cfg);
+    EXPECT_GT(cen.infer(batch).effectiveEmbGBps,
+              cpu.infer(batch).effectiveEmbGBps * 2);
+}
+
+TEST(Systems, CentaurHasIdxAndDnfPhases)
+{
+    const DlrmConfig cfg = smallModel();
+    const auto batch = makeBatch(cfg, 4);
+    CentaurSystem cen(cfg);
+    const auto r = cen.infer(batch);
+    EXPECT_GT(r.phaseTicks(Phase::Idx), 0u);
+    // DNF overlaps EMB and usually hides entirely.
+    EXPECT_GE(r.phaseTicks(Phase::Emb), r.phaseTicks(Phase::Dnf));
+}
+
+TEST(Systems, CpuSystemsHaveNoIdxPhase)
+{
+    const DlrmConfig cfg = smallModel();
+    const auto batch = makeBatch(cfg, 4);
+    CpuOnlySystem cpu(cfg);
+    const auto r = cpu.infer(batch);
+    EXPECT_EQ(r.phaseTicks(Phase::Idx), 0u);
+    EXPECT_EQ(r.phaseTicks(Phase::Dnf), 0u);
+}
+
+TEST(Systems, InternalClockAdvancesAcrossInferences)
+{
+    const DlrmConfig cfg = smallModel();
+    CentaurSystem cen(cfg);
+    const auto r1 = cen.infer(makeBatch(cfg, 2, 1));
+    const auto r2 = cen.infer(makeBatch(cfg, 2, 2));
+    EXPECT_GE(r2.start, r1.end);
+}
+
+TEST(Systems, LatencyGrowsWithBatch)
+{
+    const DlrmConfig cfg = smallModel();
+    for (DesignPoint dp : {DesignPoint::CpuOnly, DesignPoint::CpuGpu,
+                           DesignPoint::Centaur}) {
+        auto sys = makeSystem(dp, cfg);
+        const auto r1 = sys->infer(makeBatch(cfg, 1));
+        const auto r64 = sys->infer(makeBatch(cfg, 64));
+        EXPECT_GT(r64.latency(), r1.latency()) << sys->name();
+    }
+}
+
+TEST(Systems, MakeSystemCoversAllDesignPoints)
+{
+    const DlrmConfig cfg = smallModel();
+    EXPECT_EQ(makeSystem(DesignPoint::CpuOnly, cfg)->design(),
+              DesignPoint::CpuOnly);
+    EXPECT_EQ(makeSystem(DesignPoint::CpuGpu, cfg)->design(),
+              DesignPoint::CpuGpu);
+    EXPECT_EQ(makeSystem(DesignPoint::Centaur, cfg)->design(),
+              DesignPoint::Centaur);
+}
+
+TEST(Systems, NamesMatchDesignPoints)
+{
+    const DlrmConfig cfg = smallModel();
+    EXPECT_EQ(makeSystem(DesignPoint::Centaur, cfg)->name(),
+              "Centaur");
+}
+
+TEST(Systems, ResultMetadataIsFilled)
+{
+    const DlrmConfig cfg = smallModel();
+    CentaurSystem cen(cfg);
+    const auto r = cen.infer(makeBatch(cfg, 4));
+    EXPECT_EQ(r.batch, 4u);
+    EXPECT_EQ(r.design, DesignPoint::Centaur);
+    EXPECT_GT(r.inferencesPerSec(), 0.0);
+    EXPECT_GT(r.efficiency(), 0.0);
+}
+
+TEST(Systems, PhaseSharesSumToOne)
+{
+    const DlrmConfig cfg = smallModel();
+    CpuOnlySystem cpu(cfg);
+    const auto r = cpu.infer(makeBatch(cfg, 4));
+    double sum = 0.0;
+    for (std::size_t p = 0; p < kNumPhases; ++p)
+        sum += r.phaseShare(static_cast<Phase>(p));
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Systems, CentaurResourceAccessor)
+{
+    const DlrmConfig cfg = smallModel();
+    CentaurSystem cen(cfg);
+    EXPECT_TRUE(cen.resources().fits());
+    EXPECT_NEAR(cen.acceleratorConfig().peakGflops(), 313.0, 2.0);
+}
+
+} // namespace
+} // namespace centaur

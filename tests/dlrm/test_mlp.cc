@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the functional MLP.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dlrm/mlp.hh"
+
+namespace centaur {
+namespace {
+
+TEST(Mlp, DimsAndLayers)
+{
+    Mlp mlp(1, {13, 128, 64, 32});
+    EXPECT_EQ(mlp.inputDim(), 13u);
+    EXPECT_EQ(mlp.outputDim(), 32u);
+    EXPECT_EQ(mlp.layers(), 3u);
+}
+
+TEST(Mlp, ParamCountMatchesFormula)
+{
+    Mlp mlp(1, {13, 128, 64, 32});
+    // (13*128+128) + (128*64+64) + (64*32+32)
+    EXPECT_EQ(mlp.paramCount(), 1792u + 8256u + 2080u);
+}
+
+TEST(Mlp, MacsPerSample)
+{
+    Mlp mlp(1, {13, 128});
+    EXPECT_EQ(mlp.macsPerSample(), 13u * 128u);
+}
+
+TEST(Mlp, WeightsAreDeterministic)
+{
+    Mlp a(7, {8, 4});
+    Mlp b(7, {8, 4});
+    EXPECT_EQ(a.weight(0, 2, 3), b.weight(0, 2, 3));
+    EXPECT_EQ(a.bias(0, 1), b.bias(0, 1));
+}
+
+TEST(Mlp, DifferentIdsDifferentWeights)
+{
+    Mlp a(1, {8, 4});
+    Mlp b(2, {8, 4});
+    int same = 0;
+    for (std::uint32_t o = 0; o < 4; ++o)
+        for (std::uint32_t i = 0; i < 8; ++i)
+            same += (a.weight(0, o, i) == b.weight(0, o, i));
+    EXPECT_LT(same, 3);
+}
+
+TEST(Mlp, ForwardMatchesManualComputation)
+{
+    Mlp mlp(3, {2, 2}, Activation::Relu, Activation::None);
+    const float in[2] = {0.5f, -0.25f};
+    const auto out = mlp.forward(in);
+    ASSERT_EQ(out.size(), 2u);
+    for (std::uint32_t o = 0; o < 2; ++o) {
+        const float expect = mlp.bias(0, o) +
+                             mlp.weight(0, o, 0) * in[0] +
+                             mlp.weight(0, o, 1) * in[1];
+        EXPECT_FLOAT_EQ(out[o], expect);
+    }
+}
+
+TEST(Mlp, ReluClampsNegatives)
+{
+    Mlp mlp(3, {4, 16, 8}, Activation::Relu, Activation::Relu);
+    const float in[4] = {1.0f, -1.0f, 0.5f, -0.5f};
+    for (float v : mlp.forward(in))
+        EXPECT_GE(v, 0.0f);
+}
+
+TEST(Mlp, FinalActivationNoneAllowsNegatives)
+{
+    Mlp mlp(5, {16, 8, 1}, Activation::Relu, Activation::None);
+    std::vector<float> in(16);
+    bool saw_negative = false;
+    for (int trial = 0; trial < 64 && !saw_negative; ++trial) {
+        for (std::size_t i = 0; i < in.size(); ++i)
+            in[i] = ((trial * 16 + static_cast<int>(i)) % 7) - 3.0f;
+        saw_negative = mlp.forward(in.data())[0] < 0.0f;
+    }
+    EXPECT_TRUE(saw_negative);
+}
+
+TEST(Mlp, BatchForwardEqualsPerSampleForward)
+{
+    Mlp mlp(9, {4, 8, 2});
+    std::vector<float> batch_in;
+    for (int b = 0; b < 3; ++b)
+        for (int i = 0; i < 4; ++i)
+            batch_in.push_back(0.1f * static_cast<float>(b * 4 + i));
+    const auto batch_out = mlp.forwardBatch(batch_in.data(), 3);
+    for (int b = 0; b < 3; ++b) {
+        const auto single = mlp.forward(batch_in.data() + b * 4);
+        for (int o = 0; o < 2; ++o)
+            EXPECT_EQ(batch_out[static_cast<std::size_t>(b * 2 + o)],
+                      single[static_cast<std::size_t>(o)]);
+    }
+}
+
+TEST(Mlp, ActivationsStayBounded)
+{
+    // Xavier-ish scaling should keep deep stacks from exploding.
+    Mlp mlp(11, {32, 256, 256, 256, 32});
+    std::vector<float> in(32, 0.7f);
+    for (float v : mlp.forward(in.data())) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_LT(std::fabs(v), 100.0f);
+    }
+}
+
+TEST(Mlp, ReferenceSigmoidProperties)
+{
+    EXPECT_FLOAT_EQ(referenceSigmoid(0.0f), 0.5f);
+    EXPECT_GT(referenceSigmoid(5.0f), 0.99f);
+    EXPECT_LT(referenceSigmoid(-5.0f), 0.01f);
+    EXPECT_NEAR(referenceSigmoid(1.0f) + referenceSigmoid(-1.0f), 1.0f,
+                1e-6f);
+}
+
+TEST(MlpDeath, RejectsDegenerateShapes)
+{
+    EXPECT_DEATH(Mlp(1, {5}), "at least");
+    EXPECT_DEATH(Mlp(1, {5, 0, 3}), "nonzero");
+}
+
+} // namespace
+} // namespace centaur

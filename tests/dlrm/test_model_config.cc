@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the DLRM configuration and the Table I presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dlrm/model_config.hh"
+
+namespace centaur {
+namespace {
+
+TEST(DlrmConfig, VectorBytesMatchThePaper)
+{
+    // 32-dimensional fp32 embedding = 128 B (Section IV-C).
+    EXPECT_EQ(DlrmConfig{}.vectorBytes(), 128u);
+}
+
+TEST(DlrmConfig, TableBytes)
+{
+    DlrmConfig cfg;
+    cfg.rowsPerTable = 200000;
+    EXPECT_EQ(cfg.tableBytes(), 25600000u); // 25.6 MB
+}
+
+TEST(DlrmConfig, TotalLookups)
+{
+    DlrmConfig cfg;
+    cfg.numTables = 50;
+    cfg.lookupsPerTable = 80;
+    EXPECT_EQ(cfg.totalLookups(128), 512000u);
+}
+
+TEST(DlrmConfig, InteractionDimFiveTables)
+{
+    DlrmConfig cfg;
+    cfg.numTables = 5;
+    // C(6,2) + 32 = 15 + 32 = 47.
+    EXPECT_EQ(cfg.interactionDim(), 47u);
+}
+
+TEST(DlrmConfig, InteractionDimFiftyTables)
+{
+    DlrmConfig cfg;
+    cfg.numTables = 50;
+    // C(51,2) + 32 = 1275 + 32 = 1307.
+    EXPECT_EQ(cfg.interactionDim(), 1307u);
+}
+
+TEST(DlrmConfig, LayerDimsIncludeEndpoints)
+{
+    DlrmConfig cfg;
+    const auto bottom = cfg.bottomLayerDims();
+    EXPECT_EQ(bottom.front(), cfg.denseDim);
+    EXPECT_EQ(bottom.back(), cfg.embeddingDim);
+    const auto top = cfg.topLayerDims();
+    EXPECT_EQ(top.front(), cfg.interactionDim());
+    EXPECT_EQ(top.back(), 1u);
+}
+
+TEST(DlrmConfig, MacCountsArePositiveAndConsistent)
+{
+    DlrmConfig cfg;
+    EXPECT_GT(cfg.mlpMacsPerSample(), 0u);
+    EXPECT_GT(cfg.interactionMacsPerSample(), 0u);
+    // MACs < params * something sane.
+    EXPECT_LT(cfg.mlpMacsPerSample(), cfg.mlpParamCount());
+}
+
+TEST(DlrmPresets, ThereAreExactlySix)
+{
+    EXPECT_EQ(allDlrmPresets().size(), 6u);
+}
+
+TEST(DlrmPresetsDeath, RejectsOutOfRange)
+{
+    EXPECT_DEATH(dlrmPreset(0), "1..6");
+    EXPECT_DEATH(dlrmPreset(7), "1..6");
+}
+
+TEST(DlrmPresets, PaperBatchSizes)
+{
+    const auto b = paperBatchSizes();
+    EXPECT_EQ(b, (std::vector<std::uint32_t>{1, 4, 16, 32, 64, 128}));
+}
+
+struct PresetExpectation
+{
+    int preset;
+    std::uint32_t tables;
+    std::uint32_t gathers;
+    double tableGB; //!< decimal GB across all tables (Table I)
+};
+
+class PresetTest : public ::testing::TestWithParam<PresetExpectation>
+{
+};
+
+TEST_P(PresetTest, MatchesTableOne)
+{
+    const auto exp = GetParam();
+    const DlrmConfig cfg = dlrmPreset(exp.preset);
+    EXPECT_EQ(cfg.numTables, exp.tables);
+    EXPECT_EQ(cfg.lookupsPerTable, exp.gathers);
+    EXPECT_NEAR(static_cast<double>(cfg.totalTableBytes()) / 1e9,
+                exp.tableGB, exp.tableGB * 0.01);
+    EXPECT_EQ(cfg.embeddingDim, 32u);
+    EXPECT_EQ(cfg.denseDim, 13u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOne, PresetTest,
+    ::testing::Values(PresetExpectation{1, 5, 20, 0.128},
+                      PresetExpectation{2, 50, 20, 1.28},
+                      PresetExpectation{3, 5, 80, 0.128},
+                      PresetExpectation{4, 50, 80, 1.28},
+                      PresetExpectation{5, 50, 80, 3.2},
+                      PresetExpectation{6, 5, 2, 0.128}));
+
+TEST(DlrmPresets, MlpSizeMatchesTableOneAtFiveTableBasis)
+{
+    // 57.4 KB for DLRM(1)-(5) evaluated at the 5-table interaction
+    // width (see DESIGN.md on the 50-table caveat).
+    for (int p = 1; p <= 5; ++p) {
+        DlrmConfig cfg = dlrmPreset(p);
+        cfg.numTables = 5;
+        EXPECT_NEAR(static_cast<double>(cfg.mlpParamBytes()) / 1024.0,
+                    57.4, 1.5)
+            << "preset " << p;
+    }
+}
+
+TEST(DlrmPresets, Dlrm6MlpIsHeavyweight)
+{
+    const DlrmConfig cfg = dlrmPreset(6);
+    EXPECT_NEAR(static_cast<double>(cfg.mlpParamBytes()) / 1024.0,
+                557.0, 10.0);
+    // And its embedding stage is deliberately tiny.
+    EXPECT_EQ(cfg.lookupsPerTable, 2u);
+}
+
+TEST(DlrmPresets, NamesAreDistinct)
+{
+    const auto all = allDlrmPresets();
+    for (std::size_t i = 0; i < all.size(); ++i)
+        for (std::size_t j = i + 1; j < all.size(); ++j)
+            EXPECT_NE(all[i].name, all[j].name);
+}
+
+TEST(DlrmPresets, WeightsFitCentaurWeightSram)
+{
+    // The dense complex provisions 5.2 Mbit (650 KB) of weight SRAM
+    // (Table III); every preset's configured stack must fit.
+    for (int p = 1; p <= 6; ++p) {
+        DlrmConfig cfg = dlrmPreset(p);
+        cfg.numTables = 5;
+        EXPECT_LE(cfg.mlpParamBytes(), 650000u) << "preset " << p;
+    }
+}
+
+} // namespace
+} // namespace centaur

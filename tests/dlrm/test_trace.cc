@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for trace capture and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dlrm/trace.hh"
+
+namespace centaur {
+namespace {
+
+DlrmConfig
+tinyModel()
+{
+    DlrmConfig cfg;
+    cfg.numTables = 2;
+    cfg.lookupsPerTable = 3;
+    cfg.rowsPerTable = 100;
+    return cfg;
+}
+
+TEST(Trace, RoundTripsBatchesExactly)
+{
+    const DlrmConfig cfg = tinyModel();
+    WorkloadConfig wl;
+    wl.batch = 4;
+    wl.seed = 7;
+
+    std::ostringstream oss;
+    TraceWriter writer(oss, cfg);
+    WorkloadGenerator gen(cfg, wl);
+    const auto b1 = gen.next();
+    const auto b2 = gen.next();
+    EXPECT_TRUE(writer.append(b1));
+    EXPECT_TRUE(writer.append(b2));
+    EXPECT_EQ(writer.batchesWritten(), 2u);
+
+    std::istringstream iss(oss.str());
+    TraceReader reader(iss);
+    ASSERT_TRUE(reader.isValid());
+    EXPECT_TRUE(reader.compatibleWith(cfg));
+
+    InferenceBatch r1;
+    InferenceBatch r2;
+    ASSERT_TRUE(reader.next(r1));
+    ASSERT_TRUE(reader.next(r2));
+    EXPECT_EQ(r1.indices, b1.indices);
+    EXPECT_EQ(r2.indices, b2.indices);
+    EXPECT_EQ(r1.dense.size(), b1.dense.size());
+    for (std::size_t i = 0; i < r1.dense.size(); ++i)
+        EXPECT_NEAR(r1.dense[i], b1.dense[i], 1e-5f);
+
+    InferenceBatch r3;
+    EXPECT_FALSE(reader.next(r3)); // clean end
+    EXPECT_TRUE(reader.isValid());
+}
+
+TEST(Trace, HeaderCarriesGeometry)
+{
+    const DlrmConfig cfg = tinyModel();
+    std::ostringstream oss;
+    TraceWriter writer(oss, cfg);
+    std::istringstream iss(oss.str());
+    TraceReader reader(iss);
+    ASSERT_TRUE(reader.isValid());
+    EXPECT_EQ(reader.numTables(), 2u);
+    EXPECT_EQ(reader.lookupsPerTable(), 3u);
+    EXPECT_EQ(reader.denseDim(), 13u);
+}
+
+TEST(Trace, RejectsMalformedHeader)
+{
+    std::istringstream iss("not-a-trace v9 1 1 1");
+    TraceReader reader(iss);
+    EXPECT_FALSE(reader.isValid());
+}
+
+TEST(Trace, RejectsTruncatedBody)
+{
+    const DlrmConfig cfg = tinyModel();
+    const std::string full =
+        captureTrace(cfg, WorkloadConfig{2, IndexDistribution::Uniform,
+                                         0.9, 3},
+                     1);
+    std::istringstream iss(full.substr(0, full.size() / 2));
+    TraceReader reader(iss);
+    ASSERT_TRUE(reader.isValid());
+    InferenceBatch b;
+    EXPECT_FALSE(reader.next(b));
+    EXPECT_FALSE(reader.isValid());
+}
+
+TEST(Trace, WriterRejectsMismatchedBatch)
+{
+    const DlrmConfig cfg = tinyModel();
+    std::ostringstream oss;
+    TraceWriter writer(oss, cfg);
+    InferenceBatch wrong;
+    wrong.batch = 1;
+    wrong.lookupsPerTable = 99;
+    wrong.indices.resize(2);
+    EXPECT_FALSE(writer.append(wrong));
+    EXPECT_EQ(writer.batchesWritten(), 0u);
+}
+
+TEST(Trace, CompatibilityChecksGeometry)
+{
+    const DlrmConfig cfg = tinyModel();
+    const std::string trace = captureTrace(
+        cfg, WorkloadConfig{1, IndexDistribution::Uniform, 0.9, 1}, 1);
+    std::istringstream iss(trace);
+    TraceReader reader(iss);
+    DlrmConfig other = cfg;
+    other.lookupsPerTable = 5;
+    EXPECT_TRUE(reader.compatibleWith(cfg));
+    EXPECT_FALSE(reader.compatibleWith(other));
+}
+
+TEST(Trace, CaptureTraceIsDeterministic)
+{
+    const DlrmConfig cfg = tinyModel();
+    const WorkloadConfig wl{4, IndexDistribution::Zipf, 1.0, 42};
+    EXPECT_EQ(captureTrace(cfg, wl, 3), captureTrace(cfg, wl, 3));
+}
+
+} // namespace
+} // namespace centaur

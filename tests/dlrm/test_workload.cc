@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dlrm/workload.hh"
+
+namespace centaur {
+namespace {
+
+DlrmConfig
+tinyModel()
+{
+    DlrmConfig cfg;
+    cfg.numTables = 3;
+    cfg.lookupsPerTable = 4;
+    cfg.rowsPerTable = 1000;
+    return cfg;
+}
+
+TEST(Workload, ShapesMatchConfig)
+{
+    WorkloadConfig wl;
+    wl.batch = 8;
+    WorkloadGenerator gen(tinyModel(), wl);
+    const auto batch = gen.next();
+    EXPECT_EQ(batch.batch, 8u);
+    EXPECT_EQ(batch.lookupsPerTable, 4u);
+    ASSERT_EQ(batch.indices.size(), 3u);
+    for (const auto &t : batch.indices)
+        EXPECT_EQ(t.size(), 32u); // 8 samples x 4 lookups
+    EXPECT_EQ(batch.dense.size(), 8u * 13u);
+}
+
+TEST(Workload, IndicesWithinTableRange)
+{
+    WorkloadConfig wl;
+    wl.batch = 64;
+    WorkloadGenerator gen(tinyModel(), wl);
+    const auto batch = gen.next();
+    for (const auto &t : batch.indices)
+        for (auto idx : t)
+            EXPECT_LT(idx, 1000u);
+}
+
+TEST(Workload, DeterministicUnderSeed)
+{
+    WorkloadConfig wl;
+    wl.batch = 4;
+    wl.seed = 77;
+    WorkloadGenerator a(tinyModel(), wl);
+    WorkloadGenerator b(tinyModel(), wl);
+    const auto ba = a.next();
+    const auto bb = b.next();
+    EXPECT_EQ(ba.indices, bb.indices);
+    EXPECT_EQ(ba.dense, bb.dense);
+}
+
+TEST(Workload, StreamAdvances)
+{
+    WorkloadConfig wl;
+    wl.batch = 4;
+    WorkloadGenerator gen(tinyModel(), wl);
+    const auto b1 = gen.next();
+    const auto b2 = gen.next();
+    EXPECT_NE(b1.indices, b2.indices);
+}
+
+TEST(Workload, SeedsProduceDifferentStreams)
+{
+    WorkloadConfig a;
+    a.batch = 4;
+    a.seed = 1;
+    WorkloadConfig b = a;
+    b.seed = 2;
+    WorkloadGenerator ga(tinyModel(), a);
+    WorkloadGenerator gb(tinyModel(), b);
+    EXPECT_NE(ga.next().indices, gb.next().indices);
+}
+
+TEST(Workload, DenseFeaturesWithinRange)
+{
+    WorkloadConfig wl;
+    wl.batch = 16;
+    WorkloadGenerator gen(tinyModel(), wl);
+    for (float v : gen.next().dense) {
+        EXPECT_GE(v, -1.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(Workload, TotalLookupsAndBytes)
+{
+    WorkloadConfig wl;
+    wl.batch = 8;
+    WorkloadGenerator gen(tinyModel(), wl);
+    const auto batch = gen.next();
+    EXPECT_EQ(batch.totalLookups(), 3u * 8u * 4u);
+    EXPECT_EQ(batch.gatheredBytes(128), 3u * 8u * 4u * 128u);
+}
+
+TEST(Workload, ZipfSkewsTowardPopularRows)
+{
+    DlrmConfig cfg = tinyModel();
+    cfg.lookupsPerTable = 64;
+    WorkloadConfig wl;
+    wl.batch = 64;
+    wl.dist = IndexDistribution::Zipf;
+    wl.zipfSkew = 1.0;
+    WorkloadGenerator gen(cfg, wl);
+    const auto batch = gen.next();
+    std::map<std::uint64_t, int> counts;
+    for (auto idx : batch.indices[0])
+        ++counts[idx];
+    // Top-10 rows should draw far more than 1% of lookups.
+    int head = 0;
+    for (std::uint64_t r = 0; r < 10; ++r)
+        head += counts.count(r) ? counts[r] : 0;
+    EXPECT_GT(head,
+              static_cast<int>(batch.indices[0].size()) / 20);
+}
+
+TEST(Workload, UniformCoversTheTable)
+{
+    DlrmConfig cfg = tinyModel();
+    cfg.rowsPerTable = 16;
+    WorkloadConfig wl;
+    wl.batch = 128;
+    wl.dist = IndexDistribution::Uniform;
+    WorkloadGenerator gen(cfg, wl);
+    const auto batch = gen.next();
+    std::map<std::uint64_t, int> counts;
+    for (auto idx : batch.indices[0])
+        ++counts[idx];
+    EXPECT_EQ(counts.size(), 16u);
+}
+
+} // namespace
+} // namespace centaur

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the feature-interaction unit (4-PE batched GEMM).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/feature_interaction_unit.hh"
+
+namespace centaur {
+namespace {
+
+TEST(FiUnit, MacAccountingIsFullMatrix)
+{
+    // Hardware computes the full R x R^T (triangle selected after).
+    CentaurConfig cfg;
+    FeatureInteractionUnit fi(cfg);
+    const auto r = fi.run(8, 6, 32, 0);
+    EXPECT_EQ(r.macs, 8ULL * 6 * 6 * 32);
+}
+
+TEST(FiUnit, SamplesParallelizeAcrossFourPes)
+{
+    CentaurConfig cfg;
+    FeatureInteractionUnit fi(cfg);
+    const auto one = fi.run(1, 6, 32, 0);
+    const auto four = fi.run(4, 6, 32, 0);
+    // Four samples spread over four PEs: barely slower than one.
+    EXPECT_LT(four.cycles, one.cycles * 2);
+    const auto eight = fi.run(8, 6, 32, 0);
+    EXPECT_GT(eight.cycles, four.cycles);
+}
+
+TEST(FiUnit, FiftyTableInteractionIsHeavier)
+{
+    CentaurConfig cfg;
+    FeatureInteractionUnit fi(cfg);
+    EXPECT_GT(fi.run(16, 51, 32, 0).cycles,
+              fi.run(16, 6, 32, 0).cycles * 10);
+}
+
+TEST(FiUnit, FunctionalDelegatesToReference)
+{
+    const DlrmConfig mcfg = dlrmPreset(1);
+    ReferenceModel model(mcfg);
+    CentaurConfig cfg;
+    FeatureInteractionUnit fi(cfg);
+
+    std::vector<float> bottom(mcfg.embeddingDim, 0.1f);
+    std::vector<std::vector<float>> reduced(
+        mcfg.numTables, std::vector<float>(mcfg.embeddingDim, 0.2f));
+    std::vector<const float *> ptrs;
+    for (auto &r : reduced)
+        ptrs.push_back(r.data());
+    EXPECT_EQ(fi.forwardSample(model, bottom.data(), ptrs),
+              model.interactSample(bottom.data(), ptrs));
+}
+
+TEST(FiUnit, StartTimePropagates)
+{
+    CentaurConfig cfg;
+    FeatureInteractionUnit fi(cfg);
+    const auto r = fi.run(4, 6, 32, 777000);
+    EXPECT_EQ(r.start, 777000u);
+    EXPECT_GT(r.end, r.start);
+}
+
+TEST(FiUnit, MorePesHelpLargeBatches)
+{
+    CentaurConfig narrow;
+    narrow.fiPes = 1;
+    CentaurConfig wide;
+    wide.fiPes = 8;
+    EXPECT_GT(FeatureInteractionUnit(narrow).run(64, 6, 32, 0).cycles,
+              FeatureInteractionUnit(wide).run(64, 6, 32, 0).cycles);
+}
+
+} // namespace
+} // namespace centaur

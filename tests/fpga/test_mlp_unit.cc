@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the 4x4 output-stationary MLP unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/mlp_unit.hh"
+
+namespace centaur {
+namespace {
+
+TEST(MlpUnit, MacAccounting)
+{
+    CentaurConfig cfg;
+    MlpUnit unit(cfg);
+    EXPECT_EQ(unit.gemm(16, 64, 32, 0).macs, 16ULL * 64 * 32);
+}
+
+TEST(MlpUnit, ParallelismAcrossOutputTiles)
+{
+    // 16 output tiles saturate the 4x4 array: a 128x128 output over
+    // one k-tile should take roughly one tile time, not sixteen.
+    CentaurConfig cfg;
+    MlpUnit unit(cfg);
+    const auto one = unit.gemm(32, 32, 32, 0);
+    const auto sixteen = unit.gemm(128, 32, 128, 0);
+    EXPECT_LT(sixteen.cycles, one.cycles * 3);
+}
+
+TEST(MlpUnit, SeventeenthTileSerializes)
+{
+    CentaurConfig cfg;
+    MlpUnit unit(cfg);
+    const auto sixteen = unit.gemm(128, 32, 128, 0); // 16 tiles
+    const auto seventeen = unit.gemm(160, 32, 128, 0); // 20 tiles
+    EXPECT_GT(seventeen.cycles, sixteen.cycles);
+}
+
+TEST(MlpUnit, KSplitRecruitsIdlePes)
+{
+    // A skinny layer (one output tile, many k-tiles) must not leave
+    // 15 of 16 PEs idle: the control unit splits k.
+    CentaurConfig cfg;
+    MlpUnit unit(cfg);
+    const auto skinny = unit.gemm(16, 1307, 32, 0);
+    // Upper bound if one PE did all 41 k-steps alone:
+    Pe pe(cfg);
+    const Cycles serial = 41 * pe.tileCycles(16, 32, 32);
+    EXPECT_LT(skinny.cycles, serial / 2);
+}
+
+TEST(MlpUnit, AchievedGflopsBoundedByMlpArrayPeak)
+{
+    CentaurConfig cfg;
+    MlpUnit unit(cfg);
+    const auto g = unit.gemm(512, 512, 512, 0);
+    const double array_peak = cfg.mlpPes() * cfg.macsPerCyclePerPe *
+                              2.0 * cfg.freqHz / 1e9;
+    EXPECT_LE(g.achievedGflops(), array_peak);
+    EXPECT_GT(g.achievedGflops(), 0.5 * array_peak);
+}
+
+TEST(MlpUnit, StackRunsLayersBackToBack)
+{
+    CentaurConfig cfg;
+    MlpUnit unit(cfg);
+    const std::vector<std::uint32_t> dims{13, 128, 64, 32};
+    const auto stack = unit.mlpStack(dims, 16, 1000);
+    EXPECT_EQ(stack.start, 1000u);
+    EXPECT_GT(stack.end, stack.start);
+    EXPECT_EQ(stack.macs,
+              16ULL * (13 * 128 + 128 * 64 + 64 * 32));
+}
+
+TEST(MlpUnit, StackLatencyGrowsWithBatch)
+{
+    CentaurConfig cfg;
+    MlpUnit unit(cfg);
+    const std::vector<std::uint32_t> dims{13, 512, 240, 32};
+    EXPECT_GT(unit.mlpStack(dims, 128, 0).latency(),
+              unit.mlpStack(dims, 1, 0).latency());
+}
+
+TEST(MlpUnit, ForwardMatchesReferenceExactly)
+{
+    // The k-tile accumulation order equals the reference order, so
+    // numerics must be bit-identical.
+    CentaurConfig cfg;
+    MlpUnit unit(cfg);
+    Mlp mlp(21, {13, 64, 32});
+    std::vector<float> in(13 * 4);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = 0.05f * static_cast<float>(i % 11) - 0.2f;
+    EXPECT_EQ(unit.forward(mlp, in.data(), 4),
+              mlp.forwardBatch(in.data(), 4));
+}
+
+TEST(MlpUnit, BiggerArrayIsFaster)
+{
+    CentaurConfig small;
+    small.mlpPeRows = 2;
+    small.mlpPeCols = 2;
+    CentaurConfig big;
+    big.mlpPeRows = 8;
+    big.mlpPeCols = 8;
+    const auto s = MlpUnit(small).gemm(256, 256, 256, 0);
+    const auto b = MlpUnit(big).gemm(256, 256, 256, 0);
+    EXPECT_GT(s.cycles, b.cycles * 4);
+}
+
+TEST(MlpUnitDeath, StackNeedsTwoWidths)
+{
+    CentaurConfig cfg;
+    MlpUnit unit(cfg);
+    EXPECT_DEATH(unit.mlpStack({5}, 1, 0), "at least two");
+}
+
+} // namespace
+} // namespace centaur

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the processing-engine timing helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/pe.hh"
+
+namespace centaur {
+namespace {
+
+TEST(Pe, FullTileCycles)
+{
+    CentaurConfig cfg;
+    Pe pe(cfg);
+    // 32x32x32 = 32768 MACs at 39/cycle = 841 (+ fill 12).
+    EXPECT_EQ(pe.tileCycles(32, 32, 32), 841u + 12u);
+}
+
+TEST(Pe, PartialTileIsCheaper)
+{
+    CentaurConfig cfg;
+    Pe pe(cfg);
+    EXPECT_LT(pe.tileCycles(1, 32, 32), pe.tileCycles(32, 32, 32));
+    EXPECT_LT(pe.tileCycles(32, 8, 32), pe.tileCycles(32, 32, 32));
+}
+
+TEST(Pe, MinimumIsPipelineFill)
+{
+    CentaurConfig cfg;
+    Pe pe(cfg);
+    EXPECT_EQ(pe.tileCycles(1, 1, 1), 1u + cfg.pipelineFillCycles);
+}
+
+TEST(Pe, CyclesScaleLinearlyWithMacs)
+{
+    CentaurConfig cfg;
+    Pe pe(cfg);
+    const Cycles half = pe.tileCycles(16, 32, 32);
+    const Cycles full = pe.tileCycles(32, 32, 32);
+    EXPECT_NEAR(static_cast<double>(full - cfg.pipelineFillCycles),
+                2.0 * static_cast<double>(half -
+                                          cfg.pipelineFillCycles),
+                2.0);
+}
+
+TEST(Pe, AggregateThroughputMatchesPaper)
+{
+    // 20 PEs x 39 MACs x 2 flops x 200 MHz = 312.8 GFLOPS ~ 313.
+    CentaurConfig cfg;
+    EXPECT_NEAR(cfg.peakGflops(), 313.0, 2.0);
+}
+
+TEST(Pe, MoreLanesFewerCycles)
+{
+    CentaurConfig fast;
+    fast.macsPerCyclePerPe = 78;
+    CentaurConfig slow;
+    EXPECT_LT(Pe(fast).tileCycles(32, 32, 32),
+              Pe(slow).tileCycles(32, 32, 32));
+}
+
+} // namespace
+} // namespace centaur

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the FPGA resource model against Tables II and III.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/resource_model.hh"
+
+namespace centaur {
+namespace {
+
+TEST(ResourceModel, TableTwoAlmsWithinOnePercent)
+{
+    ResourceModel model{CentaurConfig{}};
+    EXPECT_NEAR(static_cast<double>(model.deviceUsage().alms),
+                127719.0, 1278.0);
+}
+
+TEST(ResourceModel, TableTwoBlockMemWithinThreePercent)
+{
+    ResourceModel model{CentaurConfig{}};
+    EXPECT_NEAR(static_cast<double>(model.deviceUsage().blockMemBits),
+                23.7e6, 0.03 * 23.7e6);
+}
+
+TEST(ResourceModel, TableTwoRamBlocksWithinThreePercent)
+{
+    ResourceModel model{CentaurConfig{}};
+    EXPECT_NEAR(static_cast<double>(model.deviceUsage().ramBlocks),
+                2238.0, 0.03 * 2238.0);
+}
+
+TEST(ResourceModel, TableTwoDspExact)
+{
+    ResourceModel model{CentaurConfig{}};
+    EXPECT_EQ(model.deviceUsage().dsp, 784u);
+}
+
+TEST(ResourceModel, TableTwoPllExact)
+{
+    ResourceModel model{CentaurConfig{}};
+    EXPECT_EQ(model.deviceUsage().plls, 48u);
+}
+
+TEST(ResourceModel, DefaultDesignFitsGx1150)
+{
+    EXPECT_TRUE(ResourceModel{CentaurConfig{}}.fits());
+}
+
+TEST(ResourceModel, TableThreeSparseTotals)
+{
+    ResourceModel model{CentaurConfig{}};
+    const auto sparse = model.complexTotal("Sparse");
+    EXPECT_EQ(sparse.lcComb, 851u);
+    EXPECT_NEAR(static_cast<double>(sparse.lcReg), 8800.0, 100.0);
+    EXPECT_NEAR(static_cast<double>(sparse.blockMemBits), 12.3e6,
+                0.02 * 12.3e6);
+    EXPECT_EQ(sparse.dsp, 96u);
+}
+
+TEST(ResourceModel, TableThreeDenseTotals)
+{
+    ResourceModel model{CentaurConfig{}};
+    const auto dense = model.complexTotal("Dense");
+    EXPECT_NEAR(static_cast<double>(dense.lcComb), 52000.0, 1000.0);
+    EXPECT_NEAR(static_cast<double>(dense.lcReg), 175000.0, 1000.0);
+    EXPECT_NEAR(static_cast<double>(dense.blockMemBits), 9.8e6,
+                0.02 * 9.8e6);
+    EXPECT_EQ(dense.dsp, 688u);
+}
+
+TEST(ResourceModel, SparseComplexIsDspLight)
+{
+    // The paper's observation: the sparse complex is address
+    // generation, not arithmetic - it uses 12% of the DSPs the
+    // dense complex does.
+    ResourceModel model{CentaurConfig{}};
+    EXPECT_LT(model.complexTotal("Sparse").dsp * 5,
+              model.complexTotal("Dense").dsp);
+}
+
+TEST(ResourceModel, DspScalesWithPeArray)
+{
+    CentaurConfig big;
+    big.mlpPeRows = 8;
+    big.mlpPeCols = 8;
+    ResourceModel model(big);
+    // 64 + 4 PEs x 32 DSP + 96 reduction + 48 sigmoid.
+    EXPECT_EQ(model.deviceUsage().dsp, 68u * 32 + 96 + 48);
+}
+
+TEST(ResourceModel, EightByEightArrayDoesNotFit)
+{
+    CentaurConfig big;
+    big.mlpPeRows = 8;
+    big.mlpPeCols = 8;
+    EXPECT_FALSE(ResourceModel{big}.fits());
+}
+
+TEST(ResourceModel, IndexSramScalesBlockMem)
+{
+    CentaurConfig small;
+    small.indexSramEntries = 1000;
+    CentaurConfig large;
+    EXPECT_LT(ResourceModel{small}.deviceUsage().blockMemBits,
+              ResourceModel{large}.deviceUsage().blockMemBits);
+}
+
+TEST(ResourceModel, ReduceLanesScaleDsp)
+{
+    CentaurConfig wide;
+    wide.reduceLanes = 64;
+    ResourceModel model(wide);
+    EXPECT_EQ(model.complexTotal("Sparse").dsp, 192u);
+}
+
+TEST(ResourceModel, ModuleRowsCoverBothComplexes)
+{
+    ResourceModel model{CentaurConfig{}};
+    const auto rows = model.moduleUsage();
+    int sparse = 0;
+    int dense = 0;
+    for (const auto &r : rows) {
+        sparse += (r.complex == "Sparse");
+        dense += (r.complex == "Dense");
+    }
+    EXPECT_EQ(sparse, 4); // BPregs, gather, reduction, SRAM
+    EXPECT_EQ(dense, 4);  // MLP, FI, SRAM, weights
+}
+
+} // namespace
+} // namespace centaur

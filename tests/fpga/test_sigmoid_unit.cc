@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit and property tests for the piecewise-linear sigmoid LUT.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dlrm/mlp.hh"
+#include "fpga/sigmoid_unit.hh"
+
+namespace centaur {
+namespace {
+
+TEST(SigmoidUnit, MidpointIsHalf)
+{
+    CentaurConfig cfg;
+    SigmoidUnit s(cfg);
+    EXPECT_NEAR(s.eval(0.0f), 0.5f, 1e-4f);
+}
+
+TEST(SigmoidUnit, SaturatesAtRange)
+{
+    CentaurConfig cfg;
+    SigmoidUnit s(cfg);
+    EXPECT_FLOAT_EQ(s.eval(-100.0f), s.eval(-8.0f));
+    EXPECT_FLOAT_EQ(s.eval(100.0f), s.eval(8.0f));
+    EXPECT_LT(s.eval(-8.0f), 0.001f);
+    EXPECT_GT(s.eval(8.0f), 0.999f);
+}
+
+TEST(SigmoidUnit, AbsoluteErrorUnderOneEMinusThree)
+{
+    CentaurConfig cfg;
+    SigmoidUnit s(cfg);
+    for (float x = -10.0f; x <= 10.0f; x += 0.01f)
+        EXPECT_NEAR(s.eval(x), referenceSigmoid(x), 1e-3f) << x;
+}
+
+TEST(SigmoidUnit, MonotonicallyIncreasing)
+{
+    CentaurConfig cfg;
+    SigmoidUnit s(cfg);
+    float prev = s.eval(-9.0f);
+    for (float x = -8.9f; x <= 9.0f; x += 0.05f) {
+        const float cur = s.eval(x);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(SigmoidUnit, MoreSegmentsMoreAccuracy)
+{
+    CentaurConfig cfg;
+    SigmoidUnit coarse(cfg, 8);
+    SigmoidUnit fine(cfg, 256);
+    double coarse_err = 0.0;
+    double fine_err = 0.0;
+    for (float x = -6.0f; x <= 6.0f; x += 0.01f) {
+        coarse_err = std::max(
+            coarse_err, std::fabs(static_cast<double>(
+                            coarse.eval(x) - referenceSigmoid(x))));
+        fine_err = std::max(
+            fine_err, std::fabs(static_cast<double>(
+                          fine.eval(x) - referenceSigmoid(x))));
+    }
+    EXPECT_LT(fine_err, coarse_err / 10.0);
+}
+
+TEST(SigmoidUnit, PipelineTiming)
+{
+    CentaurConfig cfg;
+    SigmoidUnit s(cfg);
+    // fill + N elements at one per 5 ns cycle.
+    const Tick t = s.time(128, 0);
+    EXPECT_EQ(t, (cfg.pipelineFillCycles + 128) * 5000u);
+}
+
+TEST(SigmoidUnit, SegmentAccessors)
+{
+    CentaurConfig cfg;
+    SigmoidUnit s(cfg, 64, 8.0f);
+    EXPECT_EQ(s.segments(), 64u);
+    EXPECT_FLOAT_EQ(s.range(), 8.0f);
+}
+
+TEST(SigmoidUnitDeath, RejectsBadParameters)
+{
+    CentaurConfig cfg;
+    EXPECT_DEATH(SigmoidUnit(cfg, 0), "positive");
+    EXPECT_DEATH(SigmoidUnit(cfg, 16, -1.0f), "positive");
+}
+
+} // namespace
+} // namespace centaur

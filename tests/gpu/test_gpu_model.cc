@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the discrete-GPU (CPU-GPU baseline) model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_model.hh"
+
+namespace centaur {
+namespace {
+
+TEST(GpuModel, CopyIncludesSoftwareSetup)
+{
+    GpuModel gpu;
+    const Tick t = gpu.copy(0, 0);
+    EXPECT_EQ(t, ticksFromUs(gpu.config().pcieSetupUs));
+}
+
+TEST(GpuModel, CopyScalesWithBytes)
+{
+    GpuModel gpu;
+    const Tick small = gpu.copy(64, 0);
+    const Tick large = gpu.copy(64 * kMiB, 0);
+    EXPECT_GT(large, small);
+    // 64 MiB at 12 GB/s ~ 5.6 ms.
+    EXPECT_NEAR(usFromTicks(large), 5592.0 + 12.0, 60.0);
+}
+
+TEST(GpuModel, CopyRespectsPcieBandwidth)
+{
+    GpuModel gpu;
+    const std::uint64_t bytes = 100 * kMB;
+    const Tick t = gpu.copy(bytes, 0) -
+                   ticksFromUs(gpu.config().pcieSetupUs);
+    EXPECT_LE(gbPerSec(bytes, t), gpu.config().pcieGBps * 1.01);
+}
+
+TEST(GpuModel, GemmIncludesLaunchOverhead)
+{
+    GpuModel gpu;
+    const auto g = gpu.gemm(1, 1, 1, 0);
+    EXPECT_GE(g.latency(), ticksFromUs(gpu.config().kernelLaunchUs));
+}
+
+TEST(GpuModel, GemmFlopAccounting)
+{
+    GpuModel gpu;
+    EXPECT_EQ(gpu.gemm(2, 3, 4, 0).flops, 48u);
+}
+
+TEST(GpuModel, LargeGemmApproachesPeakEfficiency)
+{
+    GpuModel gpu;
+    const auto g = gpu.gemm(4096, 4096, 4096, 0);
+    const double secs = secFromTicks(g.latency());
+    const double gflops = static_cast<double>(g.flops) / secs / 1e9;
+    EXPECT_GT(gflops, 0.5 * gpu.config().peakGflops *
+                          gpu.config().peakEfficiency);
+    EXPECT_LT(gflops, gpu.config().peakGflops);
+}
+
+TEST(GpuModel, InferenceGemmIsLaunchBound)
+{
+    // The paper's CPU-GPU result hinges on small kernels being
+    // dominated by launch + copy overheads.
+    GpuModel gpu;
+    const auto g = gpu.gemm(16, 47, 42, 0);
+    EXPECT_LT(usFromTicks(g.latency()),
+              gpu.config().kernelLaunchUs * 1.5);
+}
+
+TEST(GpuModel, ElementwiseIsCheap)
+{
+    GpuModel gpu;
+    const Tick t = gpu.elementwise(128, 0);
+    EXPECT_LT(usFromTicks(t), gpu.config().kernelLaunchUs * 1.2);
+}
+
+} // namespace
+} // namespace centaur

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the HARPv2-style aggregated CPU<->FPGA channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/aggregate_link.hh"
+
+namespace centaur {
+namespace {
+
+TEST(ChannelConfig, HarpV2MatchesThePaper)
+{
+    const auto cfg = ChannelConfig::harpV2();
+    ASSERT_EQ(cfg.links.size(), 3u);
+    // 28.8 GB/s raw uni-directional (Section IV-C).
+    EXPECT_NEAR(cfg.rawBandwidthGBps(), 28.8, 1e-9);
+    // ~17-18 GB/s effective (Section VI-B).
+    EXPECT_GT(cfg.effectiveBandwidthGBps(), 17.0);
+    EXPECT_LT(cfg.effectiveBandwidthGBps(), 18.5);
+}
+
+TEST(ChannelAggregate, SteersToIdleLink)
+{
+    ChannelAggregate ch(ChannelConfig::harpV2());
+    // Three simultaneous transfers should use three different links.
+    ch.transfer(64, 0, LinkDir::CpuToFpga);
+    ch.transfer(64, 0, LinkDir::CpuToFpga);
+    ch.transfer(64, 0, LinkDir::CpuToFpga);
+    int used = 0;
+    for (std::size_t i = 0; i < ch.linkCount(); ++i)
+        used += (ch.link(i).payloadBytes(LinkDir::CpuToFpga) > 0);
+    EXPECT_EQ(used, 3);
+}
+
+TEST(ChannelAggregate, AggregateBandwidthExceedsSingleLink)
+{
+    ChannelAggregate ch(ChannelConfig::harpV2());
+    const int n = 3000;
+    Tick last = 0;
+    for (int i = 0; i < n; ++i)
+        last = std::max(last, ch.transfer(64, 0, LinkDir::CpuToFpga)
+                                  .lastByte);
+    const double gbps =
+        gbPerSec(static_cast<std::uint64_t>(n) * 64, last);
+    EXPECT_GT(gbps, 15.0);
+    EXPECT_LE(gbps, ch.config().effectiveBandwidthGBps() * 1.05);
+}
+
+TEST(ChannelAggregate, TotalsAggregateAcrossLinks)
+{
+    ChannelAggregate ch(ChannelConfig::harpV2());
+    for (int i = 0; i < 10; ++i)
+        ch.transfer(64, 0, LinkDir::FpgaToCpu);
+    EXPECT_EQ(ch.payloadBytes(LinkDir::FpgaToCpu), 640u);
+    EXPECT_GT(ch.wireBytes(LinkDir::FpgaToCpu), 640u);
+}
+
+TEST(ChannelAggregate, EarliestFreeTracksLeastBusy)
+{
+    ChannelAggregate ch(ChannelConfig::harpV2());
+    EXPECT_EQ(ch.earliestFree(LinkDir::CpuToFpga), 0u);
+    ch.transfer(1 << 16, 0, LinkDir::CpuToFpga);
+    // Two links still idle.
+    EXPECT_EQ(ch.earliestFree(LinkDir::CpuToFpga), 0u);
+}
+
+TEST(ChannelAggregate, ResetClearsAllLinks)
+{
+    ChannelAggregate ch(ChannelConfig::harpV2());
+    ch.transfer(64, 0, LinkDir::CpuToFpga);
+    ch.reset();
+    EXPECT_EQ(ch.payloadBytes(LinkDir::CpuToFpga), 0u);
+}
+
+TEST(ChannelAggregate, CreditDefaultIsCalibrated)
+{
+    EXPECT_EQ(ChannelConfig::harpV2().maxOutstandingLines, 176u);
+}
+
+TEST(ChannelAggregateDeath, RejectsEmptyLinkSet)
+{
+    ChannelConfig cfg;
+    EXPECT_DEATH(ChannelAggregate{cfg}, "at least one link");
+}
+
+} // namespace
+} // namespace centaur

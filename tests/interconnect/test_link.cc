@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit and property tests for the chiplet link model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/link.hh"
+
+namespace centaur {
+namespace {
+
+LinkConfig
+testLink()
+{
+    return LinkConfig{"t", 10.0, 100.0, 40, 64};
+}
+
+TEST(LinkConfig, PayloadEfficiency)
+{
+    const LinkConfig cfg = testLink();
+    EXPECT_NEAR(cfg.payloadEfficiency(), 64.0 / 104.0, 1e-9);
+    EXPECT_NEAR(cfg.effectiveBandwidthGBps(), 10.0 * 64.0 / 104.0,
+                1e-9);
+}
+
+TEST(Link, ZeroByteTransferCostsOnlyLatency)
+{
+    Link link(testLink());
+    const auto t = link.transfer(0, 1000, LinkDir::CpuToFpga);
+    EXPECT_EQ(t.lastByte, 1000 + ticksFromNs(100.0));
+}
+
+TEST(Link, SinglePacketTiming)
+{
+    Link link(testLink());
+    const auto t = link.transfer(64, 0, LinkDir::CpuToFpga);
+    // 104 B at 10 GB/s = 10.4 ns serialization + 100 ns latency.
+    EXPECT_NEAR(nsFromTicks(t.lastByte), 110.4, 0.1);
+    EXPECT_EQ(t.firstByte, t.lastByte); // one packet
+}
+
+TEST(Link, MultiPacketStreamsAfterFirst)
+{
+    Link link(testLink());
+    const auto t = link.transfer(640, 0, LinkDir::CpuToFpga);
+    EXPECT_LT(t.firstByte, t.lastByte);
+    // 10 packets x 104 B at 10 GB/s = 104 ns + 100 ns latency.
+    EXPECT_NEAR(nsFromTicks(t.lastByte), 204.0, 0.5);
+}
+
+TEST(Link, BackToBackTransfersSerialize)
+{
+    Link link(testLink());
+    const auto t1 = link.transfer(64, 0, LinkDir::CpuToFpga);
+    const auto t2 = link.transfer(64, 0, LinkDir::CpuToFpga);
+    EXPECT_NEAR(nsFromTicks(t2.lastByte - t1.lastByte), 10.4, 0.1);
+}
+
+TEST(Link, DirectionsAreIndependent)
+{
+    Link link(testLink());
+    link.transfer(1 << 20, 0, LinkDir::CpuToFpga);
+    const auto t = link.transfer(64, 0, LinkDir::FpgaToCpu);
+    // The busy forward pipe must not delay the reverse direction.
+    EXPECT_NEAR(nsFromTicks(t.lastByte), 110.4, 0.1);
+}
+
+TEST(Link, SustainedPayloadBandwidthMatchesEfficiency)
+{
+    Link link(testLink());
+    const int n = 1000;
+    Tick last = 0;
+    for (int i = 0; i < n; ++i)
+        last = link.transfer(64, 0, LinkDir::CpuToFpga).lastByte;
+    const double gbps = gbPerSec(static_cast<std::uint64_t>(n) * 64,
+                                 last - ticksFromNs(100.0));
+    EXPECT_NEAR(gbps, testLink().effectiveBandwidthGBps(), 0.1);
+}
+
+TEST(Link, WireBytesIncludeHeaders)
+{
+    Link link(testLink());
+    link.transfer(64, 0, LinkDir::CpuToFpga);
+    link.transfer(128, 0, LinkDir::CpuToFpga);
+    EXPECT_EQ(link.payloadBytes(LinkDir::CpuToFpga), 192u);
+    EXPECT_EQ(link.wireBytes(LinkDir::CpuToFpga), 192u + 3 * 40u);
+}
+
+TEST(Link, ReadyTimeDefersStart)
+{
+    Link link(testLink());
+    const auto t = link.transfer(64, ticksFromNs(500.0),
+                                 LinkDir::CpuToFpga);
+    EXPECT_NEAR(nsFromTicks(t.lastByte), 610.4, 0.1);
+}
+
+TEST(Link, ResetClearsCountersAndBusy)
+{
+    Link link(testLink());
+    link.transfer(64, 0, LinkDir::CpuToFpga);
+    link.reset();
+    EXPECT_EQ(link.payloadBytes(LinkDir::CpuToFpga), 0u);
+    EXPECT_EQ(link.busyUntil(LinkDir::CpuToFpga), 0u);
+}
+
+TEST(LinkDeath, RejectsZeroBandwidth)
+{
+    LinkConfig bad = testLink();
+    bad.bandwidthGBps = 0.0;
+    EXPECT_DEATH(Link{bad}, "bandwidth");
+}
+
+TEST(LinkDeath, RejectsZeroPayload)
+{
+    LinkConfig bad = testLink();
+    bad.maxPayloadBytes = 0;
+    EXPECT_DEATH(Link{bad}, "payload");
+}
+
+} // namespace
+} // namespace centaur

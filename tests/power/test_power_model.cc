@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the Table IV power/energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+
+namespace centaur {
+namespace {
+
+TEST(PowerModel, TableFourWattages)
+{
+    PowerModel power;
+    EXPECT_DOUBLE_EQ(power.watts(DesignPoint::CpuOnly), 80.0);
+    EXPECT_DOUBLE_EQ(power.watts(DesignPoint::CpuGpu), 91.0 + 56.0);
+    EXPECT_DOUBLE_EQ(power.watts(DesignPoint::Centaur), 74.0);
+}
+
+TEST(PowerModel, CentaurDrawsLessThanCpuOnly)
+{
+    // Section VI-D: the CPU cores idle while the FPGA works.
+    PowerModel power;
+    EXPECT_LT(power.watts(DesignPoint::Centaur),
+              power.watts(DesignPoint::CpuOnly));
+}
+
+TEST(PowerModel, EnergyIsPowerTimesTime)
+{
+    PowerModel power;
+    const Tick ms = kTicksPerMs;
+    EXPECT_NEAR(power.energyJoules(DesignPoint::CpuOnly, ms), 0.080,
+                1e-9);
+}
+
+TEST(PowerModel, EfficiencyIsReciprocalEnergy)
+{
+    PowerModel power;
+    const Tick t = 10 * kTicksPerMs;
+    EXPECT_NEAR(power.efficiency(DesignPoint::Centaur, t) *
+                    power.energyJoules(DesignPoint::Centaur, t),
+                1.0, 1e-9);
+}
+
+TEST(PowerModel, ZeroLatencyHasZeroEnergy)
+{
+    PowerModel power;
+    EXPECT_DOUBLE_EQ(power.energyJoules(DesignPoint::CpuOnly, 0), 0.0);
+    EXPECT_DOUBLE_EQ(power.efficiency(DesignPoint::CpuOnly, 0), 0.0);
+}
+
+TEST(PowerModel, CustomConfig)
+{
+    PowerConfig cfg;
+    cfg.centaurWatts = 50.0;
+    PowerModel power(cfg);
+    EXPECT_DOUBLE_EQ(power.watts(DesignPoint::Centaur), 50.0);
+}
+
+TEST(PowerModel, DesignPointNames)
+{
+    EXPECT_STREQ(designPointName(DesignPoint::CpuOnly), "CPU-only");
+    EXPECT_STREQ(designPointName(DesignPoint::CpuGpu), "CPU-GPU");
+    EXPECT_STREQ(designPointName(DesignPoint::Centaur), "Centaur");
+}
+
+TEST(PowerModel, EqualLatencyCentaurWinsEfficiency)
+{
+    PowerModel power;
+    const Tick t = kTicksPerMs;
+    EXPECT_GT(power.efficiency(DesignPoint::Centaur, t),
+              power.efficiency(DesignPoint::CpuOnly, t));
+    EXPECT_GT(power.efficiency(DesignPoint::CpuOnly, t),
+              power.efficiency(DesignPoint::CpuGpu, t));
+}
+
+} // namespace
+} // namespace centaur

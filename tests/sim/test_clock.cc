@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Unit tests for the clock-domain helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+
+namespace centaur {
+namespace {
+
+TEST(ClockDomain, FpgaClockPeriod)
+{
+    ClockDomain fpga(200e6);
+    EXPECT_EQ(fpga.period(), 5000u);
+    EXPECT_DOUBLE_EQ(fpga.frequencyHz(), 200e6);
+}
+
+TEST(ClockDomain, ToTicks)
+{
+    ClockDomain fpga(200e6);
+    EXPECT_EQ(fpga.toTicks(100), 500000u);
+}
+
+TEST(ClockDomain, ToCyclesRoundsUp)
+{
+    ClockDomain fpga(200e6);
+    EXPECT_EQ(fpga.toCycles(5000), 1u);
+    EXPECT_EQ(fpga.toCycles(5001), 2u);
+    EXPECT_EQ(fpga.toCycles(9999), 2u);
+}
+
+TEST(ClockDomain, NextEdgeAligns)
+{
+    ClockDomain fpga(200e6);
+    EXPECT_EQ(fpga.nextEdge(0), 0u);
+    EXPECT_EQ(fpga.nextEdge(1), 5000u);
+    EXPECT_EQ(fpga.nextEdge(5000), 5000u);
+    EXPECT_EQ(fpga.nextEdge(5001), 10000u);
+}
+
+TEST(ClockDomain, CpuAndDramClocks)
+{
+    ClockDomain cpu(2.4e9);
+    ClockDomain ddr(1.2e9);
+    EXPECT_EQ(cpu.period(), 417u);
+    EXPECT_EQ(ddr.period(), 833u);
+}
+
+TEST(ClockDomainDeath, RejectsNonPositiveFrequency)
+{
+    EXPECT_DEATH(ClockDomain(0.0), "positive");
+    EXPECT_DEATH(ClockDomain(-5.0), "positive");
+}
+
+} // namespace
+} // namespace centaur

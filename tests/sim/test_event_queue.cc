@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, same-tick FIFO
+ * stability, runUntil semantics and clock advancement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace centaur {
+namespace {
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTickOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickEventsRunInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(100, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleNewEvents)
+{
+    EventQueue q;
+    std::vector<Tick> seen;
+    q.schedule(5, [&] {
+        seen.push_back(q.now());
+        q.scheduleIn(10, [&] { seen.push_back(q.now()); });
+    });
+    q.run();
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], 5u);
+    EXPECT_EQ(seen[1], 15u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule(10, [&] { ++ran; });
+    q.schedule(20, [&] { ++ran; });
+    q.schedule(30, [&] { ++ran; });
+    q.runUntil(20);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(ran, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesIdleClock)
+{
+    EventQueue q;
+    q.runUntil(500);
+    EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule(1, [&] { ++ran; });
+    q.schedule(2, [&] { ++ran; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(ran, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ClearDropsPendingWork)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule(10, [&] { ++ran; });
+    q.clear();
+    q.run();
+    EXPECT_EQ(ran, 0);
+}
+
+TEST(EventQueue, AdvanceToMovesClockForward)
+{
+    EventQueue q;
+    q.advanceTo(1234);
+    EXPECT_EQ(q.now(), 1234u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.advanceTo(100);
+    EXPECT_DEATH(q.schedule(50, [] {}), "past");
+}
+
+} // namespace
+} // namespace centaur

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit and property tests for the RNG and Zipf sampler used in
+ * workload synthesis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace centaur {
+namespace {
+
+TEST(Rng, IsDeterministicPerSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), r.next());
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBelow(37), 37u);
+}
+
+TEST(Rng, NextBelowCoversRangeRoughlyUniformly)
+{
+    Rng r(7);
+    std::vector<int> counts(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.nextBelow(8)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleRangeRespected)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.nextDouble(-2.0, 3.0);
+        EXPECT_GE(d, -2.0);
+        EXPECT_LT(d, 3.0);
+    }
+}
+
+TEST(Rng, GaussianMomentsAreSane)
+{
+    Rng r(11);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = r.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(ZipfSampler, StaysInRange)
+{
+    ZipfSampler z(1000, 0.9);
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z.sample(r), 1000u);
+}
+
+TEST(ZipfSampler, RankZeroIsMostPopular)
+{
+    ZipfSampler z(1000, 1.0);
+    Rng r(3);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        ++counts[z.sample(r)];
+    int max_count = 0;
+    std::uint64_t max_rank = 0;
+    for (auto [rank, c] : counts) {
+        if (c > max_count) {
+            max_count = c;
+            max_rank = rank;
+        }
+    }
+    EXPECT_EQ(max_rank, 0u);
+}
+
+TEST(ZipfSampler, SkewRatioMatchesTheory)
+{
+    // P(0)/P(1) should approach 2^s for a Zipf(s) distribution.
+    ZipfSampler z(4096, 1.0);
+    Rng r(5);
+    int c0 = 0;
+    int c1 = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const auto v = z.sample(r);
+        c0 += (v == 0);
+        c1 += (v == 1);
+    }
+    EXPECT_NEAR(static_cast<double>(c0) / c1, 2.0, 0.25);
+}
+
+TEST(ZipfSampler, LargePopulationPathWorks)
+{
+    // Above the CDF-table limit, the analytical inversion kicks in.
+    ZipfSampler z(10000000, 0.9);
+    Rng r(5);
+    std::uint64_t max_seen = 0;
+    int low = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = z.sample(r);
+        EXPECT_LT(v, 10000000u);
+        max_seen = std::max(max_seen, v);
+        low += (v < 100);
+    }
+    // Heavy head plus a long tail.
+    EXPECT_GT(low, 2000);
+    EXPECT_GT(max_seen, 100000u);
+}
+
+class ZipfSkewTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkewTest, HigherSkewConcentratesMass)
+{
+    const double s = GetParam();
+    ZipfSampler z(8192, s);
+    Rng r(17);
+    int head = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        head += (z.sample(r) < 82); // top 1%
+    if (s == 0.0) {
+        EXPECT_NEAR(head, n / 100, n / 100);
+    } else {
+        // With skew, the top 1% draws far more than 1% of samples.
+        EXPECT_GT(head, n / 50);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewTest,
+                         ::testing::Values(0.0, 0.6, 0.9, 1.2));
+
+TEST(ZipfSamplerDeath, RejectsEmptyPopulation)
+{
+    EXPECT_DEATH(ZipfSampler(0, 0.9), "population");
+}
+
+TEST(ZipfSamplerDeath, RejectsNegativeSkew)
+{
+    EXPECT_DEATH(ZipfSampler(10, -1.0), "skew");
+}
+
+} // namespace
+} // namespace centaur

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace centaur {
+namespace {
+
+TEST(StatScalar, AccumulatesAndResets)
+{
+    StatScalar s;
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s += 2.5;
+    ++s;
+    s++;
+    EXPECT_DOUBLE_EQ(s.value(), 4.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(StatScalar, SetOverwrites)
+{
+    StatScalar s;
+    s += 10.0;
+    s.set(3.0);
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+}
+
+TEST(StatAverage, TracksMeanMinMax)
+{
+    StatAverage a;
+    a.sample(1.0);
+    a.sample(3.0);
+    a.sample(2.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+}
+
+TEST(StatAverage, EmptyIsZero)
+{
+    StatAverage a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(StatAverage, ResetClears)
+{
+    StatAverage a;
+    a.sample(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(StatHistogram, BucketsSamples)
+{
+    StatHistogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(static_cast<double>(i) + 0.5);
+    EXPECT_EQ(h.count(), 10u);
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.buckets()[b], 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(StatHistogram, UnderflowOverflow)
+{
+    StatHistogram h(0.0, 1.0, 4);
+    h.sample(-5.0);
+    h.sample(99.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(StatHistogram, QuantileMedian)
+{
+    StatHistogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.01);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.01);
+}
+
+TEST(StatHistogram, ResetClearsEverything)
+{
+    StatHistogram h(0.0, 10.0, 10);
+    h.sample(5.0);
+    h.sample(-1.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(StatHistogramDeath, RejectsInvalidBounds)
+{
+    EXPECT_DEATH(StatHistogram(5.0, 5.0, 10), "invalid");
+    EXPECT_DEATH(StatHistogram(0.0, 1.0, 0), "invalid");
+}
+
+TEST(StatGroup, ScalarsAreNamedAndPersistent)
+{
+    StatGroup g("mem");
+    g.scalar("reads") += 3;
+    g.scalar("reads") += 2;
+    EXPECT_DOUBLE_EQ(g.scalarValue("reads"), 5.0);
+    EXPECT_DOUBLE_EQ(g.scalarValue("absent"), 0.0);
+}
+
+TEST(StatGroup, AveragesAreNamed)
+{
+    StatGroup g("mem");
+    g.average("latency").sample(10.0);
+    g.average("latency").sample(20.0);
+    ASSERT_NE(g.findAverage("latency"), nullptr);
+    EXPECT_DOUBLE_EQ(g.findAverage("latency")->mean(), 15.0);
+    EXPECT_EQ(g.findAverage("absent"), nullptr);
+}
+
+TEST(StatGroup, ResetAllResetsEverything)
+{
+    StatGroup g("x");
+    g.scalar("a") += 1;
+    g.average("b").sample(2.0);
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(g.scalarValue("a"), 0.0);
+    EXPECT_EQ(g.findAverage("b")->count(), 0u);
+}
+
+TEST(StatGroup, DumpEmitsGroupPrefixedLines)
+{
+    StatGroup g("dram");
+    g.scalar("reads") += 7;
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_NE(oss.str().find("dram.reads 7"), std::string::npos);
+}
+
+} // namespace
+} // namespace centaur

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the console table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/table.hh"
+
+namespace centaur {
+namespace {
+
+TEST(TextTable, PrintsTitleHeaderAndRows)
+{
+    TextTable t("Demo");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("== Demo =="), std::string::npos);
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t("x");
+    t.setHeader({"col", "v"});
+    t.addRow({"longvalue", "1"});
+    std::ostringstream oss;
+    t.print(oss);
+    // Header column padded at least as wide as the longest cell.
+    EXPECT_NE(oss.str().find("col        v"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t("x");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, FmtRoundsToPrecision)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(1.23556, 2), "1.24");
+    EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(TextTable, CountsRows)
+{
+    TextTable t("x");
+    t.setHeader({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ToleratesRaggedRows)
+{
+    TextTable t("x");
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_NE(oss.str().find("1"), std::string::npos);
+}
+
+} // namespace
+} // namespace centaur

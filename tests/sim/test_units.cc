@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for tick/byte/frequency/bandwidth conversion helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/units.hh"
+
+namespace centaur {
+namespace {
+
+TEST(Units, TickConstantsAreConsistent)
+{
+    EXPECT_EQ(kTicksPerNs, 1000u);
+    EXPECT_EQ(kTicksPerUs, 1000u * kTicksPerNs);
+    EXPECT_EQ(kTicksPerMs, 1000u * kTicksPerUs);
+    EXPECT_EQ(kTicksPerSec, 1000u * kTicksPerMs);
+}
+
+TEST(Units, ByteConstants)
+{
+    EXPECT_EQ(kKiB, 1024u);
+    EXPECT_EQ(kMiB, 1024u * 1024u);
+    EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+    EXPECT_EQ(kMB, 1000000u);
+    EXPECT_EQ(kGB, 1000000000u);
+}
+
+TEST(Units, PeriodFromHzCpuClock)
+{
+    // 2.4 GHz -> 416.67 ps, rounded to 417.
+    EXPECT_EQ(periodFromHz(2.4e9), 417u);
+}
+
+TEST(Units, PeriodFromHzFpgaClock)
+{
+    // 200 MHz -> exactly 5 ns.
+    EXPECT_EQ(periodFromHz(200e6), 5000u);
+}
+
+TEST(Units, TicksFromNsRoundTrips)
+{
+    EXPECT_EQ(ticksFromNs(1.0), 1000u);
+    EXPECT_DOUBLE_EQ(nsFromTicks(ticksFromNs(123.0)), 123.0);
+}
+
+TEST(Units, TicksFromUs)
+{
+    EXPECT_EQ(ticksFromUs(2.5), 2500000u);
+    EXPECT_DOUBLE_EQ(usFromTicks(kTicksPerUs), 1.0);
+}
+
+TEST(Units, SecondConversions)
+{
+    EXPECT_DOUBLE_EQ(secFromTicks(kTicksPerSec), 1.0);
+    EXPECT_DOUBLE_EQ(msFromTicks(kTicksPerMs), 1.0);
+}
+
+TEST(Units, GbPerSecBasic)
+{
+    // 1 GB in 1 second = 1 GB/s.
+    EXPECT_DOUBLE_EQ(gbPerSec(1000000000ULL, kTicksPerSec), 1.0);
+}
+
+TEST(Units, GbPerSecZeroIntervalIsZero)
+{
+    EXPECT_DOUBLE_EQ(gbPerSec(12345, 0), 0.0);
+}
+
+TEST(Units, SerializationNeverExceedsBandwidth)
+{
+    // Serializing N bytes then dividing back must never yield more
+    // than the configured bandwidth (rounding is conservative).
+    for (std::uint64_t bytes : {1ULL, 64ULL, 104ULL, 4096ULL,
+                                1000000ULL}) {
+        for (double bw : {1.0, 8.0, 12.8, 28.8, 100.0}) {
+            const Tick t = serializationTicks(bytes, bw);
+            EXPECT_LE(gbPerSec(bytes, t), bw * 1.000001)
+                << bytes << " B at " << bw << " GB/s";
+        }
+    }
+}
+
+TEST(Units, SerializationTicksScalesLinearly)
+{
+    const Tick one = serializationTicks(1000000, 10.0);
+    const Tick two = serializationTicks(2000000, 10.0);
+    EXPECT_NEAR(static_cast<double>(two),
+                2.0 * static_cast<double>(one), 2.0);
+}
+
+TEST(Units, SerializationSixtyFourBytesAtLinkRate)
+{
+    // 64 B at 12.8 GB/s = 5 ns.
+    EXPECT_EQ(serializationTicks(64, 12.8), 5000u);
+}
+
+} // namespace
+} // namespace centaur
