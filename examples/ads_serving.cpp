@@ -2,17 +2,21 @@
  * @file
  * Ads-serving scenario: a user-facing CTR (click-through-rate)
  * service with a firm latency SLA - the deployment the paper's
- * introduction motivates. Sweeps the serving batch size on a
- * many-table model (DLRM(4)-class) and reports, per design point,
+ * introduction motivates. Part one sweeps the serving batch size on
+ * a many-table model (DLRM(4)-class) and reports, per design point,
  * which operating points meet the SLA and at what throughput and
- * energy cost.
+ * energy cost. Part two provisions an actual fleet with the serving
+ * engine: Poisson traffic into an admission queue, batch coalescing,
+ * and a queue-depth overload guard.
  */
 
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
+#include "core/analysis.hh"
 #include "core/experiment.hh"
+#include "core/server.hh"
 #include "core/system.hh"
 #include "sim/table.hh"
 
@@ -63,6 +67,50 @@ main()
     std::printf("takeaway: Centaur extends the SLA-feasible batch "
                 "range and cuts energy per served sample, the\n"
                 "paper's motivation for in-package acceleration of "
-                "user-facing recommendation.\n");
+                "user-facing recommendation.\n\n");
+
+    // ----- provisioning the service with the serving engine -----
+    // Fixed Poisson traffic; sweep the fleet size and the coalescing
+    // limit and report what an operator sees: tail latency, SLA hit
+    // rate, drops under the queue-depth guard, and the regime the
+    // analyzer assigns.
+    constexpr double kOfferedRps = 3000.0;
+    TextTable fleet("fleet provisioning on Centaur at " +
+                    TextTable::fmt(kOfferedRps, 0) +
+                    " rps (8 samples/request)");
+    fleet.setHeader({"workers", "coalesce", "tput (rps)", "p99 (ms)",
+                     "SLA hit", "dropped", "util", "regime"});
+
+    for (std::uint32_t nworkers : {1u, 2u, 4u}) {
+        for (std::uint32_t limit : {1u, 8u}) {
+            ServingConfig cfg;
+            cfg.arrivalRatePerSec = kOfferedRps;
+            cfg.batchPerRequest = 8;
+            cfg.requests = 300;
+            cfg.seed = 42;
+            cfg.workers = nworkers;
+            cfg.maxCoalescedBatch = limit;
+            cfg.maxQueueDepth = 64; // shed rather than queue forever
+            cfg.slaTargetUs = kSlaMs * 1000.0;
+            const ServingStats s =
+                runServingSim(DesignPoint::Centaur, model, cfg);
+            const ServingVerdict verdict = analyzeServing(s, cfg);
+            fleet.addRow(
+                {std::to_string(nworkers), std::to_string(limit),
+                 TextTable::fmt(s.throughputRps, 0),
+                 TextTable::fmt(s.p99Us / 1000.0, 2),
+                 TextTable::fmt(s.slaHitRate * 100, 1) + "%",
+                 std::to_string(s.droppedQueueFull +
+                                s.droppedTimeout),
+                 TextTable::fmt(s.utilization, 2),
+                 servingRegimeName(verdict.regime)});
+        }
+    }
+    fleet.print(std::cout);
+
+    std::printf("takeaway: 8-sample requests already amortize this "
+                "model's MLP cost, so the SLA dollar buys\n"
+                "workers, not deeper batching - the analyzer's "
+                "regime column makes that call quantitative.\n");
     return 0;
 }

@@ -139,4 +139,67 @@ analyzeCpuOnly(const InferenceResult &res, const DlrmConfig &model,
     return out;
 }
 
+const char *
+servingRegimeName(ServingRegime r)
+{
+    switch (r) {
+      case ServingRegime::Underutilized:
+        return "underutilized";
+      case ServingRegime::Balanced:
+        return "balanced";
+      case ServingRegime::QueueBound:
+        return "queue-bound";
+      case ServingRegime::Overloaded:
+        return "overloaded";
+    }
+    return "?";
+}
+
+ServingVerdict
+analyzeServing(const ServingStats &stats, const ServingConfig &cfg)
+{
+    ServingVerdict v;
+    v.utilization = stats.utilization;
+
+    if (stats.dropRate() > 0.05 || stats.utilization > 0.95) {
+        v.regime = ServingRegime::Overloaded;
+        v.limiter = Bottleneck::Compute;
+        v.note = "offered load exceeds aggregate capacity; add "
+                 "workers, raise the coalescing limit, or shed load";
+        return v;
+    }
+
+    // A batching window can manufacture queueing on an otherwise
+    // idle fleet: the engine holds requests waiting for companions.
+    if (cfg.coalesceWindowUs > 0.0 && stats.utilization < 0.5 &&
+        stats.meanQueueUs >= 0.5 * cfg.coalesceWindowUs) {
+        v.regime = ServingRegime::QueueBound;
+        v.limiter = Bottleneck::Dispatch;
+        v.note = "queueing is self-inflicted by the batching window; "
+                 "shrink coalesceWindowUs at this arrival rate";
+        return v;
+    }
+
+    if (stats.meanQueueUs > stats.meanServiceUs) {
+        v.regime = ServingRegime::QueueBound;
+        v.limiter = Bottleneck::Compute;
+        v.note = "arrival bursts outrun short-term capacity; "
+                 "coalescing amortizes per-dispatch cost";
+        return v;
+    }
+
+    if (stats.utilization < 0.3) {
+        v.regime = ServingRegime::Underutilized;
+        v.limiter = Bottleneck::Dispatch;
+        v.note = "capacity is mostly idle; latency is service time "
+                 "and fewer workers would serve the same SLA";
+        return v;
+    }
+
+    v.regime = ServingRegime::Balanced;
+    v.limiter = Bottleneck::Compute;
+    v.note = "healthy utilization with bounded queueing";
+    return v;
+}
+
 } // namespace centaur

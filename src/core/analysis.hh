@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/result.hh"
+#include "core/server.hh"
 #include "cpu/cpu_config.hh"
 #include "dlrm/model_config.hh"
 #include "fpga/centaur_config.hh"
@@ -63,6 +64,36 @@ std::vector<PhaseVerdict>
 analyzeCpuOnly(const InferenceResult &res, const DlrmConfig &model,
                const CpuConfig &cpu = CpuConfig{},
                const DramConfig &dram = DramConfig{});
+
+/** Operating regime of a serving-engine run. */
+enum class ServingRegime : std::uint8_t
+{
+    Underutilized, //!< capacity mostly idle; latency is service time
+    Balanced,      //!< healthy utilization with bounded queueing
+    QueueBound,    //!< bursts outrun short-term capacity
+    Overloaded,    //!< offered load exceeds aggregate capacity
+};
+
+/** Display name for a serving regime. */
+const char *servingRegimeName(ServingRegime r);
+
+/** Analyzer verdict for one serving run. */
+struct ServingVerdict
+{
+    ServingRegime regime = ServingRegime::Balanced;
+    Bottleneck limiter = Bottleneck::Compute;
+    /** Aggregate worker utilization of the run. */
+    double utilization = 0.0;
+    std::string note;
+};
+
+/**
+ * Classify what limits a serving run: aggregate capacity (add
+ * workers), burst absorption (raise the coalescing limit), or a
+ * self-inflicted batching window (dispatch overhead).
+ */
+ServingVerdict analyzeServing(const ServingStats &stats,
+                              const ServingConfig &cfg);
 
 } // namespace centaur
 

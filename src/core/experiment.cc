@@ -55,4 +55,59 @@ findEntry(const std::vector<SweepEntry> &entries, int preset,
           " not found");
 }
 
+std::uint64_t
+servingSweepSeed(int preset, std::uint32_t workers,
+                 std::uint32_t coalesce, double rate)
+{
+    return 0x5E41E5ULL * 1000003ULL +
+           static_cast<std::uint64_t>(preset) * 1048576ULL +
+           static_cast<std::uint64_t>(workers) * 65536ULL +
+           static_cast<std::uint64_t>(coalesce) * 1024ULL +
+           static_cast<std::uint64_t>(rate);
+}
+
+std::vector<ServingSweepEntry>
+runServingSweep(DesignPoint dp, int preset,
+                const std::vector<std::uint32_t> &workers,
+                const std::vector<std::uint32_t> &coalesce,
+                const std::vector<double> &rates,
+                const ServingConfig &base)
+{
+    const DlrmConfig model = dlrmPreset(preset);
+    std::vector<ServingSweepEntry> out;
+    for (std::uint32_t w : workers) {
+        for (std::uint32_t c : coalesce) {
+            for (double rate : rates) {
+                ServingConfig cfg = base;
+                cfg.workers = w;
+                cfg.maxCoalescedBatch = c;
+                cfg.arrivalRatePerSec = rate;
+                cfg.seed = servingSweepSeed(preset, w, c, rate);
+                ServingSweepEntry entry;
+                entry.modelName = model.name;
+                entry.preset = preset;
+                entry.workers = w;
+                entry.maxCoalescedBatch = c;
+                entry.arrivalRatePerSec = rate;
+                entry.stats = runServingSim(dp, model, cfg);
+                out.push_back(std::move(entry));
+            }
+        }
+    }
+    return out;
+}
+
+const ServingSweepEntry &
+findServingEntry(const std::vector<ServingSweepEntry> &entries,
+                 std::uint32_t workers, std::uint32_t coalesce,
+                 double rate)
+{
+    for (const auto &e : entries)
+        if (e.workers == workers && e.maxCoalescedBatch == coalesce &&
+            e.arrivalRatePerSec == rate)
+            return e;
+    fatal("serving sweep entry for ", workers, " workers, coalesce ",
+          coalesce, ", rate ", rate, " not found");
+}
+
 } // namespace centaur

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/result.hh"
+#include "core/server.hh"
 #include "core/system.hh"
 #include "dlrm/model_config.hh"
 #include "dlrm/workload.hh"
@@ -48,6 +49,40 @@ const SweepEntry &findEntry(const std::vector<SweepEntry> &entries,
 
 /** Deterministic per-point workload seed. */
 std::uint64_t sweepSeed(int preset, std::uint32_t batch);
+
+/** One (workers, coalesce window, arrival rate) serving measurement. */
+struct ServingSweepEntry
+{
+    std::string modelName;
+    int preset = 0;
+    std::uint32_t workers = 0;
+    std::uint32_t maxCoalescedBatch = 0;
+    double arrivalRatePerSec = 0.0;
+    ServingStats stats;
+};
+
+/**
+ * Run the serving engine on @p dp across the cross product of worker
+ * counts, coalescing limits and arrival rates. @p base supplies the
+ * remaining ServingConfig knobs (request count, per-request batch,
+ * window, drop policy, SLA); each point gets a deterministic seed.
+ */
+std::vector<ServingSweepEntry>
+runServingSweep(DesignPoint dp, int preset,
+                const std::vector<std::uint32_t> &workers,
+                const std::vector<std::uint32_t> &coalesce,
+                const std::vector<double> &rates,
+                const ServingConfig &base = ServingConfig{});
+
+/** Locate a serving-sweep entry; fatal if absent. */
+const ServingSweepEntry &
+findServingEntry(const std::vector<ServingSweepEntry> &entries,
+                 std::uint32_t workers, std::uint32_t coalesce,
+                 double rate);
+
+/** Deterministic per-serving-point workload seed. */
+std::uint64_t servingSweepSeed(int preset, std::uint32_t workers,
+                               std::uint32_t coalesce, double rate);
 
 } // namespace centaur
 

@@ -2,11 +2,286 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 
 #include "sim/log.hh"
 #include "sim/random.hh"
 
 namespace centaur {
+
+namespace {
+
+/** One admitted request waiting for a worker. */
+struct PendingRequest
+{
+    std::uint32_t id = 0;
+    double arrivalUs = 0.0;
+};
+
+/** Concatenate per-request payloads into one dispatched batch. */
+InferenceBatch
+coalesceRequests(const std::vector<InferenceBatch> &payloads,
+                 const std::vector<std::uint32_t> &ids)
+{
+    const InferenceBatch &first = payloads[ids.front()];
+    InferenceBatch merged;
+    merged.batch = 0;
+    merged.lookupsPerTable = first.lookupsPerTable;
+    merged.indices.resize(first.indices.size());
+    for (std::uint32_t id : ids) {
+        const InferenceBatch &req = payloads[id];
+        merged.batch += req.batch;
+        for (std::size_t t = 0; t < req.indices.size(); ++t)
+            merged.indices[t].insert(merged.indices[t].end(),
+                                     req.indices[t].begin(),
+                                     req.indices[t].end());
+        merged.dense.insert(merged.dense.end(), req.dense.begin(),
+                            req.dense.end());
+    }
+    return merged;
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(std::vector<System *> workers,
+                             const ServingConfig &cfg)
+    : _workers(std::move(workers)), _cfg(cfg)
+{
+    if (cfg.arrivalRatePerSec <= 0.0)
+        fatal("server needs a positive arrival rate");
+    if (cfg.requests == 0)
+        fatal("server needs at least one request");
+    if (_workers.empty())
+        fatal("serving engine needs at least one worker");
+    if (cfg.maxCoalescedBatch == 0)
+        fatal("serving engine needs a positive coalesced batch");
+    if (cfg.maxQueueDepth > 0 &&
+        cfg.maxQueueDepth < cfg.maxCoalescedBatch)
+        fatal("maxQueueDepth (", cfg.maxQueueDepth,
+              ") must cover maxCoalescedBatch (",
+              cfg.maxCoalescedBatch,
+              ") or the admission cap starves forming batches");
+    for (System *w : _workers)
+        if (w == nullptr)
+            panic("serving engine got a null worker");
+}
+
+ServingStats
+ServingEngine::run()
+{
+    const std::uint32_t num_requests = _cfg.requests;
+
+    // Arrival process and per-request payloads, generated up front in
+    // request-id order so results are independent of how the workers
+    // later interleave.
+    Rng arrivals_rng(_cfg.seed * 7919 + 13);
+    WorkloadConfig wl;
+    wl.batch = _cfg.batchPerRequest;
+    wl.seed = _cfg.seed;
+    wl.dist = _cfg.dist;
+    WorkloadGenerator gen(_workers.front()->config(), wl);
+
+    const double mean_gap_us = 1e6 / _cfg.arrivalRatePerSec;
+    std::vector<double> arrival_us(num_requests);
+    std::vector<InferenceBatch> payloads(num_requests);
+    double clock_us = 0.0;
+    for (std::uint32_t r = 0; r < num_requests; ++r) {
+        const double u = std::max(arrivals_rng.nextDouble(), 1e-12);
+        clock_us += -std::log(u) * mean_gap_us;
+        arrival_us[r] = clock_us;
+        payloads[r] = gen.next();
+    }
+
+    StatHistogram latency(0.0, 100000.0, 2000); // us, 50 us buckets
+    StatAverage service;
+    StatAverage queueing;
+
+    std::vector<double> worker_free(_workers.size(), 0.0);
+    std::vector<WorkerStats> worker_stats(_workers.size());
+
+    std::deque<PendingRequest> queue;
+    std::uint32_t next_arrival = 0;
+    std::uint64_t dropped_full = 0;
+    std::uint64_t dropped_timeout = 0;
+    std::uint64_t served = 0;
+    std::uint64_t dispatches = 0;
+    std::uint64_t sla_hits = 0;
+    double energy = 0.0;
+    double last_completion = 0.0;
+
+    // Admit every arrival with timestamp <= t, dropping on overflow.
+    const auto admitUpTo = [&](double t) {
+        while (next_arrival < num_requests &&
+               arrival_us[next_arrival] <= t) {
+            if (_cfg.maxQueueDepth > 0 &&
+                queue.size() >= _cfg.maxQueueDepth) {
+                ++dropped_full;
+            } else {
+                queue.push_back(
+                    {next_arrival, arrival_us[next_arrival]});
+            }
+            ++next_arrival;
+        }
+    };
+
+    while (true) {
+        // The earliest-free worker claims the next dispatch.
+        const std::size_t w = static_cast<std::size_t>(
+            std::min_element(worker_free.begin(), worker_free.end()) -
+            worker_free.begin());
+        double t = worker_free[w];
+        admitUpTo(t);
+        if (queue.empty()) {
+            if (next_arrival >= num_requests)
+                break; // drained
+            t = arrival_us[next_arrival];
+            admitUpTo(t);
+        }
+
+        double dispatch_us = std::max(t, queue.front().arrivalUs);
+
+        // Dynamic batching window: an underfull batch waits for more
+        // arrivals, dispatching as soon as it fills or the window
+        // timer expires - whichever comes first.
+        if (_cfg.coalesceWindowUs > 0.0 &&
+            queue.size() < _cfg.maxCoalescedBatch) {
+            const double deadline =
+                dispatch_us + _cfg.coalesceWindowUs;
+            while (queue.size() < _cfg.maxCoalescedBatch &&
+                   next_arrival < num_requests &&
+                   arrival_us[next_arrival] <= deadline) {
+                const double ta = arrival_us[next_arrival];
+                const std::size_t before = queue.size();
+                admitUpTo(ta);
+                if (queue.size() > before)
+                    dispatch_us = ta;
+            }
+            if (queue.size() < _cfg.maxCoalescedBatch)
+                dispatch_us = deadline; // timer fired underfull
+        }
+
+        // Pop the batch in arrival order, shedding requests whose
+        // queueing time exceeded the timeout.
+        std::vector<std::uint32_t> batch_ids;
+        std::vector<double> batch_arrivals;
+        while (!queue.empty() &&
+               batch_ids.size() < _cfg.maxCoalescedBatch) {
+            const PendingRequest req = queue.front();
+            queue.pop_front();
+            if (_cfg.queueTimeoutUs > 0.0 &&
+                dispatch_us - req.arrivalUs > _cfg.queueTimeoutUs) {
+                ++dropped_timeout;
+                continue;
+            }
+            batch_ids.push_back(req.id);
+            batch_arrivals.push_back(req.arrivalUs);
+        }
+        if (batch_ids.empty()) {
+            // Everything popped had timed out; the worker idles at
+            // the dispatch point and retries.
+            worker_free[w] = std::max(worker_free[w], dispatch_us);
+            continue;
+        }
+
+        const InferenceBatch merged =
+            coalesceRequests(payloads, batch_ids);
+        const InferenceResult res = _workers[w]->infer(merged);
+        const double service_us = usFromTicks(res.latency());
+        const double done_us = dispatch_us + service_us;
+
+        worker_free[w] = done_us;
+        worker_stats[w].busyUs += service_us;
+        worker_stats[w].served += batch_ids.size();
+        ++worker_stats[w].dispatches;
+        worker_stats[w].energyJoules += res.energyJoules;
+        energy += res.energyJoules;
+        last_completion = std::max(last_completion, done_us);
+        served += batch_ids.size();
+        ++dispatches;
+
+        for (double arrival : batch_arrivals) {
+            const double total = done_us - arrival;
+            latency.sample(total);
+            service.sample(service_us);
+            queueing.sample(dispatch_us - arrival);
+            if (_cfg.slaTargetUs > 0.0 && total <= _cfg.slaTargetUs)
+                ++sla_hits;
+        }
+    }
+
+    ServingStats out;
+    out.offered = num_requests;
+    out.served = served;
+    out.droppedQueueFull = dropped_full;
+    out.droppedTimeout = dropped_timeout;
+    out.meanServiceUs = service.mean();
+    out.meanQueueUs = queueing.mean();
+    // StatHistogram keeps an exact running average alongside the
+    // buckets, so this mean is not bucket-quantized.
+    out.meanLatencyUs = latency.mean();
+    out.p50Us = latency.quantile(0.50);
+    out.p95Us = latency.quantile(0.95);
+    out.p99Us = latency.quantile(0.99);
+    out.maxLatencyUs = latency.max();
+    out.latencyOverflow = latency.overflow();
+    out.offeredRps = _cfg.arrivalRatePerSec;
+    out.throughputRps =
+        last_completion > 0.0
+            ? static_cast<double>(served) * 1e6 / last_completion
+            : 0.0;
+    out.energyJoules = energy;
+    out.dispatches = dispatches;
+    out.meanCoalescedRequests =
+        dispatches ? static_cast<double>(served) /
+                         static_cast<double>(dispatches)
+                   : 0.0;
+
+    double busy_total = 0.0;
+    for (std::size_t i = 0; i < worker_stats.size(); ++i) {
+        worker_stats[i].utilization =
+            last_completion > 0.0
+                ? worker_stats[i].busyUs / last_completion
+                : 0.0;
+        busy_total += worker_stats[i].busyUs;
+    }
+    out.utilization =
+        last_completion > 0.0
+            ? busy_total / (last_completion *
+                            static_cast<double>(worker_stats.size()))
+            : 0.0;
+    out.perWorker = std::move(worker_stats);
+
+    out.slaTarget = _cfg.slaTargetUs;
+    out.slaHitRate = _cfg.slaTargetUs > 0.0
+                         ? static_cast<double>(sla_hits) /
+                               static_cast<double>(num_requests)
+                         : 0.0;
+    return out;
+}
+
+std::vector<std::unique_ptr<System>>
+makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n)
+{
+    if (n == 0)
+        fatal("serving engine needs at least one worker");
+    std::vector<std::unique_ptr<System>> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        out.push_back(makeSystem(dp, model));
+    return out;
+}
+
+ServingStats
+runServingSim(DesignPoint dp, const DlrmConfig &model,
+              const ServingConfig &cfg)
+{
+    auto owned = makeWorkers(dp, model, cfg.workers);
+    std::vector<System *> workers;
+    workers.reserve(owned.size());
+    for (auto &w : owned)
+        workers.push_back(w.get());
+    return ServingEngine(std::move(workers), cfg).run();
+}
 
 InferenceServer::InferenceServer(System &sys, const ServerConfig &cfg,
                                  double sla_target_us)
@@ -21,72 +296,35 @@ InferenceServer::InferenceServer(System &sys, const ServerConfig &cfg,
 ServerStats
 InferenceServer::run()
 {
-    Rng arrivals(_cfg.seed * 7919 + 13);
-    WorkloadConfig wl;
-    wl.batch = _cfg.batchPerRequest;
-    wl.seed = _cfg.seed;
-    wl.dist = _cfg.dist;
-    WorkloadGenerator gen(_sys.config(), wl);
+    ServingConfig cfg;
+    cfg.arrivalRatePerSec = _cfg.arrivalRatePerSec;
+    cfg.batchPerRequest = _cfg.batchPerRequest;
+    cfg.requests = _cfg.requests;
+    cfg.seed = _cfg.seed;
+    cfg.dist = _cfg.dist;
+    cfg.workers = 1;
+    cfg.maxCoalescedBatch = 1;
+    cfg.slaTargetUs = _slaTargetUs;
 
-    StatHistogram latency(0.0, 100000.0, 2000); // us, 50 us buckets
-    StatAverage service;
-    StatAverage queueing;
-
-    double clock_us = 0.0;     // arrival process clock
-    double server_free = 0.0;  // server availability
-    double busy_us = 0.0;
-    double energy = 0.0;
-    std::uint64_t sla_hits = 0;
-
-    const double mean_gap_us = 1e6 / _cfg.arrivalRatePerSec;
-    double last_completion = 0.0;
-
-    for (std::uint32_t r = 0; r < _cfg.requests; ++r) {
-        // Exponential inter-arrival gap.
-        const double u = std::max(arrivals.nextDouble(), 1e-12);
-        clock_us += -std::log(u) * mean_gap_us;
-
-        const InferenceBatch batch = gen.next();
-        const InferenceResult res = _sys.infer(batch);
-        const double service_us = usFromTicks(res.latency());
-
-        const double start = std::max(clock_us, server_free);
-        const double done = start + service_us;
-        server_free = done;
-        busy_us += service_us;
-        energy += res.energyJoules;
-        last_completion = std::max(last_completion, done);
-
-        const double total = done - clock_us;
-        latency.sample(total);
-        service.sample(service_us);
-        queueing.sample(start - clock_us);
-        if (_slaTargetUs > 0.0 && total <= _slaTargetUs)
-            ++sla_hits;
-    }
+    const ServingStats s =
+        ServingEngine({&_sys}, cfg).run();
 
     ServerStats out;
-    out.served = _cfg.requests;
-    out.meanServiceUs = service.mean();
-    out.meanQueueUs = queueing.mean();
-    out.meanLatencyUs = latency.mean();
-    out.p50Us = latency.quantile(0.50);
-    out.p95Us = latency.quantile(0.95);
-    out.p99Us = latency.quantile(0.99);
-    out.offeredRps = _cfg.arrivalRatePerSec;
-    out.throughputRps =
-        last_completion > 0.0
-            ? static_cast<double>(_cfg.requests) * 1e6 /
-                  last_completion
-            : 0.0;
-    out.utilization =
-        last_completion > 0.0 ? busy_us / last_completion : 0.0;
-    out.energyJoules = energy;
-    out.slaTarget = _slaTargetUs;
-    out.slaHitRate = _slaTargetUs > 0.0
-                         ? static_cast<double>(sla_hits) /
-                               static_cast<double>(_cfg.requests)
-                         : 0.0;
+    out.served = s.served;
+    out.meanServiceUs = s.meanServiceUs;
+    out.meanQueueUs = s.meanQueueUs;
+    out.meanLatencyUs = s.meanLatencyUs;
+    out.p50Us = s.p50Us;
+    out.p95Us = s.p95Us;
+    out.p99Us = s.p99Us;
+    out.maxLatencyUs = s.maxLatencyUs;
+    out.latencyOverflow = s.latencyOverflow;
+    out.throughputRps = s.throughputRps;
+    out.offeredRps = s.offeredRps;
+    out.utilization = s.utilization;
+    out.energyJoules = s.energyJoules;
+    out.slaTarget = s.slaTarget;
+    out.slaHitRate = s.slaHitRate;
     return out;
 }
 

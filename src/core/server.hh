@@ -1,19 +1,25 @@
 /**
  * @file
- * Inference-serving simulation on top of a design point.
+ * Inference-serving simulation on top of one or more design points.
  *
  * The paper motivates Centaur with user-facing cloud serving under
  * firm SLAs (Section IV-A); this layer closes the loop: Poisson
- * request arrivals feed a FIFO queue in front of one inference
- * system, and the simulator reports the end-to-end (queue + service)
- * latency distribution, throughput, utilization and energy - the
- * quantities an operator actually provisions against.
+ * request arrivals feed an arrival-time-ordered admission queue in
+ * front of N worker systems. A dynamic batching window coalesces
+ * queued requests into one InferenceBatch per dispatch (amortizing
+ * MLP/FI cost exactly as the paper's batch sweeps do), and an
+ * overload-safe drop/timeout policy bounds the queue. The simulator
+ * reports the end-to-end (queue + service) latency distribution,
+ * throughput, per-worker utilization and energy - the quantities an
+ * operator actually provisions against.
  */
 
 #ifndef CENTAUR_CORE_SERVER_HH
 #define CENTAUR_CORE_SERVER_HH
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "core/system.hh"
 #include "dlrm/workload.hh"
@@ -21,7 +27,139 @@
 
 namespace centaur {
 
-/** Serving-loop parameters. */
+/** Serving-engine parameters. */
+struct ServingConfig
+{
+    /** Mean request arrival rate (Poisson), requests per second. */
+    double arrivalRatePerSec = 2000.0;
+    /** Samples (users/items to score) per request. */
+    std::uint32_t batchPerRequest = 8;
+    /** Requests to simulate. */
+    std::uint32_t requests = 200;
+    /** Workload RNG seed. */
+    std::uint64_t seed = 1;
+    /** Index popularity distribution. */
+    IndexDistribution dist = IndexDistribution::Uniform;
+
+    /** Worker systems draining the shared admission queue. */
+    std::uint32_t workers = 1;
+    /** Max queued requests coalesced into one dispatched batch. */
+    std::uint32_t maxCoalescedBatch = 1;
+    /**
+     * Batching window: a free worker with an underfull batch waits
+     * up to this long (us) for more arrivals before dispatching.
+     * 0 dispatches immediately with whatever is queued.
+     */
+    double coalesceWindowUs = 0.0;
+    /** Admission cap: arrivals beyond this depth are dropped. 0 = unbounded. */
+    std::uint32_t maxQueueDepth = 0;
+    /** Requests queued longer than this (us) are dropped. 0 = never. */
+    double queueTimeoutUs = 0.0;
+    /** Optional SLA budget (us) for hit-rate stats. 0 = untracked. */
+    double slaTargetUs = 0.0;
+};
+
+/** Per-worker serving results. */
+struct WorkerStats
+{
+    std::uint64_t served = 0;     //!< requests completed
+    std::uint64_t dispatches = 0; //!< coalesced batches executed
+    double busyUs = 0.0;
+    double utilization = 0.0; //!< busy time / wall time
+    double energyJoules = 0.0;
+
+    /** Mean requests coalesced per dispatch. */
+    double
+    meanCoalesced() const
+    {
+        return dispatches ? static_cast<double>(served) /
+                                static_cast<double>(dispatches)
+                          : 0.0;
+    }
+};
+
+/** Aggregate serving results. */
+struct ServingStats
+{
+    std::uint64_t offered = 0; //!< requests generated
+    std::uint64_t served = 0;  //!< requests completed
+    std::uint64_t droppedQueueFull = 0;
+    std::uint64_t droppedTimeout = 0;
+
+    double meanServiceUs = 0.0;
+    double meanQueueUs = 0.0;
+    double meanLatencyUs = 0.0; //!< queue + service, exact accumulator
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    double maxLatencyUs = 0.0;
+    /** Latency samples beyond the histogram cap (overloaded tail). */
+    std::uint64_t latencyOverflow = 0;
+
+    double throughputRps = 0.0;
+    double offeredRps = 0.0;
+    double utilization = 0.0; //!< mean busy fraction across workers
+    double energyJoules = 0.0;
+
+    std::uint64_t dispatches = 0;
+    double meanCoalescedRequests = 0.0;
+
+    /** Fraction of *offered* requests served within the SLA budget. */
+    double slaTarget = 0.0;
+    double slaHitRate = 0.0;
+
+    std::vector<WorkerStats> perWorker;
+
+    double
+    dropRate() const
+    {
+        return offered ? static_cast<double>(droppedQueueFull +
+                                             droppedTimeout) /
+                             static_cast<double>(offered)
+                       : 0.0;
+    }
+};
+
+/**
+ * Batch-coalescing multi-worker inference service.
+ *
+ * Workers are non-owning: each must be an independent system built
+ * from the same model config (state advances during the run). The
+ * run is fully deterministic under ServingConfig::seed.
+ */
+class ServingEngine
+{
+  public:
+    /**
+     * @param workers independent systems draining the shared queue
+     * @param cfg serving-engine parameters
+     */
+    ServingEngine(std::vector<System *> workers,
+                  const ServingConfig &cfg);
+
+    /** Simulate the configured number of requests. */
+    ServingStats run();
+
+    const ServingConfig &config() const { return _cfg; }
+
+  private:
+    std::vector<System *> _workers;
+    ServingConfig _cfg;
+};
+
+/** Build @p n independent worker systems for one design point. */
+std::vector<std::unique_ptr<System>>
+makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n);
+
+/** Convenience: build workers per @p cfg.workers and run the engine. */
+ServingStats runServingSim(DesignPoint dp, const DlrmConfig &model,
+                           const ServingConfig &cfg);
+
+// ---------------------------------------------------------------------
+// Legacy single-queue, single-server wrapper.
+// ---------------------------------------------------------------------
+
+/** Serving-loop parameters (legacy single-worker surface). */
 struct ServerConfig
 {
     /** Mean request arrival rate (Poisson), requests per second. */
@@ -36,7 +174,7 @@ struct ServerConfig
     IndexDistribution dist = IndexDistribution::Uniform;
 };
 
-/** Aggregate serving results. */
+/** Aggregate serving results (legacy single-worker surface). */
 struct ServerStats
 {
     std::uint64_t served = 0;
@@ -46,6 +184,9 @@ struct ServerStats
     double p50Us = 0.0;
     double p95Us = 0.0;
     double p99Us = 0.0;
+    double maxLatencyUs = 0.0;
+    /** Latency samples beyond the histogram cap (overloaded tail). */
+    std::uint64_t latencyOverflow = 0;
     double throughputRps = 0.0;
     double offeredRps = 0.0;
     double utilization = 0.0; //!< busy time / wall time
@@ -58,7 +199,9 @@ struct ServerStats
 
 /**
  * A single-queue, single-server inference service wrapped around a
- * design point.
+ * design point. Thin shim over ServingEngine with one worker and no
+ * coalescing, kept for the simple "one design point, one queue"
+ * studies.
  */
 class InferenceServer
 {

@@ -73,7 +73,12 @@ StatHistogram::quantile(double q) const
         if (running >= target)
             return _lo + _width * static_cast<double>(i + 1);
     }
-    return _hi;
+    // The quantile lands in the overflow bucket: the bucketed view
+    // only knows "beyond _hi", but the running average tracked the
+    // true maximum sample, which is a tight upper bound. Without
+    // this, an overloaded server reports its tail as exactly the
+    // histogram cap forever.
+    return _avg.max();
 }
 
 StatScalar &

@@ -78,7 +78,11 @@ class StatHistogram
     std::uint64_t overflow() const { return _overflow; }
     const std::vector<std::uint64_t> &buckets() const { return _buckets; }
 
-    /** Smallest value v such that at least @p q of samples are <= v. */
+    /**
+     * Smallest value v such that at least @p q of samples are <= v.
+     * Quantiles that land in the overflow bucket return the true
+     * maximum observed sample rather than the histogram cap.
+     */
     double quantile(double q) const;
 
   private:

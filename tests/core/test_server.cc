@@ -63,6 +63,32 @@ TEST(Server, OverloadBuildsQueueAndSaturatesThroughput)
     EXPECT_LT(stats.throughputRps, stats.offeredRps);
 }
 
+TEST(Server, OverloadRegimeIsFullyCharacterized)
+{
+    // Offered load far beyond capacity: the server saturates, the
+    // queue grows without bound, the SLA collapses, and the reported
+    // p99 must be a real measured value even though the latencies
+    // blow past the histogram range.
+    auto sys = makeSystem(DesignPoint::CpuOnly, smallModel());
+    ServerConfig cfg = lightLoad();
+    cfg.arrivalRatePerSec = 1e6;
+    cfg.requests = 2000;
+    InferenceServer server(*sys, cfg, 500.0);
+    const auto stats = server.run();
+
+    EXPECT_GT(stats.utilization, 0.99);
+    EXPECT_GT(stats.meanQueueUs, 10.0 * stats.meanServiceUs);
+    EXPECT_LT(stats.slaHitRate, 0.1);
+    EXPECT_LT(stats.throughputRps, stats.offeredRps * 0.05);
+
+    // Tail-percentile clamping regression: with queueing delays past
+    // the 100 ms histogram cap, p99 must come from the true maximum
+    // sample, not sit pinned at the cap.
+    EXPECT_GT(stats.latencyOverflow, 0u);
+    EXPECT_GT(stats.p99Us, 100000.0);
+    EXPECT_DOUBLE_EQ(stats.p99Us, stats.maxLatencyUs);
+}
+
 TEST(Server, TailIsAtLeastMedian)
 {
     auto sys = makeSystem(DesignPoint::Centaur, smallModel());

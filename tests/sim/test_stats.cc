@@ -93,6 +93,23 @@ TEST(StatHistogram, QuantileMedian)
     EXPECT_NEAR(h.quantile(0.99), 99.0, 1.01);
 }
 
+TEST(StatHistogram, QuantileInOverflowReturnsTrueMax)
+{
+    // 90 in-range samples plus a far tail beyond the cap: quantiles
+    // inside the range keep bucket resolution, quantiles landing in
+    // the overflow bucket report the true maximum sample instead of
+    // clamping to the histogram bound.
+    StatHistogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 90; ++i)
+        h.sample(static_cast<double>(i) + 0.5);
+    for (int i = 0; i < 10; ++i)
+        h.sample(400.0 + 50.0 * i); // max = 850
+    EXPECT_EQ(h.overflow(), 10u);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.01);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 850.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 850.0);
+}
+
 TEST(StatHistogram, ResetClearsEverything)
 {
     StatHistogram h(0.0, 10.0, 10);
