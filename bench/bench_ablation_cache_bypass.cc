@@ -1,52 +1,14 @@
 /**
  * @file
- * Ablation B (Section IV-B / VII, Figure 8): the cache-bypassing
- * FPGA->memory path. HARPv2 only offers the coherent route through
- * the CPU LLC; the proposed chiplet architecture adds a direct
- * memory-channel interface. This compares gather throughput and
- * latency with the coherent path vs the bypass path.
+ * Legacy shim: the 'ablation_cache_bypass' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite ablation_cache_bypass` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include "bench_common.hh"
-#include "core/centaur_system.hh"
-
-using namespace centaur;
+#include "suite.hh"
 
 int
 main()
 {
-    TextTable table("Ablation B: coherent path vs cache-bypass path");
-    table.setHeader({"model", "batch", "coherent GB/s", "bypass GB/s",
-                     "latency coh (us)", "latency byp (us)"});
-
-    for (int preset : {4, 5}) {
-        const DlrmConfig cfg = dlrmPreset(preset);
-        for (std::uint32_t batch : {1u, 16u, 128u}) {
-            WorkloadConfig wl;
-            wl.batch = batch;
-            wl.seed = sweepSeed(preset, batch);
-
-            CentaurConfig coherent;
-            CentaurSystem sys_c(cfg, coherent);
-            WorkloadGenerator gen_c(cfg, wl);
-            const auto rc = measureInference(sys_c, gen_c, 1);
-
-            CentaurConfig bypass;
-            bypass.bypassCpuCache = true;
-            CentaurSystem sys_b(cfg, bypass);
-            WorkloadGenerator gen_b(cfg, wl);
-            const auto rb = measureInference(sys_b, gen_b, 1);
-
-            table.addRow({cfg.name, std::to_string(batch),
-                          TextTable::fmt(rc.effectiveEmbGBps),
-                          TextTable::fmt(rb.effectiveEmbGBps),
-                          TextTable::fmt(usFromTicks(rc.latency())),
-                          TextTable::fmt(usFromTicks(rb.latency()))});
-        }
-    }
-    table.print(std::cout);
-    std::printf("on HARPv2-class links the coherent LLC detour costs "
-                "little; the bypass pays off once links outpace the "
-                "LLC service path (combine with ablation A)\n");
-    return 0;
+    return centaur::bench::runLegacyMain("ablation_cache_bypass");
 }

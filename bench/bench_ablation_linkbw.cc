@@ -1,62 +1,14 @@
 /**
  * @file
- * Ablation A (Discussion, Section VII): scaling the CPU<->FPGA
- * chiplet link bandwidth. The paper argues EB-Streamer throughput
- * "naturally scales up" with upcoming package-level signaling
- * (hundreds of GB/s); this sweep multiplies HARPv2's link bandwidth
- * and outstanding-read credits and reports gather throughput and
- * end-to-end speedup on DLRM(4).
+ * Legacy shim: the 'ablation_linkbw' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite ablation_linkbw` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include "bench_common.hh"
-#include "core/centaur_system.hh"
-#include "core/cpu_only_system.hh"
-
-using namespace centaur;
+#include "suite.hh"
 
 int
 main()
 {
-    const DlrmConfig cfg = dlrmPreset(4);
-
-    TextTable table("Ablation A: CPU<->FPGA bandwidth scaling, "
-                    "DLRM(4)");
-    table.setHeader({"link scale", "raw GB/s", "batch", "emb GB/s",
-                     "latency (us)", "speedup vs CPU-only"});
-
-    for (double scale : {1.0, 2.0, 4.0, 8.0, 16.0}) {
-        CentaurConfig acc;
-        for (auto &link : acc.channel.links) {
-            link.bandwidthGBps *= scale;
-            // Higher-speed serial links also cut latency somewhat.
-            link.latencyNs /= (scale >= 4.0 ? 2.0 : 1.0);
-        }
-        acc.channel.maxOutstandingLines = static_cast<std::uint32_t>(
-            acc.channel.maxOutstandingLines * scale);
-
-        for (std::uint32_t batch : {16u, 128u}) {
-            CentaurSystem cen(cfg, acc);
-            CpuOnlySystem cpu(cfg);
-            WorkloadConfig wl;
-            wl.batch = batch;
-            wl.seed = sweepSeed(4, batch);
-            WorkloadGenerator gen_c(cfg, wl);
-            WorkloadGenerator gen_f(cfg, wl);
-            const auto rc = measureInference(cpu, gen_c, 1);
-            const auto rf = measureInference(cen, gen_f, 1);
-            table.addRow(
-                {TextTable::fmt(scale, 0) + "x",
-                 TextTable::fmt(acc.channel.rawBandwidthGBps(), 1),
-                 std::to_string(batch),
-                 TextTable::fmt(rf.effectiveEmbGBps),
-                 TextTable::fmt(usFromTicks(rf.latency())),
-                 TextTable::fmt(static_cast<double>(rc.latency()) /
-                                    rf.latency(), 2) + "x"});
-        }
-    }
-    table.print(std::cout);
-    std::printf("expectation: gather throughput scales with link "
-                "bandwidth until DRAM (77 GB/s) binds; the batch-128 "
-                "CPU advantage disappears beyond ~2x links\n");
-    return 0;
+    return centaur::bench::runLegacyMain("ablation_linkbw");
 }

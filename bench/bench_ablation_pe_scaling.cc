@@ -1,56 +1,14 @@
 /**
  * @file
- * Ablation C (Discussion, Section VII "FPGA size"): scaling the
- * dense accelerator's PE array. Larger FPGAs host bigger arrays
- * (Cloud-DNN reaches 1.8 TOPS on a VU9P); this sweep grows the MLP
- * unit and reports MLP-heavy DLRM(6) latency alongside the resource
- * model's verdict on whether the design still fits the GX1150.
+ * Legacy shim: the 'ablation_pe_scaling' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite ablation_pe_scaling` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include "bench_common.hh"
-#include "core/centaur_system.hh"
-#include "fpga/resource_model.hh"
-
-using namespace centaur;
+#include "suite.hh"
 
 int
 main()
 {
-    const DlrmConfig cfg = dlrmPreset(6);
-
-    TextTable table("Ablation C: PE-array scaling on MLP-heavy "
-                    "DLRM(6)");
-    table.setHeader({"array", "GFLOPS", "DSP", "fits GX1150",
-                     "b1 latency (us)", "b128 latency (us)"});
-
-    for (std::uint32_t dim : {2u, 4u, 6u, 8u}) {
-        CentaurConfig acc;
-        acc.mlpPeRows = dim;
-        acc.mlpPeCols = dim;
-        const ResourceModel res(acc);
-
-        std::vector<double> lat;
-        for (std::uint32_t batch : {1u, 128u}) {
-            CentaurSystem sys(cfg, acc);
-            WorkloadConfig wl;
-            wl.batch = batch;
-            wl.seed = sweepSeed(6, batch);
-            WorkloadGenerator gen(cfg, wl);
-            lat.push_back(
-                usFromTicks(measureInference(sys, gen, 1).latency()));
-        }
-
-        table.addRow({std::to_string(dim) + "x" + std::to_string(dim),
-                      TextTable::fmt(acc.peakGflops(), 0),
-                      std::to_string(res.deviceUsage().dsp),
-                      res.fits() ? "yes" : "NO",
-                      TextTable::fmt(lat[0]), TextTable::fmt(lat[1])});
-    }
-    table.print(std::cout);
-    std::printf("expectation: large-batch MLP latency scales down "
-                "with the array until control overheads and the\n"
-                "chiplet links dominate; 8x8 exceeds the GX1150's DSP "
-                "budget, matching the paper's call for bigger "
-                "FPGAs\n");
-    return 0;
+    return centaur::bench::runLegacyMain("ablation_pe_scaling");
 }

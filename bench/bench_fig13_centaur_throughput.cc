@@ -1,107 +1,14 @@
 /**
  * @file
- * Figure 13: Centaur's effective memory bandwidth for embedding
- * gathers. (a) per model/batch plus improvement over CPU-only;
- * (b) single-table DLRM(4) lookup sweep.
- *
- * Paper shape: EB-Streamer sustains up to ~11.9 GB/s (~68% of the
- * 17-18 GB/s effective CPU<->FPGA bandwidth); CPU-only overtakes it
- * by ~33% only for DLRM(4)/(5) at batch 128; mean improvement
- * across the sweep is large (paper: ~27x) because small batches
- * dominate.
+ * Legacy shim: the 'fig13' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite fig13` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include "bench_common.hh"
-#include "core/centaur_system.hh"
-#include "interconnect/aggregate_link.hh"
-
-using namespace centaur;
-using centaur::bench::geomean;
-
-namespace {
-
-void
-figure13a()
-{
-    TextTable table("Figure 13(a): Centaur effective gather "
-                    "throughput (GB/s) and improvement vs CPU-only");
-    std::vector<std::string> header{"model"};
-    for (auto b : paperBatchSizes()) {
-        header.push_back("b" + std::to_string(b));
-        header.push_back("vs-cpu");
-    }
-    table.setHeader(header);
-
-    const auto cpu = runPaperSweep(DesignPoint::CpuOnly);
-    const auto cen = runPaperSweep(DesignPoint::Centaur);
-
-    std::vector<double> improvements;
-    for (int preset = 1; preset <= 6; ++preset) {
-        std::vector<std::string> row{dlrmPreset(preset).name};
-        for (auto b : paperBatchSizes()) {
-            const auto &c = findEntry(cpu, preset, b);
-            const auto &f = findEntry(cen, preset, b);
-            const double improvement = f.result.effectiveEmbGBps /
-                                       c.result.effectiveEmbGBps;
-            improvements.push_back(improvement);
-            row.push_back(
-                TextTable::fmt(f.result.effectiveEmbGBps));
-            row.push_back(TextTable::fmt(improvement, 1) + "x");
-        }
-        table.addRow(row);
-    }
-    table.print(std::cout);
-    std::printf("mean BW improvement vs CPU-only: %.1fx arithmetic, "
-                "%.1fx geometric (paper: ~27x average)\n\n",
-                [&] {
-                    double s = 0.0;
-                    for (double v : improvements)
-                        s += v;
-                    return s / static_cast<double>(improvements.size());
-                }(),
-                geomean(improvements));
-}
-
-void
-figure13b()
-{
-    TextTable table("Figure 13(b): single-table DLRM(4) Centaur "
-                    "throughput (GB/s) vs lookups per table");
-    std::vector<std::string> header{"lookups/table"};
-    for (auto b : paperBatchSizes())
-        header.push_back("batch " + std::to_string(b));
-    table.setHeader(header);
-
-    for (std::uint32_t lookups : {25u, 50u, 100u, 200u, 400u, 800u}) {
-        std::vector<std::string> row{std::to_string(lookups)};
-        for (auto batch : paperBatchSizes()) {
-            DlrmConfig cfg = dlrmPreset(4);
-            cfg.name = "DLRM(4)x1";
-            cfg.numTables = 1;
-            cfg.lookupsPerTable = lookups;
-            CentaurSystem sys(cfg);
-            WorkloadConfig wl;
-            wl.batch = batch;
-            wl.seed = sweepSeed(4, batch) + lookups;
-            WorkloadGenerator gen(cfg, wl);
-            const auto res = measureInference(sys, gen, 1);
-            row.push_back(TextTable::fmt(res.effectiveEmbGBps));
-        }
-        table.addRow(row);
-    }
-    table.print(std::cout);
-}
-
-} // namespace
+#include "suite.hh"
 
 int
 main()
 {
-    const ChannelConfig ch = ChannelConfig::harpV2();
-    std::printf("CPU<->FPGA channel: %.1f GB/s raw, %.1f GB/s "
-                "effective payload (paper: 28.8 / 17-18 GB/s)\n\n",
-                ch.rawBandwidthGBps(), ch.effectiveBandwidthGBps());
-    figure13a();
-    figure13b();
-    return 0;
+    return centaur::bench::runLegacyMain("fig13");
 }

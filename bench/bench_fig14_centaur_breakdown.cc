@@ -1,63 +1,14 @@
 /**
  * @file
- * Figure 14: breakdown of Centaur's inference time into IDX (sparse
- * index fetch), EMB (gathers/reductions), DNF (dense feature fetch),
- * MLP and Other, plus end-to-end speedup vs CPU-only.
- *
- * Paper shape: 1.7-17.2x end-to-end speedup; EMB dominates the
- * breakdown for DLRM(1)-(5); DLRM(6) is MLP-heavy and averages a
- * more modest speedup (paper: 6.2x) driven by the dense accelerator.
+ * Legacy shim: the 'fig14' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite fig14` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include "bench_common.hh"
-
-using namespace centaur;
-using centaur::bench::geomean;
+#include "suite.hh"
 
 int
 main()
 {
-    TextTable table("Figure 14: Centaur latency breakdown (%) and "
-                    "speedup vs CPU-only");
-    table.setHeader({"model", "batch", "IDX", "EMB", "DNF", "MLP",
-                     "Other", "latency(us)", "speedup"});
-
-    const auto cpu = runPaperSweep(DesignPoint::CpuOnly);
-    const auto cen = runPaperSweep(DesignPoint::Centaur);
-
-    std::vector<double> all_speedups;
-    double min_speedup = 1e30;
-    double max_speedup = 0.0;
-    for (int preset = 1; preset <= 6; ++preset) {
-        std::vector<double> model_speedups;
-        for (auto b : paperBatchSizes()) {
-            const auto &c = findEntry(cpu, preset, b).result;
-            const auto &f = findEntry(cen, preset, b).result;
-            const double speedup =
-                static_cast<double>(c.latency()) /
-                static_cast<double>(f.latency());
-            model_speedups.push_back(speedup);
-            all_speedups.push_back(speedup);
-            min_speedup = std::min(min_speedup, speedup);
-            max_speedup = std::max(max_speedup, speedup);
-            table.addRow(
-                {dlrmPreset(preset).name, std::to_string(b),
-                 TextTable::fmt(f.phaseShare(Phase::Idx) * 100, 1),
-                 TextTable::fmt(f.phaseShare(Phase::Emb) * 100, 1),
-                 TextTable::fmt(f.phaseShare(Phase::Dnf) * 100, 1),
-                 TextTable::fmt(f.phaseShare(Phase::Mlp) * 100, 1),
-                 TextTable::fmt(f.phaseShare(Phase::Other) * 100, 1),
-                 TextTable::fmt(usFromTicks(f.latency())),
-                 TextTable::fmt(speedup, 2) + "x"});
-        }
-        std::printf("%s mean speedup: %.1fx\n",
-                    dlrmPreset(preset).name.c_str(),
-                    geomean(model_speedups));
-    }
-    std::printf("\n");
-    table.print(std::cout);
-    std::printf("speedup range %.2fx - %.2fx (paper: 1.7x - 17.2x); "
-                "geomean %.2fx\n",
-                min_speedup, max_speedup, geomean(all_speedups));
-    return 0;
+    return centaur::bench::runLegacyMain("fig14");
 }

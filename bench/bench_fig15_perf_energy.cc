@@ -1,73 +1,14 @@
 /**
  * @file
- * Figure 15: performance (a) and energy-efficiency (b) of CPU-GPU,
- * CPU-only and Centaur, normalized to CPU-GPU (the slowest and
- * least efficient design).
- *
- * Paper shape: CPU-only beats CPU-GPU by ~1.1x perf / ~1.9x
- * efficiency on average; Centaur delivers 1.7-17.2x perf and
- * 1.7-19.5x efficiency over CPU-only.
+ * Legacy shim: the 'fig15' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite fig15` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include <algorithm>
-
-#include "bench_common.hh"
-
-using namespace centaur;
-using centaur::bench::geomean;
+#include "suite.hh"
 
 int
 main()
 {
-    TextTable table("Figure 15: performance and energy-efficiency "
-                    "normalized to CPU-GPU");
-    table.setHeader({"model", "batch", "perf CPU-only", "perf Centaur",
-                     "eff CPU-only", "eff Centaur"});
-
-    const auto gpu = runPaperSweep(DesignPoint::CpuGpu);
-    const auto cpu = runPaperSweep(DesignPoint::CpuOnly);
-    const auto cen = runPaperSweep(DesignPoint::Centaur);
-
-    std::vector<double> cpu_perf;
-    std::vector<double> cpu_eff;
-    std::vector<double> cen_perf;
-    std::vector<double> cen_eff;
-    std::vector<double> cen_vs_cpu_eff;
-    for (int preset = 1; preset <= 6; ++preset) {
-        for (auto b : paperBatchSizes()) {
-            const auto &g = findEntry(gpu, preset, b).result;
-            const auto &c = findEntry(cpu, preset, b).result;
-            const auto &f = findEntry(cen, preset, b).result;
-            const double pc = g.latency() > 0
-                                  ? static_cast<double>(g.latency()) /
-                                        c.latency()
-                                  : 0.0;
-            const double pf = static_cast<double>(g.latency()) /
-                              f.latency();
-            const double ec = c.efficiency() / g.efficiency();
-            const double ef = f.efficiency() / g.efficiency();
-            cpu_perf.push_back(pc);
-            cpu_eff.push_back(ec);
-            cen_perf.push_back(pf);
-            cen_eff.push_back(ef);
-            cen_vs_cpu_eff.push_back(f.efficiency() / c.efficiency());
-            table.addRow({dlrmPreset(preset).name, std::to_string(b),
-                          TextTable::fmt(pc, 2),
-                          TextTable::fmt(pf, 2),
-                          TextTable::fmt(ec, 2),
-                          TextTable::fmt(ef, 2)});
-        }
-    }
-    table.print(std::cout);
-    std::printf("CPU-only vs CPU-GPU: %.2fx perf, %.2fx efficiency "
-                "(paper: 1.1x / 1.9x)\n",
-                geomean(cpu_perf), geomean(cpu_eff));
-    std::printf("Centaur vs CPU-only efficiency: %.2fx - %.2fx, "
-                "geomean %.2fx (paper: 1.7x - 19.5x)\n",
-                *std::min_element(cen_vs_cpu_eff.begin(),
-                                  cen_vs_cpu_eff.end()),
-                *std::max_element(cen_vs_cpu_eff.begin(),
-                                  cen_vs_cpu_eff.end()),
-                geomean(cen_vs_cpu_eff));
-    return 0;
+    return centaur::bench::runLegacyMain("fig15");
 }

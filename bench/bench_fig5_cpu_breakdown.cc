@@ -1,48 +1,14 @@
 /**
  * @file
- * Figure 5: breakdown of CPU-only inference latency into embedding
- * (EMB), MLP and Other, plus latency normalized to the slowest
- * batch-1 model (DLRM(1) in the paper's normalization).
- *
- * Paper shape: embeddings dominate (up to ~79%) for DLRM(1)-(5) and
- * grow with batch; DLRM(6) is MLP-dominated; MLP share shrinks as
- * batch grows (weight reuse amortizes).
+ * Legacy shim: the 'fig5' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite fig5` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include "bench_common.hh"
-
-using namespace centaur;
+#include "suite.hh"
 
 int
 main()
 {
-    TextTable table("Figure 5: CPU-only latency breakdown and "
-                    "normalized latency");
-    table.setHeader({"model", "batch", "EMB%", "MLP%", "Other%",
-                     "latency(us)", "normalized"});
-
-    const auto sweep = runPaperSweep(DesignPoint::CpuOnly);
-    const double base = static_cast<double>(
-        findEntry(sweep, 1, 1).result.latency());
-
-    double max_emb_share = 0.0;
-    for (int preset = 1; preset <= 6; ++preset) {
-        for (auto b : paperBatchSizes()) {
-            const auto &r = findEntry(sweep, preset, b).result;
-            max_emb_share =
-                std::max(max_emb_share, r.phaseShare(Phase::Emb));
-            table.addRow(
-                {dlrmPreset(preset).name, std::to_string(b),
-                 TextTable::fmt(r.phaseShare(Phase::Emb) * 100, 1),
-                 TextTable::fmt(r.phaseShare(Phase::Mlp) * 100, 1),
-                 TextTable::fmt(r.phaseShare(Phase::Other) * 100, 1),
-                 TextTable::fmt(usFromTicks(r.latency())),
-                 TextTable::fmt(static_cast<double>(r.latency()) /
-                                    base, 2)});
-        }
-    }
-    table.print(std::cout);
-    std::printf("max EMB share: %.1f%% (paper: up to 79%%)\n",
-                max_emb_share * 100.0);
-    return 0;
+    return centaur::bench::runLegacyMain("fig5");
 }

@@ -1,52 +1,14 @@
 /**
  * @file
- * Figure 6: LLC miss rate (a) and MPKI (b) of the embedding vs MLP
- * layers on the CPU-only system, as a function of batch size.
- *
- * Paper shape: EMB misses are high and batch-sensitive (sparse
- * gathers over tables far larger than the LLC); MLP stays below 20%
- * miss rate and low MPKI (weights are cache resident).
+ * Legacy shim: the 'fig6' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite fig6` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include "bench_common.hh"
-
-using namespace centaur;
+#include "suite.hh"
 
 int
 main()
 {
-    TextTable miss("Figure 6(a): LLC miss rate (%) - EMB vs MLP");
-    TextTable mpki("Figure 6(b): MPKI - EMB vs MLP");
-    std::vector<std::string> header{"model"};
-    for (auto b : paperBatchSizes()) {
-        header.push_back("b" + std::to_string(b) + " EMB");
-        header.push_back("MLP");
-    }
-    miss.setHeader(header);
-    mpki.setHeader(header);
-
-    const auto sweep = runPaperSweep(DesignPoint::CpuOnly);
-    double max_mlp_miss = 0.0;
-    for (int preset = 1; preset <= 6; ++preset) {
-        std::vector<std::string> mrow{dlrmPreset(preset).name};
-        std::vector<std::string> krow{dlrmPreset(preset).name};
-        for (auto b : paperBatchSizes()) {
-            const auto &r = findEntry(sweep, preset, b).result;
-            mrow.push_back(
-                TextTable::fmt(r.emb.llcMissRate() * 100, 1));
-            mrow.push_back(
-                TextTable::fmt(r.mlp.llcMissRate() * 100, 1));
-            krow.push_back(TextTable::fmt(r.emb.mpki(), 1));
-            krow.push_back(TextTable::fmt(r.mlp.mpki(), 2));
-            max_mlp_miss = std::max(max_mlp_miss,
-                                    r.mlp.llcMissRate());
-        }
-        miss.addRow(mrow);
-        mpki.addRow(krow);
-    }
-    miss.print(std::cout);
-    mpki.print(std::cout);
-    std::printf("max MLP LLC miss rate: %.1f%% (paper: < 20%%)\n",
-                max_mlp_miss * 100.0);
-    return 0;
+    return centaur::bench::runLegacyMain("fig6");
 }

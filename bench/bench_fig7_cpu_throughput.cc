@@ -1,85 +1,14 @@
 /**
  * @file
- * Figure 7: CPU-only effective memory throughput for embedding
- * gathers/reductions. (a) per Table I model as a function of batch
- * size; (b) a single-table DLRM(4) configuration sweeping the total
- * number of lookups per table, one series per batch size.
- *
- * Paper shape: throughput grows with batch/lookups yet stays far
- * below the 77 GB/s DRAM peak - about 18-20 GB/s at best, ~1 GB/s
- * at batch 1.
+ * Legacy shim: the 'fig7' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite fig7` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include <cmath>
-
-#include "bench_common.hh"
-#include "core/cpu_only_system.hh"
-
-using namespace centaur;
-
-namespace {
-
-void
-figure7a()
-{
-    TextTable table("Figure 7(a): CPU-only effective embedding "
-                    "throughput (GB/s) vs batch size");
-    std::vector<std::string> header{"model"};
-    for (auto b : paperBatchSizes())
-        header.push_back("b" + std::to_string(b));
-    table.setHeader(header);
-
-    const auto sweep = runPaperSweep(DesignPoint::CpuOnly);
-    for (int preset = 1; preset <= 6; ++preset) {
-        std::vector<std::string> row{dlrmPreset(preset).name};
-        for (auto b : paperBatchSizes()) {
-            const auto &e = findEntry(sweep, preset, b);
-            row.push_back(TextTable::fmt(e.result.effectiveEmbGBps));
-        }
-        table.addRow(row);
-    }
-    table.print(std::cout);
-}
-
-void
-figure7b()
-{
-    TextTable table("Figure 7(b): single-table DLRM(4) effective "
-                    "throughput (GB/s) vs lookups per table");
-    std::vector<std::string> header{"lookups/table"};
-    for (auto b : paperBatchSizes())
-        header.push_back("batch " + std::to_string(b));
-    table.setHeader(header);
-
-    for (std::uint32_t lookups : {25u, 50u, 100u, 200u, 400u, 800u}) {
-        std::vector<std::string> row{std::to_string(lookups)};
-        for (auto batch : paperBatchSizes()) {
-            DlrmConfig cfg = dlrmPreset(4);
-            cfg.name = "DLRM(4)x1";
-            cfg.numTables = 1;
-            cfg.lookupsPerTable = lookups;
-            CpuOnlySystem sys(cfg);
-            WorkloadConfig wl;
-            wl.batch = batch;
-            wl.seed = sweepSeed(4, batch) + lookups;
-            WorkloadGenerator gen(cfg, wl);
-            const auto res = measureInference(sys, gen, 1);
-            row.push_back(
-                TextTable::fmt(res.effectiveEmbGBps));
-        }
-        table.addRow(row);
-    }
-    table.print(std::cout);
-}
-
-} // namespace
+#include "suite.hh"
 
 int
 main()
 {
-    std::printf("DRAM peak bandwidth: %.1f GB/s (paper: 77 GB/s)\n\n",
-                DramConfig{}.peakBandwidthGBps());
-    figure7a();
-    figure7b();
-    return 0;
+    return centaur::bench::runLegacyMain("fig7");
 }

@@ -1,124 +1,14 @@
 /**
  * @file
- * Serving-engine scaling sweep: workers x coalescing limit x offered
- * load on the Centaur design point. The paper argues (Section IV-A)
- * that recommendation serving is provisioned against firm tail SLAs;
- * this harness shows the two levers the serving layer adds on top of
- * a fixed design point: horizontal scaling (more workers draining
- * one admission queue) and dynamic batching (coalescing queued
- * requests to amortize MLP/FI cost, exactly the effect behind the
- * paper's batch sweeps).
+ * Legacy shim: the 'serving_scaling' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite serving_scaling` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include <cstdio>
-#include <iostream>
-
-#include "bench_common.hh"
-#include "core/analysis.hh"
-#include "core/experiment.hh"
-#include "sim/table.hh"
-
-using namespace centaur;
+#include "suite.hh"
 
 int
 main()
 {
-    constexpr int kPreset = 1;
-    const DlrmConfig model = dlrmPreset(kPreset);
-
-    ServingConfig base;
-    base.batchPerRequest = 8;
-    base.requests = 400;
-    base.slaTargetUs = 2000.0;
-
-    std::printf("serving-engine scaling on %s (Centaur design "
-                "point), %u samples/request, %u requests/point\n\n",
-                model.name.c_str(), base.batchPerRequest,
-                base.requests);
-
-    // ----- 1. worker scaling under overload -----
-    // Offered load far above single-worker capacity: sustained
-    // throughput must track aggregate service capacity, i.e. scale
-    // with the worker count.
-    const double kOverloadRps = 1e6;
-    const std::vector<std::uint32_t> workers = {1, 2, 4};
-    const std::vector<std::uint32_t> coalesce = {1, 4, 16};
-    const auto sweep = runServingSweep(DesignPoint::Centaur, kPreset,
-                                       workers, coalesce,
-                                       {kOverloadRps}, base);
-
-    TextTable scaling("worker x coalesce scaling at offered load " +
-                      TextTable::fmt(kOverloadRps, 0) + " rps");
-    scaling.setHeader({"workers", "coalesce", "tput (rps)",
-                       "p50 (us)", "p99 (us)", "util", "batch/disp",
-                       "regime"});
-    for (const auto &e : sweep) {
-        ServingConfig cfg = base;
-        cfg.workers = e.workers;
-        cfg.maxCoalescedBatch = e.maxCoalescedBatch;
-        cfg.arrivalRatePerSec = e.arrivalRatePerSec;
-        const ServingVerdict verdict = analyzeServing(e.stats, cfg);
-        scaling.addRow({std::to_string(e.workers),
-                        std::to_string(e.maxCoalescedBatch),
-                        TextTable::fmt(e.stats.throughputRps, 0),
-                        TextTable::fmt(e.stats.p50Us, 0),
-                        TextTable::fmt(e.stats.p99Us, 0),
-                        TextTable::fmt(e.stats.utilization, 2),
-                        TextTable::fmt(e.stats.meanCoalescedRequests,
-                                       1),
-                        servingRegimeName(verdict.regime)});
-    }
-    scaling.print(std::cout);
-
-    for (std::uint32_t c : coalesce) {
-        const double t1 =
-            findServingEntry(sweep, 1, c, kOverloadRps)
-                .stats.throughputRps;
-        const double t2 =
-            findServingEntry(sweep, 2, c, kOverloadRps)
-                .stats.throughputRps;
-        const double t4 =
-            findServingEntry(sweep, 4, c, kOverloadRps)
-                .stats.throughputRps;
-        std::printf("coalesce %2u: 1->2 workers %.2fx, 2->4 workers "
-                    "%.2fx%s\n",
-                    c, t2 / t1, t4 / t2,
-                    (t2 > t1 && t4 > t2) ? "" : "  (NOT monotonic!)");
-    }
-
-    // ----- 2. batching window at moderate load -----
-    // At loads a single worker can absorb, a batching window trades
-    // queueing delay for amortization; the window should only be
-    // paid where utilization says it buys something.
-    std::printf("\n");
-    TextTable window("batching window at 2 workers, coalesce 8");
-    window.setHeader({"offered rps", "window (us)", "tput (rps)",
-                      "p99 (us)", "util", "batch/disp", "SLA hit"});
-    for (double rps : {2000.0, 8000.0, 32000.0}) {
-        for (double window_us : {0.0, 200.0}) {
-            ServingConfig cfg = base;
-            cfg.workers = 2;
-            cfg.maxCoalescedBatch = 8;
-            cfg.coalesceWindowUs = window_us;
-            cfg.arrivalRatePerSec = rps;
-            cfg.seed = servingSweepSeed(kPreset, 2, 8, rps);
-            const ServingStats s =
-                runServingSim(DesignPoint::Centaur, model, cfg);
-            window.addRow(
-                {TextTable::fmt(rps, 0), TextTable::fmt(window_us, 0),
-                 TextTable::fmt(s.throughputRps, 0),
-                 TextTable::fmt(s.p99Us, 0),
-                 TextTable::fmt(s.utilization, 2),
-                 TextTable::fmt(s.meanCoalescedRequests, 1),
-                 TextTable::fmt(s.slaHitRate * 100, 1) + "%"});
-        }
-    }
-    window.print(std::cout);
-
-    std::printf("takeaway: under overload, sustained throughput "
-                "scales with workers and with the coalescing\n"
-                "limit (amortized MLP/FI); the p99 column is a real "
-                "measured tail even when it exceeds the\n"
-                "histogram range, not the 100 ms cap.\n");
-    return 0;
+    return centaur::bench::runLegacyMain("serving_scaling");
 }

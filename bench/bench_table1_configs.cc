@@ -1,48 +1,14 @@
 /**
  * @file
- * Table I: the six DLRM benchmark configurations (number of tables,
- * gathers per table, total table size, MLP parameter size).
- *
- * Note: for the 50-table presets the dot-product interaction widens
- * the top MLP input to C(51,2)+32 = 1307, so the *actual* MLP bytes
- * exceed the 57.4 KB the paper lists for its configured stack; the
- * "MLP size (5-table basis)" column reports the stack at the
- * 5-table interaction width for direct Table I comparison.
+ * Legacy shim: the 'table1' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite table1` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include "bench_common.hh"
-
-using namespace centaur;
+#include "suite.hh"
 
 int
 main()
 {
-    TextTable table("Table I: recommendation model configurations");
-    table.setHeader({"model", "# tables", "gathers/table",
-                     "table size", "MLP size (actual)",
-                     "MLP size (5-table basis)"});
-
-    for (int preset = 1; preset <= 6; ++preset) {
-        const DlrmConfig cfg = dlrmPreset(preset);
-        DlrmConfig five = cfg;
-        five.numTables = 5;
-
-        const double total_mb =
-            static_cast<double>(cfg.totalTableBytes()) / 1e6;
-        std::string size_str =
-            total_mb >= 1000.0
-                ? TextTable::fmt(total_mb / 1000.0, 2) + " GB"
-                : TextTable::fmt(total_mb, 0) + " MB";
-        table.addRow(
-            {cfg.name, std::to_string(cfg.numTables),
-             std::to_string(cfg.lookupsPerTable), size_str,
-             TextTable::fmt(static_cast<double>(cfg.mlpParamBytes()) /
-                                1024.0, 1) + " KB",
-             TextTable::fmt(static_cast<double>(five.mlpParamBytes()) /
-                                1024.0, 1) + " KB"});
-    }
-    table.print(std::cout);
-    std::printf("paper Table I: 128MB/1.28GB/3.2GB tables; "
-                "57.4KB MLP for DLRM(1)-(5), 557KB for DLRM(6)\n");
-    return 0;
+    return centaur::bench::runLegacyMain("table1");
 }

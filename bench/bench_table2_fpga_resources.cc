@@ -1,50 +1,14 @@
 /**
  * @file
- * Table II: Centaur's FPGA resource utilization on the Arria 10
- * GX1150 (ALMs, block memory bits, M20K RAM blocks, DSPs, PLLs).
+ * Legacy shim: the 'table2' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite table2` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include "bench_common.hh"
-#include "fpga/resource_model.hh"
-
-using namespace centaur;
+#include "suite.hh"
 
 int
 main()
 {
-    const CentaurConfig cfg;
-    const ResourceModel model(cfg);
-    const DeviceUsage use = model.deviceUsage();
-    const DeviceCapacity cap = ResourceModel::gx1150();
-
-    TextTable table("Table II: Centaur FPGA resource utilization "
-                    "(Arria 10 GX1150)");
-    table.setHeader({"", "ALM", "Blk. Mem (bits)", "RAM Blk.", "DSP",
-                     "PLL"});
-    table.addRow({"GX1150 (Max)", std::to_string(cap.alms),
-                  TextTable::fmt(static_cast<double>(cap.blockMemBits) /
-                                     1e6, 1) + " M",
-                  std::to_string(cap.ramBlocks),
-                  std::to_string(cap.dsp), std::to_string(cap.plls)});
-    table.addRow({"Centaur", std::to_string(use.alms),
-                  TextTable::fmt(static_cast<double>(use.blockMemBits) /
-                                     1e6, 1) + " M",
-                  std::to_string(use.ramBlocks),
-                  std::to_string(use.dsp), std::to_string(use.plls)});
-    auto pct = [](std::uint64_t num, std::uint64_t den) {
-        return TextTable::fmt(100.0 * static_cast<double>(num) /
-                                  static_cast<double>(den), 1);
-    };
-    table.addRow({"Utilization [%]", pct(use.alms, cap.alms),
-                  pct(use.blockMemBits, cap.blockMemBits),
-                  pct(use.ramBlocks, cap.ramBlocks),
-                  pct(use.dsp, cap.dsp), pct(use.plls, cap.plls)});
-    table.print(std::cout);
-    std::printf("paper Table II: ALM 127,719 (29.9%%), Blk mem 23.7M "
-                "(42.6%%), RAM blk 2,238 (82.5%%), DSP 784 (51.6%%), "
-                "PLL 48 (27.3%%)\n");
-    std::printf("design fits device: %s | aggregate dense throughput "
-                "%.1f GFLOPS (paper: 313)\n",
-                model.fits() ? "yes" : "NO", cfg.peakGflops());
-    return 0;
+    return centaur::bench::runLegacyMain("table2");
 }

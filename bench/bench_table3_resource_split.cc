@@ -1,51 +1,14 @@
 /**
  * @file
- * Table III: sparse vs dense accelerator complex FPGA resource
- * usage per module (LC comb, LC reg, block memory bits, DSP).
+ * Legacy shim: the 'table3' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite table3` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include "bench_common.hh"
-#include "fpga/resource_model.hh"
-
-using namespace centaur;
-
-namespace {
-
-std::string
-bits(std::uint64_t b)
-{
-    if (b >= 1000000)
-        return TextTable::fmt(static_cast<double>(b) / 1e6, 1) + "M";
-    if (b >= 1000)
-        return TextTable::fmt(static_cast<double>(b) / 1e3, 0) + "K";
-    return std::to_string(b);
-}
-
-} // namespace
+#include "suite.hh"
 
 int
 main()
 {
-    const CentaurConfig cfg;
-    const ResourceModel model(cfg);
-
-    TextTable table("Table III: sparse vs dense FPGA resource usage");
-    table.setHeader({"Complex", "Module", "LC comb.", "LC reg.",
-                     "Blk. Mem", "DSP"});
-    for (const auto &row : model.moduleUsage())
-        table.addRow({row.complex, row.module,
-                      std::to_string(row.lcComb),
-                      std::to_string(row.lcReg), bits(row.blockMemBits),
-                      std::to_string(row.dsp)});
-    for (const char *complex : {"Sparse", "Dense"}) {
-        const auto total = model.complexTotal(complex);
-        table.addRow({complex, "Total", std::to_string(total.lcComb),
-                      std::to_string(total.lcReg),
-                      bits(total.blockMemBits),
-                      std::to_string(total.dsp)});
-    }
-    table.print(std::cout);
-    std::printf("paper Table III totals: sparse 851 / 8.8K / 12.3M / "
-                "96; dense 52K / 175K / 9.8M / 688\n");
-    return 0;
+    return centaur::bench::runLegacyMain("table3");
 }

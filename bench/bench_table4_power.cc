@@ -1,48 +1,14 @@
 /**
  * @file
- * Table IV: wall power of the three design points (pcm-power /
- * nvprof methodology), plus derived per-inference energy on a
- * representative workload.
+ * Legacy shim: the 'table4' suite now lives in the bench/suites
+ * registry; run `centaur_bench --suite table4` for the JSON-enabled
+ * driver. This binary preserves the historical text-only interface.
  */
 
-#include "bench_common.hh"
-#include "power/power_model.hh"
-
-using namespace centaur;
+#include "suite.hh"
 
 int
 main()
 {
-    const PowerModel power;
-
-    TextTable table("Table IV: power consumption");
-    table.setHeader({"", "CPU-only", "CPU-GPU", "Centaur"});
-    table.addRow(
-        {"Power (Watts)",
-         TextTable::fmt(power.watts(DesignPoint::CpuOnly), 0),
-         TextTable::fmt(power.config().cpuGpuCpuWatts, 0) + "/" +
-             TextTable::fmt(power.config().cpuGpuGpuWatts, 0) +
-             " (CPU/GPU)",
-         TextTable::fmt(power.watts(DesignPoint::Centaur), 0)});
-    table.print(std::cout);
-    std::printf("paper Table IV: 80 W / 91+56 W / 74 W\n\n");
-
-    // Derived: per-inference energy at DLRM(1), batch 16.
-    TextTable energy("Derived: energy per inference, DLRM(1) b16");
-    energy.setHeader({"design", "latency (us)", "energy (uJ)"});
-    const DlrmConfig cfg = dlrmPreset(1);
-    for (DesignPoint dp : {DesignPoint::CpuOnly, DesignPoint::CpuGpu,
-                           DesignPoint::Centaur}) {
-        auto sys = makeSystem(dp, cfg);
-        WorkloadConfig wl;
-        wl.batch = 16;
-        wl.seed = 11;
-        WorkloadGenerator gen(cfg, wl);
-        const auto res = measureInference(*sys, gen, 1);
-        energy.addRow({sys->name(),
-                       TextTable::fmt(usFromTicks(res.latency())),
-                       TextTable::fmt(res.energyJoules * 1e6)});
-    }
-    energy.print(std::cout);
-    return 0;
+    return centaur::bench::runLegacyMain("table4");
 }

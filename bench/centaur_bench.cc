@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unified benchmark driver: runs any registered suite (or all of
+ * them) and emits the machine-readable BENCH_results.json document
+ * consumed by tools/check_bench.py, plus an optional CSV dump of
+ * every text table.
+ *
+ *   centaur_bench --list
+ *   centaur_bench --suite fig7 --json fig7.json
+ *   centaur_bench --suite all --json BENCH_results.json --csv t.csv
+ *   centaur_bench --suite fig13,fig14 --seed 7 --quiet
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "suite.hh"
+
+using namespace centaur;
+using namespace centaur::bench;
+
+namespace {
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: centaur_bench [options]\n"
+        "\n"
+        "  --list             list registered suites and exit\n"
+        "  --suite NAME[,..]  run the named suite(s); 'all' runs\n"
+        "                     every registered suite (default)\n"
+        "  --json PATH        write the stamped JSON report\n"
+        "  --csv PATH         write every emitted table as CSV\n"
+        "  --seed N           offset every workload seed by N\n"
+        "  --quiet            suppress the legacy text tables\n"
+        "  --help             this message\n");
+}
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        const std::size_t comma = arg.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? arg.size() : comma;
+        if (end > start)
+            out.push_back(arg.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> requested;
+    std::string json_path;
+    std::string csv_path;
+    std::uint64_t seed = 0;
+    bool quiet = false;
+    bool list_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n",
+                             arg.c_str());
+                usage(stderr);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--suite") {
+            for (auto &name : splitList(value()))
+                requested.push_back(name);
+        } else if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--csv") {
+            csv_path = value();
+        } else if (arg == "--seed") {
+            const char *text = value();
+            char *end = nullptr;
+            seed = std::strtoull(text, &end, 0);
+            if (end == text || *end != '\0') {
+                std::fprintf(stderr, "invalid --seed '%s'\n", text);
+                return 2;
+            }
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    if (list_only) {
+        for (const Suite &s : allSuites())
+            std::printf("%-22s %s\n", s.name, s.title);
+        return 0;
+    }
+
+    // Resolve the suite selection (default: everything).
+    std::vector<const Suite *> selection;
+    if (requested.empty())
+        requested.push_back("all");
+    for (const std::string &name : requested) {
+        if (name == "all") {
+            for (const Suite &s : allSuites())
+                selection.push_back(&s);
+            continue;
+        }
+        const Suite *s = findSuite(name);
+        if (!s) {
+            std::fprintf(stderr,
+                         "unknown suite '%s' (--list shows the "
+                         "registry)\n",
+                         name.c_str());
+            return 2;
+        }
+        selection.push_back(s);
+    }
+
+    SuiteContext ctx(quiet ? nullptr : &std::cout, seed);
+    Json report = reportStamp("bench_report", seed);
+    report["generator"] = "centaur_bench";
+    report["paper"] = "conf_isca_HwangKKR20";
+    Json &suites = report["suites"];
+    suites = Json::object();
+
+    for (const Suite *s : selection) {
+        if (suites.find(s->name))
+            continue; // deduplicate "all" + explicit names
+        if (!quiet)
+            std::printf("==> suite %s: %s\n", s->name, s->title);
+        suites[s->name] = runSuite(*s, ctx);
+        if (!quiet)
+            std::printf("\n");
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         json_path.c_str());
+            return 1;
+        }
+        out << report.dump(2) << '\n';
+        if (!quiet)
+            std::printf("wrote %s (%zu suites)\n", json_path.c_str(),
+                        suites.size());
+    }
+
+    if (!csv_path.empty()) {
+        std::ofstream out(csv_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         csv_path.c_str());
+            return 1;
+        }
+        for (const TextTable &t : ctx.tables()) {
+            out << "# " << t.title() << '\n';
+            t.printCsv(out);
+            out << '\n';
+        }
+        if (!quiet)
+            std::printf("wrote %s (%zu tables)\n", csv_path.c_str(),
+                        ctx.tables().size());
+    }
+
+    return 0;
+}

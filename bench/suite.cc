@@ -1,0 +1,125 @@
+#include "suite.hh"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <iostream>
+#include <streambuf>
+
+#include "core/report.hh"
+
+namespace centaur::bench {
+
+namespace {
+
+/** A streambuf that swallows everything (for quiet contexts). */
+class NullBuffer : public std::streambuf
+{
+  protected:
+    int
+    overflow(int c) override
+    {
+        return c;
+    }
+};
+
+std::ostream &
+nullStream()
+{
+    static NullBuffer buffer;
+    static std::ostream stream(&buffer);
+    return stream;
+}
+
+} // namespace
+
+SuiteContext::SuiteContext(std::ostream *out, std::uint64_t seed)
+    : _out(out ? out : &nullStream()), _seed(seed)
+{
+}
+
+void
+SuiteContext::emitTable(const TextTable &table)
+{
+    table.print(*_out);
+    _tables.push_back(table);
+}
+
+void
+SuiteContext::notef(const char *fmt, ...)
+{
+    char buf[1024];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    *_out << buf;
+}
+
+const std::vector<SweepEntry> &
+SuiteContext::paperSweep(DesignPoint dp)
+{
+    const int key = static_cast<int>(dp);
+    auto it = _sweeps.find(key);
+    if (it == _sweeps.end())
+        it = _sweeps.emplace(key, runPaperSweep(dp, 1, _seed)).first;
+    return it->second;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+const std::vector<Suite> &
+allSuites()
+{
+    static const std::vector<Suite> suites = [] {
+        std::vector<Suite> s;
+        registerTableSuites(s);
+        registerCpuFigureSuites(s);
+        registerCentaurFigureSuites(s);
+        registerAblationSuites(s);
+        registerServingSuites(s);
+        return s;
+    }();
+    return suites;
+}
+
+const Suite *
+findSuite(const std::string &name)
+{
+    for (const Suite &s : allSuites())
+        if (name == s.name)
+            return &s;
+    return nullptr;
+}
+
+Json
+runSuite(const Suite &suite, SuiteContext &ctx)
+{
+    Json j = reportStamp("suite", ctx.seed());
+    j["suite"] = suite.name;
+    j["title"] = suite.title;
+    j["data"] = suite.fn(ctx);
+    return j;
+}
+
+int
+runLegacyMain(const char *name)
+{
+    const Suite *suite = findSuite(name);
+    if (!suite) {
+        std::fprintf(stderr, "unknown suite '%s'\n", name);
+        return 1;
+    }
+    SuiteContext ctx(&std::cout);
+    runSuite(*suite, ctx);
+    return 0;
+}
+
+} // namespace centaur::bench

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Benchmark suite registry: every paper figure/table reproduction,
+ * ablation and serving study is registered as a named callable that
+ * prints its legacy text tables AND returns a machine-readable JSON
+ * record (core/report.hh serializers). The unified centaur_bench
+ * driver runs suites by name; the legacy per-figure executables are
+ * thin shims over runLegacyMain().
+ */
+
+#ifndef CENTAUR_BENCH_SUITE_HH
+#define CENTAUR_BENCH_SUITE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "sim/json.hh"
+#include "sim/table.hh"
+
+namespace centaur::bench {
+
+/**
+ * Per-run context handed to every suite: the text output sink, the
+ * user's --seed offset, the collected tables (for --csv), and a
+ * memoized paper sweep per design point so `--suite all` does not
+ * redo identical sweeps for every figure.
+ */
+class SuiteContext
+{
+  public:
+    /**
+     * @param out text sink; nullptr silences table/note output
+     * @param seed offset added to every workload seed (--seed)
+     */
+    explicit SuiteContext(std::ostream *out = nullptr,
+                          std::uint64_t seed = 0);
+
+    std::uint64_t seed() const { return _seed; }
+
+    /** Text sink (a swallowing stream when constructed with null). */
+    std::ostream &out() { return *_out; }
+
+    /** Print a table to the text sink and collect it for --csv. */
+    void emitTable(const TextTable &table);
+
+    /** printf-style free-form note to the text sink. */
+    void notef(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /** Tables emitted so far, across all suites run on this context. */
+    const std::vector<TextTable> &tables() const { return _tables; }
+
+    /** Memoized runPaperSweep(dp, 1, seed()). */
+    const std::vector<SweepEntry> &paperSweep(DesignPoint dp);
+
+  private:
+    std::ostream *_out;
+    std::uint64_t _seed;
+    std::vector<TextTable> _tables;
+    std::map<int, std::vector<SweepEntry>> _sweeps;
+};
+
+/** One registered benchmark suite. */
+struct Suite
+{
+    const char *name;  //!< CLI name, e.g. "fig7"
+    const char *title; //!< one-line description (--list)
+    Json (*fn)(SuiteContext &ctx);
+};
+
+/** All registered suites, in canonical (paper) order. */
+const std::vector<Suite> &allSuites();
+
+/** Lookup by CLI name; nullptr when unknown. */
+const Suite *findSuite(const std::string &name);
+
+/**
+ * Run one suite and wrap its payload in the stamped report
+ * envelope: {schema_version, kind:"suite", seed, suite, title, data}.
+ */
+Json runSuite(const Suite &suite, SuiteContext &ctx);
+
+/**
+ * Entry point for the legacy per-figure executables: run @p name
+ * with text output on stdout and the default seed, discarding the
+ * JSON payload. Returns a process exit code.
+ */
+int runLegacyMain(const char *name);
+
+/** Geometric mean of a nonempty vector. */
+double geomean(const std::vector<double> &xs);
+
+// Per-module registration hooks (called once by allSuites()).
+void registerCpuFigureSuites(std::vector<Suite> &suites);
+void registerCentaurFigureSuites(std::vector<Suite> &suites);
+void registerTableSuites(std::vector<Suite> &suites);
+void registerAblationSuites(std::vector<Suite> &suites);
+void registerServingSuites(std::vector<Suite> &suites);
+
+} // namespace centaur::bench
+
+#endif // CENTAUR_BENCH_SUITE_HH

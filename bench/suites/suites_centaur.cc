@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Centaur evaluation suites: Figure 13 (effective gather
+ * throughput), Figure 14 (latency breakdown and end-to-end speedup
+ * vs CPU-only) and Figure 15 (performance / energy-efficiency of
+ * all three design points, normalized to CPU-GPU).
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/centaur_system.hh"
+#include "core/report.hh"
+#include "interconnect/aggregate_link.hh"
+#include "suite.hh"
+
+using namespace centaur;
+
+namespace centaur::bench {
+
+namespace {
+
+Json
+suiteFig13(SuiteContext &ctx)
+{
+    const ChannelConfig ch = ChannelConfig::harpV2();
+    ctx.notef("CPU<->FPGA channel: %.1f GB/s raw, %.1f GB/s "
+              "effective payload (paper: 28.8 / 17-18 GB/s)\n\n",
+              ch.rawBandwidthGBps(), ch.effectiveBandwidthGBps());
+
+    // (a) per model/batch plus improvement over CPU-only.
+    TextTable table_a("Figure 13(a): Centaur effective gather "
+                      "throughput (GB/s) and improvement vs CPU-only");
+    std::vector<std::string> header{"model"};
+    for (auto b : paperBatchSizes()) {
+        header.push_back("b" + std::to_string(b));
+        header.push_back("vs-cpu");
+    }
+    table_a.setHeader(header);
+
+    const auto &cpu = ctx.paperSweep(DesignPoint::CpuOnly);
+    const auto &cen = ctx.paperSweep(DesignPoint::Centaur);
+
+    Json records = Json::array();
+    std::vector<double> improvements;
+    for (int preset = 1; preset <= 6; ++preset) {
+        std::vector<std::string> row{dlrmPreset(preset).name};
+        for (auto b : paperBatchSizes()) {
+            const auto &c = findEntry(cpu, preset, b);
+            const auto &f = findEntry(cen, preset, b);
+            const double improvement = f.result.effectiveEmbGBps /
+                                       c.result.effectiveEmbGBps;
+            improvements.push_back(improvement);
+            row.push_back(
+                TextTable::fmt(f.result.effectiveEmbGBps));
+            row.push_back(TextTable::fmt(improvement, 1) + "x");
+
+            Json rec = reportStamp("bw_comparison", f.seed);
+            rec["model"] = f.modelName;
+            rec["preset"] = preset;
+            rec["batch"] = b;
+            rec["cpu_gbps"] = c.result.effectiveEmbGBps;
+            rec["centaur_gbps"] = f.result.effectiveEmbGBps;
+            rec["improvement"] = improvement;
+            records.push(std::move(rec));
+        }
+        table_a.addRow(row);
+    }
+    ctx.emitTable(table_a);
+
+    double arith = 0.0;
+    for (double v : improvements)
+        arith += v;
+    arith /= static_cast<double>(improvements.size());
+    ctx.notef("mean BW improvement vs CPU-only: %.1fx arithmetic, "
+              "%.1fx geometric (paper: ~27x average)\n\n",
+              arith, geomean(improvements));
+
+    // (b) single-table DLRM(4) lookup sweep.
+    TextTable table_b("Figure 13(b): single-table DLRM(4) Centaur "
+                      "throughput (GB/s) vs lookups per table");
+    header = {"lookups/table"};
+    for (auto b : paperBatchSizes())
+        header.push_back("batch " + std::to_string(b));
+    table_b.setHeader(header);
+
+    Json lookup_sweep = Json::array();
+    for (std::uint32_t lookups : {25u, 50u, 100u, 200u, 400u, 800u}) {
+        std::vector<std::string> row{std::to_string(lookups)};
+        for (auto batch : paperBatchSizes()) {
+            DlrmConfig cfg = dlrmPreset(4);
+            cfg.name = "DLRM(4)x1";
+            cfg.numTables = 1;
+            cfg.lookupsPerTable = lookups;
+            CentaurSystem sys(cfg);
+            WorkloadConfig wl;
+            wl.batch = batch;
+            wl.seed = sweepSeed(4, batch) + lookups + ctx.seed();
+            WorkloadGenerator gen(cfg, wl);
+            const auto res = measureInference(sys, gen, 1);
+            row.push_back(TextTable::fmt(res.effectiveEmbGBps));
+
+            Json rec = reportStamp("lookup_sweep_entry", wl.seed);
+            rec["lookups_per_table"] = lookups;
+            rec["batch"] = batch;
+            rec["result"] = toJson(res);
+            lookup_sweep.push(std::move(rec));
+        }
+        table_b.addRow(row);
+    }
+    ctx.emitTable(table_b);
+
+    Json data = Json::object();
+    data["channel_raw_gbps"] = ch.rawBandwidthGBps();
+    data["channel_effective_gbps"] = ch.effectiveBandwidthGBps();
+    data["records"] = records;
+    data["mean_improvement_arith"] = arith;
+    data["mean_improvement_geomean"] = geomean(improvements);
+    data["lookup_sweep"] = lookup_sweep;
+    return data;
+}
+
+Json
+suiteFig14(SuiteContext &ctx)
+{
+    TextTable table("Figure 14: Centaur latency breakdown (%) and "
+                    "speedup vs CPU-only");
+    table.setHeader({"model", "batch", "IDX", "EMB", "DNF", "MLP",
+                     "Other", "latency(us)", "speedup"});
+
+    const auto &cpu = ctx.paperSweep(DesignPoint::CpuOnly);
+    const auto &cen = ctx.paperSweep(DesignPoint::Centaur);
+
+    Json records = Json::array();
+    std::vector<double> all_speedups;
+    double min_speedup = 1e30;
+    double max_speedup = 0.0;
+    for (int preset = 1; preset <= 6; ++preset) {
+        std::vector<double> model_speedups;
+        for (auto b : paperBatchSizes()) {
+            const auto &c = findEntry(cpu, preset, b);
+            const auto &f = findEntry(cen, preset, b);
+            const double speedup =
+                static_cast<double>(c.result.latency()) /
+                static_cast<double>(f.result.latency());
+            model_speedups.push_back(speedup);
+            all_speedups.push_back(speedup);
+            min_speedup = std::min(min_speedup, speedup);
+            max_speedup = std::max(max_speedup, speedup);
+            table.addRow(
+                {dlrmPreset(preset).name, std::to_string(b),
+                 TextTable::fmt(
+                     f.result.phaseShare(Phase::Idx) * 100, 1),
+                 TextTable::fmt(
+                     f.result.phaseShare(Phase::Emb) * 100, 1),
+                 TextTable::fmt(
+                     f.result.phaseShare(Phase::Dnf) * 100, 1),
+                 TextTable::fmt(
+                     f.result.phaseShare(Phase::Mlp) * 100, 1),
+                 TextTable::fmt(
+                     f.result.phaseShare(Phase::Other) * 100, 1),
+                 TextTable::fmt(usFromTicks(f.result.latency())),
+                 TextTable::fmt(speedup, 2) + "x"});
+
+            Json rec = reportStamp("speedup_comparison", f.seed);
+            rec["model"] = f.modelName;
+            rec["preset"] = preset;
+            rec["batch"] = b;
+            rec["cpu_latency_us"] = usFromTicks(c.result.latency());
+            rec["centaur_latency_us"] =
+                usFromTicks(f.result.latency());
+            rec["speedup"] = speedup;
+            rec["centaur_result"] = toJson(f.result);
+            records.push(std::move(rec));
+        }
+        ctx.notef("%s mean speedup: %.1fx\n",
+                  dlrmPreset(preset).name.c_str(),
+                  geomean(model_speedups));
+    }
+    ctx.notef("\n");
+    ctx.emitTable(table);
+    ctx.notef("speedup range %.2fx - %.2fx (paper: 1.7x - 17.2x); "
+              "geomean %.2fx\n",
+              min_speedup, max_speedup, geomean(all_speedups));
+
+    Json data = Json::object();
+    data["records"] = records;
+    data["min_speedup"] = min_speedup;
+    data["max_speedup"] = max_speedup;
+    data["geomean_speedup"] = geomean(all_speedups);
+    return data;
+}
+
+Json
+suiteFig15(SuiteContext &ctx)
+{
+    TextTable table("Figure 15: performance and energy-efficiency "
+                    "normalized to CPU-GPU");
+    table.setHeader({"model", "batch", "perf CPU-only",
+                     "perf Centaur", "eff CPU-only", "eff Centaur"});
+
+    const auto &gpu = ctx.paperSweep(DesignPoint::CpuGpu);
+    const auto &cpu = ctx.paperSweep(DesignPoint::CpuOnly);
+    const auto &cen = ctx.paperSweep(DesignPoint::Centaur);
+
+    Json records = Json::array();
+    std::vector<double> cpu_perf;
+    std::vector<double> cpu_eff;
+    std::vector<double> cen_vs_cpu_eff;
+    for (int preset = 1; preset <= 6; ++preset) {
+        for (auto b : paperBatchSizes()) {
+            const auto &g = findEntry(gpu, preset, b).result;
+            const auto &c = findEntry(cpu, preset, b).result;
+            const auto &entry = findEntry(cen, preset, b);
+            const auto &f = entry.result;
+            auto ratio = [](double num, double den) {
+                return den > 0.0 ? num / den : 0.0;
+            };
+            const double pc =
+                ratio(static_cast<double>(g.latency()),
+                      static_cast<double>(c.latency()));
+            const double pf =
+                ratio(static_cast<double>(g.latency()),
+                      static_cast<double>(f.latency()));
+            const double ec =
+                ratio(c.efficiency(), g.efficiency());
+            const double ef =
+                ratio(f.efficiency(), g.efficiency());
+            cpu_perf.push_back(pc);
+            cpu_eff.push_back(ec);
+            cen_vs_cpu_eff.push_back(
+                ratio(f.efficiency(), c.efficiency()));
+            table.addRow({dlrmPreset(preset).name, std::to_string(b),
+                          TextTable::fmt(pc, 2),
+                          TextTable::fmt(pf, 2),
+                          TextTable::fmt(ec, 2),
+                          TextTable::fmt(ef, 2)});
+
+            Json rec = reportStamp("normalized_comparison",
+                                   entry.seed);
+            rec["model"] = entry.modelName;
+            rec["preset"] = preset;
+            rec["batch"] = b;
+            rec["cpu_gpu_latency_us"] = usFromTicks(g.latency());
+            rec["cpu_only_latency_us"] = usFromTicks(c.latency());
+            rec["centaur_latency_us"] = usFromTicks(f.latency());
+            rec["perf_cpu_only_vs_cpu_gpu"] = pc;
+            rec["perf_centaur_vs_cpu_gpu"] = pf;
+            rec["eff_cpu_only_vs_cpu_gpu"] = ec;
+            rec["eff_centaur_vs_cpu_gpu"] = ef;
+            rec["eff_centaur_vs_cpu_only"] = cen_vs_cpu_eff.back();
+            records.push(std::move(rec));
+        }
+    }
+    ctx.emitTable(table);
+    ctx.notef("CPU-only vs CPU-GPU: %.2fx perf, %.2fx efficiency "
+              "(paper: 1.1x / 1.9x)\n",
+              geomean(cpu_perf), geomean(cpu_eff));
+    ctx.notef("Centaur vs CPU-only efficiency: %.2fx - %.2fx, "
+              "geomean %.2fx (paper: 1.7x - 19.5x)\n",
+              *std::min_element(cen_vs_cpu_eff.begin(),
+                                cen_vs_cpu_eff.end()),
+              *std::max_element(cen_vs_cpu_eff.begin(),
+                                cen_vs_cpu_eff.end()),
+              geomean(cen_vs_cpu_eff));
+
+    Json data = Json::object();
+    data["records"] = records;
+    data["geomean_perf_cpu_only_vs_cpu_gpu"] = geomean(cpu_perf);
+    data["geomean_eff_cpu_only_vs_cpu_gpu"] = geomean(cpu_eff);
+    data["geomean_eff_centaur_vs_cpu_only"] =
+        geomean(cen_vs_cpu_eff);
+    return data;
+}
+
+} // namespace
+
+void
+registerCentaurFigureSuites(std::vector<Suite> &suites)
+{
+    suites.push_back(
+        {"fig13", "Centaur effective gather throughput vs CPU-only",
+         suiteFig13});
+    suites.push_back(
+        {"fig14", "Centaur latency breakdown and speedup vs CPU-only",
+         suiteFig14});
+    suites.push_back({"fig15",
+                      "Performance and energy-efficiency of all "
+                      "three design points",
+                      suiteFig15});
+}
+
+} // namespace centaur::bench

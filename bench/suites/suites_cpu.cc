@@ -1,0 +1,198 @@
+/**
+ * @file
+ * CPU-only characterization suites: Figure 5 (latency breakdown),
+ * Figure 6 (LLC miss rate / MPKI per layer) and Figure 7 (effective
+ * embedding gather throughput).
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cpu_only_system.hh"
+#include "core/report.hh"
+#include "mem/dram.hh"
+#include "suite.hh"
+
+using namespace centaur;
+
+namespace centaur::bench {
+
+namespace {
+
+Json
+suiteFig5(SuiteContext &ctx)
+{
+    TextTable table("Figure 5: CPU-only latency breakdown and "
+                    "normalized latency");
+    table.setHeader({"model", "batch", "EMB%", "MLP%", "Other%",
+                     "latency(us)", "normalized"});
+
+    const auto &sweep = ctx.paperSweep(DesignPoint::CpuOnly);
+    const double base =
+        static_cast<double>(findEntry(sweep, 1, 1).result.latency());
+
+    Json records = Json::array();
+    double max_emb_share = 0.0;
+    for (int preset = 1; preset <= 6; ++preset) {
+        for (auto b : paperBatchSizes()) {
+            const auto &entry = findEntry(sweep, preset, b);
+            const auto &r = entry.result;
+            max_emb_share =
+                std::max(max_emb_share, r.phaseShare(Phase::Emb));
+            table.addRow(
+                {dlrmPreset(preset).name, std::to_string(b),
+                 TextTable::fmt(r.phaseShare(Phase::Emb) * 100, 1),
+                 TextTable::fmt(r.phaseShare(Phase::Mlp) * 100, 1),
+                 TextTable::fmt(r.phaseShare(Phase::Other) * 100, 1),
+                 TextTable::fmt(usFromTicks(r.latency())),
+                 TextTable::fmt(static_cast<double>(r.latency()) /
+                                    base,
+                                2)});
+            Json rec = toJson(entry);
+            rec["normalized_latency"] =
+                static_cast<double>(r.latency()) / base;
+            records.push(std::move(rec));
+        }
+    }
+    ctx.emitTable(table);
+    ctx.notef("max EMB share: %.1f%% (paper: up to 79%%)\n",
+              max_emb_share * 100.0);
+
+    Json data = Json::object();
+    data["records"] = records;
+    data["max_emb_share"] = max_emb_share;
+    return data;
+}
+
+Json
+suiteFig6(SuiteContext &ctx)
+{
+    TextTable miss("Figure 6(a): LLC miss rate (%) - EMB vs MLP");
+    TextTable mpki("Figure 6(b): MPKI - EMB vs MLP");
+    std::vector<std::string> header{"model"};
+    for (auto b : paperBatchSizes()) {
+        header.push_back("b" + std::to_string(b) + " EMB");
+        header.push_back("MLP");
+    }
+    miss.setHeader(header);
+    mpki.setHeader(header);
+
+    const auto &sweep = ctx.paperSweep(DesignPoint::CpuOnly);
+    Json records = Json::array();
+    double max_mlp_miss = 0.0;
+    for (int preset = 1; preset <= 6; ++preset) {
+        std::vector<std::string> mrow{dlrmPreset(preset).name};
+        std::vector<std::string> krow{dlrmPreset(preset).name};
+        for (auto b : paperBatchSizes()) {
+            const auto &entry = findEntry(sweep, preset, b);
+            const auto &r = entry.result;
+            mrow.push_back(
+                TextTable::fmt(r.emb.llcMissRate() * 100, 1));
+            mrow.push_back(
+                TextTable::fmt(r.mlp.llcMissRate() * 100, 1));
+            krow.push_back(TextTable::fmt(r.emb.mpki(), 1));
+            krow.push_back(TextTable::fmt(r.mlp.mpki(), 2));
+            max_mlp_miss =
+                std::max(max_mlp_miss, r.mlp.llcMissRate());
+            records.push(toJson(entry));
+        }
+        miss.addRow(mrow);
+        mpki.addRow(krow);
+    }
+    ctx.emitTable(miss);
+    ctx.emitTable(mpki);
+    ctx.notef("max MLP LLC miss rate: %.1f%% (paper: < 20%%)\n",
+              max_mlp_miss * 100.0);
+
+    Json data = Json::object();
+    data["records"] = records;
+    data["max_mlp_llc_miss_rate"] = max_mlp_miss;
+    return data;
+}
+
+Json
+suiteFig7(SuiteContext &ctx)
+{
+    ctx.notef("DRAM peak bandwidth: %.1f GB/s (paper: 77 GB/s)\n\n",
+              DramConfig{}.peakBandwidthGBps());
+
+    // (a) per Table I model as a function of batch size.
+    TextTable table_a("Figure 7(a): CPU-only effective embedding "
+                      "throughput (GB/s) vs batch size");
+    std::vector<std::string> header{"model"};
+    for (auto b : paperBatchSizes())
+        header.push_back("b" + std::to_string(b));
+    table_a.setHeader(header);
+
+    const auto &sweep = ctx.paperSweep(DesignPoint::CpuOnly);
+    Json records = Json::array();
+    for (int preset = 1; preset <= 6; ++preset) {
+        std::vector<std::string> row{dlrmPreset(preset).name};
+        for (auto b : paperBatchSizes()) {
+            const auto &e = findEntry(sweep, preset, b);
+            row.push_back(
+                TextTable::fmt(e.result.effectiveEmbGBps));
+            records.push(toJson(e));
+        }
+        table_a.addRow(row);
+    }
+    ctx.emitTable(table_a);
+
+    // (b) single-table DLRM(4) lookup sweep.
+    TextTable table_b("Figure 7(b): single-table DLRM(4) effective "
+                      "throughput (GB/s) vs lookups per table");
+    header = {"lookups/table"};
+    for (auto b : paperBatchSizes())
+        header.push_back("batch " + std::to_string(b));
+    table_b.setHeader(header);
+
+    Json lookup_sweep = Json::array();
+    for (std::uint32_t lookups : {25u, 50u, 100u, 200u, 400u, 800u}) {
+        std::vector<std::string> row{std::to_string(lookups)};
+        for (auto batch : paperBatchSizes()) {
+            DlrmConfig cfg = dlrmPreset(4);
+            cfg.name = "DLRM(4)x1";
+            cfg.numTables = 1;
+            cfg.lookupsPerTable = lookups;
+            CpuOnlySystem sys(cfg);
+            WorkloadConfig wl;
+            wl.batch = batch;
+            wl.seed = sweepSeed(4, batch) + lookups + ctx.seed();
+            WorkloadGenerator gen(cfg, wl);
+            const auto res = measureInference(sys, gen, 1);
+            row.push_back(TextTable::fmt(res.effectiveEmbGBps));
+
+            Json rec = reportStamp("lookup_sweep_entry", wl.seed);
+            rec["lookups_per_table"] = lookups;
+            rec["batch"] = batch;
+            rec["result"] = toJson(res);
+            lookup_sweep.push(std::move(rec));
+        }
+        table_b.addRow(row);
+    }
+    ctx.emitTable(table_b);
+
+    Json data = Json::object();
+    data["dram_peak_gbps"] = DramConfig{}.peakBandwidthGBps();
+    data["records"] = records;
+    data["lookup_sweep"] = lookup_sweep;
+    return data;
+}
+
+} // namespace
+
+void
+registerCpuFigureSuites(std::vector<Suite> &suites)
+{
+    suites.push_back({"fig5",
+                      "CPU-only latency breakdown (EMB/MLP/Other)",
+                      suiteFig5});
+    suites.push_back(
+        {"fig6", "CPU-only LLC miss rate and MPKI per layer",
+         suiteFig6});
+    suites.push_back(
+        {"fig7", "CPU-only effective embedding throughput",
+         suiteFig7});
+}
+
+} // namespace centaur::bench

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Table reproduction suites: Table I (model configurations),
+ * Table II (FPGA device utilization), Table III (sparse vs dense
+ * module split) and Table IV (wall power plus derived energy).
+ */
+
+#include "core/report.hh"
+#include "fpga/resource_model.hh"
+#include "power/power_model.hh"
+#include "suite.hh"
+
+using namespace centaur;
+
+namespace centaur::bench {
+
+namespace {
+
+std::string
+bits(std::uint64_t b)
+{
+    if (b >= 1000000)
+        return TextTable::fmt(static_cast<double>(b) / 1e6, 1) + "M";
+    if (b >= 1000)
+        return TextTable::fmt(static_cast<double>(b) / 1e3, 0) + "K";
+    return std::to_string(b);
+}
+
+Json
+suiteTable1(SuiteContext &ctx)
+{
+    TextTable table("Table I: recommendation model configurations");
+    table.setHeader({"model", "# tables", "gathers/table",
+                     "table size", "MLP size (actual)",
+                     "MLP size (5-table basis)"});
+
+    Json records = Json::array();
+    for (int preset = 1; preset <= 6; ++preset) {
+        const DlrmConfig cfg = dlrmPreset(preset);
+        DlrmConfig five = cfg;
+        five.numTables = 5;
+
+        const double total_mb =
+            static_cast<double>(cfg.totalTableBytes()) / 1e6;
+        std::string size_str =
+            total_mb >= 1000.0
+                ? TextTable::fmt(total_mb / 1000.0, 2) + " GB"
+                : TextTable::fmt(total_mb, 0) + " MB";
+        table.addRow(
+            {cfg.name, std::to_string(cfg.numTables),
+             std::to_string(cfg.lookupsPerTable), size_str,
+             TextTable::fmt(
+                 static_cast<double>(cfg.mlpParamBytes()) / 1024.0,
+                 1) +
+                 " KB",
+             TextTable::fmt(
+                 static_cast<double>(five.mlpParamBytes()) / 1024.0,
+                 1) +
+                 " KB"});
+
+        Json rec = toJson(cfg);
+        rec["preset"] = preset;
+        rec["mlp_param_bytes_5table_basis"] = five.mlpParamBytes();
+        records.push(std::move(rec));
+    }
+    ctx.emitTable(table);
+    ctx.notef("paper Table I: 128MB/1.28GB/3.2GB tables; "
+              "57.4KB MLP for DLRM(1)-(5), 557KB for DLRM(6)\n");
+
+    Json data = Json::object();
+    data["records"] = records;
+    return data;
+}
+
+Json
+suiteTable2(SuiteContext &ctx)
+{
+    const CentaurConfig cfg;
+    const ResourceModel model(cfg);
+    const DeviceUsage use = model.deviceUsage();
+    const DeviceCapacity cap = ResourceModel::gx1150();
+
+    TextTable table("Table II: Centaur FPGA resource utilization "
+                    "(Arria 10 GX1150)");
+    table.setHeader({"", "ALM", "Blk. Mem (bits)", "RAM Blk.", "DSP",
+                     "PLL"});
+    table.addRow(
+        {"GX1150 (Max)", std::to_string(cap.alms),
+         TextTable::fmt(static_cast<double>(cap.blockMemBits) / 1e6,
+                        1) +
+             " M",
+         std::to_string(cap.ramBlocks), std::to_string(cap.dsp),
+         std::to_string(cap.plls)});
+    table.addRow(
+        {"Centaur", std::to_string(use.alms),
+         TextTable::fmt(static_cast<double>(use.blockMemBits) / 1e6,
+                        1) +
+             " M",
+         std::to_string(use.ramBlocks), std::to_string(use.dsp),
+         std::to_string(use.plls)});
+    auto pct = [](std::uint64_t num, std::uint64_t den) {
+        return 100.0 * static_cast<double>(num) /
+               static_cast<double>(den);
+    };
+    table.addRow({"Utilization [%]",
+                  TextTable::fmt(pct(use.alms, cap.alms), 1),
+                  TextTable::fmt(
+                      pct(use.blockMemBits, cap.blockMemBits), 1),
+                  TextTable::fmt(pct(use.ramBlocks, cap.ramBlocks),
+                                 1),
+                  TextTable::fmt(pct(use.dsp, cap.dsp), 1),
+                  TextTable::fmt(pct(use.plls, cap.plls), 1)});
+    ctx.emitTable(table);
+    ctx.notef("paper Table II: ALM 127,719 (29.9%%), Blk mem 23.7M "
+              "(42.6%%), RAM blk 2,238 (82.5%%), DSP 784 (51.6%%), "
+              "PLL 48 (27.3%%)\n");
+    ctx.notef("design fits device: %s | aggregate dense throughput "
+              "%.1f GFLOPS (paper: 313)\n",
+              model.fits() ? "yes" : "NO", cfg.peakGflops());
+
+    auto usage = [](std::uint64_t alms, std::uint64_t mem_bits,
+                    std::uint64_t ram, std::uint64_t dsp,
+                    std::uint64_t plls) {
+        Json j = Json::object();
+        j["alms"] = alms;
+        j["block_mem_bits"] = mem_bits;
+        j["ram_blocks"] = ram;
+        j["dsp"] = dsp;
+        j["plls"] = plls;
+        return j;
+    };
+    Json data = Json::object();
+    data["capacity"] = usage(cap.alms, cap.blockMemBits,
+                             cap.ramBlocks, cap.dsp, cap.plls);
+    data["usage"] = usage(use.alms, use.blockMemBits, use.ramBlocks,
+                          use.dsp, use.plls);
+    Json util = Json::object();
+    util["alms"] = pct(use.alms, cap.alms);
+    util["block_mem_bits"] = pct(use.blockMemBits, cap.blockMemBits);
+    util["ram_blocks"] = pct(use.ramBlocks, cap.ramBlocks);
+    util["dsp"] = pct(use.dsp, cap.dsp);
+    util["plls"] = pct(use.plls, cap.plls);
+    data["utilization_pct"] = util;
+    data["fits"] = model.fits();
+    data["peak_gflops"] = cfg.peakGflops();
+    return data;
+}
+
+Json
+suiteTable3(SuiteContext &ctx)
+{
+    const CentaurConfig cfg;
+    const ResourceModel model(cfg);
+
+    TextTable table("Table III: sparse vs dense FPGA resource usage");
+    table.setHeader({"Complex", "Module", "LC comb.", "LC reg.",
+                     "Blk. Mem", "DSP"});
+    Json records = Json::array();
+    auto moduleJson = [](const ModuleUsage &row) {
+        Json j = Json::object();
+        j["complex"] = row.complex;
+        j["module"] = row.module;
+        j["lc_comb"] = row.lcComb;
+        j["lc_reg"] = row.lcReg;
+        j["block_mem_bits"] = row.blockMemBits;
+        j["dsp"] = row.dsp;
+        return j;
+    };
+    for (const auto &row : model.moduleUsage()) {
+        table.addRow({row.complex, row.module,
+                      std::to_string(row.lcComb),
+                      std::to_string(row.lcReg),
+                      bits(row.blockMemBits),
+                      std::to_string(row.dsp)});
+        records.push(moduleJson(row));
+    }
+    Json totals = Json::object();
+    for (const char *complex : {"Sparse", "Dense"}) {
+        const auto total = model.complexTotal(complex);
+        table.addRow({complex, "Total", std::to_string(total.lcComb),
+                      std::to_string(total.lcReg),
+                      bits(total.blockMemBits),
+                      std::to_string(total.dsp)});
+        totals[complex] = moduleJson(total);
+    }
+    ctx.emitTable(table);
+    ctx.notef("paper Table III totals: sparse 851 / 8.8K / 12.3M / "
+              "96; dense 52K / 175K / 9.8M / 688\n");
+
+    Json data = Json::object();
+    data["records"] = records;
+    data["totals"] = totals;
+    return data;
+}
+
+Json
+suiteTable4(SuiteContext &ctx)
+{
+    const PowerModel power;
+
+    TextTable table("Table IV: power consumption");
+    table.setHeader({"", "CPU-only", "CPU-GPU", "Centaur"});
+    table.addRow(
+        {"Power (Watts)",
+         TextTable::fmt(power.watts(DesignPoint::CpuOnly), 0),
+         TextTable::fmt(power.config().cpuGpuCpuWatts, 0) + "/" +
+             TextTable::fmt(power.config().cpuGpuGpuWatts, 0) +
+             " (CPU/GPU)",
+         TextTable::fmt(power.watts(DesignPoint::Centaur), 0)});
+    ctx.emitTable(table);
+    ctx.notef("paper Table IV: 80 W / 91+56 W / 74 W\n\n");
+
+    // Derived: per-inference energy at DLRM(1), batch 16.
+    TextTable energy("Derived: energy per inference, DLRM(1) b16");
+    energy.setHeader({"design", "latency (us)", "energy (uJ)"});
+    const DlrmConfig cfg = dlrmPreset(1);
+    Json records = Json::array();
+    for (DesignPoint dp : {DesignPoint::CpuOnly, DesignPoint::CpuGpu,
+                           DesignPoint::Centaur}) {
+        auto sys = makeSystem(dp, cfg);
+        WorkloadConfig wl;
+        wl.batch = 16;
+        wl.seed = 11 + ctx.seed();
+        WorkloadGenerator gen(cfg, wl);
+        const auto res = measureInference(*sys, gen, 1);
+        energy.addRow({sys->name(),
+                       TextTable::fmt(usFromTicks(res.latency())),
+                       TextTable::fmt(res.energyJoules * 1e6)});
+
+        Json rec = reportStamp("energy_entry", wl.seed);
+        rec["model"] = cfg.name;
+        rec["result"] = toJson(res);
+        records.push(std::move(rec));
+    }
+    ctx.emitTable(energy);
+
+    Json data = Json::object();
+    Json watts = Json::object();
+    watts["cpu_only"] = power.watts(DesignPoint::CpuOnly);
+    watts["cpu_gpu_cpu"] = power.config().cpuGpuCpuWatts;
+    watts["cpu_gpu_gpu"] = power.config().cpuGpuGpuWatts;
+    watts["centaur"] = power.watts(DesignPoint::Centaur);
+    data["power_watts"] = watts;
+    data["records"] = records;
+    return data;
+}
+
+} // namespace
+
+void
+registerTableSuites(std::vector<Suite> &suites)
+{
+    suites.push_back(
+        {"table1", "Table I recommendation model configurations",
+         suiteTable1});
+    suites.push_back(
+        {"table2", "Table II Centaur FPGA resource utilization",
+         suiteTable2});
+    suites.push_back(
+        {"table3", "Table III sparse vs dense FPGA resource split",
+         suiteTable3});
+    suites.push_back(
+        {"table4", "Table IV power and derived energy", suiteTable4});
+}
+
+} // namespace centaur::bench

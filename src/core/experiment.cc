@@ -14,7 +14,7 @@ sweepSeed(int preset, std::uint32_t batch)
 std::vector<SweepEntry>
 runSweep(DesignPoint dp, const std::vector<int> &presets,
          const std::vector<std::uint32_t> &batches, int warmup_runs,
-         IndexDistribution dist)
+         IndexDistribution dist, std::uint64_t seed_offset)
 {
     std::vector<SweepEntry> out;
     for (int preset : presets) {
@@ -24,12 +24,13 @@ runSweep(DesignPoint dp, const std::vector<int> &presets,
             WorkloadConfig wl;
             wl.batch = batch;
             wl.dist = dist;
-            wl.seed = sweepSeed(preset, batch);
+            wl.seed = sweepSeed(preset, batch) + seed_offset;
             WorkloadGenerator gen(cfg, wl);
             SweepEntry entry;
             entry.modelName = cfg.name;
             entry.preset = preset;
             entry.batch = batch;
+            entry.seed = wl.seed;
             entry.result = measureInference(*sys, gen, warmup_runs);
             out.push_back(std::move(entry));
         }
@@ -38,10 +39,12 @@ runSweep(DesignPoint dp, const std::vector<int> &presets,
 }
 
 std::vector<SweepEntry>
-runPaperSweep(DesignPoint dp, int warmup_runs)
+runPaperSweep(DesignPoint dp, int warmup_runs,
+              std::uint64_t seed_offset)
 {
     return runSweep(dp, {1, 2, 3, 4, 5, 6}, paperBatchSizes(),
-                    warmup_runs);
+                    warmup_runs, IndexDistribution::Uniform,
+                    seed_offset);
 }
 
 const SweepEntry &
@@ -71,7 +74,7 @@ runServingSweep(DesignPoint dp, int preset,
                 const std::vector<std::uint32_t> &workers,
                 const std::vector<std::uint32_t> &coalesce,
                 const std::vector<double> &rates,
-                const ServingConfig &base)
+                const ServingConfig &base, std::uint64_t seed_offset)
 {
     const DlrmConfig model = dlrmPreset(preset);
     std::vector<ServingSweepEntry> out;
@@ -82,13 +85,15 @@ runServingSweep(DesignPoint dp, int preset,
                 cfg.workers = w;
                 cfg.maxCoalescedBatch = c;
                 cfg.arrivalRatePerSec = rate;
-                cfg.seed = servingSweepSeed(preset, w, c, rate);
+                cfg.seed =
+                    servingSweepSeed(preset, w, c, rate) + seed_offset;
                 ServingSweepEntry entry;
                 entry.modelName = model.name;
                 entry.preset = preset;
                 entry.workers = w;
                 entry.maxCoalescedBatch = c;
                 entry.arrivalRatePerSec = rate;
+                entry.seed = cfg.seed;
                 entry.stats = runServingSim(dp, model, cfg);
                 out.push_back(std::move(entry));
             }

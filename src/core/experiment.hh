@@ -26,6 +26,8 @@ struct SweepEntry
     std::string modelName;
     int preset = 0;
     std::uint32_t batch = 0;
+    /** Workload seed the point was measured with. */
+    std::uint64_t seed = 0;
     InferenceResult result;
 };
 
@@ -33,15 +35,18 @@ struct SweepEntry
  * Measure @p dp on every (preset, batch) pair. Each point uses a
  * fresh system (cold platform state) plus @p warmup_runs warmup
  * inferences, mirroring the paper's warmed-cache methodology.
+ * @p seed_offset shifts every per-point seed (centaur_bench --seed).
  */
 std::vector<SweepEntry>
 runSweep(DesignPoint dp, const std::vector<int> &presets,
          const std::vector<std::uint32_t> &batches, int warmup_runs = 1,
-         IndexDistribution dist = IndexDistribution::Uniform);
+         IndexDistribution dist = IndexDistribution::Uniform,
+         std::uint64_t seed_offset = 0);
 
 /** Convenience: all six presets x the paper's batch sizes. */
 std::vector<SweepEntry> runPaperSweep(DesignPoint dp,
-                                      int warmup_runs = 1);
+                                      int warmup_runs = 1,
+                                      std::uint64_t seed_offset = 0);
 
 /** Locate a sweep entry; fatal if absent. */
 const SweepEntry &findEntry(const std::vector<SweepEntry> &entries,
@@ -58,6 +63,8 @@ struct ServingSweepEntry
     std::uint32_t workers = 0;
     std::uint32_t maxCoalescedBatch = 0;
     double arrivalRatePerSec = 0.0;
+    /** Workload seed the point was measured with. */
+    std::uint64_t seed = 0;
     ServingStats stats;
 };
 
@@ -65,14 +72,16 @@ struct ServingSweepEntry
  * Run the serving engine on @p dp across the cross product of worker
  * counts, coalescing limits and arrival rates. @p base supplies the
  * remaining ServingConfig knobs (request count, per-request batch,
- * window, drop policy, SLA); each point gets a deterministic seed.
+ * window, drop policy, SLA); each point gets a deterministic seed,
+ * shifted by @p seed_offset (centaur_bench --seed).
  */
 std::vector<ServingSweepEntry>
 runServingSweep(DesignPoint dp, int preset,
                 const std::vector<std::uint32_t> &workers,
                 const std::vector<std::uint32_t> &coalesce,
                 const std::vector<double> &rates,
-                const ServingConfig &base = ServingConfig{});
+                const ServingConfig &base = ServingConfig{},
+                std::uint64_t seed_offset = 0);
 
 /** Locate a serving-sweep entry; fatal if absent. */
 const ServingSweepEntry &

@@ -1,0 +1,183 @@
+#include "core/report.hh"
+
+#include "sim/units.hh"
+
+namespace centaur {
+
+Json
+reportStamp(const std::string &kind, std::uint64_t seed)
+{
+    Json j = Json::object();
+    j["schema_version"] = kReportSchemaVersion;
+    j["kind"] = kind;
+    j["seed"] = seed;
+    return j;
+}
+
+Json
+toJson(const DlrmConfig &cfg)
+{
+    Json j = Json::object();
+    j["name"] = cfg.name;
+    j["num_tables"] = cfg.numTables;
+    j["lookups_per_table"] = cfg.lookupsPerTable;
+    j["rows_per_table"] = cfg.rowsPerTable;
+    j["embedding_dim"] = cfg.embeddingDim;
+    j["dense_dim"] = cfg.denseDim;
+    j["table_bytes"] = cfg.tableBytes();
+    j["total_table_bytes"] = cfg.totalTableBytes();
+    j["mlp_param_bytes"] = cfg.mlpParamBytes();
+    j["interaction_dim"] = cfg.interactionDim();
+    return j;
+}
+
+Json
+toJson(const LayerStats &ls)
+{
+    Json j = Json::object();
+    j["instructions"] = ls.instructions;
+    j["llc_accesses"] = ls.llcAccesses;
+    j["llc_misses"] = ls.llcMisses;
+    j["llc_miss_rate"] = ls.llcMissRate();
+    j["mpki"] = ls.mpki();
+    return j;
+}
+
+Json
+toJson(const InferenceResult &res)
+{
+    Json j = Json::object();
+    j["design"] = designPointName(res.design);
+    j["batch"] = res.batch;
+    j["latency_us"] = usFromTicks(res.latency());
+    j["throughput_inf_per_sec"] = res.inferencesPerSec();
+
+    Json phase_us = Json::object();
+    Json phase_share = Json::object();
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+        const Phase p = static_cast<Phase>(i);
+        phase_us[phaseName(p)] = usFromTicks(res.phaseTicks(p));
+        phase_share[phaseName(p)] = res.phaseShare(p);
+    }
+    j["phase_us"] = phase_us;
+    j["phase_share"] = phase_share;
+
+    j["effective_emb_gbps"] = res.effectiveEmbGBps;
+    j["emb"] = toJson(res.emb);
+    j["mlp"] = toJson(res.mlp);
+    j["power_watts"] = res.powerWatts;
+    j["energy_joules"] = res.energyJoules;
+    j["efficiency_inf_per_joule"] = res.efficiency();
+    j["num_probabilities"] = res.probabilities.size();
+    return j;
+}
+
+Json
+toJson(const SweepEntry &entry)
+{
+    Json j = reportStamp("sweep_entry", entry.seed);
+    j["model"] = entry.modelName;
+    j["preset"] = entry.preset;
+    j["batch"] = entry.batch;
+    j["result"] = toJson(entry.result);
+    return j;
+}
+
+Json
+toJson(const WorkerStats &ws)
+{
+    Json j = Json::object();
+    j["served"] = ws.served;
+    j["dispatches"] = ws.dispatches;
+    j["busy_us"] = ws.busyUs;
+    j["utilization"] = ws.utilization;
+    j["energy_joules"] = ws.energyJoules;
+    j["mean_coalesced"] = ws.meanCoalesced();
+    return j;
+}
+
+Json
+toJson(const ServingStats &stats)
+{
+    Json j = Json::object();
+    j["offered"] = stats.offered;
+    j["served"] = stats.served;
+    j["dropped_queue_full"] = stats.droppedQueueFull;
+    j["dropped_timeout"] = stats.droppedTimeout;
+    j["drop_rate"] = stats.dropRate();
+    j["mean_service_us"] = stats.meanServiceUs;
+    j["mean_queue_us"] = stats.meanQueueUs;
+    j["mean_latency_us"] = stats.meanLatencyUs;
+    j["p50_us"] = stats.p50Us;
+    j["p95_us"] = stats.p95Us;
+    j["p99_us"] = stats.p99Us;
+    j["max_latency_us"] = stats.maxLatencyUs;
+    j["latency_overflow"] = stats.latencyOverflow;
+    j["throughput_rps"] = stats.throughputRps;
+    j["offered_rps"] = stats.offeredRps;
+    j["utilization"] = stats.utilization;
+    j["energy_joules"] = stats.energyJoules;
+    j["dispatches"] = stats.dispatches;
+    j["mean_coalesced_requests"] = stats.meanCoalescedRequests;
+    j["sla_target_us"] = stats.slaTarget;
+    j["sla_hit_rate"] = stats.slaHitRate;
+    Json workers = Json::array();
+    for (const auto &w : stats.perWorker)
+        workers.push(toJson(w));
+    j["per_worker"] = workers;
+    return j;
+}
+
+Json
+toJson(const ServingSweepEntry &entry)
+{
+    Json j = reportStamp("serving_sweep_entry", entry.seed);
+    j["model"] = entry.modelName;
+    j["preset"] = entry.preset;
+    j["workers"] = entry.workers;
+    j["max_coalesced_batch"] = entry.maxCoalescedBatch;
+    j["arrival_rate_per_sec"] = entry.arrivalRatePerSec;
+    j["stats"] = toJson(entry.stats);
+    return j;
+}
+
+Json
+toJson(const ServingConfig &cfg)
+{
+    Json j = Json::object();
+    j["arrival_rate_per_sec"] = cfg.arrivalRatePerSec;
+    j["batch_per_request"] = cfg.batchPerRequest;
+    j["requests"] = cfg.requests;
+    j["seed"] = cfg.seed;
+    j["workers"] = cfg.workers;
+    j["max_coalesced_batch"] = cfg.maxCoalescedBatch;
+    j["coalesce_window_us"] = cfg.coalesceWindowUs;
+    j["max_queue_depth"] = cfg.maxQueueDepth;
+    j["queue_timeout_us"] = cfg.queueTimeoutUs;
+    j["sla_target_us"] = cfg.slaTargetUs;
+    return j;
+}
+
+Json
+toJson(const PhaseVerdict &verdict)
+{
+    Json j = Json::object();
+    j["phase"] = phaseName(verdict.phase);
+    j["limiter"] = bottleneckName(verdict.limiter);
+    j["utilization"] = verdict.utilization;
+    j["note"] = verdict.note;
+    return j;
+}
+
+Json
+toJson(const ServingVerdict &verdict)
+{
+    Json j = Json::object();
+    j["regime"] = servingRegimeName(verdict.regime);
+    j["limiter"] = bottleneckName(verdict.limiter);
+    j["utilization"] = verdict.utilization;
+    j["note"] = verdict.note;
+    return j;
+}
+
+} // namespace centaur

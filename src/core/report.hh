@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Machine-readable result reporting: JSON serializers for every
+ * measurement record the simulator produces (InferenceResult with
+ * its phase breakdown / LayerStats / energy, SweepEntry, the
+ * ServingEngine sweep and analysis records). Each record is stamped
+ * with the report schema version, the design-point / model
+ * configuration it was measured on, and the workload seed, so two
+ * runs can be diffed field-by-field (tools/check_bench.py).
+ */
+
+#ifndef CENTAUR_CORE_REPORT_HH
+#define CENTAUR_CORE_REPORT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/analysis.hh"
+#include "core/experiment.hh"
+#include "core/result.hh"
+#include "core/server.hh"
+#include "dlrm/model_config.hh"
+#include "sim/json.hh"
+
+namespace centaur {
+
+/**
+ * Version of the emitted report schema. Bump whenever a serializer
+ * renames/removes a key or changes a unit; tools/check_bench.py
+ * refuses documents whose version it does not understand.
+ */
+constexpr int kReportSchemaVersion = 1;
+
+/** Common stamp: schema version, kind tag and workload seed. */
+Json reportStamp(const std::string &kind, std::uint64_t seed);
+
+/** Model configuration (Table I axes plus derived sizes). */
+Json toJson(const DlrmConfig &cfg);
+
+/** Per-layer cache statistics (Figure 6 axes). */
+Json toJson(const LayerStats &ls);
+
+/**
+ * One end-to-end inference: latency, per-phase ticks and shares,
+ * effective gather bandwidth, cache stats, power and energy.
+ */
+Json toJson(const InferenceResult &res);
+
+/** One (model, batch) sweep point, stamped with its sweep seed. */
+Json toJson(const SweepEntry &entry);
+
+/** Per-worker serving statistics. */
+Json toJson(const WorkerStats &ws);
+
+/** Aggregate serving statistics (latency distribution, drops, SLA). */
+Json toJson(const ServingStats &stats);
+
+/** One (workers, coalesce, rate) serving sweep point. */
+Json toJson(const ServingSweepEntry &entry);
+
+/** Serving-engine configuration knobs. */
+Json toJson(const ServingConfig &cfg);
+
+/** Bottleneck-analysis verdict for one phase. */
+Json toJson(const PhaseVerdict &verdict);
+
+/** Regime/bottleneck verdict for one serving run. */
+Json toJson(const ServingVerdict &verdict);
+
+} // namespace centaur
+
+#endif // CENTAUR_CORE_REPORT_HH

@@ -1,0 +1,645 @@
+#include "sim/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+Json::Json(unsigned long v)
+{
+    if (v <= static_cast<unsigned long>(INT64_MAX)) {
+        _type = Type::Int;
+        _int = static_cast<std::int64_t>(v);
+    } else {
+        _type = Type::Double;
+        _double = static_cast<double>(v);
+    }
+}
+
+Json::Json(unsigned long long v)
+{
+    if (v <= static_cast<unsigned long long>(INT64_MAX)) {
+        _type = Type::Int;
+        _int = static_cast<std::int64_t>(v);
+    } else {
+        _type = Type::Double;
+        _double = static_cast<double>(v);
+    }
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j._type = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j._type = Type::Object;
+    return j;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    if (_type == Type::Int)
+        return _int;
+    if (_type == Type::Double)
+        return static_cast<std::int64_t>(_double);
+    return 0;
+}
+
+double
+Json::asDouble() const
+{
+    if (_type == Type::Int)
+        return static_cast<double>(_int);
+    if (_type == Type::Double)
+        return _double;
+    return 0.0;
+}
+
+std::size_t
+Json::size() const
+{
+    if (_type == Type::Array)
+        return _array.size();
+    if (_type == Type::Object)
+        return _object.size();
+    return 0;
+}
+
+Json &
+Json::push(Json v)
+{
+    if (_type == Type::Null)
+        _type = Type::Array;
+    if (_type != Type::Array)
+        fatal("Json::push on non-array value");
+    _array.push_back(std::move(v));
+    return *this;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    if (_type != Type::Array || i >= _array.size())
+        fatal("Json::at(", i, ") out of range");
+    return _array[i];
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (_type == Type::Null)
+        _type = Type::Object;
+    if (_type != Type::Object)
+        fatal("Json::operator[] on non-object value");
+    for (auto &kv : _object)
+        if (kv.first == key)
+            return kv.second;
+    _object.emplace_back(key, Json());
+    return _object.back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (_type != Type::Object)
+        return nullptr;
+    for (const auto &kv : _object)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    // Int/Int compares exactly (doubles lose precision above 2^53);
+    // mixed Int/Double falls back to double comparison.
+    if (_type == Type::Int && other._type == Type::Int)
+        return _int == other._int;
+    if (isNumber() && other.isNumber())
+        return asDouble() == other.asDouble();
+    if (_type != other._type)
+        return false;
+    switch (_type) {
+    case Type::Null:
+        return true;
+    case Type::Bool:
+        return _bool == other._bool;
+    case Type::String:
+        return _string == other._string;
+    case Type::Array:
+        return _array == other._array;
+    case Type::Object:
+        return _object == other._object;
+    default:
+        return true; // numbers handled above
+    }
+}
+
+void
+jsonEscape(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    // Shortest representation that round-trips through strtod.
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    // %g may emit "inf"-free but exponent forms like 1e+06; both are
+    // valid JSON. Ensure a leading digit convention ("-.5" never
+    // happens with %g).
+    return buf;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    auto newline = [&](int d) {
+        if (!pretty)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) *
+                       static_cast<std::size_t>(d),
+                   ' ');
+    };
+
+    switch (_type) {
+    case Type::Null:
+        out += "null";
+        break;
+    case Type::Bool:
+        out += _bool ? "true" : "false";
+        break;
+    case Type::Int: {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(_int));
+        out += buf;
+        break;
+    }
+    case Type::Double:
+        out += jsonNumber(_double);
+        break;
+    case Type::String:
+        jsonEscape(out, _string);
+        break;
+    case Type::Array:
+        if (_array.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < _array.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            _array[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+    case Type::Object:
+        if (_object.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < _object.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            jsonEscape(out, _object[i].first);
+            out += pretty ? ": " : ":";
+            _object[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Recursive-descent RFC 8259 parser over a string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : _text(text), _err(err)
+    {
+    }
+
+    bool
+    parse(Json &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (_pos != _text.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 200;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (_err)
+            *_err = msg + " at offset " + std::to_string(_pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _text.size()) {
+            const char c = _text[_pos];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++_pos;
+            else
+                break;
+        }
+    }
+
+    bool
+    literal(const char *word, Json value, Json &out)
+    {
+        const std::size_t n = std::strlen(word);
+        if (_text.compare(_pos, n, word) != 0)
+            return fail("invalid literal");
+        _pos += n;
+        out = std::move(value);
+        return true;
+    }
+
+    bool
+    parseValue(Json &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (_pos >= _text.size())
+            return fail("unexpected end of input");
+        switch (_text[_pos]) {
+        case 'n':
+            return literal("null", Json(), out);
+        case 't':
+            return literal("true", Json(true), out);
+        case 'f':
+            return literal("false", Json(false), out);
+        case '"':
+            return parseString(out);
+        case '[':
+            return parseArray(out, depth);
+        case '{':
+            return parseObject(out, depth);
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseHex4(unsigned &cp)
+    {
+        if (_pos + 4 > _text.size())
+            return fail("truncated \\u escape");
+        cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = _text[_pos + static_cast<std::size_t>(i)];
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("invalid \\u escape digit");
+        }
+        _pos += 4;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            s += static_cast<char>(0xF0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    parseStringRaw(std::string &s)
+    {
+        ++_pos; // opening quote
+        while (true) {
+            if (_pos >= _text.size())
+                return fail("unterminated string");
+            const unsigned char c =
+                static_cast<unsigned char>(_text[_pos]);
+            if (c == '"') {
+                ++_pos;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                s += static_cast<char>(c);
+                ++_pos;
+                continue;
+            }
+            ++_pos;
+            if (_pos >= _text.size())
+                return fail("truncated escape");
+            const char esc = _text[_pos++];
+            switch (esc) {
+            case '"':
+                s += '"';
+                break;
+            case '\\':
+                s += '\\';
+                break;
+            case '/':
+                s += '/';
+                break;
+            case 'b':
+                s += '\b';
+                break;
+            case 'f':
+                s += '\f';
+                break;
+            case 'n':
+                s += '\n';
+                break;
+            case 'r':
+                s += '\r';
+                break;
+            case 't':
+                s += '\t';
+                break;
+            case 'u': {
+                unsigned cp = 0;
+                if (!parseHex4(cp))
+                    return false;
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: expect a low surrogate next.
+                    if (_text.compare(_pos, 2, "\\u") != 0)
+                        return fail("unpaired high surrogate");
+                    _pos += 2;
+                    unsigned lo = 0;
+                    if (!parseHex4(lo))
+                        return false;
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        return fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) +
+                         (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    return fail("unpaired low surrogate");
+                }
+                appendUtf8(s, cp);
+                break;
+            }
+            default:
+                return fail("invalid escape character");
+            }
+        }
+    }
+
+    bool
+    parseString(Json &out)
+    {
+        std::string s;
+        if (!parseStringRaw(s))
+            return false;
+        out = Json(std::move(s));
+        return true;
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        const std::size_t start = _pos;
+        if (_pos < _text.size() && _text[_pos] == '-')
+            ++_pos;
+        if (_pos >= _text.size() ||
+            !(_text[_pos] >= '0' && _text[_pos] <= '9'))
+            return fail("invalid number");
+        if (_text[_pos] == '0')
+            ++_pos; // no leading zeros
+        else
+            while (_pos < _text.size() && _text[_pos] >= '0' &&
+                   _text[_pos] <= '9')
+                ++_pos;
+        bool integral = true;
+        if (_pos < _text.size() && _text[_pos] == '.') {
+            integral = false;
+            ++_pos;
+            if (_pos >= _text.size() ||
+                !(_text[_pos] >= '0' && _text[_pos] <= '9'))
+                return fail("digit expected after decimal point");
+            while (_pos < _text.size() && _text[_pos] >= '0' &&
+                   _text[_pos] <= '9')
+                ++_pos;
+        }
+        if (_pos < _text.size() &&
+            (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            integral = false;
+            ++_pos;
+            if (_pos < _text.size() &&
+                (_text[_pos] == '+' || _text[_pos] == '-'))
+                ++_pos;
+            if (_pos >= _text.size() ||
+                !(_text[_pos] >= '0' && _text[_pos] <= '9'))
+                return fail("digit expected in exponent");
+            while (_pos < _text.size() && _text[_pos] >= '0' &&
+                   _text[_pos] <= '9')
+                ++_pos;
+        }
+        const std::string token = _text.substr(start, _pos - start);
+        if (integral) {
+            errno = 0;
+            char *end = nullptr;
+            const long long v = std::strtoll(token.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0') {
+                out = Json(v);
+                return true;
+            }
+            // Fall through to double on int64 overflow.
+        }
+        errno = 0;
+        const double d = std::strtod(token.c_str(), nullptr);
+        if (errno == ERANGE && (d == HUGE_VAL || d == -HUGE_VAL))
+            return fail("number out of range");
+        out = Json(d);
+        return true;
+    }
+
+    bool
+    parseArray(Json &out, int depth)
+    {
+        ++_pos; // '['
+        out = Json::array();
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == ']') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            Json elem;
+            skipWs();
+            if (!parseValue(elem, depth + 1))
+                return false;
+            out.push(std::move(elem));
+            skipWs();
+            if (_pos >= _text.size())
+                return fail("unterminated array");
+            if (_text[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_text[_pos] == ']') {
+                ++_pos;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseObject(Json &out, int depth)
+    {
+        ++_pos; // '{'
+        out = Json::object();
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == '}') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (_pos >= _text.size() || _text[_pos] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseStringRaw(key))
+                return false;
+            skipWs();
+            if (_pos >= _text.size() || _text[_pos] != ':')
+                return fail("expected ':' after object key");
+            ++_pos;
+            skipWs();
+            Json value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out[key] = std::move(value);
+            skipWs();
+            if (_pos >= _text.size())
+                return fail("unterminated object");
+            if (_text[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_text[_pos] == '}') {
+                ++_pos;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &_text;
+    std::string *_err;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+Json::parse(const std::string &text, Json &out, std::string *err)
+{
+    Parser p(text, err);
+    return p.parse(out);
+}
+
+} // namespace centaur

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Minimal dependency-free JSON document model: an order-preserving
+ * value tree with a writer (serialize with escaping and
+ * round-trippable number formatting) and a strict recursive-descent
+ * parser. This is the backbone of the machine-readable results
+ * pipeline (core/report.hh, centaur_bench, tools/check_bench.py);
+ * it deliberately supports only what RFC 8259 allows, so emitted
+ * reports are consumable by any off-the-shelf tool.
+ *
+ * Non-finite doubles (NaN/Inf) have no JSON representation and are
+ * serialized as null; the downstream check_bench.py gate treats a
+ * null latency as a hard failure, so simulator bugs surface in CI
+ * instead of silently round-tripping.
+ */
+
+#ifndef CENTAUR_SIM_JSON_HH
+#define CENTAUR_SIM_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace centaur {
+
+/** One JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Int,    //!< exactly-representable integer (int64 range)
+        Double, //!< any other finite (or non-finite) number
+        String,
+        Array,
+        Object,
+    };
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool b) : _type(Type::Bool), _bool(b) {}
+    Json(int v) : _type(Type::Int), _int(v) {}
+    Json(unsigned v) : _type(Type::Int), _int(v) {}
+    Json(long v) : _type(Type::Int), _int(v) {}
+    Json(long long v) : _type(Type::Int), _int(v) {}
+    Json(unsigned long v);
+    Json(unsigned long long v);
+    Json(double v) : _type(Type::Double), _double(v) {}
+    Json(const char *s) : _type(Type::String), _string(s) {}
+    Json(std::string s) : _type(Type::String), _string(std::move(s)) {}
+
+    /** An empty array / object (distinct from null). */
+    static Json array();
+    static Json object();
+
+    Type type() const { return _type; }
+    bool isNull() const { return _type == Type::Null; }
+    bool isBool() const { return _type == Type::Bool; }
+    bool isNumber() const
+    {
+        return _type == Type::Int || _type == Type::Double;
+    }
+    bool isString() const { return _type == Type::String; }
+    bool isArray() const { return _type == Type::Array; }
+    bool isObject() const { return _type == Type::Object; }
+
+    bool asBool() const { return _bool; }
+    std::int64_t asInt() const;
+    double asDouble() const;
+    const std::string &asString() const { return _string; }
+
+    /** Array element count or object member count. */
+    std::size_t size() const;
+
+    /** Append to an array (converts a null value into an array). */
+    Json &push(Json v);
+
+    /** Array element access; fatal on out-of-range. */
+    const Json &at(std::size_t i) const;
+
+    /**
+     * Object member access: inserts a null member if absent
+     * (converting a null value into an object). Insertion order is
+     * preserved on output.
+     */
+    Json &operator[](const std::string &key);
+
+    /** Lookup without insertion; nullptr when absent. */
+    const Json *find(const std::string &key) const;
+
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &items() const
+    {
+        return _object;
+    }
+
+    /** Array elements. */
+    const std::vector<Json> &elements() const { return _array; }
+
+    /**
+     * Serialize. @p indent < 0 emits compact one-line JSON;
+     * otherwise pretty-print with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Strict RFC 8259 parse of @p text (entire string must be one
+     * JSON document). On failure returns false and, when @p err is
+     * non-null, stores a message with the byte offset.
+     */
+    static bool parse(const std::string &text, Json &out,
+                      std::string *err = nullptr);
+
+    bool operator==(const Json &other) const;
+    bool operator!=(const Json &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type _type = Type::Null;
+    bool _bool = false;
+    std::int64_t _int = 0;
+    double _double = 0.0;
+    std::string _string;
+    std::vector<Json> _array;
+    std::vector<std::pair<std::string, Json>> _object;
+};
+
+/** Append the JSON escape of @p s (with quotes) to @p out. */
+void jsonEscape(std::string &out, const std::string &s);
+
+/**
+ * Format a double as the shortest decimal string that parses back
+ * to the same value; "null" for NaN/Inf.
+ */
+std::string jsonNumber(double v);
+
+} // namespace centaur
+
+#endif // CENTAUR_SIM_JSON_HH

@@ -31,6 +31,7 @@ class TextTable
     /** Print as CSV (no title). */
     void printCsv(std::ostream &os) const;
 
+    const std::string &title() const { return _title; }
     std::size_t rows() const { return _rows.size(); }
 
   private:

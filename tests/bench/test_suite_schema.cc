@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Golden-schema test for the benchmark suite registry: the fig7
+ * suite (the document `centaur_bench --suite fig7 --json` emits
+ * under suites.fig7) must carry the stamped envelope and the keys
+ * tools/check_bench.py gates on, and the registry must expose every
+ * expected suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hh"
+#include "suite.hh"
+
+using namespace centaur;
+using namespace centaur::bench;
+
+namespace {
+
+TEST(SuiteRegistryTest, AllExpectedSuitesRegistered)
+{
+    for (const char *name :
+         {"table1", "table2", "table3", "table4", "fig5", "fig6",
+          "fig7", "fig13", "fig14", "fig15", "ablation_linkbw",
+          "ablation_cache_bypass", "ablation_pe_scaling",
+          "serving_scaling"}) {
+        const Suite *s = findSuite(name);
+        ASSERT_NE(s, nullptr) << name;
+        EXPECT_STREQ(s->name, name);
+        EXPECT_NE(s->fn, nullptr);
+    }
+    EXPECT_EQ(findSuite("nonexistent"), nullptr);
+    EXPECT_GE(allSuites().size(), 14u);
+}
+
+TEST(SuiteSchemaTest, Fig7GoldenSchema)
+{
+    const Suite *suite = findSuite("fig7");
+    ASSERT_NE(suite, nullptr);
+
+    SuiteContext ctx(nullptr, 0); // quiet
+    const Json envelope = runSuite(*suite, ctx);
+
+    // Serialize and parse back: the schema check runs against what
+    // a consumer of the JSON file would actually see.
+    Json doc;
+    std::string err;
+    ASSERT_TRUE(Json::parse(envelope.dump(2), doc, &err)) << err;
+
+    // Stamped envelope.
+    ASSERT_NE(doc.find("schema_version"), nullptr);
+    EXPECT_EQ(doc.find("schema_version")->asInt(),
+              kReportSchemaVersion);
+    EXPECT_EQ(doc.find("kind")->asString(), "suite");
+    EXPECT_EQ(doc.find("suite")->asString(), "fig7");
+    ASSERT_NE(doc.find("seed"), nullptr);
+    ASSERT_NE(doc.find("title"), nullptr);
+
+    const Json *data = doc.find("data");
+    ASSERT_NE(data, nullptr);
+    ASSERT_NE(data->find("dram_peak_gbps"), nullptr);
+    EXPECT_GT(data->find("dram_peak_gbps")->asDouble(), 0.0);
+
+    // 6 presets x 4 paper batch sizes.
+    const Json *records = data->find("records");
+    ASSERT_NE(records, nullptr);
+    ASSERT_TRUE(records->isArray());
+    EXPECT_EQ(records->size(),
+              6u * paperBatchSizes().size());
+    for (const Json &rec : records->elements()) {
+        ASSERT_EQ(rec.find("kind")->asString(), "sweep_entry");
+        ASSERT_NE(rec.find("seed"), nullptr);
+        ASSERT_NE(rec.find("model"), nullptr);
+        ASSERT_NE(rec.find("preset"), nullptr);
+        ASSERT_NE(rec.find("batch"), nullptr);
+        const Json *result = rec.find("result");
+        ASSERT_NE(result, nullptr);
+        for (const char *key :
+             {"design", "latency_us", "effective_emb_gbps",
+              "phase_us", "phase_share", "emb", "mlp",
+              "energy_joules"})
+            ASSERT_NE(result->find(key), nullptr) << key;
+        // The check_bench gate: latency must be finite positive.
+        ASSERT_TRUE(result->find("latency_us")->isNumber());
+        EXPECT_GT(result->find("latency_us")->asDouble(), 0.0);
+    }
+
+    const Json *lookup = data->find("lookup_sweep");
+    ASSERT_NE(lookup, nullptr);
+    EXPECT_EQ(lookup->size(), 6u * paperBatchSizes().size());
+}
+
+TEST(SuiteSchemaTest, SeedOffsetChangesRecordSeeds)
+{
+    const Suite *suite = findSuite("table4");
+    ASSERT_NE(suite, nullptr);
+
+    SuiteContext ctx_a(nullptr, 0);
+    SuiteContext ctx_b(nullptr, 123);
+    const Json a = runSuite(*suite, ctx_a);
+    const Json b = runSuite(*suite, ctx_b);
+    EXPECT_EQ(a.find("seed")->asInt(), 0);
+    EXPECT_EQ(b.find("seed")->asInt(), 123);
+
+    const Json &rec_a =
+        a.find("data")->find("records")->at(0);
+    const Json &rec_b =
+        b.find("data")->find("records")->at(0);
+    EXPECT_EQ(rec_b.find("seed")->asInt(),
+              rec_a.find("seed")->asInt() + 123);
+}
+
+TEST(SuiteContextTest, TablesCollectedForCsv)
+{
+    const Suite *suite = findSuite("table1");
+    ASSERT_NE(suite, nullptr);
+    std::ostringstream text;
+    SuiteContext ctx(&text, 0);
+    runSuite(*suite, ctx);
+    ASSERT_EQ(ctx.tables().size(), 1u);
+    EXPECT_FALSE(ctx.tables()[0].title().empty());
+    EXPECT_NE(text.str().find("Table I"), std::string::npos);
+
+    std::ostringstream csv;
+    ctx.tables()[0].printCsv(csv);
+    EXPECT_NE(csv.str().find("DLRM(1)"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Report serializer tests: every record kind carries the schema
+ * stamp, the design-point config and seed, and the numbers survive
+ * a serialize/parse round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+#include "core/system.hh"
+#include "sim/units.hh"
+
+using namespace centaur;
+
+namespace {
+
+InferenceResult
+measureOne(DesignPoint dp, int preset, std::uint32_t batch,
+           std::uint64_t seed)
+{
+    const DlrmConfig cfg = dlrmPreset(preset);
+    auto sys = makeSystem(dp, cfg);
+    WorkloadConfig wl;
+    wl.batch = batch;
+    wl.seed = seed;
+    WorkloadGenerator gen(cfg, wl);
+    return measureInference(*sys, gen, 1);
+}
+
+TEST(ReportTest, StampHasVersionKindSeed)
+{
+    const Json j = reportStamp("unit_test", 42);
+    ASSERT_NE(j.find("schema_version"), nullptr);
+    EXPECT_EQ(j.find("schema_version")->asInt(),
+              kReportSchemaVersion);
+    EXPECT_EQ(j.find("kind")->asString(), "unit_test");
+    EXPECT_EQ(j.find("seed")->asInt(), 42);
+}
+
+TEST(ReportTest, InferenceResultFields)
+{
+    const InferenceResult res =
+        measureOne(DesignPoint::Centaur, 1, 4, 7);
+    const Json j = toJson(res);
+
+    EXPECT_EQ(j.find("design")->asString(),
+              designPointName(DesignPoint::Centaur));
+    EXPECT_EQ(j.find("batch")->asInt(), 4);
+    EXPECT_DOUBLE_EQ(j.find("latency_us")->asDouble(),
+                     usFromTicks(res.latency()));
+    EXPECT_GT(j.find("latency_us")->asDouble(), 0.0);
+    EXPECT_GT(j.find("energy_joules")->asDouble(), 0.0);
+
+    // All five phases are present in both breakdown maps, and the
+    // shares sum to ~1 for a nonzero latency.
+    const Json *share = j.find("phase_share");
+    ASSERT_NE(share, nullptr);
+    double total = 0.0;
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+        const Phase p = static_cast<Phase>(i);
+        ASSERT_NE(share->find(phaseName(p)), nullptr) << phaseName(p);
+        ASSERT_NE(j.find("phase_us")->find(phaseName(p)), nullptr);
+        total += share->find(phaseName(p))->asDouble();
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+
+    // Layer stats nest under emb/mlp.
+    ASSERT_NE(j.find("emb"), nullptr);
+    EXPECT_NE(j.find("emb")->find("llc_miss_rate"), nullptr);
+    EXPECT_NE(j.find("mlp")->find("mpki"), nullptr);
+}
+
+TEST(ReportTest, SweepEntryStampAndRoundTrip)
+{
+    const auto entries =
+        runSweep(DesignPoint::CpuOnly, {1}, {1, 8}, 1,
+                 IndexDistribution::Uniform, 1000);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].seed, sweepSeed(1, 1) + 1000);
+
+    const Json j = toJson(entries[0]);
+    EXPECT_EQ(j.find("schema_version")->asInt(),
+              kReportSchemaVersion);
+    EXPECT_EQ(j.find("kind")->asString(), "sweep_entry");
+    EXPECT_EQ(static_cast<std::uint64_t>(j.find("seed")->asInt()),
+              entries[0].seed);
+    EXPECT_EQ(j.find("preset")->asInt(), 1);
+
+    Json back;
+    std::string err;
+    ASSERT_TRUE(Json::parse(j.dump(2), back, &err)) << err;
+    EXPECT_EQ(back, j);
+    EXPECT_DOUBLE_EQ(
+        back.find("result")->find("latency_us")->asDouble(),
+        usFromTicks(entries[0].result.latency()));
+}
+
+TEST(ReportTest, ServingRecords)
+{
+    ServingConfig base;
+    base.requests = 50;
+    base.batchPerRequest = 4;
+    const auto sweep = runServingSweep(
+        DesignPoint::CpuOnly, 1, {1}, {2}, {5000.0}, base, 7);
+    ASSERT_EQ(sweep.size(), 1u);
+    EXPECT_EQ(sweep[0].seed, servingSweepSeed(1, 1, 2, 5000.0) + 7);
+
+    const Json j = toJson(sweep[0]);
+    EXPECT_EQ(j.find("kind")->asString(), "serving_sweep_entry");
+    EXPECT_EQ(j.find("workers")->asInt(), 1);
+    const Json *stats = j.find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_GT(stats->find("served")->asInt(), 0);
+    EXPECT_GT(stats->find("p99_us")->asDouble(), 0.0);
+    ASSERT_EQ(stats->find("per_worker")->size(), 1u);
+
+    const Json cfg_json = toJson(base);
+    EXPECT_EQ(cfg_json.find("requests")->asInt(), 50);
+
+    const ServingVerdict verdict =
+        analyzeServing(sweep[0].stats, base);
+    const Json vj = toJson(verdict);
+    EXPECT_NE(vj.find("regime"), nullptr);
+    EXPECT_NE(vj.find("limiter"), nullptr);
+}
+
+TEST(ReportTest, DlrmConfigFields)
+{
+    const Json j = toJson(dlrmPreset(4));
+    EXPECT_EQ(j.find("num_tables")->asInt(), 50);
+    EXPECT_EQ(j.find("total_table_bytes")->asInt(),
+              static_cast<std::int64_t>(
+                  dlrmPreset(4).totalTableBytes()));
+}
+
+} // namespace

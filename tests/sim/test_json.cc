@@ -1,0 +1,194 @@
+/**
+ * @file
+ * JSON writer/parser round-trip tests: string escaping, nested
+ * containers, numeric edge cases and strict-parser rejections.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/json.hh"
+
+using namespace centaur;
+
+namespace {
+
+Json
+reparse(const Json &j, int indent = -1)
+{
+    Json out;
+    std::string err;
+    EXPECT_TRUE(Json::parse(j.dump(indent), out, &err)) << err;
+    return out;
+}
+
+TEST(JsonTest, ScalarDumps)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(nullptr).dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(0).dump(), "0");
+    EXPECT_EQ(Json(-42).dump(), "-42");
+    EXPECT_EQ(Json(1.5).dump(), "1.5");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, EmptyContainers)
+{
+    EXPECT_EQ(Json::array().dump(), "[]");
+    EXPECT_EQ(Json::object().dump(), "{}");
+    EXPECT_NE(Json::array(), Json());
+    EXPECT_NE(Json::object(), Json::array());
+}
+
+TEST(JsonTest, StringEscapingRoundTrip)
+{
+    const std::string nasty =
+        "quote:\" backslash:\\ newline:\n tab:\t cr:\r "
+        "bell:\x07 null-ish:\x01 unicode:\xc3\xa9";
+    Json j(nasty);
+    const std::string dumped = j.dump();
+    // Control characters must be escaped, not raw.
+    EXPECT_EQ(dumped.find('\n'), std::string::npos);
+    EXPECT_NE(dumped.find("\\n"), std::string::npos);
+    EXPECT_NE(dumped.find("\\u0007"), std::string::npos);
+    EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+
+    Json back = reparse(j);
+    ASSERT_TRUE(back.isString());
+    EXPECT_EQ(back.asString(), nasty);
+}
+
+TEST(JsonTest, UnicodeEscapeParsing)
+{
+    Json out;
+    std::string err;
+    // \u00e9 = é (2-byte UTF-8), surrogate pair = U+1F600.
+    ASSERT_TRUE(
+        Json::parse("\"a\\u00e9b\\ud83d\\ude00c\"", out, &err))
+        << err;
+    EXPECT_EQ(out.asString(), "a\xc3\xa9"
+                              "b\xf0\x9f\x98\x80"
+                              "c");
+    EXPECT_FALSE(Json::parse("\"\\ud83d\"", out)); // unpaired high
+    EXPECT_FALSE(Json::parse("\"\\ude00\"", out)); // unpaired low
+}
+
+TEST(JsonTest, NumericEdgeCases)
+{
+    // int64 extremes survive exactly.
+    const std::int64_t max64 =
+        std::numeric_limits<std::int64_t>::max();
+    const std::int64_t min64 =
+        std::numeric_limits<std::int64_t>::min();
+    EXPECT_EQ(reparse(Json(max64)).asInt(), max64);
+    EXPECT_EQ(reparse(Json(min64)).asInt(), min64);
+
+    // uint64 above int64 range degrades to double (documented).
+    const std::uint64_t big = 18446744073709551615ULL;
+    EXPECT_DOUBLE_EQ(reparse(Json(big)).asDouble(),
+                     static_cast<double>(big));
+
+    // Doubles round-trip bit-exactly via shortest formatting.
+    for (double v :
+         {0.1, 1.0 / 3.0, 1e-300, 1e300, 4.9406564584124654e-324,
+          123456.789, -2.2250738585072014e-308, 77.0}) {
+        Json back = reparse(Json(v));
+        EXPECT_DOUBLE_EQ(back.asDouble(), v) << v;
+    }
+
+    // Non-finite values have no JSON representation: emitted null.
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+    EXPECT_EQ(Json(INFINITY).dump(), "null");
+    EXPECT_EQ(Json(-INFINITY).dump(), "null");
+
+    // -0.0 stays a number.
+    Json neg_zero = reparse(Json(-0.0));
+    EXPECT_TRUE(neg_zero.isNumber());
+    EXPECT_EQ(neg_zero.asDouble(), 0.0);
+
+    // Int/Int equality is exact even above 2^53, where doubles
+    // collapse adjacent values.
+    EXPECT_NE(Json(std::int64_t{9007199254740993}),
+              Json(std::int64_t{9007199254740992}));
+    EXPECT_EQ(Json(std::int64_t{9007199254740993}),
+              Json(std::int64_t{9007199254740993}));
+    EXPECT_EQ(Json(2), Json(2.0)); // mixed compares numerically
+}
+
+TEST(JsonTest, NestedRoundTrip)
+{
+    Json doc = Json::object();
+    doc["name"] = "centaur";
+    doc["version"] = 1;
+    doc["ratio"] = 0.375;
+    doc["flags"] = Json::array();
+    doc["flags"].push(true).push(false).push(Json());
+    Json inner = Json::object();
+    inner["deep"] = Json::array();
+    inner["deep"].push(Json::object());
+    inner["empty_obj"] = Json::object();
+    inner["empty_arr"] = Json::array();
+    doc["inner"] = inner;
+
+    for (int indent : {-1, 0, 2, 4}) {
+        Json back = reparse(doc, indent);
+        EXPECT_EQ(back, doc) << "indent=" << indent;
+    }
+
+    // Insertion order is preserved.
+    Json back = reparse(doc);
+    ASSERT_EQ(back.items().size(), 5u);
+    EXPECT_EQ(back.items()[0].first, "name");
+    EXPECT_EQ(back.items()[4].first, "inner");
+}
+
+TEST(JsonTest, ObjectAccessors)
+{
+    Json obj = Json::object();
+    obj["a"] = 1;
+    obj["b"] = 2;
+    obj["a"] = 3; // overwrite, not duplicate
+    EXPECT_EQ(obj.size(), 2u);
+    ASSERT_NE(obj.find("a"), nullptr);
+    EXPECT_EQ(obj.find("a")->asInt(), 3);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+
+    Json arr = Json::array();
+    arr.push(10).push(20);
+    EXPECT_EQ(arr.size(), 2u);
+    EXPECT_EQ(arr.at(1).asInt(), 20);
+}
+
+TEST(JsonTest, StrictParserRejects)
+{
+    Json out;
+    for (const char *bad :
+         {"", "tru", "nul", "01", "1.", ".5", "1e", "+1", "nan",
+          "\"unterminated", "\"bad\\q\"", "\"raw\ncontrol\"",
+          "[1,]", "[1 2]", "{\"a\":}", "{\"a\" 1}", "{a:1}",
+          "{\"a\":1,}", "[1] trailing", "[1][2]", "'single'"}) {
+        EXPECT_FALSE(Json::parse(bad, out)) << bad;
+    }
+    // Deep nesting is bounded, not a stack overflow.
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_FALSE(Json::parse(deep, out));
+}
+
+TEST(JsonTest, ParserAcceptsWhitespaceAndNumbers)
+{
+    Json out;
+    std::string err;
+    ASSERT_TRUE(Json::parse(
+                    " \t\r\n { \"x\" : [ 1 , -2.5e3 , 0 ] } ", out,
+                    &err))
+        << err;
+    EXPECT_EQ(out.find("x")->at(1).asDouble(), -2500.0);
+    EXPECT_EQ(out.find("x")->at(2).asInt(), 0);
+}
+
+} // namespace

@@ -1,0 +1,315 @@
+#!/usr/bin/env python3
+"""CI gate for centaur_bench JSON reports.
+
+Validates a BENCH_results.json produced by
+
+    centaur_bench --suite all --json BENCH_results.json
+
+Checks performed:
+  1. schema: top-level and per-suite schema_version matches, every
+     expected suite is present.
+  2. sanity: no null metric anywhere (the C++ writer serializes
+     NaN/Inf as null), no non-finite number, and every latency /
+     throughput / bandwidth metric is strictly positive.
+  3. paper-ordering invariants: Centaur end-to-end throughput beats
+     CPU-only at every preset (geomean over the batch sweep, and
+     strictly at batch 1), gather-bandwidth and energy-efficiency
+     improvements hold in the mean, serving throughput scales
+     monotonically with workers under overload, and the design fits
+     the GX1150.
+
+With --baseline OLD.json the run is also diffed against a previous
+report: the largest relative deltas are printed, and with
+--threshold F the gate fails when a latency metric regresses (or a
+speedup/throughput metric drops) by more than F (e.g. 0.10 = 10%).
+
+Exit status: 0 pass, 1 check failure, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA_VERSION = 1
+
+EXPECTED_SUITES = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablation_linkbw",
+    "ablation_cache_bypass",
+    "ablation_pe_scaling",
+    "serving_scaling",
+]
+
+# Metrics that must be strictly positive wherever they appear.
+POSITIVE_KEYS = {
+    "latency_us",
+    "cpu_latency_us",
+    "centaur_latency_us",
+    "cpu_gpu_latency_us",
+    "cpu_only_latency_us",
+    "mean_latency_us",
+    "mean_service_us",
+    "p50_us",
+    "p95_us",
+    "p99_us",
+    "max_latency_us",
+    "throughput_rps",
+    "throughput_inf_per_sec",
+    "effective_emb_gbps",
+    "speedup",
+    "energy_joules",
+    "power_watts",
+}
+
+# Baseline-diff classification by exact key name (substring matching
+# would misfire on e.g. per-worker busy_us, which legitimately rises
+# when a change improves coalescing). Keys in neither set are
+# reported but never gate the run.
+HIGHER_IS_WORSE = {
+    "latency_us",
+    "cpu_latency_us",
+    "centaur_latency_us",
+    "cpu_gpu_latency_us",
+    "cpu_only_latency_us",
+    "mean_latency_us",
+    "mean_service_us",
+    "mean_queue_us",
+    "p50_us",
+    "p95_us",
+    "p99_us",
+    "max_latency_us",
+    "normalized_latency",
+    "energy_joules",
+    "drop_rate",
+}
+LOWER_IS_WORSE = {
+    "speedup",
+    "speedup_vs_cpu",
+    "min_speedup",
+    "max_speedup",
+    "geomean_speedup",
+    "throughput_rps",
+    "throughput_inf_per_sec",
+    "throughput_1w",
+    "throughput_2w",
+    "throughput_4w",
+    "effective_emb_gbps",
+    "improvement",
+    "mean_improvement_arith",
+    "mean_improvement_geomean",
+    "efficiency_inf_per_joule",
+    "sla_hit_rate",
+    "perf_cpu_only_vs_cpu_gpu",
+    "perf_centaur_vs_cpu_gpu",
+    "eff_cpu_only_vs_cpu_gpu",
+    "eff_centaur_vs_cpu_gpu",
+    "eff_centaur_vs_cpu_only",
+    "geomean_perf_cpu_only_vs_cpu_gpu",
+    "geomean_eff_cpu_only_vs_cpu_gpu",
+    "geomean_eff_centaur_vs_cpu_only",
+}
+
+
+class Checker:
+    def __init__(self):
+        self.failures = []
+
+    def fail(self, msg):
+        self.failures.append(msg)
+
+    def check(self, cond, msg):
+        if not cond:
+            self.fail(msg)
+        return cond
+
+
+def walk_numeric(node, path=""):
+    """Yield (path, key, value) for every leaf in the document."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from walk_numeric(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from walk_numeric(value, f"{path}[{i}]")
+    else:
+        key = path.rsplit(".", 1)[-1].split("[", 1)[0]
+        yield path, key, node
+
+
+def check_sanity(chk, doc):
+    for path, key, value in walk_numeric(doc):
+        if value is None:
+            chk.fail(f"null metric (NaN/Inf in the simulator?): {path}")
+            continue
+        if isinstance(value, bool) or isinstance(value, str):
+            continue
+        if isinstance(value, (int, float)):
+            if not math.isfinite(value):
+                chk.fail(f"non-finite number: {path} = {value}")
+            elif key in POSITIVE_KEYS and not value > 0.0:
+                chk.fail(f"non-positive {key}: {path} = {value}")
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def check_schema(chk, doc):
+    chk.check(doc.get("schema_version") == SCHEMA_VERSION,
+              f"top-level schema_version != {SCHEMA_VERSION}")
+    chk.check(doc.get("kind") == "bench_report",
+              "top-level kind != bench_report")
+    suites = doc.get("suites")
+    if not chk.check(isinstance(suites, dict), "missing suites object"):
+        return {}
+    for name in EXPECTED_SUITES:
+        if not chk.check(name in suites, f"missing suite: {name}"):
+            continue
+        env = suites[name]
+        chk.check(env.get("schema_version") == SCHEMA_VERSION,
+                  f"suite {name}: schema_version != {SCHEMA_VERSION}")
+        chk.check(isinstance(env.get("data"), dict),
+                  f"suite {name}: missing data payload")
+    return suites
+
+
+def check_invariants(chk, suites):
+    # fig14: Centaur beats CPU-only at every preset -- geomean over
+    # the batch sweep and strictly at batch 1 (the latency-critical
+    # serving point the paper leads with). Individual large-batch
+    # points may dip below 1x for DLRM(4)/(5), as in the paper.
+    data = suites.get("fig14", {}).get("data", {})
+    records = data.get("records", [])
+    chk.check(len(records) > 0, "fig14: no records")
+    by_preset = {}
+    for rec in records:
+        by_preset.setdefault(rec["preset"], []).append(rec)
+    for preset, recs in sorted(by_preset.items()):
+        speedups = [r["speedup"] for r in recs]
+        if min(speedups) <= 0:
+            continue  # already reported by the sanity pass
+        gm = geomean(speedups)
+        chk.check(gm >= 1.0,
+                  f"fig14: preset {preset} geomean speedup {gm:.2f} < 1"
+                  " (Centaur slower than CPU-only)")
+        b1 = [r["speedup"] for r in recs if r["batch"] == 1]
+        chk.check(bool(b1) and b1[0] >= 1.0,
+                  f"fig14: preset {preset} batch-1 speedup"
+                  f" {b1[0] if b1 else 'missing'} < 1")
+
+    # fig13: mean gather-bandwidth improvement over CPU-only.
+    data = suites.get("fig13", {}).get("data", {})
+    gm = data.get("mean_improvement_geomean", 0.0)
+    chk.check(isinstance(gm, (int, float)) and gm >= 1.0,
+              f"fig13: geomean BW improvement {gm} < 1")
+
+    # fig15: Centaur more energy-efficient than CPU-only on average.
+    data = suites.get("fig15", {}).get("data", {})
+    gm = data.get("geomean_eff_centaur_vs_cpu_only", 0.0)
+    chk.check(isinstance(gm, (int, float)) and gm >= 1.0,
+              f"fig15: geomean Centaur-vs-CPU efficiency {gm} < 1")
+
+    # serving_scaling: throughput scales with workers under overload.
+    data = suites.get("serving_scaling", {}).get("data", {})
+    checks = data.get("scaling_checks", [])
+    chk.check(len(checks) > 0, "serving_scaling: no scaling_checks")
+    for entry in checks:
+        chk.check(entry.get("monotonic") is True,
+                  "serving_scaling: throughput not monotonic in"
+                  f" workers at coalesce {entry.get('coalesce')}")
+
+    # table2: the modeled design must fit the GX1150.
+    data = suites.get("table2", {}).get("data", {})
+    chk.check(data.get("fits") is True,
+              "table2: design does not fit the GX1150")
+
+
+def diff_baseline(chk, doc, baseline, threshold, top=10):
+    current = {p: v for p, k, v in walk_numeric(doc.get("suites", {}))
+               if isinstance(v, (int, float))
+               and not isinstance(v, bool)}
+    old = {p: v for p, k, v in walk_numeric(baseline.get("suites", {}))
+           if isinstance(v, (int, float)) and not isinstance(v, bool)}
+    shared = sorted(set(current) & set(old))
+    if not shared:
+        chk.fail("baseline: no shared numeric metrics to compare")
+        return
+    deltas = []
+    for path in shared:
+        a, b = old[path], current[path]
+        if a == b:
+            continue
+        rel = (b - a) / abs(a) if a != 0 else math.inf
+        deltas.append((abs(rel), rel, path, a, b))
+    deltas.sort(reverse=True)
+    print(f"baseline diff: {len(shared)} shared metrics, "
+          f"{len(deltas)} changed")
+    for _, rel, path, a, b in deltas[:top]:
+        print(f"  {rel:+8.1%}  {path}: {a:g} -> {b:g}")
+    if threshold is None:
+        return
+    for _, rel, path, a, b in deltas:
+        key = path.rsplit(".", 1)[-1].split("[", 1)[0]
+        worse_up = key in HIGHER_IS_WORSE
+        worse_down = key in LOWER_IS_WORSE
+        if worse_up and rel > threshold:
+            chk.fail(f"regression vs baseline: {path} "
+                     f"{a:g} -> {b:g} ({rel:+.1%} > {threshold:.0%})")
+        elif worse_down and rel < -threshold:
+            chk.fail(f"regression vs baseline: {path} "
+                     f"{a:g} -> {b:g} ({rel:+.1%} < -{threshold:.0%})")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_bench: cannot load {path}: {exc}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate a centaur_bench JSON report.")
+    parser.add_argument("report", help="BENCH_results.json to check")
+    parser.add_argument("--baseline", metavar="OLD",
+                        help="previous report to diff against")
+    parser.add_argument("--threshold", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail when a metric regresses vs the "
+                             "baseline by more than FRAC (e.g. 0.10)")
+    args = parser.parse_args()
+
+    doc = load(args.report)
+    chk = Checker()
+    suites = check_schema(chk, doc)
+    check_sanity(chk, suites)
+    if suites:
+        check_invariants(chk, suites)
+    if args.baseline:
+        diff_baseline(chk, doc, load(args.baseline), args.threshold)
+
+    if chk.failures:
+        print(f"check_bench: FAIL ({len(chk.failures)} problems)")
+        for msg in chk.failures:
+            print(f"  - {msg}")
+        sys.exit(1)
+    n = len(doc.get("suites", {}))
+    print(f"check_bench: OK ({n} suites, schema v{SCHEMA_VERSION})")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
