@@ -9,6 +9,8 @@
  *   centaur_bench --suite fig7 --json fig7.json
  *   centaur_bench --suite all --json BENCH_results.json --csv t.csv
  *   centaur_bench --suite fig13,fig14 --seed 7 --quiet
+ *   centaur_bench --suite spec_matrix --spec cpu,gpu+fpga --json s.json
+ *   centaur_bench --suite serving_scaling --spec fpga+fpga --workers 8
  */
 
 #include <cstdio>
@@ -18,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hh"
 #include "core/report.hh"
 #include "suite.hh"
 
@@ -33,9 +36,15 @@ usage(std::FILE *to)
         to,
         "usage: centaur_bench [options]\n"
         "\n"
-        "  --list             list registered suites and exit\n"
+        "  --list             list registered suites (and the specs\n"
+        "                     each accepts) and exit\n"
         "  --suite NAME[,..]  run the named suite(s); 'all' runs\n"
         "                     every registered suite (default)\n"
+        "  --spec S[,..]      backend spec(s) for spec-aware suites\n"
+        "                     (spec_matrix, serving_scaling); see\n"
+        "                     --list for the registry\n"
+        "  --workers N        worker-count override for the serving\n"
+        "                     suites\n"
         "  --json PATH        write the stamped JSON report\n"
         "  --csv PATH         write every emitted table as CSV\n"
         "  --seed N           offset every workload seed by N\n"
@@ -67,9 +76,11 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> requested;
+    std::vector<std::string> specs;
     std::string json_path;
     std::string csv_path;
     std::uint64_t seed = 0;
+    std::uint32_t workers = 0;
     bool quiet = false;
     bool list_only = false;
 
@@ -89,6 +100,26 @@ main(int argc, char **argv)
         } else if (arg == "--suite") {
             for (auto &name : splitList(value()))
                 requested.push_back(name);
+        } else if (arg == "--spec") {
+            for (auto &name : splitList(value())) {
+                std::string error;
+                if (!tryParseSpec(name, nullptr, &error)) {
+                    std::fprintf(stderr, "%s\n", error.c_str());
+                    return 2;
+                }
+                specs.push_back(name);
+            }
+        } else if (arg == "--workers") {
+            const char *text = value();
+            char *end = nullptr;
+            const unsigned long long n = std::strtoull(text, &end, 0);
+            if (end == text || *end != '\0' || n == 0 ||
+                n > 0xffffffffULL) {
+                std::fprintf(stderr, "invalid --workers '%s'\n",
+                             text);
+                return 2;
+            }
+            workers = static_cast<std::uint32_t>(n);
         } else if (arg == "--json") {
             json_path = value();
         } else if (arg == "--csv") {
@@ -116,7 +147,11 @@ main(int argc, char **argv)
 
     if (list_only) {
         for (const Suite &s : allSuites())
-            std::printf("%-22s %s\n", s.name, s.title);
+            std::printf("%-22s %s\n%-22s   specs: %s\n", s.name,
+                        s.title, "", s.specs);
+        std::printf("\nregistered backend specs:\n");
+        for (const SpecInfo &info : specRegistry())
+            std::printf("  %-12s %s\n", info.name, info.summary);
         return 0;
     }
 
@@ -141,7 +176,8 @@ main(int argc, char **argv)
         selection.push_back(s);
     }
 
-    SuiteContext ctx(quiet ? nullptr : &std::cout, seed);
+    SuiteContext ctx(quiet ? nullptr : &std::cout, seed, specs,
+                     workers);
     Json report = reportStamp("bench_report", seed);
     report["generator"] = "centaur_bench";
     report["paper"] = "conf_isca_HwangKKR20";

@@ -33,8 +33,11 @@ nullStream()
 
 } // namespace
 
-SuiteContext::SuiteContext(std::ostream *out, std::uint64_t seed)
-    : _out(out ? out : &nullStream()), _seed(seed)
+SuiteContext::SuiteContext(std::ostream *out, std::uint64_t seed,
+                           std::vector<std::string> specs,
+                           std::uint32_t workers)
+    : _out(out ? out : &nullStream()), _seed(seed),
+      _specs(std::move(specs)), _workers(workers)
 {
 }
 
@@ -85,6 +88,7 @@ allSuites()
         registerCentaurFigureSuites(s);
         registerAblationSuites(s);
         registerServingSuites(s);
+        registerSpecSuites(s);
         return s;
     }();
     return suites;

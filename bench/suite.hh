@@ -35,11 +35,28 @@ class SuiteContext
     /**
      * @param out text sink; nullptr silences table/note output
      * @param seed offset added to every workload seed (--seed)
+     * @param specs backend specs selected with --spec (may be empty)
+     * @param workers worker-count override from --workers (0 = none)
      */
     explicit SuiteContext(std::ostream *out = nullptr,
-                          std::uint64_t seed = 0);
+                          std::uint64_t seed = 0,
+                          std::vector<std::string> specs = {},
+                          std::uint32_t workers = 0);
 
     std::uint64_t seed() const { return _seed; }
+
+    /**
+     * Backend specs requested with --spec, validated against the
+     * registry. Suites that accept specs fall back to their
+     * defaults when this is empty.
+     */
+    const std::vector<std::string> &specOverride() const
+    {
+        return _specs;
+    }
+
+    /** Worker-count override from --workers; 0 means "suite default". */
+    std::uint32_t workerOverride() const { return _workers; }
 
     /** Text sink (a swallowing stream when constructed with null). */
     std::ostream &out() { return *_out; }
@@ -60,6 +77,8 @@ class SuiteContext
   private:
     std::ostream *_out;
     std::uint64_t _seed;
+    std::vector<std::string> _specs;
+    std::uint32_t _workers;
     std::vector<TextTable> _tables;
     std::map<int, std::vector<SweepEntry>> _sweeps;
 };
@@ -70,6 +89,13 @@ struct Suite
     const char *name;  //!< CLI name, e.g. "fig7"
     const char *title; //!< one-line description (--list)
     Json (*fn)(SuiteContext &ctx);
+    /**
+     * Backend specs the suite measures, and whether --spec can
+     * steer it (informational; printed by --list). Fixed-spec paper
+     * reproductions name their design points; spec-aware suites say
+     * so.
+     */
+    const char *specs = "";
 };
 
 /** All registered suites, in canonical (paper) order. */
@@ -100,6 +126,7 @@ void registerCentaurFigureSuites(std::vector<Suite> &suites);
 void registerTableSuites(std::vector<Suite> &suites);
 void registerAblationSuites(std::vector<Suite> &suites);
 void registerServingSuites(std::vector<Suite> &suites);
+void registerSpecSuites(std::vector<Suite> &suites);
 
 } // namespace centaur::bench
 

@@ -61,6 +61,7 @@ suiteAblationLinkBw(SuiteContext &ctx)
 
             Json rec = reportStamp("linkbw_entry", wl.seed);
             rec["model"] = cfg.name;
+            rec["spec"] = "cpu+fpga";
             rec["link_scale"] = scale;
             rec["raw_gbps"] = acc.channel.rawBandwidthGBps();
             rec["batch"] = batch;
@@ -115,6 +116,7 @@ suiteAblationCacheBypass(SuiteContext &ctx)
 
             Json rec = reportStamp("cache_bypass_entry", wl.seed);
             rec["model"] = cfg.name;
+            rec["spec"] = "cpu+fpga";
             rec["preset"] = preset;
             rec["batch"] = batch;
             rec["coherent_result"] = toJson(rc);
@@ -160,6 +162,7 @@ suiteAblationPeScaling(SuiteContext &ctx)
             const auto r = measureInference(sys, gen, 1);
             lat.push_back(usFromTicks(r.latency()));
             Json rr = reportStamp("pe_scaling_point", wl.seed);
+            rr["spec"] = "cpu+fpga";
             rr["batch"] = batch;
             rr["result"] = toJson(r);
             results.push(std::move(rr));
@@ -199,13 +202,14 @@ registerAblationSuites(std::vector<Suite> &suites)
 {
     suites.push_back(
         {"ablation_linkbw", "CPU<->FPGA link bandwidth scaling",
-         suiteAblationLinkBw});
+         suiteAblationLinkBw, "cpu, cpu+fpga (fixed)"});
     suites.push_back({"ablation_cache_bypass",
                       "Coherent vs cache-bypass gather path",
-                      suiteAblationCacheBypass});
+                      suiteAblationCacheBypass,
+                      "cpu+fpga (fixed)"});
     suites.push_back({"ablation_pe_scaling",
                       "Dense PE-array scaling on MLP-heavy DLRM(6)",
-                      suiteAblationPeScaling});
+                      suiteAblationPeScaling, "cpu+fpga (fixed)"});
 }
 
 } // namespace centaur::bench

@@ -101,6 +101,7 @@ suiteFig13(SuiteContext &ctx)
             row.push_back(TextTable::fmt(res.effectiveEmbGBps));
 
             Json rec = reportStamp("lookup_sweep_entry", wl.seed);
+            rec["spec"] = "cpu+fpga";
             rec["lookups_per_table"] = lookups;
             rec["batch"] = batch;
             rec["result"] = toJson(res);
@@ -280,14 +281,15 @@ registerCentaurFigureSuites(std::vector<Suite> &suites)
 {
     suites.push_back(
         {"fig13", "Centaur effective gather throughput vs CPU-only",
-         suiteFig13});
+         suiteFig13, "cpu, cpu+fpga (fixed)"});
     suites.push_back(
         {"fig14", "Centaur latency breakdown and speedup vs CPU-only",
-         suiteFig14});
+         suiteFig14, "cpu, cpu+fpga (fixed)"});
     suites.push_back({"fig15",
                       "Performance and energy-efficiency of all "
                       "three design points",
-                      suiteFig15});
+                      suiteFig15,
+                      "cpu, cpu+gpu, cpu+fpga (fixed)"});
 }
 
 } // namespace centaur::bench

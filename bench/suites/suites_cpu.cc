@@ -163,6 +163,7 @@ suiteFig7(SuiteContext &ctx)
             row.push_back(TextTable::fmt(res.effectiveEmbGBps));
 
             Json rec = reportStamp("lookup_sweep_entry", wl.seed);
+            rec["spec"] = "cpu";
             rec["lookups_per_table"] = lookups;
             rec["batch"] = batch;
             rec["result"] = toJson(res);
@@ -186,13 +187,13 @@ registerCpuFigureSuites(std::vector<Suite> &suites)
 {
     suites.push_back({"fig5",
                       "CPU-only latency breakdown (EMB/MLP/Other)",
-                      suiteFig5});
+                      suiteFig5, "cpu (fixed)"});
     suites.push_back(
         {"fig6", "CPU-only LLC miss rate and MPKI per layer",
-         suiteFig6});
+         suiteFig6, "cpu (fixed)"});
     suites.push_back(
         {"fig7", "CPU-only effective embedding throughput",
-         suiteFig7});
+         suiteFig7, "cpu (fixed)"});
 }
 
 } // namespace centaur::bench

@@ -21,26 +21,41 @@ suiteServingScaling(SuiteContext &ctx)
     constexpr int kPreset = 1;
     const DlrmConfig model = dlrmPreset(kPreset);
 
+    // --spec steers the worker backend (first selected spec);
+    // --workers replaces the default worker-scaling axis. Defaults
+    // reproduce the paper-era Centaur study.
+    const std::string spec = ctx.specOverride().empty()
+                                 ? std::string("cpu+fpga")
+                                 : ctx.specOverride().front();
+    if (ctx.specOverride().size() > 1)
+        ctx.notef("note: serving_scaling is a single-spec study; "
+                  "running '%s' and ignoring the other %zu --spec "
+                  "values (spec_matrix runs them all)\n",
+                  spec.c_str(), ctx.specOverride().size() - 1);
+
     ServingConfig base;
     base.batchPerRequest = 8;
     base.requests = 400;
     base.slaTargetUs = 2000.0;
 
-    ctx.notef("serving-engine scaling on %s (Centaur design "
-              "point), %u samples/request, %u requests/point\n\n",
-              model.name.c_str(), base.batchPerRequest,
-              base.requests);
+    ctx.notef("serving-engine scaling on %s (spec %s), %u "
+              "samples/request, %u requests/point\n\n",
+              model.name.c_str(), spec.c_str(),
+              base.batchPerRequest, base.requests);
 
     // ----- 1. worker scaling under overload -----
     // Offered load far above single-worker capacity: sustained
     // throughput must track aggregate service capacity, i.e. scale
     // with the worker count.
     const double kOverloadRps = 1e6;
-    const std::vector<std::uint32_t> workers = {1, 2, 4};
+    const std::vector<std::uint32_t> workers =
+        ctx.workerOverride()
+            ? std::vector<std::uint32_t>{ctx.workerOverride()}
+            : std::vector<std::uint32_t>{1, 2, 4};
     const std::vector<std::uint32_t> coalesce = {1, 4, 16};
     const auto sweep =
-        runServingSweep(DesignPoint::Centaur, kPreset, workers,
-                        coalesce, {kOverloadRps}, base, ctx.seed());
+        runServingSweep(spec, kPreset, workers, coalesce,
+                        {kOverloadRps}, base, ctx.seed());
 
     TextTable scaling("worker x coalesce scaling at offered load " +
                       TextTable::fmt(kOverloadRps, 0) + " rps");
@@ -70,7 +85,9 @@ suiteServingScaling(SuiteContext &ctx)
     ctx.emitTable(scaling);
 
     Json scaling_checks = Json::array();
-    for (std::uint32_t c : coalesce) {
+    for (std::uint32_t c : ctx.workerOverride()
+                               ? std::vector<std::uint32_t>{}
+                               : coalesce) {
         const double t1 = findServingEntry(sweep, 1, c, kOverloadRps)
                               .stats.throughputRps;
         const double t2 = findServingEntry(sweep, 2, c, kOverloadRps)
@@ -95,21 +112,25 @@ suiteServingScaling(SuiteContext &ctx)
     // queueing delay for amortization; the window should only be
     // paid where utilization says it buys something.
     ctx.notef("\n");
-    TextTable window("batching window at 2 workers, coalesce 8");
+    const std::uint32_t window_workers =
+        ctx.workerOverride() ? ctx.workerOverride() : 2;
+    TextTable window("batching window at " +
+                     std::to_string(window_workers) +
+                     " workers, coalesce 8");
     window.setHeader({"offered rps", "window (us)", "tput (rps)",
                       "p99 (us)", "util", "batch/disp", "SLA hit"});
     Json window_records = Json::array();
     for (double rps : {2000.0, 8000.0, 32000.0}) {
         for (double window_us : {0.0, 200.0}) {
             ServingConfig cfg = base;
-            cfg.workers = 2;
+            cfg.workers = window_workers;
             cfg.maxCoalescedBatch = 8;
             cfg.coalesceWindowUs = window_us;
             cfg.arrivalRatePerSec = rps;
-            cfg.seed =
-                servingSweepSeed(kPreset, 2, 8, rps) + ctx.seed();
-            const ServingStats s =
-                runServingSim(DesignPoint::Centaur, model, cfg);
+            cfg.seed = servingSweepSeed(kPreset, window_workers, 8,
+                                        rps) +
+                       ctx.seed();
+            const ServingStats s = runServingSim(spec, model, cfg);
             window.addRow(
                 {TextTable::fmt(rps, 0), TextTable::fmt(window_us, 0),
                  TextTable::fmt(s.throughputRps, 0),
@@ -120,6 +141,7 @@ suiteServingScaling(SuiteContext &ctx)
 
             Json rec = reportStamp("window_entry", cfg.seed);
             rec["model"] = model.name;
+            rec["spec"] = spec;
             rec["preset"] = kPreset;
             rec["config"] = toJson(cfg);
             rec["stats"] = toJson(s);
@@ -136,6 +158,7 @@ suiteServingScaling(SuiteContext &ctx)
 
     Json data = Json::object();
     data["base_config"] = toJson(base);
+    data["spec"] = spec;
     data["records"] = records;
     data["scaling_checks"] = scaling_checks;
     data["window_records"] = window_records;
@@ -149,7 +172,8 @@ registerServingSuites(std::vector<Suite> &suites)
 {
     suites.push_back({"serving_scaling",
                       "ServingEngine worker/coalescing/load scaling",
-                      suiteServingScaling});
+                      suiteServingScaling,
+                      "cpu+fpga default; any via --spec, --workers"});
 }
 
 } // namespace centaur::bench

@@ -5,6 +5,7 @@
  * module split) and Table IV (wall power plus derived energy).
  */
 
+#include "core/backend.hh"
 #include "core/report.hh"
 #include "fpga/resource_model.hh"
 #include "power/power_model.hh"
@@ -229,6 +230,7 @@ suiteTable4(SuiteContext &ctx)
 
         Json rec = reportStamp("energy_entry", wl.seed);
         rec["model"] = cfg.name;
+        rec["spec"] = specForDesign(dp);
         rec["result"] = toJson(res);
         records.push(std::move(rec));
     }
@@ -252,15 +254,16 @@ registerTableSuites(std::vector<Suite> &suites)
 {
     suites.push_back(
         {"table1", "Table I recommendation model configurations",
-         suiteTable1});
+         suiteTable1, "none (model configs only)"});
     suites.push_back(
         {"table2", "Table II Centaur FPGA resource utilization",
-         suiteTable2});
+         suiteTable2, "cpu+fpga (fixed)"});
     suites.push_back(
         {"table3", "Table III sparse vs dense FPGA resource split",
-         suiteTable3});
+         suiteTable3, "cpu+fpga (fixed)"});
     suites.push_back(
-        {"table4", "Table IV power and derived energy", suiteTable4});
+        {"table4", "Table IV power and derived energy", suiteTable4,
+         "cpu, cpu+gpu, cpu+fpga (fixed)"});
 }
 
 } // namespace centaur::bench

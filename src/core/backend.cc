@@ -1,0 +1,234 @@
+#include "core/backend.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+const char *
+embBackendName(EmbBackendKind k)
+{
+    switch (k) {
+      case EmbBackendKind::CpuGather:
+        return "cpu-gather";
+      case EmbBackendKind::GpuGather:
+        return "gpu-gather";
+      case EmbBackendKind::EbStreamer:
+        return "eb-streamer";
+    }
+    return "?";
+}
+
+const char *
+mlpBackendName(MlpBackendKind k)
+{
+    switch (k) {
+      case MlpBackendKind::Cpu:
+        return "cpu";
+      case MlpBackendKind::Gpu:
+        return "gpu";
+      case MlpBackendKind::Fpga:
+        return "fpga";
+    }
+    return "?";
+}
+
+const char *
+mlpPlacementName(MlpPlacement p)
+{
+    switch (p) {
+      case MlpPlacement::Host:
+        return "host";
+      case MlpPlacement::Package:
+        return "package";
+      case MlpPlacement::PciePeer:
+        return "pcie";
+    }
+    return "?";
+}
+
+const std::vector<SpecInfo> &
+specRegistry()
+{
+    // Spec strings name the paper's platform pairings: the first
+    // token is the device anchoring the sparse stage's data path,
+    // the second the device running the dense stage. Stage
+    // assignment follows the paper's placement logic - an FPGA in
+    // the package always owns the gathers (EB-Streamer), a discrete
+    // GPU never does unless it is the only accelerator (tables live
+    // in host memory, Section V).
+    static const std::vector<SpecInfo> registry = {
+        {"cpu",
+         {EmbBackendKind::CpuGather, MlpBackendKind::Cpu,
+          MlpPlacement::Host},
+         "CPU-only: SparseLengthsSum + AVX2 MLPs on the Xeon",
+         true, DesignPoint::CpuOnly},
+        {"cpu+gpu",
+         {EmbBackendKind::CpuGather, MlpBackendKind::Gpu,
+          MlpPlacement::PciePeer},
+         "CPU gathers, reduced embeddings ship over PCIe to a V100",
+         true, DesignPoint::CpuGpu},
+        {"cpu+fpga",
+         {EmbBackendKind::EbStreamer, MlpBackendKind::Fpga,
+          MlpPlacement::Package},
+         "Centaur: in-package EB-Streamer + dense PE complex",
+         true, DesignPoint::Centaur},
+        {"gpu",
+         {EmbBackendKind::GpuGather, MlpBackendKind::Gpu,
+          MlpPlacement::PciePeer},
+         "GPU-only: gather kernels pull host tables over PCIe",
+         false, DesignPoint::CpuGpu},
+        {"gpu+fpga",
+         {EmbBackendKind::GpuGather, MlpBackendKind::Fpga,
+          MlpPlacement::PciePeer},
+         "GPU gathers over PCIe, discrete FPGA runs the MLPs",
+         false, DesignPoint::Centaur},
+        {"fpga+fpga",
+         {EmbBackendKind::EbStreamer, MlpBackendKind::Fpga,
+          MlpPlacement::PciePeer},
+         "EB-Streamer gathers, second PCIe-attached FPGA runs MLPs",
+         false, DesignPoint::Centaur},
+    };
+    return registry;
+}
+
+std::vector<std::string>
+registeredSpecs()
+{
+    std::vector<std::string> out;
+    out.reserve(specRegistry().size());
+    for (const SpecInfo &info : specRegistry())
+        out.push_back(info.name);
+    return out;
+}
+
+namespace {
+
+std::string
+knownSpecList()
+{
+    std::ostringstream os;
+    const auto &registry = specRegistry();
+    for (std::size_t i = 0; i < registry.size(); ++i)
+        os << (i ? ", " : "") << registry[i].name;
+    return os.str();
+}
+
+} // namespace
+
+bool
+tryParseSpec(const std::string &name, SystemSpec *out,
+             std::string *error)
+{
+    for (const SpecInfo &info : specRegistry()) {
+        if (name == info.name) {
+            if (out)
+                *out = info.spec;
+            return true;
+        }
+    }
+    if (error)
+        *error = "unknown backend spec '" + name +
+                 "' (known specs: " + knownSpecList() + ")";
+    return false;
+}
+
+SystemSpec
+parseSpec(const std::string &name)
+{
+    SystemSpec spec;
+    std::string error;
+    if (!tryParseSpec(name, &spec, &error))
+        fatal(error);
+    return spec;
+}
+
+std::string
+specName(const SystemSpec &spec)
+{
+    for (const SpecInfo &info : specRegistry())
+        if (info.spec == spec)
+            return info.name;
+    std::ostringstream os;
+    os << "emb:" << embBackendName(spec.emb)
+       << "/mlp:" << mlpBackendName(spec.mlp) << "@"
+       << mlpPlacementName(spec.placement);
+    return os.str();
+}
+
+const char *
+specForDesign(DesignPoint dp)
+{
+    switch (dp) {
+      case DesignPoint::CpuOnly:
+        return "cpu";
+      case DesignPoint::CpuGpu:
+        return "cpu+gpu";
+      case DesignPoint::Centaur:
+        return "cpu+fpga";
+    }
+    panic("unknown design point");
+}
+
+DesignPoint
+anchorDesignPoint(const SystemSpec &spec)
+{
+    for (const SpecInfo &info : specRegistry())
+        if (info.spec == spec)
+            return info.paperDesignPoint;
+    switch (spec.mlp) {
+      case MlpBackendKind::Cpu:
+        return DesignPoint::CpuOnly;
+      case MlpBackendKind::Gpu:
+        return DesignPoint::CpuGpu;
+      case MlpBackendKind::Fpga:
+        return DesignPoint::Centaur;
+    }
+    return DesignPoint::CpuOnly;
+}
+
+double
+specWatts(const SystemSpec &spec, const PowerConfig &power)
+{
+    // Paper design points use the exact Table IV wall measurements.
+    for (const SpecInfo &info : specRegistry())
+        if (info.spec == spec && info.isPaperDesignPoint)
+            return PowerModel(power).watts(info.paperDesignPoint);
+
+    double watts = 0.0;
+    switch (spec.emb) {
+      case EmbBackendKind::CpuGather:
+        watts += power.embCpuWatts;
+        break;
+      case EmbBackendKind::GpuGather:
+        watts += power.embGpuWatts;
+        break;
+      case EmbBackendKind::EbStreamer:
+        watts += power.embFpgaWatts;
+        break;
+    }
+    switch (spec.mlp) {
+      case MlpBackendKind::Cpu:
+        watts += power.mlpCpuWatts;
+        break;
+      case MlpBackendKind::Gpu:
+        watts += power.mlpGpuWatts;
+        break;
+      case MlpBackendKind::Fpga:
+        watts += power.mlpFpgaWatts;
+        if (spec.placement == MlpPlacement::PciePeer)
+            watts += power.discreteFpgaBoardWatts;
+        break;
+    }
+    return watts;
+}
+
+void
+MlpBackend::probabilities(const ForwardResult &fwd,
+                          InferenceResult &res) const
+{
+    res.probabilities = fwd.probabilities;
+}
+
+} // namespace centaur

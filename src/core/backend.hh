@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Composable stage-backend API.
+ *
+ * The paper's three design points are *compositions*: a sparse stage
+ * (embedding gather + reduction) paired with a dense stage (MLPs +
+ * feature interaction) across some interconnect. This header opens
+ * that composition up: an EmbeddingBackend times the sparse stage, a
+ * MlpBackend times the dense stage, and a SystemSpec names one
+ * (embedding backend, MLP backend, placement) pairing. A string-spec
+ * registry covers the paper's three points ("cpu", "cpu+gpu",
+ * "cpu+fpga") plus pairings the paper never ran ("gpu", "gpu+fpga",
+ * "fpga+fpga"); SystemBuilder (core/system_builder.hh) assembles any
+ * spec into a runnable ComposedSystem.
+ */
+
+#ifndef CENTAUR_CORE_BACKEND_HH
+#define CENTAUR_CORE_BACKEND_HH
+
+#include <string>
+#include <vector>
+
+#include "core/result.hh"
+#include "dlrm/reference_model.hh"
+#include "dlrm/workload.hh"
+#include "power/power_model.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** Who executes the sparse (embedding gather + reduce) stage. */
+enum class EmbBackendKind : std::uint8_t
+{
+    CpuGather = 0, //!< SparseLengthsSum on the Xeon (cpu/gather_engine)
+    GpuGather = 1, //!< gather kernels pulling host memory over PCIe
+    EbStreamer = 2, //!< Centaur's in-package EB-Streamer (fpga/eb_streamer)
+};
+
+/** Who executes the dense (MLP + feature interaction) stage. */
+enum class MlpBackendKind : std::uint8_t
+{
+    Cpu = 0,  //!< AVX2 GEMMs (cpu/gemm_model)
+    Gpu = 1,  //!< V100 kernels (gpu/gpu_model)
+    Fpga = 2, //!< PE arrays (fpga/mlp_unit, feature_interaction_unit)
+};
+
+/**
+ * Where the MLP stage sits relative to the embedding stage's output -
+ * this is what decides which interconnect hops an inference pays.
+ */
+enum class MlpPlacement : std::uint8_t
+{
+    Host = 0,     //!< same memory domain, no hop (CPU MLP)
+    Package = 1,  //!< coherent in-package links (Centaur dense complex)
+    PciePeer = 2, //!< discrete device, explicit PCIe hops each way
+};
+
+const char *embBackendName(EmbBackendKind k);
+const char *mlpBackendName(MlpBackendKind k);
+const char *mlpPlacementName(MlpPlacement p);
+
+/** One (embedding backend, MLP backend, placement) pairing. */
+struct SystemSpec
+{
+    EmbBackendKind emb = EmbBackendKind::CpuGather;
+    MlpBackendKind mlp = MlpBackendKind::Cpu;
+    MlpPlacement placement = MlpPlacement::Host;
+
+    bool
+    operator==(const SystemSpec &o) const
+    {
+        return emb == o.emb && mlp == o.mlp &&
+               placement == o.placement;
+    }
+    bool operator!=(const SystemSpec &o) const { return !(*this == o); }
+};
+
+/** One registry row: a named, documented spec. */
+struct SpecInfo
+{
+    const char *name;    //!< CLI / JSON spec string, e.g. "cpu+fpga"
+    SystemSpec spec;
+    const char *summary; //!< one-line description
+    /**
+     * Set when the spec is one of the paper's Table IV design
+     * points; the composed system then reproduces the corresponding
+     * monolithic class (and its wall-power figure) exactly.
+     */
+    bool isPaperDesignPoint;
+    /**
+     * The legacy DesignPoint this spec reports under: the paper
+     * design point itself when isPaperDesignPoint, otherwise the
+     * nearest anchor (by MLP backend) used for the `design` field
+     * of records. Always valid.
+     */
+    DesignPoint paperDesignPoint;
+};
+
+/** All registered specs, paper design points first. */
+const std::vector<SpecInfo> &specRegistry();
+
+/** Registered spec strings in registry order. */
+std::vector<std::string> registeredSpecs();
+
+/**
+ * Parse a registered spec string. Returns false and fills @p error
+ * (when non-null) with a message naming the offender and the known
+ * specs; true fills @p out.
+ */
+bool tryParseSpec(const std::string &name, SystemSpec *out,
+                  std::string *error = nullptr);
+
+/** Parse a registered spec string; fatal with the known specs on error. */
+SystemSpec parseSpec(const std::string &name);
+
+/**
+ * Canonical string for @p spec: the registry name when registered,
+ * otherwise a synthesized "emb:<e>/mlp:<m>@<placement>" form (such
+ * specs can only come from assembling a SystemSpec by hand).
+ */
+std::string specName(const SystemSpec &spec);
+
+/** The spec string of a legacy Table IV design point. */
+const char *specForDesign(DesignPoint dp);
+
+/**
+ * Legacy DesignPoint anchor for a spec, used only where a report or
+ * API predates specs (InferenceResult::design): paper design points
+ * map to themselves, everything else anchors on its MLP backend.
+ */
+DesignPoint anchorDesignPoint(const SystemSpec &spec);
+
+/**
+ * Wall power of a composed system (watts). Paper design points
+ * return the exact Table IV measurement via @p power; other specs
+ * use the additive per-stage decomposition in PowerConfig.
+ */
+double specWatts(const SystemSpec &spec, const PowerConfig &power);
+
+/**
+ * When the embedding stage finishes, from the MLP stage's point of
+ * view. The two timestamps differ only for backends that prefetch
+ * dense features independently of the gather (the EB-Streamer's DNF
+ * stream, the GPU's dense h2d copy) - that separation is what lets
+ * an in-package MLP stage overlap its bottom MLP with the gather.
+ */
+struct EmbStageTiming
+{
+    Tick embReady = 0;   //!< reduced embedding vectors available
+    Tick denseReady = 0; //!< dense features available
+};
+
+/**
+ * Times the sparse stage: embedding gathers + reductions plus any
+ * index/dense staging traffic. Implementations accumulate phase
+ * ticks and cache statistics into the InferenceResult they are
+ * handed; ComposedSystem stitches the stage timings together.
+ */
+class EmbeddingBackend
+{
+  public:
+    virtual ~EmbeddingBackend() = default;
+
+    virtual EmbBackendKind kind() const = 0;
+
+    /** Run the sparse stage for @p batch starting at @p start. */
+    virtual EmbStageTiming run(const InferenceBatch &batch, Tick start,
+                               InferenceResult &res) = 0;
+};
+
+/**
+ * Times the dense stage: bottom MLP, feature interaction, top MLP,
+ * sigmoid, plus any ingress/egress hops its placement implies.
+ */
+class MlpBackend
+{
+  public:
+    virtual ~MlpBackend() = default;
+
+    virtual MlpBackendKind kind() const = 0;
+
+    /**
+     * Run the dense stage; @p in carries the embedding stage's
+     * completion times. Returns the tick the result lands back in
+     * host memory.
+     */
+    virtual Tick run(const InferenceBatch &batch,
+                     const EmbStageTiming &in,
+                     InferenceResult &res) = 0;
+
+    /**
+     * Final probability semantics: exact sigmoid by default; the
+     * FPGA backend overrides with its piecewise-linear LUT.
+     */
+    virtual void probabilities(const ForwardResult &fwd,
+                               InferenceResult &res) const;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CORE_BACKEND_HH

@@ -6,6 +6,13 @@
  * runs the bottom MLP on prefetched dense features; feature
  * interaction and the top MLP follow on the PE arrays, and a sigmoid
  * LUT finishes the probability, which streams back to CPU memory.
+ *
+ * @deprecated Kept as the reference implementation the composed
+ * "cpu+fpga" preset is asserted against (and for the ablation
+ * suites that poke its channel/IOMMU accessors). New code should
+ * assemble the equivalent system through SystemBuilder
+ * (core/system_builder.hh):
+ * `SystemBuilder().spec("cpu+fpga").model(cfg).build()`.
  */
 
 #ifndef CENTAUR_CORE_CENTAUR_SYSTEM_HH

@@ -4,6 +4,12 @@
  * memory (they exceed GPU HBM capacity), the CPU gathers and
  * reduces, then ships reduced embeddings + dense features over PCIe
  * to a V100 that runs the MLPs and interaction.
+ *
+ * @deprecated Kept as the reference implementation the composed
+ * "cpu+gpu" preset is asserted against. New code should assemble
+ * the equivalent system through SystemBuilder
+ * (core/system_builder.hh):
+ * `SystemBuilder().spec("cpu+gpu").model(cfg).build()`.
  */
 
 #ifndef CENTAUR_CORE_CPU_GPU_SYSTEM_HH

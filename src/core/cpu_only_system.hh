@@ -3,6 +3,11 @@
  * The CPU-only baseline (Section III): the entire model - embedding
  * gathers, MLPs, interaction, sigmoid - executes on the Broadwell
  * Xeon, the deployment configuration hyperscalers use in production.
+ *
+ * @deprecated Kept as the reference implementation the composed
+ * "cpu" preset is asserted against. New code should assemble the
+ * equivalent system through SystemBuilder (core/system_builder.hh):
+ * `SystemBuilder().spec("cpu").model(cfg).build()`.
  */
 
 #ifndef CENTAUR_CORE_CPU_ONLY_SYSTEM_HH

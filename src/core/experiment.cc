@@ -1,5 +1,7 @@
 #include "core/experiment.hh"
 
+#include "core/backend.hh"
+#include "core/system_builder.hh"
 #include "sim/log.hh"
 
 namespace centaur {
@@ -12,7 +14,7 @@ sweepSeed(int preset, std::uint32_t batch)
 }
 
 std::vector<SweepEntry>
-runSweep(DesignPoint dp, const std::vector<int> &presets,
+runSweep(const std::string &spec, const std::vector<int> &presets,
          const std::vector<std::uint32_t> &batches, int warmup_runs,
          IndexDistribution dist, std::uint64_t seed_offset)
 {
@@ -20,7 +22,7 @@ runSweep(DesignPoint dp, const std::vector<int> &presets,
     for (int preset : presets) {
         const DlrmConfig cfg = dlrmPreset(preset);
         for (std::uint32_t batch : batches) {
-            auto sys = makeSystem(dp, cfg);
+            auto sys = makeSystem(spec, cfg);
             WorkloadConfig wl;
             wl.batch = batch;
             wl.dist = dist;
@@ -28,6 +30,7 @@ runSweep(DesignPoint dp, const std::vector<int> &presets,
             WorkloadGenerator gen(cfg, wl);
             SweepEntry entry;
             entry.modelName = cfg.name;
+            entry.spec = spec;
             entry.preset = preset;
             entry.batch = batch;
             entry.seed = wl.seed;
@@ -39,12 +42,28 @@ runSweep(DesignPoint dp, const std::vector<int> &presets,
 }
 
 std::vector<SweepEntry>
+runSweep(DesignPoint dp, const std::vector<int> &presets,
+         const std::vector<std::uint32_t> &batches, int warmup_runs,
+         IndexDistribution dist, std::uint64_t seed_offset)
+{
+    return runSweep(specForDesign(dp), presets, batches, warmup_runs,
+                    dist, seed_offset);
+}
+
+std::vector<SweepEntry>
+runPaperSweep(const std::string &spec, int warmup_runs,
+              std::uint64_t seed_offset)
+{
+    return runSweep(spec, {1, 2, 3, 4, 5, 6}, paperBatchSizes(),
+                    warmup_runs, IndexDistribution::Uniform,
+                    seed_offset);
+}
+
+std::vector<SweepEntry>
 runPaperSweep(DesignPoint dp, int warmup_runs,
               std::uint64_t seed_offset)
 {
-    return runSweep(dp, {1, 2, 3, 4, 5, 6}, paperBatchSizes(),
-                    warmup_runs, IndexDistribution::Uniform,
-                    seed_offset);
+    return runPaperSweep(specForDesign(dp), warmup_runs, seed_offset);
 }
 
 const SweepEntry &
@@ -70,7 +89,7 @@ servingSweepSeed(int preset, std::uint32_t workers,
 }
 
 std::vector<ServingSweepEntry>
-runServingSweep(DesignPoint dp, int preset,
+runServingSweep(const std::string &spec, int preset,
                 const std::vector<std::uint32_t> &workers,
                 const std::vector<std::uint32_t> &coalesce,
                 const std::vector<double> &rates,
@@ -89,17 +108,29 @@ runServingSweep(DesignPoint dp, int preset,
                     servingSweepSeed(preset, w, c, rate) + seed_offset;
                 ServingSweepEntry entry;
                 entry.modelName = model.name;
+                entry.spec = spec;
                 entry.preset = preset;
                 entry.workers = w;
                 entry.maxCoalescedBatch = c;
                 entry.arrivalRatePerSec = rate;
                 entry.seed = cfg.seed;
-                entry.stats = runServingSim(dp, model, cfg);
+                entry.stats = runServingSim(spec, model, cfg);
                 out.push_back(std::move(entry));
             }
         }
     }
     return out;
+}
+
+std::vector<ServingSweepEntry>
+runServingSweep(DesignPoint dp, int preset,
+                const std::vector<std::uint32_t> &workers,
+                const std::vector<std::uint32_t> &coalesce,
+                const std::vector<double> &rates,
+                const ServingConfig &base, std::uint64_t seed_offset)
+{
+    return runServingSweep(specForDesign(dp), preset, workers,
+                           coalesce, rates, base, seed_offset);
 }
 
 const ServingSweepEntry &

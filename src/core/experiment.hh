@@ -24,6 +24,8 @@ namespace centaur {
 struct SweepEntry
 {
     std::string modelName;
+    /** Backend spec the point was measured on. */
+    std::string spec;
     int preset = 0;
     std::uint32_t batch = 0;
     /** Workload seed the point was measured with. */
@@ -32,11 +34,19 @@ struct SweepEntry
 };
 
 /**
- * Measure @p dp on every (preset, batch) pair. Each point uses a
- * fresh system (cold platform state) plus @p warmup_runs warmup
- * inferences, mirroring the paper's warmed-cache methodology.
- * @p seed_offset shifts every per-point seed (centaur_bench --seed).
+ * Measure backend spec @p spec on every (preset, batch) pair. Each
+ * point uses a fresh system (cold platform state) plus
+ * @p warmup_runs warmup inferences, mirroring the paper's
+ * warmed-cache methodology. @p seed_offset shifts every per-point
+ * seed (centaur_bench --seed).
  */
+std::vector<SweepEntry>
+runSweep(const std::string &spec, const std::vector<int> &presets,
+         const std::vector<std::uint32_t> &batches, int warmup_runs = 1,
+         IndexDistribution dist = IndexDistribution::Uniform,
+         std::uint64_t seed_offset = 0);
+
+/** Legacy design-point shim over the spec-based runSweep. */
 std::vector<SweepEntry>
 runSweep(DesignPoint dp, const std::vector<int> &presets,
          const std::vector<std::uint32_t> &batches, int warmup_runs = 1,
@@ -44,6 +54,11 @@ runSweep(DesignPoint dp, const std::vector<int> &presets,
          std::uint64_t seed_offset = 0);
 
 /** Convenience: all six presets x the paper's batch sizes. */
+std::vector<SweepEntry> runPaperSweep(const std::string &spec,
+                                      int warmup_runs = 1,
+                                      std::uint64_t seed_offset = 0);
+
+/** Legacy design-point shim over the spec-based runPaperSweep. */
 std::vector<SweepEntry> runPaperSweep(DesignPoint dp,
                                       int warmup_runs = 1,
                                       std::uint64_t seed_offset = 0);
@@ -59,6 +74,8 @@ std::uint64_t sweepSeed(int preset, std::uint32_t batch);
 struct ServingSweepEntry
 {
     std::string modelName;
+    /** Default worker backend spec the point was measured on. */
+    std::string spec;
     int preset = 0;
     std::uint32_t workers = 0;
     std::uint32_t maxCoalescedBatch = 0;
@@ -75,6 +92,15 @@ struct ServingSweepEntry
  * window, drop policy, SLA); each point gets a deterministic seed,
  * shifted by @p seed_offset (centaur_bench --seed).
  */
+std::vector<ServingSweepEntry>
+runServingSweep(const std::string &spec, int preset,
+                const std::vector<std::uint32_t> &workers,
+                const std::vector<std::uint32_t> &coalesce,
+                const std::vector<double> &rates,
+                const ServingConfig &base = ServingConfig{},
+                std::uint64_t seed_offset = 0);
+
+/** Legacy design-point shim over the spec-based runServingSweep. */
 std::vector<ServingSweepEntry>
 runServingSweep(DesignPoint dp, int preset,
                 const std::vector<std::uint32_t> &workers,

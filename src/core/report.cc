@@ -9,6 +9,7 @@ reportStamp(const std::string &kind, std::uint64_t seed)
 {
     Json j = Json::object();
     j["schema_version"] = kReportSchemaVersion;
+    j["schema_minor"] = kReportSchemaMinorVersion;
     j["kind"] = kind;
     j["seed"] = seed;
     return j;
@@ -48,6 +49,7 @@ toJson(const InferenceResult &res)
 {
     Json j = Json::object();
     j["design"] = designPointName(res.design);
+    j["spec"] = res.spec;
     j["batch"] = res.batch;
     j["latency_us"] = usFromTicks(res.latency());
     j["throughput_inf_per_sec"] = res.inferencesPerSec();
@@ -77,6 +79,7 @@ toJson(const SweepEntry &entry)
 {
     Json j = reportStamp("sweep_entry", entry.seed);
     j["model"] = entry.modelName;
+    j["spec"] = entry.spec;
     j["preset"] = entry.preset;
     j["batch"] = entry.batch;
     j["result"] = toJson(entry.result);
@@ -87,6 +90,7 @@ Json
 toJson(const WorkerStats &ws)
 {
     Json j = Json::object();
+    j["spec"] = ws.spec;
     j["served"] = ws.served;
     j["dispatches"] = ws.dispatches;
     j["busy_us"] = ws.busyUs;
@@ -133,6 +137,7 @@ toJson(const ServingSweepEntry &entry)
 {
     Json j = reportStamp("serving_sweep_entry", entry.seed);
     j["model"] = entry.modelName;
+    j["spec"] = entry.spec;
     j["preset"] = entry.preset;
     j["workers"] = entry.workers;
     j["max_coalesced_batch"] = entry.maxCoalescedBatch;
@@ -150,6 +155,10 @@ toJson(const ServingConfig &cfg)
     j["requests"] = cfg.requests;
     j["seed"] = cfg.seed;
     j["workers"] = cfg.workers;
+    Json specs = Json::array();
+    for (const std::string &s : cfg.workerSpecs)
+        specs.push(s);
+    j["worker_specs"] = specs;
     j["max_coalesced_batch"] = cfg.maxCoalescedBatch;
     j["coalesce_window_us"] = cfg.coalesceWindowUs;
     j["max_queue_depth"] = cfg.maxQueueDepth;

@@ -31,7 +31,15 @@ namespace centaur {
  */
 constexpr int kReportSchemaVersion = 1;
 
-/** Common stamp: schema version, kind tag and workload seed. */
+/**
+ * Minor schema revision: bumped for additive changes. v1.1 stamps
+ * every measurement record with the backend-composition `spec`
+ * string (core/backend.hh registry) alongside the legacy `design`
+ * anchor, and per-worker serving stats carry the worker's spec.
+ */
+constexpr int kReportSchemaMinorVersion = 1;
+
+/** Common stamp: schema version (major+minor), kind and seed. */
 Json reportStamp(const std::string &kind, std::uint64_t seed);
 
 /** Model configuration (Table I axes plus derived sizes). */

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "power/power_model.hh"
@@ -61,7 +62,14 @@ struct LayerStats
 /** Everything measured about one end-to-end inference. */
 struct InferenceResult
 {
+    /**
+     * Legacy design-point anchor. For composed systems beyond the
+     * paper's three points this holds the nearest anchor (by MLP
+     * backend); `spec` is the authoritative identity.
+     */
     DesignPoint design = DesignPoint::CpuOnly;
+    /** Backend-composition spec string (core/backend.hh registry). */
+    std::string spec;
     std::uint32_t batch = 0;
 
     Tick start = 0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <deque>
 
+#include "core/backend.hh"
+#include "core/system_builder.hh"
 #include "sim/log.hh"
 #include "sim/random.hh"
 
@@ -98,6 +100,8 @@ ServingEngine::run()
 
     std::vector<double> worker_free(_workers.size(), 0.0);
     std::vector<WorkerStats> worker_stats(_workers.size());
+    for (std::size_t i = 0; i < _workers.size(); ++i)
+        worker_stats[i].spec = _workers[i]->spec();
 
     std::deque<PendingRequest> queue;
     std::uint32_t next_arrival = 0;
@@ -271,16 +275,42 @@ makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n)
     return out;
 }
 
+std::vector<std::unique_ptr<System>>
+makeWorkers(const std::string &default_spec, const DlrmConfig &model,
+            const ServingConfig &cfg)
+{
+    std::vector<std::unique_ptr<System>> out;
+    if (!cfg.workerSpecs.empty()) {
+        out.reserve(cfg.workerSpecs.size());
+        for (const std::string &spec : cfg.workerSpecs)
+            out.push_back(makeSystem(spec, model));
+        return out;
+    }
+    if (cfg.workers == 0)
+        fatal("serving engine needs at least one worker");
+    out.reserve(cfg.workers);
+    for (std::uint32_t i = 0; i < cfg.workers; ++i)
+        out.push_back(makeSystem(default_spec, model));
+    return out;
+}
+
 ServingStats
-runServingSim(DesignPoint dp, const DlrmConfig &model,
+runServingSim(const std::string &default_spec, const DlrmConfig &model,
               const ServingConfig &cfg)
 {
-    auto owned = makeWorkers(dp, model, cfg.workers);
+    auto owned = makeWorkers(default_spec, model, cfg);
     std::vector<System *> workers;
     workers.reserve(owned.size());
     for (auto &w : owned)
         workers.push_back(w.get());
     return ServingEngine(std::move(workers), cfg).run();
+}
+
+ServingStats
+runServingSim(DesignPoint dp, const DlrmConfig &model,
+              const ServingConfig &cfg)
+{
+    return runServingSim(specForDesign(dp), model, cfg);
 }
 
 InferenceServer::InferenceServer(System &sys, const ServerConfig &cfg,

@@ -43,6 +43,14 @@ struct ServingConfig
 
     /** Worker systems draining the shared admission queue. */
     std::uint32_t workers = 1;
+    /**
+     * Per-worker backend specs (core/backend.hh registry names) for
+     * heterogeneous fleets, e.g. {"cpu+fpga", "cpu+fpga", "cpu"}.
+     * When non-empty this overrides `workers`: the fleet gets one
+     * worker per entry. Empty keeps a homogeneous fleet of
+     * `workers` systems built from the caller's design point/spec.
+     */
+    std::vector<std::string> workerSpecs;
     /** Max queued requests coalesced into one dispatched batch. */
     std::uint32_t maxCoalescedBatch = 1;
     /**
@@ -62,6 +70,8 @@ struct ServingConfig
 /** Per-worker serving results. */
 struct WorkerStats
 {
+    /** Backend spec of the worker system serving these requests. */
+    std::string spec;
     std::uint64_t served = 0;     //!< requests completed
     std::uint64_t dispatches = 0; //!< coalesced batches executed
     double busyUs = 0.0;
@@ -151,8 +161,25 @@ class ServingEngine
 std::vector<std::unique_ptr<System>>
 makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n);
 
+/**
+ * Build the worker fleet for @p cfg: one system per
+ * cfg.workerSpecs entry when set (heterogeneous), else cfg.workers
+ * copies of @p default_spec.
+ */
+std::vector<std::unique_ptr<System>>
+makeWorkers(const std::string &default_spec, const DlrmConfig &model,
+            const ServingConfig &cfg);
+
 /** Convenience: build workers per @p cfg.workers and run the engine. */
 ServingStats runServingSim(DesignPoint dp, const DlrmConfig &model,
+                           const ServingConfig &cfg);
+
+/**
+ * Spec-based convenience: build the fleet via
+ * makeWorkers(default_spec, model, cfg) and run the engine.
+ */
+ServingStats runServingSim(const std::string &default_spec,
+                           const DlrmConfig &model,
                            const ServingConfig &cfg);
 
 // ---------------------------------------------------------------------

@@ -1,24 +1,24 @@
 #include "core/system.hh"
 
-#include "core/centaur_system.hh"
-#include "core/cpu_gpu_system.hh"
-#include "core/cpu_only_system.hh"
+#include "core/backend.hh"
+#include "core/system_builder.hh"
 #include "sim/log.hh"
 
 namespace centaur {
 
+std::string
+System::spec() const
+{
+    return specForDesign(design());
+}
+
 std::unique_ptr<System>
 makeSystem(DesignPoint dp, const DlrmConfig &cfg)
 {
-    switch (dp) {
-      case DesignPoint::CpuOnly:
-        return std::make_unique<CpuOnlySystem>(cfg);
-      case DesignPoint::CpuGpu:
-        return std::make_unique<CpuGpuSystem>(cfg);
-      case DesignPoint::Centaur:
-        return std::make_unique<CentaurSystem>(cfg);
-    }
-    panic("unknown design point");
+    // Thin shim over the composable backend API: each legacy design
+    // point is a canned preset that reproduces the former monolithic
+    // class exactly (tests/core/test_composed_system.cc).
+    return SystemBuilder().spec(specForDesign(dp)).model(cfg).build();
 }
 
 InferenceResult

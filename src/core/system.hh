@@ -33,8 +33,18 @@ class System
 
     virtual ~System() = default;
 
-    /** Which Table IV design point this is. */
+    /**
+     * Which Table IV design point this is (or, for composed systems
+     * beyond the paper's three points, the nearest legacy anchor -
+     * see core/backend.hh anchorDesignPoint()).
+     */
     virtual DesignPoint design() const = 0;
+
+    /**
+     * Backend-composition spec string (core/backend.hh registry);
+     * the authoritative identity of the system.
+     */
+    virtual std::string spec() const;
 
     /** Run one inference; advances internal time. */
     virtual InferenceResult infer(const InferenceBatch &batch) = 0;
@@ -45,10 +55,11 @@ class System
     const PowerModel &power() const { return _power; }
 
   protected:
-    /** Attach power/energy numbers to a finished result. */
+    /** Attach spec and power/energy numbers to a finished result. */
     void
     finalize(InferenceResult &res)
     {
+        res.spec = spec();
         res.powerWatts = _power.watts(design());
         res.energyJoules = _power.energyJoules(design(), res.latency());
     }
@@ -58,7 +69,14 @@ class System
     Tick _now = 0;
 };
 
-/** Factory covering all three design points with default configs. */
+/**
+ * Factory covering all three design points with default configs.
+ *
+ * @deprecated Thin shim over SystemBuilder (core/system_builder.hh):
+ * `SystemBuilder().spec(specForDesign(dp)).model(cfg).build()`.
+ * Prefer the builder - it reaches every registered backend spec, not
+ * just the paper's three design points.
+ */
 std::unique_ptr<System> makeSystem(DesignPoint dp,
                                    const DlrmConfig &cfg);
 

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CPU stage backends for the composable system API: the embedding
+ * gather stage (cpu/gather_engine) and the dense MLP stage
+ * (cpu/gemm_model) as pluggable backends. Extracted from the former
+ * monolithic CpuOnlySystem/CpuGpuSystem inference paths; a composed
+ * "cpu" system reproduces CpuOnlySystem tick-for-tick.
+ */
+
+#ifndef CENTAUR_CPU_CPU_BACKEND_HH
+#define CENTAUR_CPU_CPU_BACKEND_HH
+
+#include "cache/hierarchy.hh"
+#include "core/backend.hh"
+#include "cpu/cpu_config.hh"
+#include "cpu/gather_engine.hh"
+#include "cpu/gemm_model.hh"
+#include "mem/dram.hh"
+
+namespace centaur {
+
+/**
+ * SparseLengthsSum on the Xeon: work items sharded across cores,
+ * misses walking the shared cache hierarchy into DRAM.
+ */
+class CpuGatherBackend : public EmbeddingBackend
+{
+  public:
+    CpuGatherBackend(const CpuConfig &cpu, CacheHierarchy &hier,
+                     DramModel &dram, const ReferenceModel &model);
+
+    EmbBackendKind kind() const override
+    {
+        return EmbBackendKind::CpuGather;
+    }
+
+    EmbStageTiming run(const InferenceBatch &batch, Tick start,
+                       InferenceResult &res) override;
+
+  private:
+    CpuConfig _cpu;
+    const ReferenceModel &_model;
+    GatherEngine _gather;
+};
+
+/**
+ * The dense stage on the Xeon: bottom MLP, interaction GEMM, concat
+ * glue, top MLP and sigmoid, all through the AVX2 GEMM model.
+ * Warms the MLP weight range on construction (deployment-persistent
+ * weights, Section III-B), as CpuOnlySystem always did.
+ */
+class CpuMlpBackend : public MlpBackend
+{
+  public:
+    CpuMlpBackend(const CpuConfig &cpu, CacheHierarchy &hier,
+                  DramModel &dram, const ReferenceModel &model);
+
+    MlpBackendKind kind() const override { return MlpBackendKind::Cpu; }
+
+    Tick run(const InferenceBatch &batch, const EmbStageTiming &in,
+             InferenceResult &res) override;
+
+  private:
+    Tick runMlpStack(const std::vector<std::uint32_t> &dims,
+                     std::uint32_t batch, Addr in_base, Addr w_base,
+                     Tick start, InferenceResult &r);
+
+    CpuConfig _cpu;
+    const ReferenceModel &_model;
+    CpuGemmModel _gemm;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CPU_CPU_BACKEND_HH

@@ -1,0 +1,171 @@
+#include "fpga/fpga_backend.hh"
+
+#include <algorithm>
+
+namespace centaur {
+
+EbGatherBackend::EbGatherBackend(const CentaurConfig &acc,
+                                 CacheHierarchy &hier, DramModel &dram,
+                                 const ReferenceModel &model)
+    : _acc(acc), _model(model), _channel(_acc.channel),
+      _iommu(_acc.iommu),
+      _streamer(_acc, _channel, _iommu, hier.llc(), dram)
+{
+    // Boot-time software interface (Section IV-E): the CPU programs
+    // the base pointers over MMIO once; MLP weights are uploaded to
+    // the FPGA weight SRAM and stay persistent, so neither is on the
+    // per-inference critical path.
+    const MemoryLayout &layout = _model.layout();
+    auto &regs = _streamer.bpregs();
+    regs.setIndexArray(layout.indexArrayBase);
+    regs.setDenseFeatures(layout.denseFeatureBase);
+    regs.setMlpWeights(layout.mlpWeightBase);
+    regs.setOutput(layout.outputBase);
+    regs.setTableBases(layout.tableBases);
+}
+
+EmbStageTiming
+EbGatherBackend::run(const InferenceBatch &batch, Tick start,
+                     InferenceResult &res)
+{
+    const DlrmConfig &cfg = _model.config();
+
+    // ----- MMIO pointer updates + doorbell (Other) -----
+    const Tick t_mmio =
+        start + _acc.mmioWritesPerInference *
+                    ticksFromNs(_acc.mmioWriteNs);
+
+    // ----- DNF: dense feature fetch (overlaps IDX/EMB) -----
+    const std::uint64_t dnf_bytes =
+        static_cast<std::uint64_t>(batch.batch) * cfg.denseDim * 4;
+    const StreamResult dnf = _streamer.streamFromMemory(
+        _streamer.bpregs().denseFeatures(), dnf_bytes, t_mmio);
+
+    // ----- IDX: sparse index array fetch -----
+    const std::uint64_t idx_bytes = batch.totalLookups() * 4;
+    const StreamResult idx = _streamer.streamFromMemory(
+        _streamer.bpregs().indexArray(), idx_bytes, t_mmio);
+
+    // ----- EMB: hardware gathers + on-the-fly reductions -----
+    const EbGatherResult g = _streamer.gather(_model, batch, idx.end);
+    res.effectiveEmbGBps = g.effectiveGBps();
+
+    res.phase[static_cast<std::size_t>(Phase::Idx)] = idx.end - t_mmio;
+    res.phase[static_cast<std::size_t>(Phase::Emb)] = g.end - idx.end;
+    res.phase[static_cast<std::size_t>(Phase::Dnf)] =
+        dnf.end > g.end ? dnf.end - g.end : 0;
+    res.phase[static_cast<std::size_t>(Phase::Other)] +=
+        t_mmio - start;
+
+    return {g.end, dnf.end};
+}
+
+FpgaMlpBackend::FpgaMlpBackend(const CentaurConfig &acc,
+                               const ReferenceModel &model,
+                               EbStreamer &streamer)
+    : _acc(acc), _model(model), _streamer(&streamer), _hop(),
+      _mlpUnit(_acc), _fiUnit(_acc), _sigmoid(_acc)
+{
+}
+
+FpgaMlpBackend::FpgaMlpBackend(const CentaurConfig &acc,
+                               const ReferenceModel &model,
+                               const InterconnectHop &hop)
+    : _acc(acc), _model(model), _streamer(nullptr), _hop(hop),
+      _mlpUnit(_acc), _fiUnit(_acc), _sigmoid(_acc)
+{
+}
+
+Tick
+FpgaMlpBackend::run(const InferenceBatch &batch,
+                    const EmbStageTiming &in, InferenceResult &res)
+{
+    return _streamer ? runIntegrated(batch, in, res)
+                     : runDiscrete(batch, in, res);
+}
+
+Tick
+FpgaMlpBackend::runIntegrated(const InferenceBatch &batch,
+                              const EmbStageTiming &in,
+                              InferenceResult &res)
+{
+    const DlrmConfig &cfg = _model.config();
+
+    // ----- bottom MLP (overlaps EMB; needs only dense features) ----
+    const DenseExecResult bot = _mlpUnit.mlpStack(
+        cfg.bottomLayerDims(), batch.batch, in.denseReady);
+
+    // ----- feature interaction on the FI PEs -----
+    const Tick fi_start = std::max(in.embReady, bot.end);
+    const DenseExecResult fi = _fiUnit.run(
+        batch.batch, cfg.numTables + 1, cfg.embeddingDim, fi_start);
+
+    // ----- top MLP -----
+    const DenseExecResult top = _mlpUnit.mlpStack(
+        cfg.topLayerDims(), batch.batch, fi.end);
+
+    // ----- sigmoid + writeback (Other) -----
+    const Tick sig_end = _sigmoid.time(batch.batch, top.end);
+    const StreamResult wb = _streamer->writeback(
+        _streamer->bpregs().output(),
+        static_cast<std::uint64_t>(batch.batch) * 4, sig_end);
+
+    const Tick mlp_start = std::max(in.embReady, in.denseReady);
+    res.phase[static_cast<std::size_t>(Phase::Mlp)] =
+        top.end - mlp_start;
+    res.phase[static_cast<std::size_t>(Phase::Other)] +=
+        (sig_end - top.end) + (wb.end - sig_end);
+
+    return wb.end;
+}
+
+Tick
+FpgaMlpBackend::runDiscrete(const InferenceBatch &batch,
+                            const EmbStageTiming &in,
+                            InferenceResult &res)
+{
+    const DlrmConfig &cfg = _model.config();
+
+    // ----- ingress hop: reduced embeddings + dense features -------
+    // A discrete dense complex cannot start its bottom MLP until the
+    // full stage input lands on the board: the EMB/MLP overlap the
+    // in-package design enjoys is lost, by construction.
+    const std::uint64_t in_bytes =
+        static_cast<std::uint64_t>(batch.batch) * cfg.numTables *
+            cfg.vectorBytes() +
+        static_cast<std::uint64_t>(batch.batch) * cfg.denseDim * 4;
+    const Tick in_start = std::max(in.embReady, in.denseReady);
+    const Tick t0 = _hop.transfer(in_bytes, in_start);
+    res.phase[static_cast<std::size_t>(Phase::Other)] +=
+        t0 - in_start;
+
+    // ----- dense pipeline, fully serialized after the hop ---------
+    const DenseExecResult bot = _mlpUnit.mlpStack(
+        cfg.bottomLayerDims(), batch.batch, t0);
+    const DenseExecResult fi = _fiUnit.run(
+        batch.batch, cfg.numTables + 1, cfg.embeddingDim, bot.end);
+    const DenseExecResult top = _mlpUnit.mlpStack(
+        cfg.topLayerDims(), batch.batch, fi.end);
+
+    // ----- sigmoid + egress hop (Other) -----
+    const Tick sig_end = _sigmoid.time(batch.batch, top.end);
+    const Tick out_end = _hop.transfer(
+        static_cast<std::uint64_t>(batch.batch) * 4, sig_end);
+
+    res.phase[static_cast<std::size_t>(Phase::Mlp)] = top.end - t0;
+    res.phase[static_cast<std::size_t>(Phase::Other)] +=
+        (sig_end - top.end) + (out_end - sig_end);
+
+    return out_end;
+}
+
+void
+FpgaMlpBackend::probabilities(const ForwardResult &fwd,
+                              InferenceResult &res) const
+{
+    res.probabilities.resize(fwd.logits.size());
+    for (std::size_t i = 0; i < fwd.logits.size(); ++i)
+        res.probabilities[i] = _sigmoid.eval(fwd.logits[i]);
+}
+
+} // namespace centaur

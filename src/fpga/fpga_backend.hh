@@ -1,0 +1,111 @@
+/**
+ * @file
+ * FPGA stage backends for the composable system API, extracted from
+ * the former monolithic CentaurSystem inference path: the
+ * EB-Streamer sparse complex as an EmbeddingBackend and the dense
+ * PE complex (MLP unit + feature-interaction unit + sigmoid LUT) as
+ * an MlpBackend. Composed "cpu+fpga" (both complexes in the CPU
+ * package, coherent links, EMB/MLP overlap) reproduces
+ * CentaurSystem tick-for-tick; the PciePeer placement models a
+ * discrete second FPGA that loses the overlap and pays explicit
+ * hops - the cost of giving up package integration.
+ */
+
+#ifndef CENTAUR_FPGA_FPGA_BACKEND_HH
+#define CENTAUR_FPGA_FPGA_BACKEND_HH
+
+#include "cache/hierarchy.hh"
+#include "core/backend.hh"
+#include "fpga/centaur_config.hh"
+#include "fpga/eb_streamer.hh"
+#include "fpga/feature_interaction_unit.hh"
+#include "fpga/mlp_unit.hh"
+#include "fpga/sigmoid_unit.hh"
+#include "interconnect/aggregate_link.hh"
+#include "interconnect/hop.hh"
+#include "interconnect/iommu.hh"
+#include "mem/dram.hh"
+
+namespace centaur {
+
+/**
+ * The EB-Streamer sparse complex: MMIO doorbell, DNF/IDX DMA
+ * streams, hardware gathers + on-the-fly reductions over the
+ * coherent chiplet channel.
+ */
+class EbGatherBackend : public EmbeddingBackend
+{
+  public:
+    EbGatherBackend(const CentaurConfig &acc, CacheHierarchy &hier,
+                    DramModel &dram, const ReferenceModel &model);
+
+    EmbBackendKind kind() const override
+    {
+        return EmbBackendKind::EbStreamer;
+    }
+
+    EmbStageTiming run(const InferenceBatch &batch, Tick start,
+                       InferenceResult &res) override;
+
+    EbStreamer &streamer() { return _streamer; }
+    const CentaurConfig &acceleratorConfig() const { return _acc; }
+
+  private:
+    CentaurConfig _acc;
+    const ReferenceModel &_model;
+    ChannelAggregate _channel;
+    Iommu _iommu;
+    EbStreamer _streamer;
+};
+
+/**
+ * The dense PE complex. In the Package placement it shares the
+ * sparse complex's shell: dense features arrive over the DNF
+ * stream, the bottom MLP overlaps the gather, and results stream
+ * back through the EB-Streamer's writeback path. In the PciePeer
+ * placement the complex sits on a discrete board: reduced
+ * embeddings and dense features pay an explicit ingress hop, the
+ * overlap is lost, and results pay an egress hop.
+ */
+class FpgaMlpBackend : public MlpBackend
+{
+  public:
+    /** Package placement: writeback via the sparse complex. */
+    FpgaMlpBackend(const CentaurConfig &acc,
+                   const ReferenceModel &model, EbStreamer &streamer);
+
+    /** PciePeer placement: explicit ingress/egress hops. */
+    FpgaMlpBackend(const CentaurConfig &acc,
+                   const ReferenceModel &model,
+                   const InterconnectHop &hop);
+
+    MlpBackendKind kind() const override
+    {
+        return MlpBackendKind::Fpga;
+    }
+
+    Tick run(const InferenceBatch &batch, const EmbStageTiming &in,
+             InferenceResult &res) override;
+
+    /** LUT sigmoid: bounded-error hardware numerics. */
+    void probabilities(const ForwardResult &fwd,
+                       InferenceResult &res) const override;
+
+  private:
+    Tick runIntegrated(const InferenceBatch &batch,
+                       const EmbStageTiming &in, InferenceResult &res);
+    Tick runDiscrete(const InferenceBatch &batch,
+                     const EmbStageTiming &in, InferenceResult &res);
+
+    CentaurConfig _acc;
+    const ReferenceModel &_model;
+    EbStreamer *_streamer; //!< non-null in the Package placement
+    InterconnectHop _hop;  //!< used in the PciePeer placement
+    MlpUnit _mlpUnit;
+    FeatureInteractionUnit _fiUnit;
+    SigmoidUnit _sigmoid;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_FPGA_FPGA_BACKEND_HH

@@ -1,0 +1,101 @@
+#include "gpu/gpu_backend.hh"
+
+namespace centaur {
+
+GpuGatherBackend::GpuGatherBackend(const GpuConfig &gpu,
+                                   const ReferenceModel &model)
+    : _model(model), _gpu(gpu)
+{
+}
+
+EmbStageTiming
+GpuGatherBackend::run(const InferenceBatch &batch, Tick start,
+                      InferenceResult &res)
+{
+    const DlrmConfig &cfg = _model.config();
+
+    // ----- DNF: dense features h2d (needed by the bottom MLP) -----
+    const std::uint64_t dnf_bytes =
+        static_cast<std::uint64_t>(batch.batch) * cfg.denseDim * 4;
+    const Tick dnf_end = _gpu.copy(dnf_bytes, start);
+    res.phase[static_cast<std::size_t>(Phase::Dnf)] += dnf_end - start;
+
+    // ----- IDX: sparse index array h2d -----
+    const std::uint64_t idx_bytes = batch.totalLookups() * 4;
+    const Tick idx_end = _gpu.copy(idx_bytes, dnf_end);
+    res.phase[static_cast<std::size_t>(Phase::Idx)] +=
+        idx_end - dnf_end;
+
+    // ----- EMB: fine-grained gather of host tables over PCIe -----
+    const std::uint64_t emb_bytes =
+        batch.gatheredBytes(cfg.vectorBytes());
+    const GpuExecResult g = _gpu.gather(emb_bytes, idx_end);
+    res.phase[static_cast<std::size_t>(Phase::Emb)] +=
+        g.end - idx_end;
+    res.effectiveEmbGBps = gbPerSec(emb_bytes, g.end - idx_end);
+
+    return {g.end, dnf_end};
+}
+
+GpuMlpBackend::GpuMlpBackend(const GpuConfig &gpu,
+                             const ReferenceModel &model,
+                             bool input_on_device)
+    : _model(model), _gpu(gpu), _inputOnDevice(input_on_device)
+{
+}
+
+Tick
+GpuMlpBackend::run(const InferenceBatch &batch,
+                   const EmbStageTiming &in, InferenceResult &res)
+{
+    const DlrmConfig &cfg = _model.config();
+    Tick now = std::max(in.embReady, in.denseReady);
+
+    // ----- CPU -> GPU copy of reduced embeddings + dense (Other) ----
+    if (!_inputOnDevice) {
+        const std::uint64_t h2d_bytes =
+            static_cast<std::uint64_t>(batch.batch) * cfg.numTables *
+                cfg.vectorBytes() +
+            static_cast<std::uint64_t>(batch.batch) * cfg.denseDim * 4;
+        const Tick t = _gpu.copy(h2d_bytes, now);
+        res.phase[static_cast<std::size_t>(Phase::Other)] += t - now;
+        now = t;
+    }
+
+    // ----- GPU-side dense compute (MLP) -----
+    auto run_stack = [&](const std::vector<std::uint32_t> &dims) {
+        for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+            const auto k = _gpu.gemm(batch.batch, dims[l], dims[l + 1],
+                                     now);
+            res.phase[static_cast<std::size_t>(Phase::Mlp)] +=
+                k.latency();
+            now = k.end;
+        }
+    };
+    run_stack(cfg.bottomLayerDims());
+
+    // Interaction kernel: batched R x R^T (counted as Other, as in
+    // the CPU-only breakdown).
+    const std::uint32_t n_vec = cfg.numTables + 1;
+    const auto inter = _gpu.gemm(batch.batch * n_vec, cfg.embeddingDim,
+                                 n_vec, now);
+    res.phase[static_cast<std::size_t>(Phase::Other)] +=
+        inter.latency();
+    now = inter.end;
+
+    run_stack(cfg.topLayerDims());
+
+    // Sigmoid kernel (Other).
+    Tick t = _gpu.elementwise(batch.batch, now);
+    res.phase[static_cast<std::size_t>(Phase::Other)] += t - now;
+    now = t;
+
+    // ----- GPU -> CPU result copy (Other) -----
+    t = _gpu.copy(static_cast<std::uint64_t>(batch.batch) * 4, now);
+    res.phase[static_cast<std::size_t>(Phase::Other)] += t - now;
+    now = t;
+
+    return now;
+}
+
+} // namespace centaur

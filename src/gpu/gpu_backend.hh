@@ -1,0 +1,72 @@
+/**
+ * @file
+ * GPU stage backends for the composable system API: the dense MLP
+ * stage extracted from the former monolithic CpuGpuSystem inference
+ * path (a composed "cpu+gpu" system reproduces it tick-for-tick),
+ * plus a gather stage the paper never ran - embedding lookups pulled
+ * from host-resident tables over PCIe, quantifying why a discrete
+ * GPU cannot own the sparse stage.
+ */
+
+#ifndef CENTAUR_GPU_GPU_BACKEND_HH
+#define CENTAUR_GPU_GPU_BACKEND_HH
+
+#include "core/backend.hh"
+#include "gpu/gpu_model.hh"
+
+namespace centaur {
+
+/**
+ * Embedding gathers as GPU kernels against host memory: index
+ * upload (IDX), dense-feature upload (DNF) and the fine-grained
+ * PCIe gather itself (EMB).
+ */
+class GpuGatherBackend : public EmbeddingBackend
+{
+  public:
+    GpuGatherBackend(const GpuConfig &gpu, const ReferenceModel &model);
+
+    EmbBackendKind kind() const override
+    {
+        return EmbBackendKind::GpuGather;
+    }
+
+    EmbStageTiming run(const InferenceBatch &batch, Tick start,
+                       InferenceResult &res) override;
+
+    const GpuModel &gpu() const { return _gpu; }
+
+  private:
+    const ReferenceModel &_model;
+    GpuModel _gpu;
+};
+
+/**
+ * The dense stage on the V100: optional h2d ingress copy (skipped
+ * when the embedding stage already ran on this GPU), bottom MLP,
+ * interaction, top MLP, sigmoid kernel, d2h result copy.
+ */
+class GpuMlpBackend : public MlpBackend
+{
+  public:
+    /**
+     * @param input_on_device reduced embeddings already sit in HBM
+     *        (same-device gather); only results cross PCIe
+     */
+    GpuMlpBackend(const GpuConfig &gpu, const ReferenceModel &model,
+                  bool input_on_device);
+
+    MlpBackendKind kind() const override { return MlpBackendKind::Gpu; }
+
+    Tick run(const InferenceBatch &batch, const EmbStageTiming &in,
+             InferenceResult &res) override;
+
+  private:
+    const ReferenceModel &_model;
+    GpuModel _gpu;
+    bool _inputOnDevice;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_GPU_GPU_BACKEND_HH

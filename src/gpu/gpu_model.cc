@@ -16,6 +16,18 @@ GpuModel::copy(std::uint64_t bytes, Tick start) const
 }
 
 GpuExecResult
+GpuModel::gather(std::uint64_t bytes, Tick start) const
+{
+    GpuExecResult res;
+    res.start = start;
+    res.flops = bytes / 4; // one accumulate per gathered element
+    res.end = start + ticksFromUs(_cfg.kernelLaunchUs) +
+              serializationTicks(bytes,
+                                 _cfg.pcieGBps * _cfg.gatherEfficiency);
+    return res;
+}
+
+GpuExecResult
 GpuModel::gemm(std::uint32_t m, std::uint32_t k, std::uint32_t n,
                Tick start) const
 {

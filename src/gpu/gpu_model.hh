@@ -30,6 +30,17 @@ struct GpuConfig
     double kernelLaunchUs = 10.0;  //!< driver + dispatch per kernel
     double pcieGBps = 12.0;       //!< effective h2d/d2h bandwidth
     double pcieSetupUs = 12.0;      //!< software stack per cudaMemcpy
+
+    /**
+     * Efficiency of fine-grained (one embedding vector per read)
+     * gather traffic against host memory over PCIe, relative to the
+     * streaming pcieGBps above: TLP header overhead plus the
+     * latency-bound zero-copy access pattern leave only a fraction
+     * of the pipe usable. This is why the paper keeps the sparse
+     * stage off the GPU; the "gpu" / "gpu+fpga" composed specs make
+     * that argument quantitative.
+     */
+    double gatherEfficiency = 0.25;
 };
 
 /** Timing result of one GPU operation. */
@@ -52,6 +63,13 @@ class GpuModel
 
     /** Host-to-device (or device-to-host) copy over PCIe. */
     Tick copy(std::uint64_t bytes, Tick start) const;
+
+    /**
+     * Gather kernel pulling @p bytes of embedding vectors from
+     * host-resident tables over PCIe (zero-copy, fine-grained reads
+     * at gatherEfficiency of the streaming bandwidth).
+     */
+    GpuExecResult gather(std::uint64_t bytes, Tick start) const;
 
     /** One GEMM kernel [m x k] x [k x n]. */
     GpuExecResult gemm(std::uint32_t m, std::uint32_t k,

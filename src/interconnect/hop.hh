@@ -1,0 +1,40 @@
+/**
+ * @file
+ * An explicit point-to-point interconnect hop: the serialized
+ * transfer a composed system pays whenever a stage's output crosses
+ * to a discrete device (PCIe) instead of staying in-package
+ * (CCI-P/UPI, modeled by interconnect/aggregate_link.hh). Keeping
+ * hops as first-class objects is what makes the cost of each
+ * backend placement visible in the stage-backend API.
+ */
+
+#ifndef CENTAUR_INTERCONNECT_HOP_HH
+#define CENTAUR_INTERCONNECT_HOP_HH
+
+#include <cstdint>
+
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** One direction-agnostic serialized link hop. */
+struct InterconnectHop
+{
+    const char *name = "pcie3x16";
+    /** Effective payload bandwidth (decimal GB/s). */
+    double gbps = 12.0;
+    /** Software + DMA setup cost per transfer (microseconds). */
+    double setupUs = 5.0;
+
+    /** Completion tick of a @p bytes transfer starting at @p start. */
+    Tick
+    transfer(std::uint64_t bytes, Tick start) const
+    {
+        return start + ticksFromUs(setupUs) +
+               serializationTicks(bytes, gbps);
+    }
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_INTERCONNECT_HOP_HH

@@ -34,6 +34,25 @@ struct PowerConfig
     double cpuGpuCpuWatts = 91.0;
     double cpuGpuGpuWatts = 56.0;
     double centaurWatts = 74.0;
+
+    // ----- per-stage decomposition for composed specs -----
+    // Used by core/backend.hh's specWatts() for backend pairings the
+    // paper never measured; the paper's own three design points
+    // always use the exact wall numbers above. Calibrated so the
+    // additive splits are consistent with Table IV where they can
+    // be: embCpu + mlpCpu = 80 W (CPU-only) and embFpga + mlpFpga =
+    // 74 W (Centaur: mostly-idle host + socket FPGA + DIMMs). The
+    // CPU-GPU point is *not* additive (91 W CPU + 56 W GPU includes
+    // the host spinning on the CUDA driver), which is exactly why it
+    // stays a measured override.
+    double embCpuWatts = 50.0;  //!< Xeon running the gather loop
+    double embGpuWatts = 78.0;  //!< GPU gather kernels + host memory
+    double embFpgaWatts = 44.0; //!< idle host + EB-Streamer + DIMMs
+    double mlpCpuWatts = 30.0;  //!< AVX2 GEMM share of the package
+    double mlpGpuWatts = 69.0;  //!< V100 dense kernels + driver core
+    double mlpFpgaWatts = 30.0; //!< dense PE complex
+    /** Extra shell/board power for a PCIe-attached (non-package) FPGA. */
+    double discreteFpgaBoardWatts = 21.0;
 };
 
 /**

@@ -11,6 +11,7 @@
 
 #include <sstream>
 
+#include "core/backend.hh"
 #include "core/report.hh"
 #include "suite.hh"
 
@@ -25,14 +26,17 @@ TEST(SuiteRegistryTest, AllExpectedSuitesRegistered)
          {"table1", "table2", "table3", "table4", "fig5", "fig6",
           "fig7", "fig13", "fig14", "fig15", "ablation_linkbw",
           "ablation_cache_bypass", "ablation_pe_scaling",
-          "serving_scaling"}) {
+          "serving_scaling", "spec_matrix"}) {
         const Suite *s = findSuite(name);
         ASSERT_NE(s, nullptr) << name;
         EXPECT_STREQ(s->name, name);
         EXPECT_NE(s->fn, nullptr);
+        // Every suite documents the specs it accepts (--list).
+        ASSERT_NE(s->specs, nullptr);
+        EXPECT_GT(std::string(s->specs).size(), 0u) << name;
     }
     EXPECT_EQ(findSuite("nonexistent"), nullptr);
-    EXPECT_GE(allSuites().size(), 14u);
+    EXPECT_GE(allSuites().size(), 15u);
 }
 
 TEST(SuiteSchemaTest, Fig7GoldenSchema)
@@ -53,6 +57,9 @@ TEST(SuiteSchemaTest, Fig7GoldenSchema)
     ASSERT_NE(doc.find("schema_version"), nullptr);
     EXPECT_EQ(doc.find("schema_version")->asInt(),
               kReportSchemaVersion);
+    ASSERT_NE(doc.find("schema_minor"), nullptr);
+    EXPECT_EQ(doc.find("schema_minor")->asInt(),
+              kReportSchemaMinorVersion);
     EXPECT_EQ(doc.find("kind")->asString(), "suite");
     EXPECT_EQ(doc.find("suite")->asString(), "fig7");
     ASSERT_NE(doc.find("seed"), nullptr);
@@ -75,10 +82,13 @@ TEST(SuiteSchemaTest, Fig7GoldenSchema)
         ASSERT_NE(rec.find("model"), nullptr);
         ASSERT_NE(rec.find("preset"), nullptr);
         ASSERT_NE(rec.find("batch"), nullptr);
+        // Schema v1.1: every record names its backend spec.
+        ASSERT_NE(rec.find("spec"), nullptr);
+        EXPECT_EQ(rec.find("spec")->asString(), "cpu");
         const Json *result = rec.find("result");
         ASSERT_NE(result, nullptr);
         for (const char *key :
-             {"design", "latency_us", "effective_emb_gbps",
+             {"design", "spec", "latency_us", "effective_emb_gbps",
               "phase_us", "phase_share", "emb", "mlp",
               "energy_joules"})
             ASSERT_NE(result->find(key), nullptr) << key;
@@ -90,6 +100,57 @@ TEST(SuiteSchemaTest, Fig7GoldenSchema)
     const Json *lookup = data->find("lookup_sweep");
     ASSERT_NE(lookup, nullptr);
     EXPECT_EQ(lookup->size(), 6u * paperBatchSizes().size());
+}
+
+TEST(SuiteSchemaTest, SpecMatrixCoversTheRegistry)
+{
+    const Suite *suite = findSuite("spec_matrix");
+    ASSERT_NE(suite, nullptr);
+
+    SuiteContext ctx(nullptr, 0); // quiet, no --spec override
+    const Json envelope = runSuite(*suite, ctx);
+    const Json *data = envelope.find("data");
+    ASSERT_NE(data, nullptr);
+
+    // Acceptance: >= 6 distinct backend specs in one run.
+    const Json *specs_run = data->find("specs_run");
+    ASSERT_NE(specs_run, nullptr);
+    EXPECT_GE(specs_run->size(), 6u);
+    EXPECT_EQ(specs_run->size(), registeredSpecs().size());
+
+    const Json *records = data->find("records");
+    ASSERT_NE(records, nullptr);
+    EXPECT_EQ(records->size(), specs_run->size() * 3u);
+    for (const Json &rec : records->elements()) {
+        ASSERT_NE(rec.find("spec"), nullptr);
+        EXPECT_FALSE(rec.find("spec")->asString().empty());
+        EXPECT_GT(rec.find("result")
+                      ->find("latency_us")
+                      ->asDouble(),
+                  0.0);
+    }
+
+    // The paper MLP ordering backs the check_bench CI invariant.
+    const Json *checks = data->find("mlp_ordering_checks");
+    ASSERT_NE(checks, nullptr);
+    EXPECT_GT(checks->size(), 0u);
+    for (const Json &chk : checks->elements())
+        EXPECT_TRUE(chk.find("fpga_mlp_faster")->asBool())
+            << chk.find("spec")->asString();
+}
+
+TEST(SuiteSchemaTest, SpecMatrixHonorsSpecOverride)
+{
+    const Suite *suite = findSuite("spec_matrix");
+    ASSERT_NE(suite, nullptr);
+
+    SuiteContext ctx(nullptr, 0, {"cpu", "cpu+fpga"}, 0);
+    const Json envelope = runSuite(*suite, ctx);
+    const Json *specs_run = envelope.find("data")->find("specs_run");
+    ASSERT_NE(specs_run, nullptr);
+    ASSERT_EQ(specs_run->size(), 2u);
+    EXPECT_EQ(specs_run->at(0).asString(), "cpu");
+    EXPECT_EQ(specs_run->at(1).asString(), "cpu+fpga");
 }
 
 TEST(SuiteSchemaTest, SeedOffsetChangesRecordSeeds)

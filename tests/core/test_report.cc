@@ -34,6 +34,9 @@ TEST(ReportTest, StampHasVersionKindSeed)
     ASSERT_NE(j.find("schema_version"), nullptr);
     EXPECT_EQ(j.find("schema_version")->asInt(),
               kReportSchemaVersion);
+    ASSERT_NE(j.find("schema_minor"), nullptr);
+    EXPECT_EQ(j.find("schema_minor")->asInt(),
+              kReportSchemaMinorVersion);
     EXPECT_EQ(j.find("kind")->asString(), "unit_test");
     EXPECT_EQ(j.find("seed")->asInt(), 42);
 }
@@ -46,6 +49,9 @@ TEST(ReportTest, InferenceResultFields)
 
     EXPECT_EQ(j.find("design")->asString(),
               designPointName(DesignPoint::Centaur));
+    // Schema v1.1: every result carries its backend spec.
+    ASSERT_NE(j.find("spec"), nullptr);
+    EXPECT_EQ(j.find("spec")->asString(), "cpu+fpga");
     EXPECT_EQ(j.find("batch")->asInt(), 4);
     EXPECT_DOUBLE_EQ(j.find("latency_us")->asDouble(),
                      usFromTicks(res.latency()));
@@ -86,6 +92,8 @@ TEST(ReportTest, SweepEntryStampAndRoundTrip)
     EXPECT_EQ(static_cast<std::uint64_t>(j.find("seed")->asInt()),
               entries[0].seed);
     EXPECT_EQ(j.find("preset")->asInt(), 1);
+    ASSERT_NE(j.find("spec"), nullptr);
+    EXPECT_EQ(j.find("spec")->asString(), "cpu");
 
     Json back;
     std::string err;
@@ -109,11 +117,19 @@ TEST(ReportTest, ServingRecords)
     const Json j = toJson(sweep[0]);
     EXPECT_EQ(j.find("kind")->asString(), "serving_sweep_entry");
     EXPECT_EQ(j.find("workers")->asInt(), 1);
+    ASSERT_NE(j.find("spec"), nullptr);
+    EXPECT_EQ(j.find("spec")->asString(), "cpu");
     const Json *stats = j.find("stats");
     ASSERT_NE(stats, nullptr);
     EXPECT_GT(stats->find("served")->asInt(), 0);
     EXPECT_GT(stats->find("p99_us")->asDouble(), 0.0);
     ASSERT_EQ(stats->find("per_worker")->size(), 1u);
+    // Schema v1.1: per-worker stats name the worker's backend spec.
+    EXPECT_EQ(stats->find("per_worker")
+                  ->at(0)
+                  .find("spec")
+                  ->asString(),
+              "cpu");
 
     const Json cfg_json = toJson(base);
     EXPECT_EQ(cfg_json.find("requests")->asInt(), 50);

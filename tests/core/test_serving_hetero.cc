@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Heterogeneous serving-fleet tests: ServingConfig::workerSpecs
+ * builds mixed fleets, per-worker stats attribute to the right
+ * backend spec, and a mixed fleet lands between the homogeneous
+ * fleets it blends.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/server.hh"
+
+namespace centaur {
+namespace {
+
+DlrmConfig
+smallModel()
+{
+    DlrmConfig cfg;
+    cfg.numTables = 3;
+    cfg.lookupsPerTable = 8;
+    cfg.rowsPerTable = 50000;
+    return cfg;
+}
+
+/** Offered load far beyond any fleet used in these tests. */
+ServingConfig
+overload()
+{
+    ServingConfig cfg;
+    cfg.arrivalRatePerSec = 1e6;
+    cfg.batchPerRequest = 2;
+    cfg.requests = 300;
+    cfg.seed = 9;
+    return cfg;
+}
+
+TEST(ServingHetero, WorkerSpecsBuildTheRequestedFleet)
+{
+    ServingConfig cfg = overload();
+    cfg.workerSpecs = {"cpu+fpga", "cpu+fpga", "cpu", "cpu"};
+    cfg.workers = 1; // overridden by workerSpecs
+
+    const ServingStats s =
+        runServingSim("cpu", smallModel(), cfg);
+
+    ASSERT_EQ(s.perWorker.size(), 4u);
+    EXPECT_EQ(s.perWorker[0].spec, "cpu+fpga");
+    EXPECT_EQ(s.perWorker[1].spec, "cpu+fpga");
+    EXPECT_EQ(s.perWorker[2].spec, "cpu");
+    EXPECT_EQ(s.perWorker[3].spec, "cpu");
+    EXPECT_EQ(s.served, s.offered);
+}
+
+TEST(ServingHetero, StatsAttributeToTheRightSpec)
+{
+    ServingConfig cfg = overload();
+    cfg.workerSpecs = {"cpu+fpga", "cpu+fpga", "cpu", "cpu"};
+
+    const ServingStats s =
+        runServingSim("cpu", smallModel(), cfg);
+
+    // Under overload every worker pulls work as fast as it can
+    // retire it, so the faster Centaur workers must retire more
+    // requests than the CPU workers, and every worker contributes.
+    std::uint64_t fpga_served = 0, cpu_served = 0;
+    std::uint64_t served = 0, dispatches = 0;
+    double energy = 0.0;
+    for (const WorkerStats &w : s.perWorker) {
+        EXPECT_GT(w.served, 0u) << w.spec;
+        EXPECT_GT(w.busyUs, 0.0) << w.spec;
+        (w.spec == "cpu+fpga" ? fpga_served : cpu_served) += w.served;
+        served += w.served;
+        dispatches += w.dispatches;
+        energy += w.energyJoules;
+    }
+    EXPECT_EQ(served, s.served);
+    EXPECT_EQ(dispatches, s.dispatches);
+    EXPECT_NEAR(energy, s.energyJoules, 1e-9);
+    EXPECT_GT(fpga_served, cpu_served);
+}
+
+TEST(ServingHetero, MixedFleetBeatsTheWeakerHomogeneousFleet)
+{
+    const DlrmConfig model = smallModel();
+
+    ServingConfig homo = overload();
+    homo.workers = 4;
+    const double cpu_fleet =
+        runServingSim("cpu", model, homo).throughputRps;
+    const double fpga_fleet =
+        runServingSim("cpu+fpga", model, homo).throughputRps;
+
+    ServingConfig mixed = overload();
+    mixed.workerSpecs = {"cpu+fpga", "cpu+fpga", "cpu", "cpu"};
+    const double mixed_fleet =
+        runServingSim("cpu", model, mixed).throughputRps;
+
+    // Swapping half the CPU fleet for Centaur workers must beat the
+    // all-CPU fleet; the all-Centaur fleet stays the upper bound.
+    EXPECT_GT(fpga_fleet, cpu_fleet);
+    EXPECT_GT(mixed_fleet, cpu_fleet);
+    EXPECT_LT(mixed_fleet, fpga_fleet);
+}
+
+TEST(ServingHetero, DeterministicUnderFixedSeed)
+{
+    ServingConfig cfg = overload();
+    cfg.workerSpecs = {"cpu+fpga", "gpu", "cpu"};
+    const ServingStats a = runServingSim("cpu", smallModel(), cfg);
+    const ServingStats b = runServingSim("cpu", smallModel(), cfg);
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.dispatches, b.dispatches);
+    EXPECT_DOUBLE_EQ(a.meanLatencyUs, b.meanLatencyUs);
+    EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules);
+    for (std::size_t i = 0; i < a.perWorker.size(); ++i)
+        EXPECT_EQ(a.perWorker[i].served, b.perWorker[i].served);
+}
+
+TEST(ServingHetero, HomogeneousPathStillUsesWorkersCount)
+{
+    ServingConfig cfg = overload();
+    cfg.workers = 3;
+    const ServingStats s =
+        runServingSim("cpu+fpga", smallModel(), cfg);
+    ASSERT_EQ(s.perWorker.size(), 3u);
+    for (const WorkerStats &w : s.perWorker)
+        EXPECT_EQ(w.spec, "cpu+fpga");
+}
+
+TEST(ServingHetero, LegacyDesignPointOverloadMatchesSpecOverload)
+{
+    ServingConfig cfg = overload();
+    cfg.workers = 2;
+    const ServingStats via_dp =
+        runServingSim(DesignPoint::Centaur, smallModel(), cfg);
+    const ServingStats via_spec =
+        runServingSim("cpu+fpga", smallModel(), cfg);
+    EXPECT_EQ(via_dp.served, via_spec.served);
+    EXPECT_DOUBLE_EQ(via_dp.meanLatencyUs, via_spec.meanLatencyUs);
+    EXPECT_DOUBLE_EQ(via_dp.p99Us, via_spec.p99Us);
+    EXPECT_DOUBLE_EQ(via_dp.energyJoules, via_spec.energyJoules);
+}
+
+TEST(ServingHeteroDeath, UnknownWorkerSpecIsFatal)
+{
+    ServingConfig cfg = overload();
+    cfg.workerSpecs = {"cpu+fpga", "tpu"};
+    EXPECT_DEATH((void)runServingSim("cpu", smallModel(), cfg),
+                 "unknown backend spec");
+}
+
+} // namespace
+} // namespace centaur

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the backend spec registry: parse/name round trips,
+ * rejection of unknown backend names with a useful error, legacy
+ * design-point mapping, power decomposition and anchor semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/backend.hh"
+
+namespace centaur {
+namespace {
+
+TEST(Spec, RegistryCoversPaperPointsAndBeyond)
+{
+    const auto specs = registeredSpecs();
+    EXPECT_GE(specs.size(), 6u);
+    for (const char *name :
+         {"cpu", "cpu+gpu", "cpu+fpga", "gpu", "gpu+fpga",
+          "fpga+fpga"}) {
+        EXPECT_NE(std::find(specs.begin(), specs.end(), name),
+                  specs.end())
+            << name;
+    }
+}
+
+TEST(Spec, ParseNameRoundTripsEveryRegisteredSpec)
+{
+    for (const std::string &name : registeredSpecs()) {
+        SystemSpec spec;
+        std::string error;
+        ASSERT_TRUE(tryParseSpec(name, &spec, &error)) << error;
+        EXPECT_EQ(specName(spec), name);
+        // parseSpec agrees with tryParseSpec.
+        EXPECT_EQ(parseSpec(name), spec);
+    }
+}
+
+TEST(Spec, UnknownBackendNamesAreRejectedWithAClearError)
+{
+    for (const char *bad :
+         {"tpu", "cpu+tpu", "cpu +fpga", "CPU", "", "cpu+fpga+gpu"}) {
+        SystemSpec spec;
+        std::string error;
+        EXPECT_FALSE(tryParseSpec(bad, &spec, &error)) << bad;
+        // The error names the offender and lists the registry.
+        EXPECT_NE(error.find('\'' + std::string(bad) + '\''),
+                  std::string::npos)
+            << error;
+        EXPECT_NE(error.find("cpu+fpga"), std::string::npos) << error;
+    }
+}
+
+TEST(SpecDeath, ParseSpecIsFatalOnUnknownNames)
+{
+    EXPECT_DEATH((void)parseSpec("tpu"), "unknown backend spec");
+}
+
+TEST(Spec, PaperDesignPointsMapBothWays)
+{
+    EXPECT_STREQ(specForDesign(DesignPoint::CpuOnly), "cpu");
+    EXPECT_STREQ(specForDesign(DesignPoint::CpuGpu), "cpu+gpu");
+    EXPECT_STREQ(specForDesign(DesignPoint::Centaur), "cpu+fpga");
+
+    for (DesignPoint dp : {DesignPoint::CpuOnly, DesignPoint::CpuGpu,
+                           DesignPoint::Centaur}) {
+        const SystemSpec spec = parseSpec(specForDesign(dp));
+        EXPECT_EQ(anchorDesignPoint(spec), dp);
+    }
+}
+
+TEST(Spec, RegistryDocumentsPaperDesignPoints)
+{
+    int paper_points = 0;
+    for (const SpecInfo &info : specRegistry()) {
+        EXPECT_NE(info.summary, nullptr);
+        EXPECT_GT(std::string(info.summary).size(), 0u);
+        if (info.isPaperDesignPoint)
+            ++paper_points;
+    }
+    EXPECT_EQ(paper_points, 3);
+}
+
+TEST(Spec, UnregisteredSpecsGetSynthesizedNames)
+{
+    // A hand-assembled pairing outside the registry still has a
+    // stable, readable identity.
+    SystemSpec odd;
+    odd.emb = EmbBackendKind::EbStreamer;
+    odd.mlp = MlpBackendKind::Cpu;
+    odd.placement = MlpPlacement::Host;
+    const std::string name = specName(odd);
+    EXPECT_NE(name.find("eb-streamer"), std::string::npos) << name;
+    EXPECT_NE(name.find("cpu"), std::string::npos) << name;
+    // And it cannot be parsed back (not registered).
+    EXPECT_FALSE(tryParseSpec(name, nullptr));
+}
+
+TEST(Spec, PaperSpecWattsMatchTableIV)
+{
+    const PowerConfig power;
+    EXPECT_DOUBLE_EQ(specWatts(parseSpec("cpu"), power), 80.0);
+    EXPECT_DOUBLE_EQ(specWatts(parseSpec("cpu+gpu"), power),
+                     91.0 + 56.0);
+    EXPECT_DOUBLE_EQ(specWatts(parseSpec("cpu+fpga"), power), 74.0);
+}
+
+TEST(Spec, ComposedSpecWattsAreAdditiveAndPositive)
+{
+    const PowerConfig power;
+    // gpu = GPU gather + GPU MLP.
+    EXPECT_DOUBLE_EQ(specWatts(parseSpec("gpu"), power),
+                     power.embGpuWatts + power.mlpGpuWatts);
+    // A discrete FPGA MLP pays the board tax.
+    EXPECT_DOUBLE_EQ(specWatts(parseSpec("fpga+fpga"), power),
+                     power.embFpgaWatts + power.mlpFpgaWatts +
+                         power.discreteFpgaBoardWatts);
+    for (const std::string &name : registeredSpecs())
+        EXPECT_GT(specWatts(parseSpec(name), power), 0.0) << name;
+}
+
+TEST(Spec, AnchorsFollowTheMlpBackend)
+{
+    EXPECT_EQ(anchorDesignPoint(parseSpec("gpu")),
+              DesignPoint::CpuGpu);
+    EXPECT_EQ(anchorDesignPoint(parseSpec("gpu+fpga")),
+              DesignPoint::Centaur);
+    EXPECT_EQ(anchorDesignPoint(parseSpec("fpga+fpga")),
+              DesignPoint::Centaur);
+}
+
+} // namespace
+} // namespace centaur

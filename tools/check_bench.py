@@ -6,8 +6,10 @@ Validates a BENCH_results.json produced by
     centaur_bench --suite all --json BENCH_results.json
 
 Checks performed:
-  1. schema: top-level and per-suite schema_version matches, every
-     expected suite is present.
+  1. schema: top-level and per-suite schema_version (major.minor)
+     matches, every expected suite is present, and - new in v1.1 -
+     every measurement record (any object whose "kind" ends in
+     "_entry") carries a non-empty backend "spec" string.
   2. sanity: no null metric anywhere (the C++ writer serializes
      NaN/Inf as null), no non-finite number, and every latency /
      throughput / bandwidth metric is strictly positive.
@@ -15,8 +17,10 @@ Checks performed:
      CPU-only at every preset (geomean over the batch sweep, and
      strictly at batch 1), gather-bandwidth and energy-efficiency
      improvements hold in the mean, serving throughput scales
-     monotonically with workers under overload, and the design fits
-     the GX1150.
+     monotonically with workers under overload, the design fits
+     the GX1150, and in the spec_matrix cross product every
+     FPGA-resident MLP stage (*+fpga spec) beats the CPU MLP stage
+     at batch >= 64.
 
 With --baseline OLD.json the run is also diffed against a previous
 report: the largest relative deltas are printed, and with
@@ -32,6 +36,7 @@ import math
 import sys
 
 SCHEMA_VERSION = 1
+SCHEMA_MINOR = 1
 
 EXPECTED_SUITES = [
     "table1",
@@ -48,6 +53,17 @@ EXPECTED_SUITES = [
     "ablation_cache_bypass",
     "ablation_pe_scaling",
     "serving_scaling",
+    "spec_matrix",
+]
+
+# Backend specs every full spec_matrix run must cover.
+EXPECTED_SPECS = [
+    "cpu",
+    "cpu+gpu",
+    "cpu+fpga",
+    "gpu",
+    "gpu+fpga",
+    "fpga+fpga",
 ]
 
 # Metrics that must be strictly positive wherever they appear.
@@ -167,6 +183,8 @@ def geomean(values):
 def check_schema(chk, doc):
     chk.check(doc.get("schema_version") == SCHEMA_VERSION,
               f"top-level schema_version != {SCHEMA_VERSION}")
+    chk.check(doc.get("schema_minor") == SCHEMA_MINOR,
+              f"top-level schema_minor != {SCHEMA_MINOR}")
     chk.check(doc.get("kind") == "bench_report",
               "top-level kind != bench_report")
     suites = doc.get("suites")
@@ -178,9 +196,37 @@ def check_schema(chk, doc):
         env = suites[name]
         chk.check(env.get("schema_version") == SCHEMA_VERSION,
                   f"suite {name}: schema_version != {SCHEMA_VERSION}")
+        chk.check(env.get("schema_minor") == SCHEMA_MINOR,
+                  f"suite {name}: schema_minor != {SCHEMA_MINOR}")
         chk.check(isinstance(env.get("data"), dict),
                   f"suite {name}: missing data payload")
     return suites
+
+
+def walk_nodes(node, path=""):
+    """Yield (path, node) for every dict in the document."""
+    if isinstance(node, dict):
+        yield path, node
+        for key, value in node.items():
+            yield from walk_nodes(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from walk_nodes(value, f"{path}[{i}]")
+
+
+def check_spec_stamps(chk, suites):
+    """Schema v1.1: every *_entry record names its backend spec."""
+    records = 0
+    for path, node in walk_nodes(suites):
+        kind = node.get("kind")
+        if not (isinstance(kind, str) and kind.endswith("_entry")):
+            continue
+        records += 1
+        spec = node.get("spec")
+        chk.check(isinstance(spec, str) and spec != "",
+                  f"record without a backend spec: {path} "
+                  f"(kind {kind})")
+    chk.check(records > 0, "no *_entry records found in the report")
 
 
 def check_invariants(chk, suites):
@@ -232,6 +278,22 @@ def check_invariants(chk, suites):
     data = suites.get("table2", {}).get("data", {})
     chk.check(data.get("fits") is True,
               "table2: design does not fit the GX1150")
+
+    # spec_matrix: the cross product covers the registry, and every
+    # FPGA-resident MLP stage beats the CPU MLP stage once batching
+    # amortizes it (batch >= 64), wherever its embeddings come from.
+    data = suites.get("spec_matrix", {}).get("data", {})
+    specs_run = data.get("specs_run", [])
+    for spec in EXPECTED_SPECS:
+        chk.check(spec in specs_run,
+                  f"spec_matrix: spec {spec} not run")
+    checks = data.get("mlp_ordering_checks", [])
+    chk.check(len(checks) > 0, "spec_matrix: no mlp_ordering_checks")
+    for entry in checks:
+        chk.check(entry.get("fpga_mlp_faster") is True,
+                  f"spec_matrix: {entry.get('spec')} MLP stage does"
+                  f" not beat the CPU MLP at batch"
+                  f" {entry.get('batch')}")
 
 
 def diff_baseline(chk, doc, baseline, threshold, top=10):
@@ -297,6 +359,7 @@ def main():
     suites = check_schema(chk, doc)
     check_sanity(chk, suites)
     if suites:
+        check_spec_stamps(chk, suites)
         check_invariants(chk, suites)
     if args.baseline:
         diff_baseline(chk, doc, load(args.baseline), args.threshold)
@@ -307,7 +370,8 @@ def main():
             print(f"  - {msg}")
         sys.exit(1)
     n = len(doc.get("suites", {}))
-    print(f"check_bench: OK ({n} suites, schema v{SCHEMA_VERSION})")
+    print(f"check_bench: OK ({n} suites, "
+          f"schema v{SCHEMA_VERSION}.{SCHEMA_MINOR})")
     sys.exit(0)
 
 
