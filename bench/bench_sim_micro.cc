@@ -75,6 +75,38 @@ BM_ZipfSample(benchmark::State &state)
 }
 BENCHMARK(BM_ZipfSample)->Arg(1 << 12)->Arg(1 << 20);
 
+// The workload generator's sampler: O(1) alias-table draws at any
+// population size, vs BM_ZipfSample's O(log n) CDF search (small n)
+// or approximate analytical inversion (large n).
+void
+BM_ZipfAliasSample(benchmark::State &state)
+{
+    ZipfAliasSampler zipf(static_cast<std::uint64_t>(state.range(0)),
+                          0.9);
+    Rng rng(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfAliasSample)->Arg(1 << 12)->Arg(1 << 20);
+
+// Zipf batch synthesis end to end (dominated by the per-index draw;
+// this is the loop the alias table accelerates).
+void
+BM_WorkloadZipfBatch(benchmark::State &state)
+{
+    const DlrmConfig cfg = dlrmPreset(1);
+    WorkloadConfig wl;
+    wl.batch = 16;
+    wl.dist = IndexDistribution::Zipf;
+    wl.zipfSkew = 0.9;
+    WorkloadGenerator gen(cfg, wl);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+    state.SetItemsProcessed(state.iterations() * cfg.totalLookups(16));
+}
+BENCHMARK(BM_WorkloadZipfBatch);
+
 void
 BM_MlpUnitGemmTiming(benchmark::State &state)
 {

@@ -11,6 +11,8 @@
  *   centaur_bench --suite fig13,fig14 --seed 7 --quiet
  *   centaur_bench --suite spec_matrix --spec cpu,gpu+fpga --json s.json
  *   centaur_bench --suite serving_scaling --spec fpga+fpga --workers 8
+ *   centaur_bench --suite scenario_matrix --model rm-large \
+ *       --workload uniform,zipf:1.2 --spec cpu,cpu+fpga
  */
 
 #include <cstdio>
@@ -22,6 +24,9 @@
 
 #include "core/backend.hh"
 #include "core/report.hh"
+#include "dlrm/model_registry.hh"
+#include "dlrm/trace.hh"
+#include "dlrm/workload_spec.hh"
 #include "suite.hh"
 
 using namespace centaur;
@@ -41,14 +46,23 @@ usage(std::FILE *to)
         "  --suite NAME[,..]  run the named suite(s); 'all' runs\n"
         "                     every registered suite (default)\n"
         "  --spec S[,..]      backend spec(s) for spec-aware suites\n"
-        "                     (spec_matrix, serving_scaling); see\n"
-        "                     --list for the registry\n"
+        "                     (spec_matrix, scenario_matrix,\n"
+        "                     serving_scaling); see --list\n"
+        "  --model M[,..]     model registry name(s) for the\n"
+        "                     scenario-aware suites; see --list\n"
+        "  --workload W[,..]  workload spec string(s), e.g. uniform,\n"
+        "                     zipf:1, trace:file.trace; see --list\n"
         "  --workers N        worker-count override for the serving\n"
         "                     suites\n"
         "  --json PATH        write the stamped JSON report\n"
         "  --csv PATH         write every emitted table as CSV\n"
         "  --seed N           offset every workload seed by N\n"
         "  --quiet            suppress the legacy text tables\n"
+        "  --record-trace P   instead of running suites, capture the\n"
+        "                     selected --model/--workload (defaults\n"
+        "                     dlrm1/uniform) into trace file P; replay\n"
+        "                     it with --workload trace:P\n"
+        "  --trace-batches N  batches to record (default 8, batch 16)\n"
         "  --help             this message\n");
 }
 
@@ -77,10 +91,14 @@ main(int argc, char **argv)
 {
     std::vector<std::string> requested;
     std::vector<std::string> specs;
+    std::vector<std::string> models;
+    std::vector<std::string> workloads;
     std::string json_path;
     std::string csv_path;
+    std::string record_trace_path;
     std::uint64_t seed = 0;
     std::uint32_t workers = 0;
+    std::uint32_t trace_batches = 8;
     bool quiet = false;
     bool list_only = false;
 
@@ -109,6 +127,24 @@ main(int argc, char **argv)
                 }
                 specs.push_back(name);
             }
+        } else if (arg == "--model") {
+            for (auto &name : splitList(value())) {
+                std::string error;
+                if (!tryParseModelSet(name, nullptr, &error)) {
+                    std::fprintf(stderr, "%s\n", error.c_str());
+                    return 2;
+                }
+                models.push_back(name);
+            }
+        } else if (arg == "--workload") {
+            for (auto &name : splitList(value())) {
+                std::string error;
+                if (!tryParseWorkloadSpec(name, nullptr, &error)) {
+                    std::fprintf(stderr, "%s\n", error.c_str());
+                    return 2;
+                }
+                workloads.push_back(name);
+            }
         } else if (arg == "--workers") {
             const char *text = value();
             char *end = nullptr;
@@ -120,6 +156,19 @@ main(int argc, char **argv)
                 return 2;
             }
             workers = static_cast<std::uint32_t>(n);
+        } else if (arg == "--record-trace") {
+            record_trace_path = value();
+        } else if (arg == "--trace-batches") {
+            const char *text = value();
+            char *end = nullptr;
+            const unsigned long long n = std::strtoull(text, &end, 0);
+            if (end == text || *end != '\0' || n == 0 ||
+                n > 0xffffffffULL) {
+                std::fprintf(stderr, "invalid --trace-batches '%s'\n",
+                             text);
+                return 2;
+            }
+            trace_batches = static_cast<std::uint32_t>(n);
         } else if (arg == "--json") {
             json_path = value();
         } else if (arg == "--csv") {
@@ -152,6 +201,58 @@ main(int argc, char **argv)
         std::printf("\nregistered backend specs:\n");
         for (const SpecInfo &info : specRegistry())
             std::printf("  %-12s %s\n", info.name, info.summary);
+        std::printf("\nregistered models (--model):\n");
+        for (const ModelInfo &info : modelRegistry())
+            std::printf("  %-12s %s\n", info.name, info.summary);
+        std::printf("  model sets:");
+        for (const std::string &set : registeredModelSets())
+            std::printf(" %s", set.c_str());
+        std::printf("\n\nworkload spec grammar (--workload):\n"
+                    "  %s\n  examples:",
+                    workloadSpecGrammar());
+        for (const std::string &ex : exampleWorkloadSpecs())
+            std::printf(" %s", ex.c_str());
+        std::printf("\n");
+        return 0;
+    }
+
+    if (!record_trace_path.empty()) {
+        const std::string model =
+            models.empty() ? std::string("dlrm1") : models.front();
+        const std::string workload =
+            workloads.empty() ? std::string("uniform")
+                              : workloads.front();
+        WorkloadConfig wl = parseWorkloadSpec(workload);
+        if (wl.dist == IndexDistribution::Trace) {
+            std::fprintf(stderr,
+                         "--record-trace needs a synthetic "
+                         "--workload, not '%s'\n",
+                         workload.c_str());
+            return 2;
+        }
+        const std::vector<ModelInfo> set = parseModelSet(model);
+        if (set.size() != 1) {
+            std::fprintf(stderr,
+                         "--record-trace needs a single --model, "
+                         "'%s' names %zu\n",
+                         model.c_str(), set.size());
+            return 2;
+        }
+        wl.batch = 16;
+        wl.seed = 42 + seed;
+        std::ofstream out(record_trace_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         record_trace_path.c_str());
+            return 1;
+        }
+        out << captureTrace(set.front().config, wl, trace_batches);
+        if (!quiet)
+            std::printf("recorded %u x batch-%u '%s' batches of %s "
+                        "into %s (replay with --workload trace:%s)\n",
+                        trace_batches, wl.batch, workload.c_str(),
+                        set.front().name, record_trace_path.c_str(),
+                        record_trace_path.c_str());
         return 0;
     }
 
@@ -177,7 +278,7 @@ main(int argc, char **argv)
     }
 
     SuiteContext ctx(quiet ? nullptr : &std::cout, seed, specs,
-                     workers);
+                     workers, models, workloads);
     Json report = reportStamp("bench_report", seed);
     report["generator"] = "centaur_bench";
     report["paper"] = "conf_isca_HwangKKR20";

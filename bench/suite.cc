@@ -35,9 +35,12 @@ nullStream()
 
 SuiteContext::SuiteContext(std::ostream *out, std::uint64_t seed,
                            std::vector<std::string> specs,
-                           std::uint32_t workers)
+                           std::uint32_t workers,
+                           std::vector<std::string> models,
+                           std::vector<std::string> workloads)
     : _out(out ? out : &nullStream()), _seed(seed),
-      _specs(std::move(specs)), _workers(workers)
+      _specs(std::move(specs)), _workers(workers),
+      _models(std::move(models)), _workloads(std::move(workloads))
 {
 }
 
@@ -89,6 +92,7 @@ allSuites()
         registerAblationSuites(s);
         registerServingSuites(s);
         registerSpecSuites(s);
+        registerScenarioSuites(s);
         return s;
     }();
     return suites;

@@ -37,11 +37,15 @@ class SuiteContext
      * @param seed offset added to every workload seed (--seed)
      * @param specs backend specs selected with --spec (may be empty)
      * @param workers worker-count override from --workers (0 = none)
+     * @param models model names selected with --model (may be empty)
+     * @param workloads workload specs from --workload (may be empty)
      */
     explicit SuiteContext(std::ostream *out = nullptr,
                           std::uint64_t seed = 0,
                           std::vector<std::string> specs = {},
-                          std::uint32_t workers = 0);
+                          std::uint32_t workers = 0,
+                          std::vector<std::string> models = {},
+                          std::vector<std::string> workloads = {});
 
     std::uint64_t seed() const { return _seed; }
 
@@ -57,6 +61,26 @@ class SuiteContext
 
     /** Worker-count override from --workers; 0 means "suite default". */
     std::uint32_t workerOverride() const { return _workers; }
+
+    /**
+     * Model registry names requested with --model, validated against
+     * dlrm/model_registry.hh. Scenario-aware suites fall back to
+     * their defaults when this is empty.
+     */
+    const std::vector<std::string> &modelOverride() const
+    {
+        return _models;
+    }
+
+    /**
+     * Workload spec strings requested with --workload, validated
+     * against the dlrm/workload_spec.hh grammar. Scenario-aware
+     * suites fall back to their defaults when this is empty.
+     */
+    const std::vector<std::string> &workloadOverride() const
+    {
+        return _workloads;
+    }
 
     /** Text sink (a swallowing stream when constructed with null). */
     std::ostream &out() { return *_out; }
@@ -79,6 +103,8 @@ class SuiteContext
     std::uint64_t _seed;
     std::vector<std::string> _specs;
     std::uint32_t _workers;
+    std::vector<std::string> _models;
+    std::vector<std::string> _workloads;
     std::vector<TextTable> _tables;
     std::map<int, std::vector<SweepEntry>> _sweeps;
 };
@@ -127,6 +153,7 @@ void registerTableSuites(std::vector<Suite> &suites);
 void registerAblationSuites(std::vector<Suite> &suites);
 void registerServingSuites(std::vector<Suite> &suites);
 void registerSpecSuites(std::vector<Suite> &suites);
+void registerScenarioSuites(std::vector<Suite> &suites);
 
 } // namespace centaur::bench
 

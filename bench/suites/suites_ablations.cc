@@ -62,6 +62,7 @@ suiteAblationLinkBw(SuiteContext &ctx)
             Json rec = reportStamp("linkbw_entry", wl.seed);
             rec["model"] = cfg.name;
             rec["spec"] = "cpu+fpga";
+            rec["workload"] = "uniform";
             rec["link_scale"] = scale;
             rec["raw_gbps"] = acc.channel.rawBandwidthGBps();
             rec["batch"] = batch;
@@ -117,6 +118,7 @@ suiteAblationCacheBypass(SuiteContext &ctx)
             Json rec = reportStamp("cache_bypass_entry", wl.seed);
             rec["model"] = cfg.name;
             rec["spec"] = "cpu+fpga";
+            rec["workload"] = "uniform";
             rec["preset"] = preset;
             rec["batch"] = batch;
             rec["coherent_result"] = toJson(rc);

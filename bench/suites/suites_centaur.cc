@@ -101,7 +101,9 @@ suiteFig13(SuiteContext &ctx)
             row.push_back(TextTable::fmt(res.effectiveEmbGBps));
 
             Json rec = reportStamp("lookup_sweep_entry", wl.seed);
+            rec["model"] = cfg.name;
             rec["spec"] = "cpu+fpga";
+            rec["workload"] = "uniform";
             rec["lookups_per_table"] = lookups;
             rec["batch"] = batch;
             rec["result"] = toJson(res);

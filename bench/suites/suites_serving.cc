@@ -142,6 +142,7 @@ suiteServingScaling(SuiteContext &ctx)
             Json rec = reportStamp("window_entry", cfg.seed);
             rec["model"] = model.name;
             rec["spec"] = spec;
+            rec["workload"] = workloadSpecName(cfg.workloadConfig());
             rec["preset"] = kPreset;
             rec["config"] = toJson(cfg);
             rec["stats"] = toJson(s);

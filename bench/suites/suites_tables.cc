@@ -231,6 +231,7 @@ suiteTable4(SuiteContext &ctx)
         Json rec = reportStamp("energy_entry", wl.seed);
         rec["model"] = cfg.name;
         rec["spec"] = specForDesign(dp);
+        rec["workload"] = "uniform";
         rec["result"] = toJson(res);
         records.push(std::move(rec));
     }

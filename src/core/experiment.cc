@@ -6,32 +6,47 @@
 
 namespace centaur {
 
+namespace {
+
+/** FNV-1a, for mixing registry model names into seeds. */
 std::uint64_t
-sweepSeed(int preset, std::uint32_t batch)
+nameHash(const std::string &name)
 {
-    return 0xC0FFEEULL * 1000003ULL + static_cast<std::uint64_t>(preset) *
-               4096ULL + batch;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
 }
 
+/**
+ * Sweep core shared by the scenario and model-implicit entry
+ * points: one fresh system per (model, batch) point, the workload
+ * template stamped with the per-point batch and seed.
+ */
 std::vector<SweepEntry>
-runSweep(const std::string &spec, const std::vector<int> &presets,
-         const std::vector<std::uint32_t> &batches, int warmup_runs,
-         IndexDistribution dist, std::uint64_t seed_offset)
+runSweepModels(const std::string &spec,
+               const std::vector<ModelInfo> &models,
+               const std::vector<std::uint32_t> &batches,
+               int warmup_runs, const WorkloadConfig &wl_template,
+               const std::string &workload_name,
+               std::uint64_t seed_offset)
 {
     std::vector<SweepEntry> out;
-    for (int preset : presets) {
-        const DlrmConfig cfg = dlrmPreset(preset);
+    for (const ModelInfo &model : models) {
+        const DlrmConfig &cfg = model.config;
         for (std::uint32_t batch : batches) {
             auto sys = makeSystem(spec, cfg);
-            WorkloadConfig wl;
+            WorkloadConfig wl = wl_template;
             wl.batch = batch;
-            wl.dist = dist;
-            wl.seed = sweepSeed(preset, batch) + seed_offset;
+            wl.seed = modelSweepSeed(model, batch) + seed_offset;
             WorkloadGenerator gen(cfg, wl);
             SweepEntry entry;
             entry.modelName = cfg.name;
             entry.spec = spec;
-            entry.preset = preset;
+            entry.workload = workload_name;
+            entry.preset = model.paperPreset;
             entry.batch = batch;
             entry.seed = wl.seed;
             entry.result = measureInference(*sys, gen, warmup_runs);
@@ -39,6 +54,51 @@ runSweep(const std::string &spec, const std::vector<int> &presets,
         }
     }
     return out;
+}
+
+} // namespace
+
+std::uint64_t
+sweepSeed(int preset, std::uint32_t batch)
+{
+    return 0xC0FFEEULL * 1000003ULL + static_cast<std::uint64_t>(preset) *
+               4096ULL + batch;
+}
+
+std::uint64_t
+modelSweepSeed(const ModelInfo &model, std::uint32_t batch)
+{
+    if (model.isPaperPreset)
+        return sweepSeed(model.paperPreset, batch);
+    return nameHash(model.name) * 1000003ULL + batch;
+}
+
+std::vector<SweepEntry>
+runSweep(const Scenario &sc, const std::vector<std::uint32_t> &batches,
+         int warmup_runs, std::uint64_t seed_offset)
+{
+    const ResolvedScenario rs = resolveScenario(sc);
+    return runSweepModels(sc.spec, rs.models, batches, warmup_runs,
+                          rs.workload, workloadSpecName(rs.workload),
+                          seed_offset);
+}
+
+std::vector<SweepEntry>
+runSweep(const std::string &spec, const std::vector<int> &presets,
+         const std::vector<std::uint32_t> &batches, int warmup_runs,
+         IndexDistribution dist, std::uint64_t seed_offset)
+{
+    const std::vector<ModelInfo> paper = parseModelSet("paper");
+    std::vector<ModelInfo> models;
+    for (int preset : presets) {
+        if (preset < 1 || preset > static_cast<int>(paper.size()))
+            fatal("dlrmPreset expects 1..6, got ", preset);
+        models.push_back(paper[preset - 1]);
+    }
+    WorkloadConfig wl;
+    wl.dist = dist;
+    return runSweepModels(spec, models, batches, warmup_runs, wl,
+                          workloadSpecName(wl), seed_offset);
 }
 
 std::vector<SweepEntry>
@@ -77,6 +137,17 @@ findEntry(const std::vector<SweepEntry> &entries, int preset,
           " not found");
 }
 
+const SweepEntry &
+findEntry(const std::vector<SweepEntry> &entries,
+          const std::string &model, std::uint32_t batch)
+{
+    for (const auto &e : entries)
+        if (e.modelName == model && e.batch == batch)
+            return e;
+    fatal("sweep entry for model ", model, " batch ", batch,
+          " not found");
+}
+
 std::uint64_t
 servingSweepSeed(int preset, std::uint32_t workers,
                  std::uint32_t coalesce, double rate)
@@ -88,14 +159,19 @@ servingSweepSeed(int preset, std::uint32_t workers,
            static_cast<std::uint64_t>(rate);
 }
 
+namespace {
+
+/** Serving-sweep core shared by the scenario and legacy overloads. */
 std::vector<ServingSweepEntry>
-runServingSweep(const std::string &spec, int preset,
-                const std::vector<std::uint32_t> &workers,
-                const std::vector<std::uint32_t> &coalesce,
-                const std::vector<double> &rates,
-                const ServingConfig &base, std::uint64_t seed_offset)
+runServingSweepModel(const std::string &spec, const ModelInfo &model,
+                     const std::vector<std::uint32_t> &workers,
+                     const std::vector<std::uint32_t> &coalesce,
+                     const std::vector<double> &rates,
+                     const ServingConfig &base,
+                     std::uint64_t seed_offset)
 {
-    const DlrmConfig model = dlrmPreset(preset);
+    const std::uint64_t model_salt =
+        model.isPaperPreset ? 0 : nameHash(model.name);
     std::vector<ServingSweepEntry> out;
     for (std::uint32_t w : workers) {
         for (std::uint32_t c : coalesce) {
@@ -104,22 +180,69 @@ runServingSweep(const std::string &spec, int preset,
                 cfg.workers = w;
                 cfg.maxCoalescedBatch = c;
                 cfg.arrivalRatePerSec = rate;
-                cfg.seed =
-                    servingSweepSeed(preset, w, c, rate) + seed_offset;
+                cfg.seed = servingSweepSeed(model.paperPreset, w, c,
+                                            rate) +
+                           model_salt + seed_offset;
                 ServingSweepEntry entry;
-                entry.modelName = model.name;
+                entry.modelName = model.config.name;
                 entry.spec = spec;
-                entry.preset = preset;
+                // The per-point traffic actually simulated,
+                // including the swept arrival rate and any burst
+                // shaping - not just the distribution.
+                entry.workload =
+                    workloadSpecName(cfg.workloadConfig());
+                entry.preset = model.paperPreset;
                 entry.workers = w;
                 entry.maxCoalescedBatch = c;
                 entry.arrivalRatePerSec = rate;
                 entry.seed = cfg.seed;
-                entry.stats = runServingSim(spec, model, cfg);
+                entry.stats = runServingSim(spec, model.config, cfg);
                 out.push_back(std::move(entry));
             }
         }
     }
     return out;
+}
+
+} // namespace
+
+std::vector<ServingSweepEntry>
+runServingSweep(const Scenario &sc,
+                const std::vector<std::uint32_t> &workers,
+                const std::vector<std::uint32_t> &coalesce,
+                const std::vector<double> &rates,
+                const ServingConfig &base, std::uint64_t seed_offset)
+{
+    const ResolvedScenario rs = resolveScenario(sc);
+    if (rs.models.size() != 1)
+        fatal("scenario ", scenarioName(sc), " names ",
+              rs.models.size(),
+              " models; a serving sweep needs exactly one");
+    ServingConfig cfg = base;
+    cfg.applyWorkload(rs.workload);
+    // A workload that pins its own arrival rate replaces the swept
+    // rate axis.
+    const std::vector<double> swept_rates =
+        rs.workload.arrivalRatePerSec > 0.0
+            ? std::vector<double>{rs.workload.arrivalRatePerSec}
+            : rates;
+    return runServingSweepModel(sc.spec, rs.models.front(), workers,
+                                coalesce, swept_rates, cfg,
+                                seed_offset);
+}
+
+std::vector<ServingSweepEntry>
+runServingSweep(const std::string &spec, int preset,
+                const std::vector<std::uint32_t> &workers,
+                const std::vector<std::uint32_t> &coalesce,
+                const std::vector<double> &rates,
+                const ServingConfig &base, std::uint64_t seed_offset)
+{
+    const std::vector<ModelInfo> paper = parseModelSet("paper");
+    if (preset < 1 || preset > static_cast<int>(paper.size()))
+        fatal("dlrmPreset expects 1..6, got ", preset);
+    return runServingSweepModel(spec, paper[preset - 1], workers,
+                                coalesce, rates, base, seed_offset);
 }
 
 std::vector<ServingSweepEntry>

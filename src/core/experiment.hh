@@ -1,8 +1,10 @@
 /**
  * @file
- * Sweep helpers shared by the benchmark harnesses: run a design
- * point across the Table I presets and the paper's batch sizes with
- * deterministic seeding, and look results back up.
+ * Sweep helpers shared by the benchmark harnesses: run a scenario
+ * (backend spec x model set x workload, core/scenario.hh) across
+ * batch sizes with deterministic seeding, and look results back up.
+ * The model-implicit entry points (preset lists, IndexDistribution
+ * enums) survive as thin shims over the scenario surface.
  */
 
 #ifndef CENTAUR_CORE_EXPERIMENT_HH
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "core/result.hh"
+#include "core/scenario.hh"
 #include "core/server.hh"
 #include "core/system.hh"
 #include "dlrm/model_config.hh"
@@ -26,7 +29,9 @@ struct SweepEntry
     std::string modelName;
     /** Backend spec the point was measured on. */
     std::string spec;
-    int preset = 0;
+    /** Canonical workload spec string the point was measured under. */
+    std::string workload = "uniform";
+    int preset = 0; //!< Table I preset, 0 for registry variants
     std::uint32_t batch = 0;
     /** Workload seed the point was measured with. */
     std::uint64_t seed = 0;
@@ -34,11 +39,25 @@ struct SweepEntry
 };
 
 /**
- * Measure backend spec @p spec on every (preset, batch) pair. Each
- * point uses a fresh system (cold platform state) plus
- * @p warmup_runs warmup inferences, mirroring the paper's
- * warmed-cache methodology. @p seed_offset shifts every per-point
- * seed (centaur_bench --seed).
+ * Measure @p sc on every (model, batch) pair: each model the
+ * scenario names (six for model "paper") crossed with @p batches,
+ * under the scenario's workload distribution. Each point uses a
+ * fresh system (cold platform state) plus @p warmup_runs warmup
+ * inferences, mirroring the paper's warmed-cache methodology.
+ * Paper-preset models keep the legacy preset-indexed seeds, so
+ * `{spec, "paper", "uniform"}` reproduces the model-implicit sweeps
+ * tick for tick. @p seed_offset shifts every per-point seed
+ * (centaur_bench --seed).
+ */
+std::vector<SweepEntry>
+runSweep(const Scenario &sc, const std::vector<std::uint32_t> &batches,
+         int warmup_runs = 1, std::uint64_t seed_offset = 0);
+
+/**
+ * Measure backend spec @p spec on every (preset, batch) pair.
+ *
+ * @deprecated Model-implicit shim over the scenario-based runSweep;
+ * prefer `runSweep(Scenario{spec, model, workload}, batches)`.
  */
 std::vector<SweepEntry>
 runSweep(const std::string &spec, const std::vector<int> &presets,
@@ -67,8 +86,21 @@ std::vector<SweepEntry> runPaperSweep(DesignPoint dp,
 const SweepEntry &findEntry(const std::vector<SweepEntry> &entries,
                             int preset, std::uint32_t batch);
 
+/** Locate a sweep entry by model name; fatal if absent. */
+const SweepEntry &findEntry(const std::vector<SweepEntry> &entries,
+                            const std::string &model,
+                            std::uint32_t batch);
+
 /** Deterministic per-point workload seed. */
 std::uint64_t sweepSeed(int preset, std::uint32_t batch);
+
+/**
+ * Deterministic per-point seed for a registry model: paper presets
+ * delegate to sweepSeed(preset, batch) (legacy reproduction),
+ * registry variants hash their name instead.
+ */
+std::uint64_t modelSweepSeed(const ModelInfo &model,
+                             std::uint32_t batch);
 
 /** One (workers, coalesce window, arrival rate) serving measurement. */
 struct ServingSweepEntry
@@ -76,6 +108,8 @@ struct ServingSweepEntry
     std::string modelName;
     /** Default worker backend spec the point was measured on. */
     std::string spec;
+    /** Canonical workload spec string the point was measured under. */
+    std::string workload = "uniform";
     int preset = 0;
     std::uint32_t workers = 0;
     std::uint32_t maxCoalescedBatch = 0;
@@ -86,11 +120,28 @@ struct ServingSweepEntry
 };
 
 /**
- * Run the serving engine on @p dp across the cross product of worker
- * counts, coalescing limits and arrival rates. @p base supplies the
- * remaining ServingConfig knobs (request count, per-request batch,
- * window, drop policy, SLA); each point gets a deterministic seed,
- * shifted by @p seed_offset (centaur_bench --seed).
+ * Run the serving engine on a single-model scenario across the
+ * cross product of worker counts, coalescing limits and arrival
+ * rates, under the scenario's workload (distribution and arrival
+ * process). A workload spec that pins its own rate
+ * ("...@poisson:8000") replaces @p rates with that one rate.
+ * @p base supplies the remaining ServingConfig knobs; each point
+ * gets a deterministic seed, shifted by @p seed_offset.
+ */
+std::vector<ServingSweepEntry>
+runServingSweep(const Scenario &sc,
+                const std::vector<std::uint32_t> &workers,
+                const std::vector<std::uint32_t> &coalesce,
+                const std::vector<double> &rates,
+                const ServingConfig &base = ServingConfig{},
+                std::uint64_t seed_offset = 0);
+
+/**
+ * Run the serving engine on @p spec across the cross product of
+ * worker counts, coalescing limits and arrival rates.
+ *
+ * @deprecated Model-implicit shim over the scenario-based
+ * runServingSweep; prefer passing a Scenario.
  */
 std::vector<ServingSweepEntry>
 runServingSweep(const std::string &spec, int preset,

@@ -80,6 +80,7 @@ toJson(const SweepEntry &entry)
     Json j = reportStamp("sweep_entry", entry.seed);
     j["model"] = entry.modelName;
     j["spec"] = entry.spec;
+    j["workload"] = entry.workload;
     j["preset"] = entry.preset;
     j["batch"] = entry.batch;
     j["result"] = toJson(entry.result);
@@ -138,6 +139,7 @@ toJson(const ServingSweepEntry &entry)
     Json j = reportStamp("serving_sweep_entry", entry.seed);
     j["model"] = entry.modelName;
     j["spec"] = entry.spec;
+    j["workload"] = entry.workload;
     j["preset"] = entry.preset;
     j["workers"] = entry.workers;
     j["max_coalesced_batch"] = entry.maxCoalescedBatch;
@@ -154,6 +156,11 @@ toJson(const ServingConfig &cfg)
     j["batch_per_request"] = cfg.batchPerRequest;
     j["requests"] = cfg.requests;
     j["seed"] = cfg.seed;
+    j["dist"] = indexDistributionName(cfg.dist);
+    j["zipf_skew"] = cfg.zipfSkew;
+    j["trace_path"] = cfg.tracePath;
+    j["arrival"] = arrivalProcessName(cfg.arrival);
+    j["burst_factor"] = cfg.burstFactor;
     j["workers"] = cfg.workers;
     Json specs = Json::array();
     for (const std::string &s : cfg.workerSpecs)

@@ -32,12 +32,18 @@ namespace centaur {
 constexpr int kReportSchemaVersion = 1;
 
 /**
- * Minor schema revision: bumped for additive changes. v1.1 stamps
+ * Minor schema revision: bumped for additive changes. v1.1 stamped
  * every measurement record with the backend-composition `spec`
  * string (core/backend.hh registry) alongside the legacy `design`
  * anchor, and per-worker serving stats carry the worker's spec.
+ * v1.2 completes the scenario triple: every measurement record also
+ * carries `model` (the DLRM geometry, dlrm/model_registry.hh) and
+ * `workload` (the canonical workload spec string,
+ * dlrm/workload_spec.hh); paper reproductions stamp their Table I
+ * model names and "uniform", so pre-scenario reports stay
+ * field-for-field comparable.
  */
-constexpr int kReportSchemaMinorVersion = 1;
+constexpr int kReportSchemaMinorVersion = 2;
 
 /** Common stamp: schema version (major+minor), kind and seed. */
 Json reportStamp(const std::string &kind, std::uint64_t seed);

@@ -1,0 +1,54 @@
+#include "core/scenario.hh"
+
+#include "core/system_builder.hh"
+#include "sim/log.hh"
+
+namespace centaur {
+
+bool
+tryResolveScenario(const Scenario &sc, ResolvedScenario *out,
+                   std::string *error)
+{
+    ResolvedScenario rs;
+    rs.scenario = sc;
+    if (!tryParseSpec(sc.spec, &rs.systemSpec, error))
+        return false;
+    if (!tryParseModelSet(sc.model, &rs.models, error))
+        return false;
+    if (!tryParseWorkloadSpec(sc.workload, &rs.workload, error))
+        return false;
+    if (out)
+        *out = std::move(rs);
+    return true;
+}
+
+ResolvedScenario
+resolveScenario(const Scenario &sc)
+{
+    ResolvedScenario rs;
+    std::string error;
+    if (!tryResolveScenario(sc, &rs, &error))
+        fatal("scenario ", scenarioName(sc), ": ", error);
+    return rs;
+}
+
+std::string
+scenarioName(const Scenario &sc)
+{
+    return sc.spec + " / " + sc.model + " / " + sc.workload;
+}
+
+std::unique_ptr<System>
+makeScenarioSystem(const ResolvedScenario &rs)
+{
+    if (rs.models.size() != 1)
+        fatal("scenario ", scenarioName(rs.scenario), " names ",
+              rs.models.size(),
+              " models; building a system needs exactly one");
+    return SystemBuilder()
+        .spec(rs.systemSpec)
+        .model(rs.models.front().config)
+        .build();
+}
+
+} // namespace centaur

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Scenario: the single unit of execution of the composable-system
+ * architecture. PR 3 made the *hardware* axis string-addressable
+ * (backend spec registry, core/backend.hh); this header does the
+ * same for the *traffic* axis and binds the two: a scenario is one
+ * backend spec x one model (registry name or set,
+ * dlrm/model_registry.hh) x one workload spec string
+ * (dlrm/workload_spec.hh). Every experiment entry point
+ * (core/experiment.hh sweeps, core/server.hh serving) accepts a
+ * Scenario; the legacy model-implicit overloads are shims over it.
+ */
+
+#ifndef CENTAUR_CORE_SCENARIO_HH
+#define CENTAUR_CORE_SCENARIO_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backend.hh"
+#include "core/system.hh"
+#include "dlrm/model_registry.hh"
+#include "dlrm/workload_spec.hh"
+
+namespace centaur {
+
+/**
+ * One named point of the (system, model, traffic) design space.
+ * All three axes are strings so scenarios can come straight from a
+ * CLI, a JSON report or a config file.
+ */
+struct Scenario
+{
+    /** Backend spec registry name (core/backend.hh), e.g. "cpu+fpga". */
+    std::string spec = "cpu";
+    /** Model or model-set name (dlrm/model_registry.hh); "paper" =
+     *  the six Table I presets. */
+    std::string model = "paper";
+    /** Workload spec string (dlrm/workload_spec.hh grammar). */
+    std::string workload = "uniform";
+};
+
+/** A scenario with all three axes resolved against their registries. */
+struct ResolvedScenario
+{
+    Scenario scenario;
+    SystemSpec systemSpec;
+    /** One row per model the scenario names (six for "paper"). */
+    std::vector<ModelInfo> models;
+    /**
+     * Workload template: distribution/arrival knobs from the spec
+     * string; batch and seed stay at defaults for the runner to fill.
+     */
+    WorkloadConfig workload;
+};
+
+/**
+ * Resolve every axis of @p sc. Returns false and fills @p error
+ * (when non-null) with a message naming the failing axis; true
+ * fills @p out.
+ */
+bool tryResolveScenario(const Scenario &sc, ResolvedScenario *out,
+                        std::string *error = nullptr);
+
+/** Resolve @p sc; fatal with the failing axis on error. */
+ResolvedScenario resolveScenario(const Scenario &sc);
+
+/** Human-readable identity, e.g. "cpu+fpga / rm-large / zipf:1". */
+std::string scenarioName(const Scenario &sc);
+
+/**
+ * Build the system of a single-model scenario (fatal when the
+ * scenario names a model set: pick a concrete model for execution).
+ */
+std::unique_ptr<System> makeScenarioSystem(const ResolvedScenario &rs);
+
+} // namespace centaur
+
+#endif // CENTAUR_CORE_SCENARIO_HH

@@ -5,11 +5,39 @@
 #include <deque>
 
 #include "core/backend.hh"
+#include "core/scenario.hh"
 #include "core/system_builder.hh"
 #include "sim/log.hh"
 #include "sim/random.hh"
 
 namespace centaur {
+
+void
+ServingConfig::applyWorkload(const WorkloadConfig &wl)
+{
+    dist = wl.dist;
+    zipfSkew = wl.zipfSkew;
+    tracePath = wl.tracePath;
+    arrival = wl.arrival;
+    burstFactor = wl.burstFactor;
+    if (wl.arrivalRatePerSec > 0.0)
+        arrivalRatePerSec = wl.arrivalRatePerSec;
+}
+
+WorkloadConfig
+ServingConfig::workloadConfig() const
+{
+    WorkloadConfig wl;
+    wl.batch = batchPerRequest;
+    wl.dist = dist;
+    wl.zipfSkew = zipfSkew;
+    wl.seed = seed;
+    wl.tracePath = tracePath;
+    wl.arrival = arrival;
+    wl.arrivalRatePerSec = arrivalRatePerSec;
+    wl.burstFactor = burstFactor;
+    return wl;
+}
 
 namespace {
 
@@ -77,19 +105,32 @@ ServingEngine::run()
     // request-id order so results are independent of how the workers
     // later interleave.
     Rng arrivals_rng(_cfg.seed * 7919 + 13);
-    WorkloadConfig wl;
-    wl.batch = _cfg.batchPerRequest;
-    wl.seed = _cfg.seed;
-    wl.dist = _cfg.dist;
+    WorkloadConfig wl = _cfg.workloadConfig();
     WorkloadGenerator gen(_workers.front()->config(), wl);
 
+    // Poisson draws exponential gaps at the mean rate. Burst draws
+    // from a two-state mixture: geometric trains of mean length
+    // burstFactor at burstFactor x the mean rate, separated by idle
+    // gaps sized so the long-run mean rate is preserved.
     const double mean_gap_us = 1e6 / _cfg.arrivalRatePerSec;
+    const bool bursty = _cfg.arrival == ArrivalProcess::Burst &&
+                        _cfg.burstFactor > 1.0;
+    const double burst_gap_us = mean_gap_us / _cfg.burstFactor;
+    const double idle_gap_us =
+        mean_gap_us *
+        (_cfg.burstFactor - 1.0 + 1.0 / _cfg.burstFactor);
     std::vector<double> arrival_us(num_requests);
     std::vector<InferenceBatch> payloads(num_requests);
     double clock_us = 0.0;
     for (std::uint32_t r = 0; r < num_requests; ++r) {
+        double gap_mean_us = mean_gap_us;
+        if (bursty)
+            gap_mean_us =
+                arrivals_rng.nextDouble() < 1.0 / _cfg.burstFactor
+                    ? idle_gap_us
+                    : burst_gap_us;
         const double u = std::max(arrivals_rng.nextDouble(), 1e-12);
-        clock_us += -std::log(u) * mean_gap_us;
+        clock_us += -std::log(u) * gap_mean_us;
         arrival_us[r] = clock_us;
         payloads[r] = gen.next();
     }
@@ -311,6 +352,19 @@ runServingSim(DesignPoint dp, const DlrmConfig &model,
               const ServingConfig &cfg)
 {
     return runServingSim(specForDesign(dp), model, cfg);
+}
+
+ServingStats
+runServingSim(const Scenario &sc, const ServingConfig &base)
+{
+    const ResolvedScenario rs = resolveScenario(sc);
+    if (rs.models.size() != 1)
+        fatal("scenario ", scenarioName(sc), " names ",
+              rs.models.size(),
+              " models; a serving run needs exactly one");
+    ServingConfig cfg = base;
+    cfg.applyWorkload(rs.workload);
+    return runServingSim(sc.spec, rs.models.front().config, cfg);
 }
 
 InferenceServer::InferenceServer(System &sys, const ServerConfig &cfg,

@@ -40,6 +40,25 @@ struct ServingConfig
     std::uint64_t seed = 1;
     /** Index popularity distribution. */
     IndexDistribution dist = IndexDistribution::Uniform;
+    /** Zipf skew when dist == Zipf. */
+    double zipfSkew = 0.9;
+    /** Trace file replayed per request when dist == Trace. */
+    std::string tracePath;
+    /** Arrival process shaping the request stream. */
+    ArrivalProcess arrival = ArrivalProcess::Poisson;
+    /** Peak-to-mean ratio of Burst arrivals (1 = Poisson). */
+    double burstFactor = 1.0;
+
+    /**
+     * Copy the traffic shape out of a parsed workload spec
+     * (dlrm/workload_spec.hh): distribution, skew, trace path,
+     * arrival process, and - when the spec pins one - the arrival
+     * rate. batchPerRequest/requests/seed are serving knobs and stay.
+     */
+    void applyWorkload(const WorkloadConfig &wl);
+
+    /** Workload template the engine draws request payloads from. */
+    WorkloadConfig workloadConfig() const;
 
     /** Worker systems draining the shared admission queue. */
     std::uint32_t workers = 1;
@@ -181,6 +200,17 @@ ServingStats runServingSim(DesignPoint dp, const DlrmConfig &model,
 ServingStats runServingSim(const std::string &default_spec,
                            const DlrmConfig &model,
                            const ServingConfig &cfg);
+
+struct Scenario; // core/scenario.hh
+
+/**
+ * Scenario-based convenience: resolve a single-model scenario
+ * (fatal on model sets), apply its workload spec (distribution and
+ * arrival process, including a pinned "@poisson:"/"@burst:" rate)
+ * over @p base, and run the engine.
+ */
+ServingStats runServingSim(const Scenario &sc,
+                           const ServingConfig &base = ServingConfig{});
 
 // ---------------------------------------------------------------------
 // Legacy single-queue, single-server wrapper.

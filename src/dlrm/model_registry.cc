@@ -1,0 +1,210 @@
+#include "dlrm/model_registry.hh"
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+namespace {
+
+DlrmConfig
+rmSmall()
+{
+    // Latency-critical candidate-ranking tier: few small tables that
+    // sit inside the LLC, a light MLP stack. The interesting axis is
+    // queueing/batching behaviour, not memory bandwidth.
+    DlrmConfig cfg;
+    cfg.name = "rm-small";
+    cfg.numTables = 4;
+    cfg.lookupsPerTable = 10;
+    cfg.rowsPerTable = 50000; // 4 x 6.4 MB = 25.6 MB
+    cfg.bottomMlp = {64, 32};
+    cfg.topMlp = {32, 8};
+    return cfg;
+}
+
+DlrmConfig
+rmLarge()
+{
+    // Capacity-bound production ranking model: many tables, deep
+    // fan-out, a multi-GB embedding footprint that no cache level
+    // can hold. Stresses exactly what the EB-Streamer was built for.
+    DlrmConfig cfg;
+    cfg.name = "rm-large";
+    cfg.numTables = 64;
+    cfg.lookupsPerTable = 32;
+    cfg.rowsPerTable = 400000; // 64 x 51.2 MB = 3.3 GB
+    cfg.bottomMlp = {128, 64, 32};
+    cfg.topMlp = {42, 12};
+    return cfg;
+}
+
+DlrmConfig
+rmWide()
+{
+    // MLP-heavy scorer (DLRM(6) taken further): modest embedding
+    // stage feeding wide dense stacks, so the dense backend and its
+    // placement dominate end-to-end latency.
+    DlrmConfig cfg;
+    cfg.name = "rm-wide";
+    cfg.numTables = 8;
+    cfg.lookupsPerTable = 16;
+    cfg.rowsPerTable = 100000; // 8 x 12.8 MB = 102 MB
+    cfg.bottomMlp = {1024, 512, 32};
+    cfg.topMlp = {512, 128};
+    return cfg;
+}
+
+std::vector<ModelInfo>
+buildRegistry()
+{
+    std::vector<ModelInfo> models;
+    const char *paper_summaries[6] = {
+        "Table I DLRM(1): 5 tables x 20 lookups, 128 MB",
+        "Table I DLRM(2): 50 tables x 20 lookups, 1.28 GB",
+        "Table I DLRM(3): 5 tables x 80 lookups, 128 MB",
+        "Table I DLRM(4): 50 tables x 80 lookups, 1.28 GB",
+        "Table I DLRM(5): 50 tables x 80 lookups, 3.2 GB",
+        "Table I DLRM(6): MLP-heavy (557 KB), tiny embedding stage",
+    };
+    static const char *paper_names[6] = {"dlrm1", "dlrm2", "dlrm3",
+                                         "dlrm4", "dlrm5", "dlrm6"};
+    for (int p = 1; p <= 6; ++p)
+        models.push_back({paper_names[p - 1], paper_summaries[p - 1],
+                          true, p, dlrmPreset(p)});
+    models.push_back({"rm-small",
+                      "cache-resident ranking tier: 4 tables x 10 "
+                      "lookups, 25.6 MB, light MLP",
+                      false, 0, rmSmall()});
+    models.push_back({"rm-large",
+                      "capacity-bound ranker: 64 tables x 32 "
+                      "lookups, 3.3 GB",
+                      false, 0, rmLarge()});
+    models.push_back({"rm-wide",
+                      "MLP-heavy scorer: 8 tables x 16 lookups, "
+                      "1024/512-wide dense stacks",
+                      false, 0, rmWide()});
+    return models;
+}
+
+std::string
+knownModelsMessage()
+{
+    std::string msg = "; known models:";
+    for (const ModelInfo &info : modelRegistry())
+        msg += " " + std::string(info.name);
+    msg += "; model sets:";
+    for (const std::string &set : registeredModelSets())
+        msg += " " + set;
+    return msg;
+}
+
+} // namespace
+
+const std::vector<ModelInfo> &
+modelRegistry()
+{
+    static const std::vector<ModelInfo> models = buildRegistry();
+    return models;
+}
+
+std::vector<std::string>
+registeredModels()
+{
+    std::vector<std::string> names;
+    for (const ModelInfo &info : modelRegistry())
+        names.push_back(info.name);
+    return names;
+}
+
+std::vector<std::string>
+registeredModelSets()
+{
+    return {"paper", "all"};
+}
+
+const ModelInfo *
+findModel(const std::string &name)
+{
+    for (const ModelInfo &info : modelRegistry())
+        if (name == info.name)
+            return &info;
+    return nullptr;
+}
+
+bool
+tryParseModel(const std::string &name, DlrmConfig *out,
+              std::string *error)
+{
+    const ModelInfo *info = findModel(name);
+    if (!info) {
+        if (error)
+            *error = "unknown model '" + name + "'" +
+                     knownModelsMessage();
+        return false;
+    }
+    if (out)
+        *out = info->config;
+    return true;
+}
+
+DlrmConfig
+parseModel(const std::string &name)
+{
+    DlrmConfig cfg;
+    std::string error;
+    if (!tryParseModel(name, &cfg, &error))
+        fatal(error);
+    return cfg;
+}
+
+bool
+tryParseModelSet(const std::string &name, std::vector<ModelInfo> *out,
+                 std::string *error)
+{
+    std::vector<ModelInfo> models;
+    if (name == "paper") {
+        for (const ModelInfo &info : modelRegistry())
+            if (info.isPaperPreset)
+                models.push_back(info);
+    } else if (name == "all") {
+        models = modelRegistry();
+    } else if (const ModelInfo *info = findModel(name)) {
+        models.push_back(*info);
+    } else {
+        if (error)
+            *error = "unknown model '" + name + "'" +
+                     knownModelsMessage();
+        return false;
+    }
+    if (out)
+        *out = std::move(models);
+    return true;
+}
+
+std::vector<ModelInfo>
+parseModelSet(const std::string &name)
+{
+    std::vector<ModelInfo> models;
+    std::string error;
+    if (!tryParseModelSet(name, &models, &error))
+        fatal(error);
+    return models;
+}
+
+std::string
+registryModelName(const DlrmConfig &cfg)
+{
+    for (const ModelInfo &info : modelRegistry()) {
+        const DlrmConfig &m = info.config;
+        if (m.numTables == cfg.numTables &&
+            m.lookupsPerTable == cfg.lookupsPerTable &&
+            m.rowsPerTable == cfg.rowsPerTable &&
+            m.embeddingDim == cfg.embeddingDim &&
+            m.denseDim == cfg.denseDim &&
+            m.bottomMlp == cfg.bottomMlp && m.topMlp == cfg.topMlp)
+            return info.name;
+    }
+    return cfg.name;
+}
+
+} // namespace centaur

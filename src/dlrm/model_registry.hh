@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Named DLRM model registry — the workload-side mirror of the
+ * backend spec registry (core/backend.hh).
+ *
+ * The paper evaluates six Table I geometries; production
+ * recommendation fleets serve many more. This registry gives every
+ * geometry a stable, string-addressable name: the six paper presets
+ * ("dlrm1".."dlrm6") plus production-representative variants
+ * ("rm-small", "rm-large", "rm-wide") that stress different corners
+ * of the design space. Model-set names ("paper", "all") expand to
+ * whole families for sweeps. The Scenario API (core/scenario.hh)
+ * binds a model name to a backend spec and a workload spec string.
+ */
+
+#ifndef CENTAUR_DLRM_MODEL_REGISTRY_HH
+#define CENTAUR_DLRM_MODEL_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "dlrm/model_config.hh"
+
+namespace centaur {
+
+/** One registry row: a named, documented model geometry. */
+struct ModelInfo
+{
+    const char *name;    //!< CLI / JSON model string, e.g. "rm-large"
+    const char *summary; //!< one-line description
+    /**
+     * Set for the paper's Table I presets; sweeps over those models
+     * keep the legacy preset-indexed seeds, so scenario runs
+     * reproduce the pre-scenario sweeps tick for tick.
+     */
+    bool isPaperPreset;
+    int paperPreset; //!< 1..6 when isPaperPreset, else 0
+    DlrmConfig config;
+};
+
+/** All registered models, paper presets first. */
+const std::vector<ModelInfo> &modelRegistry();
+
+/** Registered model names in registry order. */
+std::vector<std::string> registeredModels();
+
+/** Model-set names accepted by parseModelSet beyond single models. */
+std::vector<std::string> registeredModelSets();
+
+/** Registry row for @p name; nullptr when unknown. */
+const ModelInfo *findModel(const std::string &name);
+
+/**
+ * Parse a registered model name. Returns false and fills @p error
+ * (when non-null) with a message naming the offender and the known
+ * models; true fills @p out.
+ */
+bool tryParseModel(const std::string &name, DlrmConfig *out,
+                   std::string *error = nullptr);
+
+/** Parse a registered model name; fatal with the registry on error. */
+DlrmConfig parseModel(const std::string &name);
+
+/**
+ * Expand a model or model-set name into registry rows: "paper" is
+ * the six Table I presets in order, "all" is the whole registry,
+ * and any registered model name is itself. Returns false and fills
+ * @p error (when non-null) on unknown names.
+ */
+bool tryParseModelSet(const std::string &name,
+                      std::vector<ModelInfo> *out,
+                      std::string *error = nullptr);
+
+/** Expand a model or model-set name; fatal on unknown names. */
+std::vector<ModelInfo> parseModelSet(const std::string &name);
+
+/**
+ * Registry name of @p cfg: the row whose geometry matches exactly,
+ * otherwise cfg.name (hand-built configs keep their own identity).
+ */
+std::string registryModelName(const DlrmConfig &cfg);
+
+} // namespace centaur
+
+#endif // CENTAUR_DLRM_MODEL_REGISTRY_HH

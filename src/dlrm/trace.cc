@@ -1,5 +1,6 @@
 #include "dlrm/trace.hh"
 
+#include <limits>
 #include <sstream>
 
 #include "sim/log.hh"
@@ -7,10 +8,20 @@
 namespace centaur {
 
 TraceWriter::TraceWriter(std::ostream &os, const DlrmConfig &cfg)
-    : _os(os), _cfg(cfg)
+    : _os(os), _cfg(cfg),
+      // max_digits10 decimal digits round-trip any float exactly,
+      // so replaying a written trace reproduces the recorded
+      // batches bit for bit.
+      _oldPrecision(os.precision(
+          std::numeric_limits<float>::max_digits10))
 {
     _os << "centaur-trace v1 " << cfg.numTables << ' '
         << cfg.lookupsPerTable << ' ' << cfg.denseDim << '\n';
+}
+
+TraceWriter::~TraceWriter()
+{
+    _os.precision(_oldPrecision);
 }
 
 bool

@@ -19,6 +19,7 @@
 #ifndef CENTAUR_DLRM_TRACE_HH
 #define CENTAUR_DLRM_TRACE_HH
 
+#include <ios>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -38,6 +39,9 @@ class TraceWriter
      */
     TraceWriter(std::ostream &os, const DlrmConfig &cfg);
 
+    /** Restores the stream's original float precision. */
+    ~TraceWriter();
+
     /** Append one batch. @return false if the shape mismatches. */
     bool append(const InferenceBatch &batch);
 
@@ -46,6 +50,7 @@ class TraceWriter
   private:
     std::ostream &_os;
     DlrmConfig _cfg;
+    std::streamsize _oldPrecision;
     std::size_t _batches = 0;
 };
 

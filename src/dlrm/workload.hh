@@ -1,14 +1,18 @@
 /**
  * @file
  * Inference request synthesis: batches of sparse indices and dense
- * features, with uniform (DLRM-default) or Zipfian (production-skew)
- * index distributions, fully deterministic under a seed.
+ * features, with uniform (DLRM-default), Zipfian (production-skew)
+ * or trace-replayed index streams, fully deterministic under a seed.
+ * The string grammar naming these knobs lives in
+ * dlrm/workload_spec.hh.
  */
 
 #ifndef CENTAUR_DLRM_WORKLOAD_HH
 #define CENTAUR_DLRM_WORKLOAD_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "dlrm/model_config.hh"
@@ -21,7 +25,22 @@ enum class IndexDistribution : std::uint8_t
 {
     Uniform, //!< DLRM's bundled generator (what the paper measures)
     Zipf,    //!< production-like popularity skew
+    Trace,   //!< replay a recorded trace (dlrm/trace.hh) verbatim
 };
+
+/** How serving-request arrivals are spaced in time. */
+enum class ArrivalProcess : std::uint8_t
+{
+    Poisson, //!< memoryless arrivals at the configured mean rate
+    /**
+     * Bursty arrivals: geometric trains at burstFactor x the mean
+     * rate separated by longer idle gaps, preserving the mean rate.
+     */
+    Burst,
+};
+
+const char *indexDistributionName(IndexDistribution dist);
+const char *arrivalProcessName(ArrivalProcess arrival);
 
 /** Workload knobs. */
 struct WorkloadConfig
@@ -30,6 +49,18 @@ struct WorkloadConfig
     IndexDistribution dist = IndexDistribution::Uniform;
     double zipfSkew = 0.9;
     std::uint64_t seed = 42;
+
+    /** Trace file to replay when dist == Trace (cycles at the end). */
+    std::string tracePath;
+
+    /**
+     * Serving arrival process. arrivalRatePerSec == 0 means "not
+     * specified by the workload": the serving layer keeps its own
+     * configured rate. Single-inference sweeps ignore these.
+     */
+    ArrivalProcess arrival = ArrivalProcess::Poisson;
+    double arrivalRatePerSec = 0.0;
+    double burstFactor = 1.0; //!< peak-to-mean ratio for Burst
 };
 
 /** One generated inference batch. */
@@ -61,24 +92,46 @@ struct InferenceBatch
 
 /**
  * Deterministic batch generator for one model configuration.
+ *
+ * Synthetic distributions (Uniform, Zipf) draw from the seeded RNG;
+ * the Zipf draw is O(1) via an alias table built once per generator
+ * (all tables share the model's row count). Trace replay loads the
+ * file once into a per-sample stream and re-batches it to
+ * cfg.batch, cycling at the end - the recording fixes the *samples*
+ * (indices + dense features, bit for bit), the runner still owns
+ * the batch axis, so a finite recording can drive any sweep.
  */
 class WorkloadGenerator
 {
   public:
     WorkloadGenerator(const DlrmConfig &model, const WorkloadConfig &cfg);
+    ~WorkloadGenerator();
 
     /** Generate the next batch (advances the stream). */
     InferenceBatch next();
 
     const WorkloadConfig &config() const { return _cfg; }
 
+    /** Samples per replay cycle (0 unless dist == Trace). */
+    std::size_t traceSamples() const { return _traceSamples.size(); }
+
   private:
+    /** One recorded inference sample of a loaded trace. */
+    struct TraceSample
+    {
+        /** indices[table][j], lookupsPerTable values per table */
+        std::vector<std::vector<std::uint64_t>> indices;
+        std::vector<float> dense; //!< denseDim values
+    };
+
     std::uint64_t drawIndex();
 
     DlrmConfig _model;
     WorkloadConfig _cfg;
     Rng _rng;
-    ZipfSampler _zipf;
+    std::unique_ptr<ZipfAliasSampler> _zipf; //!< dist == Zipf only
+    std::vector<TraceSample> _traceSamples;
+    std::size_t _traceNext = 0;
 };
 
 } // namespace centaur

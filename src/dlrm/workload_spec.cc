@@ -1,0 +1,198 @@
+#include "dlrm/workload_spec.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+namespace {
+
+constexpr const char *kGrammar =
+    "uniform | zipf[:<skew>] | trace:<path>"
+    " [@poisson:<qps> | @burst:<qps>:<factor>]";
+
+/** Parse a finite double, consuming the whole string. */
+bool
+parseNumber(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+/** Shortest %g form that round-trips through parseNumber. */
+std::string
+formatNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+bool
+failWith(std::string *error, const std::string &spec,
+         const std::string &why)
+{
+    if (error)
+        *error = "bad workload spec '" + spec + "': " + why +
+                 "; grammar: " + kGrammar;
+    return false;
+}
+
+bool
+parseDistribution(const std::string &part, const std::string &spec,
+                  WorkloadConfig *cfg, std::string *error)
+{
+    if (part == "uniform") {
+        cfg->dist = IndexDistribution::Uniform;
+        return true;
+    }
+    if (part == "zipf") {
+        cfg->dist = IndexDistribution::Zipf;
+        return true; // default skew
+    }
+    if (part.rfind("zipf:", 0) == 0) {
+        double skew = 0.0;
+        if (!parseNumber(part.substr(5), &skew) || skew < 0.0)
+            return failWith(error, spec,
+                            "zipf skew must be a nonnegative number");
+        cfg->dist = IndexDistribution::Zipf;
+        cfg->zipfSkew = skew;
+        return true;
+    }
+    if (part.rfind("trace:", 0) == 0) {
+        const std::string path = part.substr(6);
+        if (path.empty())
+            return failWith(error, spec, "trace needs a file path");
+        cfg->dist = IndexDistribution::Trace;
+        cfg->tracePath = path;
+        return true;
+    }
+    return failWith(error, spec,
+                    "unknown distribution '" + part + "'");
+}
+
+bool
+parseArrival(const std::string &part, const std::string &spec,
+             WorkloadConfig *cfg, std::string *error)
+{
+    if (part.rfind("poisson:", 0) == 0) {
+        double qps = 0.0;
+        if (!parseNumber(part.substr(8), &qps) || qps <= 0.0)
+            return failWith(error, spec,
+                            "poisson rate must be a positive qps");
+        cfg->arrival = ArrivalProcess::Poisson;
+        cfg->arrivalRatePerSec = qps;
+        return true;
+    }
+    if (part.rfind("burst:", 0) == 0) {
+        const std::string rest = part.substr(6);
+        const std::size_t colon = rest.find(':');
+        if (colon == std::string::npos)
+            return failWith(error, spec,
+                            "burst needs both a qps and a factor");
+        double qps = 0.0;
+        double factor = 0.0;
+        if (!parseNumber(rest.substr(0, colon), &qps) || qps <= 0.0)
+            return failWith(error, spec,
+                            "burst rate must be a positive qps");
+        if (!parseNumber(rest.substr(colon + 1), &factor) ||
+            factor < 1.0)
+            return failWith(error, spec,
+                            "burst factor must be >= 1");
+        cfg->arrival = ArrivalProcess::Burst;
+        cfg->arrivalRatePerSec = qps;
+        cfg->burstFactor = factor;
+        return true;
+    }
+    return failWith(error, spec,
+                    "unknown arrival process '" + part + "'");
+}
+
+} // namespace
+
+bool
+tryParseWorkloadSpec(const std::string &spec, WorkloadConfig *out,
+                     std::string *error)
+{
+    if (spec.empty())
+        return failWith(error, spec, "empty spec");
+
+    WorkloadConfig cfg;
+    // The arrival separator is the last '@' whose suffix names an
+    // arrival process, so '@' inside a trace path stays part of the
+    // path ("trace:runs@2026/prod.trace" has no arrival part).
+    const std::size_t at = spec.rfind('@');
+    const bool has_arrival =
+        at != std::string::npos &&
+        (spec.compare(at + 1, 8, "poisson:") == 0 ||
+         spec.compare(at + 1, 6, "burst:") == 0);
+    const std::string dist_part =
+        has_arrival ? spec.substr(0, at) : spec;
+    if (!parseDistribution(dist_part, spec, &cfg, error))
+        return false;
+    if (has_arrival &&
+        !parseArrival(spec.substr(at + 1), spec, &cfg, error))
+        return false;
+    if (out)
+        *out = std::move(cfg);
+    return true;
+}
+
+WorkloadConfig
+parseWorkloadSpec(const std::string &spec)
+{
+    WorkloadConfig cfg;
+    std::string error;
+    if (!tryParseWorkloadSpec(spec, &cfg, &error))
+        fatal(error);
+    return cfg;
+}
+
+std::string
+workloadSpecName(const WorkloadConfig &cfg)
+{
+    std::string name;
+    switch (cfg.dist) {
+      case IndexDistribution::Uniform:
+        name = "uniform";
+        break;
+      case IndexDistribution::Zipf:
+        name = "zipf:" + formatNumber(cfg.zipfSkew);
+        break;
+      case IndexDistribution::Trace:
+        name = "trace:" + cfg.tracePath;
+        break;
+    }
+    if (cfg.arrivalRatePerSec > 0.0) {
+        if (cfg.arrival == ArrivalProcess::Poisson) {
+            name += "@poisson:" + formatNumber(cfg.arrivalRatePerSec);
+        } else {
+            name += "@burst:" + formatNumber(cfg.arrivalRatePerSec) +
+                    ":" + formatNumber(cfg.burstFactor);
+        }
+    }
+    return name;
+}
+
+const char *
+workloadSpecGrammar()
+{
+    return kGrammar;
+}
+
+std::vector<std::string>
+exampleWorkloadSpecs()
+{
+    return {"uniform", "zipf:0.9", "zipf:1", "trace:prod.trace",
+            "zipf:0.99@poisson:8000", "uniform@burst:8000:4"};
+}
+
+} // namespace centaur

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Workload-spec string grammar — the traffic-side mirror of the
+ * backend spec strings (core/backend.hh).
+ *
+ * A workload spec names how inference traffic looks, in one string:
+ *
+ *   <distribution>[@<arrival>]
+ *
+ *   distribution := uniform            DLRM's bundled generator
+ *                 | zipf[:<skew>]      popularity skew (default 0.9)
+ *                 | trace:<path>       replay a recorded trace
+ *   arrival      := poisson:<qps>      memoryless arrivals
+ *                 | burst:<qps>:<factor>  bursty arrivals at
+ *                                      <factor> x the mean rate
+ *
+ * Examples: "uniform", "zipf:1", "trace:prod.trace",
+ * "zipf:0.99@poisson:8000", "uniform@burst:8000:4". The arrival
+ * part only matters to the serving layer; single-inference sweeps
+ * use the distribution alone.
+ */
+
+#ifndef CENTAUR_DLRM_WORKLOAD_SPEC_HH
+#define CENTAUR_DLRM_WORKLOAD_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "dlrm/workload.hh"
+
+namespace centaur {
+
+/**
+ * Parse a workload spec string into @p out (batch and seed keep
+ * their defaults; the runner owns them). Returns false and fills
+ * @p error (when non-null) with a message naming the offender and
+ * the grammar; true fills @p out.
+ */
+bool tryParseWorkloadSpec(const std::string &spec, WorkloadConfig *out,
+                          std::string *error = nullptr);
+
+/** Parse a workload spec string; fatal with the grammar on error. */
+WorkloadConfig parseWorkloadSpec(const std::string &spec);
+
+/**
+ * Canonical spec string for @p cfg: parsing it back yields the same
+ * distribution and arrival configuration (round trip).
+ */
+std::string workloadSpecName(const WorkloadConfig &cfg);
+
+/** One-line grammar summary for CLI help / --list output. */
+const char *workloadSpecGrammar();
+
+/** Representative spec strings for --list output. */
+std::vector<std::string> exampleWorkloadSpecs();
+
+} // namespace centaur
+
+#endif // CENTAUR_DLRM_WORKLOAD_SPEC_HH

@@ -139,4 +139,76 @@ ZipfSampler::sample(Rng &rng) const
     return std::min(rank, _n - 1);
 }
 
+AliasTable::AliasTable(const std::vector<double> &weights)
+{
+    if (weights.empty())
+        panic("AliasTable requires a nonempty weight vector");
+    if (weights.size() > 0xffffffffULL)
+        panic("AliasTable supports at most 2^32 slots, got ",
+              weights.size());
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0 || !std::isfinite(w))
+            panic("AliasTable weights must be finite and nonnegative");
+        total += w;
+    }
+    if (total <= 0.0)
+        panic("AliasTable requires a positive total weight");
+
+    const std::size_t n = weights.size();
+    _prob.resize(n);
+    _alias.resize(n);
+
+    // Vose's method: split slots into under/over-full worklists and
+    // pair each underfull slot with an overfull donor.
+    std::vector<double> scaled(n);
+    std::vector<std::uint32_t> small;
+    std::vector<std::uint32_t> large;
+    const double scale = static_cast<double>(n) / total;
+    for (std::size_t i = 0; i < n; ++i) {
+        scaled[i] = weights[i] * scale;
+        (scaled[i] < 1.0 ? small : large)
+            .push_back(static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t s = small.back();
+        small.pop_back();
+        const std::uint32_t l = large.back();
+        large.pop_back();
+        _prob[s] = scaled[s];
+        _alias[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    // Float residue: leftovers accept unconditionally.
+    for (std::uint32_t i : small) {
+        _prob[i] = 1.0;
+        _alias[i] = i;
+    }
+    for (std::uint32_t i : large) {
+        _prob[i] = 1.0;
+        _alias[i] = i;
+    }
+}
+
+std::uint64_t
+AliasTable::sample(Rng &rng) const
+{
+    const std::uint64_t slot = rng.nextBelow(_prob.size());
+    return rng.nextDouble() < _prob[slot] ? slot : _alias[slot];
+}
+
+ZipfAliasSampler::ZipfAliasSampler(std::uint64_t n, double s)
+    : _n(n), _s(s)
+{
+    if (n == 0)
+        panic("ZipfAliasSampler requires a nonzero population");
+    if (s < 0.0)
+        panic("ZipfAliasSampler requires nonnegative skew, got ", s);
+    std::vector<double> weights(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    _table = AliasTable(weights);
+}
+
 } // namespace centaur

@@ -79,6 +79,57 @@ class ZipfSampler
     double _zeta2 = 0.0;
 };
 
+/**
+ * Walker/Vose alias table over an arbitrary discrete distribution:
+ * O(n) construction, O(1) per draw (one table slot plus one biased
+ * coin), versus the O(log n) CDF binary search or the approximate
+ * analytical inversion. Exact for any population size.
+ */
+class AliasTable
+{
+  public:
+    AliasTable() = default;
+
+    /** @param weights unnormalized, nonnegative, not all zero */
+    explicit AliasTable(const std::vector<double> &weights);
+
+    /** Draw a slot index in [0, size()) (two RNG draws). */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t size() const { return _prob.size(); }
+
+  private:
+    std::vector<double> _prob;        //!< acceptance threshold per slot
+    std::vector<std::uint32_t> _alias; //!< fallback slot on rejection
+};
+
+/**
+ * Exact Zipfian sampler over [0, n) built on an alias table: the
+ * full 1/rank^s pmf is tabulated once (even for multi-million-row
+ * tables, where ZipfSampler falls back to an approximation), then
+ * every draw is O(1). This is the sampler the workload generator
+ * uses; ZipfSampler remains for comparison and tests.
+ */
+class ZipfAliasSampler
+{
+  public:
+    /**
+     * @param n population size (number of embedding rows)
+     * @param s skew (0 = uniform, ~1 = classic Zipf)
+     */
+    ZipfAliasSampler(std::uint64_t n, double s);
+
+    std::uint64_t sample(Rng &rng) const { return _table.sample(rng); }
+
+    std::uint64_t population() const { return _n; }
+    double skew() const { return _s; }
+
+  private:
+    std::uint64_t _n;
+    double _s;
+    AliasTable _table;
+};
+
 } // namespace centaur
 
 #endif // CENTAUR_SIM_RANDOM_HH

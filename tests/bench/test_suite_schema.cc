@@ -26,7 +26,7 @@ TEST(SuiteRegistryTest, AllExpectedSuitesRegistered)
          {"table1", "table2", "table3", "table4", "fig5", "fig6",
           "fig7", "fig13", "fig14", "fig15", "ablation_linkbw",
           "ablation_cache_bypass", "ablation_pe_scaling",
-          "serving_scaling", "spec_matrix"}) {
+          "serving_scaling", "spec_matrix", "scenario_matrix"}) {
         const Suite *s = findSuite(name);
         ASSERT_NE(s, nullptr) << name;
         EXPECT_STREQ(s->name, name);
@@ -36,7 +36,7 @@ TEST(SuiteRegistryTest, AllExpectedSuitesRegistered)
         EXPECT_GT(std::string(s->specs).size(), 0u) << name;
     }
     EXPECT_EQ(findSuite("nonexistent"), nullptr);
-    EXPECT_GE(allSuites().size(), 15u);
+    EXPECT_GE(allSuites().size(), 16u);
 }
 
 TEST(SuiteSchemaTest, Fig7GoldenSchema)
@@ -85,6 +85,9 @@ TEST(SuiteSchemaTest, Fig7GoldenSchema)
         // Schema v1.1: every record names its backend spec.
         ASSERT_NE(rec.find("spec"), nullptr);
         EXPECT_EQ(rec.find("spec")->asString(), "cpu");
+        // Schema v1.2: ... and its workload (paper default).
+        ASSERT_NE(rec.find("workload"), nullptr);
+        EXPECT_EQ(rec.find("workload")->asString(), "uniform");
         const Json *result = rec.find("result");
         ASSERT_NE(result, nullptr);
         for (const char *key :
@@ -151,6 +154,53 @@ TEST(SuiteSchemaTest, SpecMatrixHonorsSpecOverride)
     ASSERT_EQ(specs_run->size(), 2u);
     EXPECT_EQ(specs_run->at(0).asString(), "cpu");
     EXPECT_EQ(specs_run->at(1).asString(), "cpu+fpga");
+}
+
+TEST(SuiteSchemaTest, ScenarioMatrixCoversModelsAndWorkloads)
+{
+    const Suite *suite = findSuite("scenario_matrix");
+    ASSERT_NE(suite, nullptr);
+
+    // Override down to a cheap 1-spec x 2-model x 2-workload run;
+    // the full default cross product is CI's job.
+    SuiteContext ctx(nullptr, 0, {"cpu"}, 0, {"dlrm1", "rm-small"},
+                     {"uniform", "zipf:1"});
+    const Json envelope = runSuite(*suite, ctx);
+    const Json *data = envelope.find("data");
+    ASSERT_NE(data, nullptr);
+
+    ASSERT_NE(data->find("models_run"), nullptr);
+    EXPECT_EQ(data->find("models_run")->size(), 2u);
+    ASSERT_NE(data->find("workloads_run"), nullptr);
+    EXPECT_EQ(data->find("workloads_run")->size(), 2u);
+
+    // 1 spec x 2 models x 2 workloads x 2 batches.
+    const Json *records = data->find("records");
+    ASSERT_NE(records, nullptr);
+    EXPECT_EQ(records->size(), 8u);
+    for (const Json &rec : records->elements()) {
+        ASSERT_EQ(rec.find("kind")->asString(), "sweep_entry");
+        // Schema v1.2: the full scenario triple on every record.
+        for (const char *key : {"spec", "model", "workload"}) {
+            ASSERT_NE(rec.find(key), nullptr) << key;
+            EXPECT_FALSE(rec.find(key)->asString().empty()) << key;
+        }
+        EXPECT_GT(
+            rec.find("result")->find("latency_us")->asDouble(), 0.0);
+    }
+
+    // The skew invariant the CI gate consumes: zipf not slower than
+    // uniform on the cache-backed cpu spec at batch >= 64.
+    const Json *checks = data->find("skew_checks");
+    ASSERT_NE(checks, nullptr);
+    EXPECT_GT(checks->size(), 0u);
+    for (const Json &chk : checks->elements()) {
+        EXPECT_GE(chk.find("batch")->asInt(), 64);
+        EXPECT_TRUE(chk.find("zipf_not_slower")->asBool())
+            << chk.find("spec")->asString() << " / "
+            << chk.find("model")->asString() << " batch "
+            << chk.find("batch")->asInt();
+    }
 }
 
 TEST(SuiteSchemaTest, SeedOffsetChangesRecordSeeds)

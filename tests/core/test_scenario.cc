@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the Scenario API: axis resolution and rejection,
+ * system construction, and the headline guarantee that scenario
+ * sweeps under {model=paper, workload=uniform} reproduce the
+ * legacy model-implicit sweeps tick for tick on every Table I
+ * preset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/scenario.hh"
+
+namespace centaur {
+namespace {
+
+TEST(Scenario, DefaultsResolve)
+{
+    const ResolvedScenario rs = resolveScenario(Scenario{});
+    EXPECT_EQ(rs.models.size(), 6u); // "paper"
+    EXPECT_EQ(rs.workload.dist, IndexDistribution::Uniform);
+}
+
+TEST(Scenario, ResolvesEveryAxis)
+{
+    Scenario sc;
+    sc.spec = "gpu+fpga";
+    sc.model = "rm-large";
+    sc.workload = "zipf:1.2@burst:4000:8";
+    const ResolvedScenario rs = resolveScenario(sc);
+    EXPECT_EQ(specName(rs.systemSpec), "gpu+fpga");
+    ASSERT_EQ(rs.models.size(), 1u);
+    EXPECT_STREQ(rs.models.front().name, "rm-large");
+    EXPECT_EQ(rs.workload.dist, IndexDistribution::Zipf);
+    EXPECT_DOUBLE_EQ(rs.workload.zipfSkew, 1.2);
+    EXPECT_EQ(rs.workload.arrival, ArrivalProcess::Burst);
+    EXPECT_DOUBLE_EQ(rs.workload.arrivalRatePerSec, 4000.0);
+    EXPECT_DOUBLE_EQ(rs.workload.burstFactor, 8.0);
+}
+
+TEST(Scenario, RejectionNamesTheFailingAxis)
+{
+    ResolvedScenario rs;
+    std::string error;
+
+    Scenario bad_spec;
+    bad_spec.spec = "tpu";
+    EXPECT_FALSE(tryResolveScenario(bad_spec, &rs, &error));
+    EXPECT_NE(error.find("'tpu'"), std::string::npos) << error;
+
+    Scenario bad_model;
+    bad_model.model = "dlrm9";
+    EXPECT_FALSE(tryResolveScenario(bad_model, &rs, &error));
+    EXPECT_NE(error.find("'dlrm9'"), std::string::npos) << error;
+
+    Scenario bad_workload;
+    bad_workload.workload = "gaussian";
+    EXPECT_FALSE(tryResolveScenario(bad_workload, &rs, &error));
+    EXPECT_NE(error.find("'gaussian'"), std::string::npos) << error;
+}
+
+TEST(Scenario, NameJoinsTheTriple)
+{
+    Scenario sc;
+    sc.spec = "cpu+fpga";
+    sc.model = "rm-wide";
+    sc.workload = "zipf:1";
+    EXPECT_EQ(scenarioName(sc), "cpu+fpga / rm-wide / zipf:1");
+}
+
+TEST(Scenario, BuildsSingleModelSystems)
+{
+    Scenario sc;
+    sc.spec = "cpu+fpga";
+    sc.model = "rm-small";
+    const ResolvedScenario rs = resolveScenario(sc);
+    const auto sys = makeScenarioSystem(rs);
+    ASSERT_NE(sys, nullptr);
+    EXPECT_EQ(sys->spec(), "cpu+fpga");
+    EXPECT_EQ(sys->config().numTables, 4u);
+}
+
+TEST(ScenarioDeath, ModelSetsCannotBecomeOneSystem)
+{
+    const ResolvedScenario rs = resolveScenario(Scenario{});
+    EXPECT_DEATH((void)makeScenarioSystem(rs), "exactly one");
+}
+
+// The acceptance guarantee: under {model=paper, workload=uniform}
+// a scenario sweep is indistinguishable from the legacy
+// model-implicit sweep on all six Table I presets - same seeds,
+// same latencies, tick for tick.
+TEST(Scenario, PaperUniformReproducesLegacySweepTickForTick)
+{
+    const std::vector<std::uint32_t> batches = {1, 64};
+    for (const char *spec : {"cpu", "cpu+fpga"}) {
+        Scenario sc;
+        sc.spec = spec;
+        sc.model = "paper";
+        sc.workload = "uniform";
+        const auto scenario_sweep = runSweep(sc, batches);
+        const auto legacy_sweep =
+            runSweep(std::string(spec), {1, 2, 3, 4, 5, 6}, batches);
+
+        ASSERT_EQ(scenario_sweep.size(), legacy_sweep.size());
+        for (std::size_t i = 0; i < scenario_sweep.size(); ++i) {
+            const SweepEntry &s = scenario_sweep[i];
+            const SweepEntry &l = legacy_sweep[i];
+            EXPECT_EQ(s.modelName, l.modelName);
+            EXPECT_EQ(s.preset, l.preset);
+            EXPECT_EQ(s.batch, l.batch);
+            EXPECT_EQ(s.seed, l.seed);
+            EXPECT_EQ(s.workload, "uniform");
+            EXPECT_EQ(s.result.latency(), l.result.latency())
+                << spec << " preset " << s.preset << " batch "
+                << s.batch;
+            EXPECT_EQ(s.result.phaseTicks(Phase::Emb),
+                      l.result.phaseTicks(Phase::Emb));
+            EXPECT_EQ(s.result.phaseTicks(Phase::Mlp),
+                      l.result.phaseTicks(Phase::Mlp));
+            EXPECT_DOUBLE_EQ(s.result.energyJoules,
+                             l.result.energyJoules);
+        }
+    }
+}
+
+// Registry variants get their own seed streams: two models at the
+// same batch must not share a seed.
+TEST(Scenario, VariantSeedsAreModelSpecific)
+{
+    const auto a = parseModelSet("rm-small").front();
+    const auto b = parseModelSet("rm-wide").front();
+    EXPECT_NE(modelSweepSeed(a, 16), modelSweepSeed(b, 16));
+    // Paper rows keep the legacy preset seeds.
+    const auto p3 = parseModelSet("dlrm3").front();
+    EXPECT_EQ(modelSweepSeed(p3, 16), sweepSeed(3, 16));
+}
+
+// Zipf traffic on a scenario sweep must actually change the
+// measured embedding behaviour (the axis is live end to end).
+TEST(Scenario, WorkloadAxisChangesMeasurement)
+{
+    Scenario uniform;
+    uniform.spec = "cpu";
+    uniform.model = "dlrm1";
+    uniform.workload = "uniform";
+    Scenario zipf = uniform;
+    zipf.workload = "zipf:1";
+    const auto u = runSweep(uniform, {64});
+    const auto z = runSweep(zipf, {64});
+    ASSERT_EQ(u.size(), 1u);
+    ASSERT_EQ(z.size(), 1u);
+    EXPECT_NE(u.front().result.latency(), z.front().result.latency());
+    EXPECT_EQ(z.front().workload, "zipf:1");
+}
+
+// Scenario serving end to end: the workload's pinned arrival rate
+// overrides the base config, and a burst process at the same mean
+// rate degrades the tail relative to Poisson (that is what bursts
+// do to a queue).
+TEST(Scenario, ServingHonorsArrivalProcess)
+{
+    ServingConfig base;
+    base.requests = 300;
+    base.batchPerRequest = 4;
+    base.workers = 1;
+    base.maxCoalescedBatch = 4;
+    base.arrivalRatePerSec = 123.0; // overridden by the workload
+    base.seed = 17;
+
+    Scenario poisson;
+    poisson.spec = "cpu+fpga";
+    poisson.model = "rm-small";
+    poisson.workload = "uniform@poisson:12000";
+    Scenario burst = poisson;
+    burst.workload = "uniform@burst:12000:8";
+
+    const ServingStats p = runServingSim(poisson, base);
+    const ServingStats b = runServingSim(burst, base);
+    EXPECT_EQ(p.offered, 300u);
+    EXPECT_DOUBLE_EQ(p.offeredRps, 12000.0);
+    EXPECT_DOUBLE_EQ(b.offeredRps, 12000.0);
+    // Exact accumulators, not the 50 us histogram buckets: bursts
+    // queue where Poisson arrivals barely do.
+    EXPECT_GT(b.meanQueueUs, p.meanQueueUs);
+    EXPECT_GT(b.meanLatencyUs, p.meanLatencyUs);
+
+    // Deterministic under the same scenario + config.
+    const ServingStats b2 = runServingSim(burst, base);
+    EXPECT_DOUBLE_EQ(b2.meanLatencyUs, b.meanLatencyUs);
+    EXPECT_EQ(b2.served, b.served);
+}
+
+TEST(ScenarioDeath, ServingRejectsModelSets)
+{
+    Scenario sc; // model defaults to "paper" = six models
+    EXPECT_DEATH((void)runServingSim(sc, ServingConfig{}),
+                 "exactly one");
+}
+
+} // namespace
+} // namespace centaur

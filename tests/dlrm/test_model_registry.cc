@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the model registry: parse round trips, model-set
+ * expansion, rejection of unknown names with a useful error, and
+ * exact agreement between the paper-preset rows and dlrmPreset().
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dlrm/model_registry.hh"
+
+namespace centaur {
+namespace {
+
+void
+expectSameGeometry(const DlrmConfig &a, const DlrmConfig &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.numTables, b.numTables);
+    EXPECT_EQ(a.lookupsPerTable, b.lookupsPerTable);
+    EXPECT_EQ(a.rowsPerTable, b.rowsPerTable);
+    EXPECT_EQ(a.embeddingDim, b.embeddingDim);
+    EXPECT_EQ(a.denseDim, b.denseDim);
+    EXPECT_EQ(a.bottomMlp, b.bottomMlp);
+    EXPECT_EQ(a.topMlp, b.topMlp);
+}
+
+TEST(ModelRegistry, CoversPaperPresetsAndVariants)
+{
+    const auto names = registeredModels();
+    EXPECT_GE(names.size(), 9u);
+    for (const char *name :
+         {"dlrm1", "dlrm2", "dlrm3", "dlrm4", "dlrm5", "dlrm6",
+          "rm-small", "rm-large", "rm-wide"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), name),
+                  names.end())
+            << name;
+    }
+}
+
+TEST(ModelRegistry, PaperRowsMatchDlrmPresetExactly)
+{
+    for (int p = 1; p <= 6; ++p) {
+        const ModelInfo *info =
+            findModel("dlrm" + std::to_string(p));
+        ASSERT_NE(info, nullptr) << p;
+        EXPECT_TRUE(info->isPaperPreset);
+        EXPECT_EQ(info->paperPreset, p);
+        expectSameGeometry(info->config, dlrmPreset(p));
+    }
+}
+
+TEST(ModelRegistry, ParseModelRoundTripsEveryRegisteredModel)
+{
+    for (const std::string &name : registeredModels()) {
+        DlrmConfig cfg;
+        std::string error;
+        ASSERT_TRUE(tryParseModel(name, &cfg, &error)) << error;
+        // The registry name is recoverable from the geometry.
+        EXPECT_EQ(registryModelName(cfg), name);
+    }
+}
+
+TEST(ModelRegistry, VariantsHaveValidMlpGeometry)
+{
+    // The bottom MLP must end at the embedding dim so its output
+    // joins the feature interaction.
+    for (const ModelInfo &info : modelRegistry()) {
+        ASSERT_FALSE(info.config.bottomMlp.empty()) << info.name;
+        EXPECT_EQ(info.config.bottomMlp.back(),
+                  info.config.embeddingDim)
+            << info.name;
+        EXPECT_GT(info.config.numTables, 0u) << info.name;
+        EXPECT_GT(info.config.rowsPerTable, 0u) << info.name;
+        EXPECT_GT(std::string(info.summary).size(), 0u) << info.name;
+    }
+}
+
+TEST(ModelRegistry, UnknownModelsAreRejectedWithAClearError)
+{
+    for (const char *bad :
+         {"dlrm7", "rm-huge", "DLRM1", "", "paper "}) {
+        DlrmConfig cfg;
+        std::string error;
+        EXPECT_FALSE(tryParseModel(bad, &cfg, &error)) << bad;
+        // The error names the offender and lists the registry.
+        EXPECT_NE(error.find('\'' + std::string(bad) + '\''),
+                  std::string::npos)
+            << error;
+        EXPECT_NE(error.find("rm-large"), std::string::npos) << error;
+    }
+}
+
+TEST(ModelRegistryDeath, ParseModelIsFatalOnUnknownNames)
+{
+    EXPECT_DEATH((void)parseModel("dlrm7"), "unknown model");
+}
+
+TEST(ModelRegistry, PaperSetExpandsToTheSixPresetsInOrder)
+{
+    const auto models = parseModelSet("paper");
+    ASSERT_EQ(models.size(), 6u);
+    for (int p = 1; p <= 6; ++p) {
+        EXPECT_EQ(models[p - 1].paperPreset, p);
+        expectSameGeometry(models[p - 1].config, dlrmPreset(p));
+    }
+}
+
+TEST(ModelRegistry, AllSetExpandsToTheWholeRegistry)
+{
+    EXPECT_EQ(parseModelSet("all").size(), modelRegistry().size());
+}
+
+TEST(ModelRegistry, SingleModelSetIsItself)
+{
+    const auto models = parseModelSet("rm-wide");
+    ASSERT_EQ(models.size(), 1u);
+    EXPECT_STREQ(models.front().name, "rm-wide");
+    EXPECT_FALSE(models.front().isPaperPreset);
+    EXPECT_EQ(models.front().paperPreset, 0);
+}
+
+TEST(ModelRegistry, ModelSetRejectionNamesTheSets)
+{
+    std::vector<ModelInfo> models;
+    std::string error;
+    EXPECT_FALSE(tryParseModelSet("prod", &models, &error));
+    EXPECT_NE(error.find("'prod'"), std::string::npos) << error;
+    EXPECT_NE(error.find("paper"), std::string::npos) << error;
+}
+
+TEST(ModelRegistry, HandBuiltConfigsKeepTheirOwnName)
+{
+    DlrmConfig cfg = dlrmPreset(1);
+    cfg.name = "my-model";
+    cfg.numTables = 17;
+    EXPECT_EQ(registryModelName(cfg), "my-model");
+}
+
+} // namespace
+} // namespace centaur

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "dlrm/trace.hh"
@@ -22,7 +23,25 @@ tinyModel()
     return cfg;
 }
 
-TEST(Trace, RoundTripsBatchesExactly)
+void
+expectBitIdentical(const InferenceBatch &a, const InferenceBatch &b)
+{
+    EXPECT_EQ(a.batch, b.batch);
+    EXPECT_EQ(a.lookupsPerTable, b.lookupsPerTable);
+    EXPECT_EQ(a.indices, b.indices);
+    ASSERT_EQ(a.dense.size(), b.dense.size());
+    for (std::size_t i = 0; i < a.dense.size(); ++i) {
+        // Bit-for-bit, not approximately: the writer emits
+        // max_digits10 digits precisely so replay is exact.
+        std::uint32_t abits;
+        std::uint32_t bbits;
+        std::memcpy(&abits, &a.dense[i], sizeof(abits));
+        std::memcpy(&bbits, &b.dense[i], sizeof(bbits));
+        EXPECT_EQ(abits, bbits) << "dense[" << i << "]";
+    }
+}
+
+TEST(Trace, RoundTripsBatchesBitIdentically)
 {
     const DlrmConfig cfg = tinyModel();
     WorkloadConfig wl;
@@ -47,11 +66,8 @@ TEST(Trace, RoundTripsBatchesExactly)
     InferenceBatch r2;
     ASSERT_TRUE(reader.next(r1));
     ASSERT_TRUE(reader.next(r2));
-    EXPECT_EQ(r1.indices, b1.indices);
-    EXPECT_EQ(r2.indices, b2.indices);
-    EXPECT_EQ(r1.dense.size(), b1.dense.size());
-    for (std::size_t i = 0; i < r1.dense.size(); ++i)
-        EXPECT_NEAR(r1.dense[i], b1.dense[i], 1e-5f);
+    expectBitIdentical(r1, b1);
+    expectBitIdentical(r2, b2);
 
     InferenceBatch r3;
     EXPECT_FALSE(reader.next(r3)); // clean end
@@ -73,24 +89,74 @@ TEST(Trace, HeaderCarriesGeometry)
 
 TEST(Trace, RejectsMalformedHeader)
 {
-    std::istringstream iss("not-a-trace v9 1 1 1");
-    TraceReader reader(iss);
-    EXPECT_FALSE(reader.isValid());
+    for (const char *bad :
+         {"not-a-trace v9 1 1 1",     // wrong magic
+          "centaur-trace v2 2 3 13",  // unknown version
+          "centaur-trace v1 0 3 13",  // zero tables
+          "centaur-trace v1",         // truncated header
+          ""}) {
+        std::istringstream iss(bad);
+        TraceReader reader(iss);
+        EXPECT_FALSE(reader.isValid()) << '"' << bad << '"';
+    }
 }
 
 TEST(Trace, RejectsTruncatedBody)
 {
     const DlrmConfig cfg = tinyModel();
-    const std::string full =
-        captureTrace(cfg, WorkloadConfig{2, IndexDistribution::Uniform,
-                                         0.9, 3},
-                     1);
+    WorkloadConfig wl;
+    wl.batch = 2;
+    wl.seed = 3;
+    const std::string full = captureTrace(cfg, wl, 1);
     std::istringstream iss(full.substr(0, full.size() / 2));
     TraceReader reader(iss);
     ASSERT_TRUE(reader.isValid());
     InferenceBatch b;
     EXPECT_FALSE(reader.next(b));
     EXPECT_FALSE(reader.isValid());
+}
+
+TEST(Trace, RejectsCorruptedRecords)
+{
+    const DlrmConfig cfg = tinyModel();
+    WorkloadConfig wl;
+    wl.batch = 1;
+    wl.seed = 5;
+    const std::string good = captureTrace(cfg, wl, 1);
+
+    // A record tag that is not "batch".
+    {
+        std::string bad = good;
+        bad.replace(bad.find("batch"), 5, "btach");
+        std::istringstream iss(bad);
+        TraceReader reader(iss);
+        ASSERT_TRUE(reader.isValid());
+        InferenceBatch b;
+        EXPECT_FALSE(reader.next(b));
+        EXPECT_FALSE(reader.isValid());
+    }
+    // A table block with the wrong table id.
+    {
+        std::string bad = good;
+        bad.replace(bad.find("\nt 0 "), 5, "\nt 9 ");
+        std::istringstream iss(bad);
+        TraceReader reader(iss);
+        ASSERT_TRUE(reader.isValid());
+        InferenceBatch b;
+        EXPECT_FALSE(reader.next(b));
+        EXPECT_FALSE(reader.isValid());
+    }
+    // A zero batch count.
+    {
+        std::string bad = good;
+        bad.replace(bad.find("batch 1"), 7, "batch 0");
+        std::istringstream iss(bad);
+        TraceReader reader(iss);
+        ASSERT_TRUE(reader.isValid());
+        InferenceBatch b;
+        EXPECT_FALSE(reader.next(b));
+        EXPECT_FALSE(reader.isValid());
+    }
 }
 
 TEST(Trace, WriterRejectsMismatchedBatch)
@@ -109,8 +175,10 @@ TEST(Trace, WriterRejectsMismatchedBatch)
 TEST(Trace, CompatibilityChecksGeometry)
 {
     const DlrmConfig cfg = tinyModel();
-    const std::string trace = captureTrace(
-        cfg, WorkloadConfig{1, IndexDistribution::Uniform, 0.9, 1}, 1);
+    WorkloadConfig wl;
+    wl.batch = 1;
+    wl.seed = 1;
+    const std::string trace = captureTrace(cfg, wl, 1);
     std::istringstream iss(trace);
     TraceReader reader(iss);
     DlrmConfig other = cfg;
@@ -122,7 +190,11 @@ TEST(Trace, CompatibilityChecksGeometry)
 TEST(Trace, CaptureTraceIsDeterministic)
 {
     const DlrmConfig cfg = tinyModel();
-    const WorkloadConfig wl{4, IndexDistribution::Zipf, 1.0, 42};
+    WorkloadConfig wl;
+    wl.batch = 4;
+    wl.dist = IndexDistribution::Zipf;
+    wl.zipfSkew = 1.0;
+    wl.seed = 42;
     EXPECT_EQ(captureTrace(cfg, wl, 3), captureTrace(cfg, wl, 3));
 }
 

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
 
+#include "dlrm/trace.hh"
 #include "dlrm/workload.hh"
 
 namespace centaur {
@@ -122,6 +125,161 @@ TEST(Workload, ZipfSkewsTowardPopularRows)
         head += counts.count(r) ? counts[r] : 0;
     EXPECT_GT(head,
               static_cast<int>(batch.indices[0].size()) / 20);
+}
+
+/** RAII temp file holding trace text. */
+class TempTrace
+{
+  public:
+    explicit TempTrace(const std::string &text)
+        : _path(::testing::TempDir() + "workload_trace_" +
+                std::to_string(
+                    ::testing::UnitTest::GetInstance()
+                        ->random_seed()) +
+                "_" + std::to_string(counter()++) + ".trace")
+    {
+        std::ofstream os(_path);
+        os << text;
+    }
+    ~TempTrace() { std::remove(_path.c_str()); }
+    const std::string &path() const { return _path; }
+
+  private:
+    static int &counter()
+    {
+        static int n = 0;
+        return n;
+    }
+    std::string _path;
+};
+
+TEST(Workload, TraceReplayIsBitIdenticalToTheRecording)
+{
+    const DlrmConfig cfg = tinyModel();
+    WorkloadConfig synth;
+    synth.batch = 4;
+    synth.dist = IndexDistribution::Zipf;
+    synth.zipfSkew = 1.0;
+    synth.seed = 9;
+    const TempTrace trace(captureTrace(cfg, synth, 3));
+
+    WorkloadGenerator source(cfg, synth);
+    WorkloadConfig replay;
+    replay.batch = synth.batch; // re-batch to the recorded size
+    replay.dist = IndexDistribution::Trace;
+    replay.tracePath = trace.path();
+    WorkloadGenerator gen(cfg, replay);
+    EXPECT_EQ(gen.traceSamples(), 3u * synth.batch);
+
+    for (int i = 0; i < 3; ++i) {
+        const InferenceBatch want = source.next();
+        const InferenceBatch got = gen.next();
+        EXPECT_EQ(got.indices, want.indices);
+        EXPECT_EQ(got.dense, want.dense); // exact float round trip
+    }
+}
+
+TEST(Workload, TraceReplayRebatchesTheSampleStream)
+{
+    // The recording fixes the samples; the runner owns the batch
+    // axis. A batch-4 recording replayed at batch 2 yields the same
+    // sample stream, split differently.
+    const DlrmConfig cfg = tinyModel();
+    WorkloadConfig synth;
+    synth.batch = 4;
+    synth.seed = 13;
+    const TempTrace trace(captureTrace(cfg, synth, 1));
+
+    WorkloadConfig replay;
+    replay.batch = 2;
+    replay.dist = IndexDistribution::Trace;
+    replay.tracePath = trace.path();
+    WorkloadGenerator gen(cfg, replay);
+
+    WorkloadGenerator source(cfg, synth);
+    const InferenceBatch whole = source.next();
+    const InferenceBatch first = gen.next();
+    const InferenceBatch second = gen.next();
+    EXPECT_EQ(first.batch, 2u);
+    EXPECT_EQ(second.batch, 2u);
+    for (std::size_t t = 0; t < whole.indices.size(); ++t) {
+        std::vector<std::uint64_t> glued = first.indices[t];
+        glued.insert(glued.end(), second.indices[t].begin(),
+                     second.indices[t].end());
+        EXPECT_EQ(glued, whole.indices[t]) << "table " << t;
+    }
+    std::vector<float> dense = first.dense;
+    dense.insert(dense.end(), second.dense.begin(),
+                 second.dense.end());
+    EXPECT_EQ(dense, whole.dense);
+}
+
+TEST(Workload, TraceReplayCyclesAtTheEnd)
+{
+    const DlrmConfig cfg = tinyModel();
+    WorkloadConfig synth;
+    synth.batch = 2;
+    synth.seed = 21;
+    const TempTrace trace(captureTrace(cfg, synth, 2));
+
+    WorkloadConfig replay;
+    replay.batch = 2;
+    replay.dist = IndexDistribution::Trace;
+    replay.tracePath = trace.path();
+    WorkloadGenerator gen(cfg, replay);
+    const InferenceBatch first = gen.next();
+    const InferenceBatch second = gen.next();
+    const InferenceBatch wrapped = gen.next();
+    EXPECT_NE(first.indices, second.indices);
+    EXPECT_EQ(wrapped.indices, first.indices);
+}
+
+TEST(WorkloadDeath, TraceGeneratorRejectsBrokenInputs)
+{
+    const DlrmConfig cfg = tinyModel();
+    WorkloadConfig replay;
+    replay.dist = IndexDistribution::Trace;
+
+    replay.tracePath = "";
+    EXPECT_DEATH((void)WorkloadGenerator(cfg, replay),
+                 "needs a trace path");
+
+    replay.tracePath = "/nonexistent/trace.file";
+    EXPECT_DEATH((void)WorkloadGenerator(cfg, replay),
+                 "cannot open trace");
+
+    const TempTrace garbage("not-a-trace v9 9 9 9");
+    replay.tracePath = garbage.path();
+    EXPECT_DEATH((void)WorkloadGenerator(cfg, replay),
+                 "not a valid centaur trace");
+
+    // A valid trace of the wrong geometry.
+    DlrmConfig other = cfg;
+    other.lookupsPerTable = 9;
+    WorkloadConfig synth;
+    synth.batch = 1;
+    const TempTrace mismatched(captureTrace(other, synth, 1));
+    replay.tracePath = mismatched.path();
+    EXPECT_DEATH((void)WorkloadGenerator(cfg, replay),
+                 "does not match model");
+
+    // A trace with a valid header but no batches.
+    const TempTrace empty("centaur-trace v1 3 4 13\n");
+    replay.tracePath = empty.path();
+    EXPECT_DEATH((void)WorkloadGenerator(cfg, replay), "no batches");
+}
+
+TEST(Workload, ZipfAliasDrawIsDeterministicUnderSeed)
+{
+    DlrmConfig cfg = tinyModel();
+    WorkloadConfig wl;
+    wl.batch = 8;
+    wl.dist = IndexDistribution::Zipf;
+    wl.zipfSkew = 0.8;
+    wl.seed = 31;
+    WorkloadGenerator a(cfg, wl);
+    WorkloadGenerator b(cfg, wl);
+    EXPECT_EQ(a.next().indices, b.next().indices);
 }
 
 TEST(Workload, UniformCoversTheTable)

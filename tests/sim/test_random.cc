@@ -151,6 +151,85 @@ TEST(ZipfSampler, LargePopulationPathWorks)
     EXPECT_GT(max_seen, 100000u);
 }
 
+TEST(ZipfAliasSampler, StaysInRangeAndIsDeterministic)
+{
+    ZipfAliasSampler z(1000, 0.9);
+    Rng a(3);
+    Rng b(3);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = z.sample(a);
+        EXPECT_LT(v, 1000u);
+        EXPECT_EQ(v, z.sample(b));
+    }
+}
+
+TEST(ZipfAliasSampler, MatchesTheZipfPmf)
+{
+    // The alias table is exact: head-rank frequencies must match
+    // the 1/rank^s pmf, not just qualitatively skew.
+    const double s = 1.0;
+    const std::uint64_t n = 4096;
+    ZipfAliasSampler z(n, s);
+    Rng r(5);
+    const int draws = 400000;
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < draws; ++i) {
+        const auto v = z.sample(r);
+        if (v < counts.size())
+            ++counts[v];
+    }
+    double h = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        h += 1.0 / std::pow(static_cast<double>(i), s);
+    for (std::size_t rank = 0; rank < counts.size(); ++rank) {
+        const double expected =
+            draws / (std::pow(static_cast<double>(rank + 1), s) * h);
+        EXPECT_NEAR(counts[rank], expected, expected * 0.1 + 50)
+            << "rank " << rank;
+    }
+}
+
+TEST(ZipfAliasSampler, ExactAtPopulationsTheCdfSamplerApproximates)
+{
+    // Beyond ZipfSampler's 2^16 CDF-table limit the legacy sampler
+    // switches to an approximation; the alias table stays exact and
+    // O(1). Spot-check the head ratio at one million rows.
+    ZipfAliasSampler z(1000000, 1.0);
+    Rng r(7);
+    int c0 = 0;
+    int c1 = 0;
+    for (int i = 0; i < 300000; ++i) {
+        const auto v = z.sample(r);
+        c0 += (v == 0);
+        c1 += (v == 1);
+    }
+    EXPECT_NEAR(static_cast<double>(c0) / c1, 2.0, 0.25);
+}
+
+TEST(AliasTable, RespectsArbitraryWeights)
+{
+    AliasTable t({1.0, 0.0, 3.0});
+    Rng r(11);
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 40000; ++i)
+        ++counts[t.sample(r)];
+    EXPECT_EQ(counts[1], 0); // zero-weight slot never drawn
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(AliasTableDeath, RejectsDegenerateWeights)
+{
+    EXPECT_DEATH((void)AliasTable(std::vector<double>{}), "nonempty");
+    EXPECT_DEATH((void)AliasTable({0.0, 0.0}), "positive total");
+    EXPECT_DEATH((void)AliasTable({-1.0, 2.0}), "nonnegative");
+}
+
+TEST(ZipfAliasSamplerDeath, RejectsDegenerateParameters)
+{
+    EXPECT_DEATH((void)ZipfAliasSampler(0, 0.9), "nonzero population");
+    EXPECT_DEATH((void)ZipfAliasSampler(10, -0.1), "nonnegative skew");
+}
+
 class ZipfSkewTest : public ::testing::TestWithParam<double>
 {
 };

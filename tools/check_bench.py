@@ -7,9 +7,10 @@ Validates a BENCH_results.json produced by
 
 Checks performed:
   1. schema: top-level and per-suite schema_version (major.minor)
-     matches, every expected suite is present, and - new in v1.1 -
-     every measurement record (any object whose "kind" ends in
-     "_entry") carries a non-empty backend "spec" string.
+     matches, every expected suite is present, and every measurement
+     record (any object whose "kind" ends in "_entry") carries the
+     full scenario triple: a non-empty backend "spec" string (v1.1)
+     plus non-empty "model" and "workload" stamps (v1.2).
   2. sanity: no null metric anywhere (the C++ writer serializes
      NaN/Inf as null), no non-finite number, and every latency /
      throughput / bandwidth metric is strictly positive.
@@ -18,9 +19,11 @@ Checks performed:
      strictly at batch 1), gather-bandwidth and energy-efficiency
      improvements hold in the mean, serving throughput scales
      monotonically with workers under overload, the design fits
-     the GX1150, and in the spec_matrix cross product every
+     the GX1150, in the spec_matrix cross product every
      FPGA-resident MLP stage (*+fpga spec) beats the CPU MLP stage
-     at batch >= 64.
+     at batch >= 64, and in the scenario_matrix cross product
+     zipf-skewed traffic is never slower than uniform on a
+     cache-backed spec at the same batch (>= 64).
 
 With --baseline OLD.json the run is also diffed against a previous
 report: the largest relative deltas are printed, and with
@@ -36,7 +39,7 @@ import math
 import sys
 
 SCHEMA_VERSION = 1
-SCHEMA_MINOR = 1
+SCHEMA_MINOR = 2
 
 EXPECTED_SUITES = [
     "table1",
@@ -54,6 +57,7 @@ EXPECTED_SUITES = [
     "ablation_pe_scaling",
     "serving_scaling",
     "spec_matrix",
+    "scenario_matrix",
 ]
 
 # Backend specs every full spec_matrix run must cover.
@@ -65,6 +69,12 @@ EXPECTED_SPECS = [
     "gpu+fpga",
     "fpga+fpga",
 ]
+
+# Minimum scenario_matrix coverage: >= 3 system specs x >= 3 models
+# x >= 2 workload distributions.
+SCENARIO_MIN_SPECS = 3
+SCENARIO_MIN_MODELS = 3
+SCENARIO_MIN_WORKLOADS = 2
 
 # Metrics that must be strictly positive wherever they appear.
 POSITIVE_KEYS = {
@@ -215,17 +225,19 @@ def walk_nodes(node, path=""):
 
 
 def check_spec_stamps(chk, suites):
-    """Schema v1.1: every *_entry record names its backend spec."""
+    """Schema v1.1/v1.2: every *_entry record names its full
+    scenario: backend spec, model and workload."""
     records = 0
     for path, node in walk_nodes(suites):
         kind = node.get("kind")
         if not (isinstance(kind, str) and kind.endswith("_entry")):
             continue
         records += 1
-        spec = node.get("spec")
-        chk.check(isinstance(spec, str) and spec != "",
-                  f"record without a backend spec: {path} "
-                  f"(kind {kind})")
+        for key in ("spec", "model", "workload"):
+            value = node.get(key)
+            chk.check(isinstance(value, str) and value != "",
+                      f"record without a {key} stamp: {path} "
+                      f"(kind {kind})")
     chk.check(records > 0, "no *_entry records found in the report")
 
 
@@ -293,6 +305,27 @@ def check_invariants(chk, suites):
         chk.check(entry.get("fpga_mlp_faster") is True,
                   f"spec_matrix: {entry.get('spec')} MLP stage does"
                   f" not beat the CPU MLP at batch"
+                  f" {entry.get('batch')}")
+
+    # scenario_matrix: the cross product is wide enough (specs x
+    # models x workload distributions), and on every cache-backed
+    # spec zipf traffic is not slower than uniform at the same
+    # batch - popularity skew must help a cache, never hurt it.
+    data = suites.get("scenario_matrix", {}).get("data", {})
+    for key, need in (("specs_run", SCENARIO_MIN_SPECS),
+                      ("models_run", SCENARIO_MIN_MODELS),
+                      ("workloads_run", SCENARIO_MIN_WORKLOADS)):
+        got = data.get(key, [])
+        chk.check(len(got) >= need,
+                  f"scenario_matrix: only {len(got)} {key}"
+                  f" (need >= {need})")
+    checks = data.get("skew_checks", [])
+    chk.check(len(checks) > 0, "scenario_matrix: no skew_checks")
+    for entry in checks:
+        chk.check(entry.get("zipf_not_slower") is True,
+                  f"scenario_matrix: {entry.get('workload')} slower"
+                  f" than uniform on {entry.get('spec')}"
+                  f" / {entry.get('model')} at batch"
                   f" {entry.get('batch')}")
 
 
