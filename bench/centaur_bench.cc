@@ -54,6 +54,10 @@ usage(std::FILE *to)
         "                     zipf:1, trace:file.trace; see --list\n"
         "  --workers N        worker-count override for the serving\n"
         "                     suites\n"
+        "  --jobs N           run independent sweep points of a\n"
+        "                     suite on N threads (scenario_matrix,\n"
+        "                     contention_matrix); output is\n"
+        "                     identical at any job count\n"
         "  --json PATH        write the stamped JSON report\n"
         "  --csv PATH         write every emitted table as CSV\n"
         "  --seed N           offset every workload seed by N\n"
@@ -98,6 +102,7 @@ main(int argc, char **argv)
     std::string record_trace_path;
     std::uint64_t seed = 0;
     std::uint32_t workers = 0;
+    std::uint32_t jobs = 1;
     std::uint32_t trace_batches = 8;
     bool quiet = false;
     bool list_only = false;
@@ -156,6 +161,16 @@ main(int argc, char **argv)
                 return 2;
             }
             workers = static_cast<std::uint32_t>(n);
+        } else if (arg == "--jobs") {
+            const char *text = value();
+            char *end = nullptr;
+            const unsigned long long n = std::strtoull(text, &end, 0);
+            if (end == text || *end != '\0' || n == 0 ||
+                n > 1024ULL) {
+                std::fprintf(stderr, "invalid --jobs '%s'\n", text);
+                return 2;
+            }
+            jobs = static_cast<std::uint32_t>(n);
         } else if (arg == "--record-trace") {
             record_trace_path = value();
         } else if (arg == "--trace-batches") {
@@ -278,7 +293,7 @@ main(int argc, char **argv)
     }
 
     SuiteContext ctx(quiet ? nullptr : &std::cout, seed, specs,
-                     workers, models, workloads);
+                     workers, models, workloads, jobs);
     Json report = reportStamp("bench_report", seed);
     report["generator"] = "centaur_bench";
     report["paper"] = "conf_isca_HwangKKR20";

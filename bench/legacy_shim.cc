@@ -1,0 +1,18 @@
+/**
+ * @file
+ * The one legacy-shim translation unit behind every historical
+ * per-figure/table/ablation executable. Each binary's suite name
+ * arrives as the CENTAUR_LEGACY_SUITE compile definition (see
+ * bench/CMakeLists.txt); the suites themselves live in the
+ * bench/suites registry and `centaur_bench --suite <name>` is the
+ * JSON-enabled driver. These binaries preserve the historical
+ * text-only CLI byte for byte.
+ */
+
+#include "suite.hh"
+
+int
+main()
+{
+    return centaur::bench::runLegacyMain(CENTAUR_LEGACY_SUITE);
+}

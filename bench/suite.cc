@@ -1,10 +1,13 @@
 #include "suite.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <iostream>
 #include <streambuf>
+#include <thread>
 
 #include "core/report.hh"
 
@@ -37,11 +40,37 @@ SuiteContext::SuiteContext(std::ostream *out, std::uint64_t seed,
                            std::vector<std::string> specs,
                            std::uint32_t workers,
                            std::vector<std::string> models,
-                           std::vector<std::string> workloads)
+                           std::vector<std::string> workloads,
+                           std::uint32_t jobs)
     : _out(out ? out : &nullStream()), _seed(seed),
       _specs(std::move(specs)), _workers(workers),
-      _models(std::move(models)), _workloads(std::move(workloads))
+      _models(std::move(models)), _workloads(std::move(workloads)),
+      _jobs(std::max<std::uint32_t>(1, jobs))
 {
+}
+
+void
+SuiteContext::parallelFor(std::size_t n,
+                          const std::function<void(std::size_t)> &fn)
+{
+    const std::size_t threads =
+        std::min<std::size_t>(_jobs, n);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+        pool.emplace_back([&]() {
+            for (std::size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1))
+                fn(i);
+        });
+    for (std::thread &t : pool)
+        t.join();
 }
 
 void
@@ -93,6 +122,7 @@ allSuites()
         registerServingSuites(s);
         registerSpecSuites(s);
         registerScenarioSuites(s);
+        registerContentionSuites(s);
         return s;
     }();
     return suites;

@@ -12,6 +12,7 @@
 #define CENTAUR_BENCH_SUITE_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -39,13 +40,16 @@ class SuiteContext
      * @param workers worker-count override from --workers (0 = none)
      * @param models model names selected with --model (may be empty)
      * @param workloads workload specs from --workload (may be empty)
+     * @param jobs worker threads for independent sweep points
+     *        (--jobs); 1 keeps everything on the calling thread
      */
     explicit SuiteContext(std::ostream *out = nullptr,
                           std::uint64_t seed = 0,
                           std::vector<std::string> specs = {},
                           std::uint32_t workers = 0,
                           std::vector<std::string> models = {},
-                          std::vector<std::string> workloads = {});
+                          std::vector<std::string> workloads = {},
+                          std::uint32_t jobs = 1);
 
     std::uint64_t seed() const { return _seed; }
 
@@ -82,6 +86,20 @@ class SuiteContext
         return _workloads;
     }
 
+    /** Worker threads available for independent sweep points. */
+    std::uint32_t jobs() const { return _jobs; }
+
+    /**
+     * Run @p fn(0..n-1) across up to jobs() threads and join.
+     * Iterations must be independent (each sweep point builds its
+     * own systems/fabric and writes only its own output slot);
+     * suites collect per-index results and emit tables/JSON
+     * sequentially afterwards, so output is identical at any job
+     * count. With jobs() <= 1 this is a plain loop.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
     /** Text sink (a swallowing stream when constructed with null). */
     std::ostream &out() { return *_out; }
 
@@ -105,6 +123,7 @@ class SuiteContext
     std::uint32_t _workers;
     std::vector<std::string> _models;
     std::vector<std::string> _workloads;
+    std::uint32_t _jobs;
     std::vector<TextTable> _tables;
     std::map<int, std::vector<SweepEntry>> _sweeps;
 };
@@ -154,6 +173,7 @@ void registerAblationSuites(std::vector<Suite> &suites);
 void registerServingSuites(std::vector<Suite> &suites);
 void registerSpecSuites(std::vector<Suite> &suites);
 void registerScenarioSuites(std::vector<Suite> &suites);
+void registerContentionSuites(std::vector<Suite> &suites);
 
 } // namespace centaur::bench
 

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Shared-resource contention suite: worker count x backend spec on
+ * one node, with the fleet contending for the node's CPU cores,
+ * host DRAM bandwidth and PCIe pipes through the resource fabric
+ * (core/fabric.hh). The legacy serving studies time every worker as
+ * if it owned the node; this suite shows the saturation knees that
+ * appear once co-located workers interleave - and backs the CI
+ * invariants that (1) mean service latency is monotonically
+ * non-decreasing in the worker count on every spec and (2) the
+ * in-package "cpu+fpga" pairing degrades strictly less than the
+ * PCIe-attached "cpu+gpu" pairing, the paper's headline claim now
+ * measured under load.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/server.hh"
+#include "suite.hh"
+
+using namespace centaur;
+
+namespace centaur::bench {
+
+namespace {
+
+Json
+suiteContentionMatrix(SuiteContext &ctx)
+{
+    constexpr int kPreset = 1;
+    const DlrmConfig model = dlrmPreset(kPreset);
+
+    const std::vector<std::string> specs =
+        ctx.specOverride().empty()
+            ? std::vector<std::string>{"cpu", "cpu+gpu", "cpu+fpga"}
+            : ctx.specOverride();
+    // The worker axis must include 1 (the uncontended anchor every
+    // degradation ratio is measured against).
+    std::vector<std::uint32_t> workers = {1, 2, 4, 8};
+    if (ctx.workerOverride())
+        workers = ctx.workerOverride() == 1
+                      ? std::vector<std::uint32_t>{1}
+                      : std::vector<std::uint32_t>{
+                            1, ctx.workerOverride()};
+
+    // Overload at a single shared seed per spec: every worker stays
+    // busy back to back and every point replays the same payload
+    // stream, so the knee is contention, not workload noise.
+    ServingConfig base;
+    base.arrivalRatePerSec = 1e6;
+    base.batchPerRequest = 8;
+    base.requests = 240;
+    base.maxCoalescedBatch = 1;
+    base.contend = true;
+
+    ctx.notef("contention matrix on %s: %zu specs x %zu worker "
+              "counts, one shared node fabric (%u cores, %.1f GB/s "
+              "DRAM, %.1f GB/s PCIe per direction)\n\n",
+              model.name.c_str(), specs.size(), workers.size(),
+              base.fabricCfg.cpuCores, base.fabricCfg.hostDramGBps,
+              base.fabricCfg.pcieGBps);
+
+    // All (spec, workers) points are independent simulations (each
+    // builds its own fleet and fabric): run them on the --jobs pool
+    // and emit tables/records sequentially afterwards.
+    struct Point
+    {
+        std::string spec;
+        std::uint32_t workers = 0;
+        std::uint64_t seed = 0;
+        std::string workload;
+        ServingStats stats;
+    };
+    std::vector<Point> points;
+    for (const std::string &spec : specs)
+        for (std::uint32_t w : workers) {
+            Point p;
+            p.spec = spec;
+            p.workers = w;
+            points.push_back(std::move(p));
+        }
+    ctx.parallelFor(points.size(), [&](std::size_t i) {
+        Point &p = points[i];
+        ServingConfig cfg = base;
+        cfg.workers = p.workers;
+        // Same seed across worker counts of one spec.
+        cfg.seed = servingSweepSeed(kPreset, 1, 1, 0.0) + ctx.seed();
+        p.seed = cfg.seed;
+        p.workload = workloadSpecName(cfg.workloadConfig());
+        p.stats = runServingSim(p.spec, model, cfg);
+    });
+
+    TextTable table("Contention matrix: workers x spec on one node "
+                    "(overload)");
+    table.setHeader({"spec", "workers", "svc (us)", "p99 (us)",
+                     "tput (rps)", "wait (us/req)", "cores util",
+                     "dram util", "pcie util"});
+    Json records = Json::array();
+    const auto resourceUtil = [](const ServingStats &s,
+                                 const char *name) {
+        for (const FabricResourceStats &fs : s.fabric)
+            if (fs.resource == name)
+                return fs.utilization;
+        return 0.0;
+    };
+    for (const Point &p : points) {
+        const ServingStats &s = p.stats;
+        const double wait_per_req =
+            s.served ? s.fabricWaitUs /
+                           static_cast<double>(s.served)
+                     : 0.0;
+        table.addRow(
+            {p.spec, std::to_string(p.workers),
+             TextTable::fmt(s.meanServiceUs, 1),
+             TextTable::fmt(s.p99Us, 0),
+             TextTable::fmt(s.throughputRps, 0),
+             TextTable::fmt(wait_per_req, 1),
+             TextTable::fmt(resourceUtil(s, "cpu_cores"), 2),
+             TextTable::fmt(resourceUtil(s, "host_dram"), 2),
+             TextTable::fmt(resourceUtil(s, "pcie_h2d"), 2)});
+
+        Json rec = reportStamp("contention_entry", p.seed);
+        rec["model"] = model.name;
+        rec["spec"] = p.spec;
+        rec["workload"] = p.workload;
+        rec["preset"] = kPreset;
+        rec["workers"] = p.workers;
+        rec["stats"] = toJson(s);
+        records.push(std::move(rec));
+    }
+    ctx.emitTable(table);
+
+    // Invariant 1: on every spec, mean service latency (including
+    // fabric queueing) never improves as co-located workers scale.
+    const auto meanService = [&](const std::string &spec,
+                                 std::uint32_t w) {
+        for (const Point &p : points)
+            if (p.spec == spec && p.workers == w)
+                return p.stats.meanServiceUs;
+        return 0.0;
+    };
+    Json monotone_checks = Json::array();
+    for (const std::string &spec : specs) {
+        bool monotone = true;
+        double prev = 0.0;
+        for (std::uint32_t w : workers) {
+            const double svc = meanService(spec, w);
+            if (svc + 1e-9 < prev)
+                monotone = false;
+            prev = svc;
+        }
+        Json chk = Json::object();
+        chk["spec"] = spec;
+        chk["monotone"] = monotone;
+        chk["service_1w_us"] = meanService(spec, workers.front());
+        chk["service_max_us"] = meanService(spec, workers.back());
+        monotone_checks.push(std::move(chk));
+        ctx.notef("%-10s %2uw -> %2uw: %.1f -> %.1f us/dispatch%s\n",
+                  spec.c_str(), workers.front(), workers.back(),
+                  meanService(spec, workers.front()),
+                  meanService(spec, workers.back()),
+                  monotone ? "" : "  (NOT monotone!)");
+    }
+
+    // Invariant 2: the package placement's degradation ratio stays
+    // strictly below the PCIe peer's. Only emitted when both paper
+    // pairings were run AND the worker axis actually scales - a
+    // collapsed axis (--workers 1) has both ratios pinned at 1.0
+    // and nothing to compare.
+    Json package_checks = Json::array();
+    const bool have_pair =
+        workers.back() > workers.front() &&
+        meanService("cpu+gpu", workers.front()) > 0.0 &&
+        meanService("cpu+fpga", workers.front()) > 0.0;
+    if (have_pair) {
+        const auto degradation = [&](const std::string &spec) {
+            return meanService(spec, workers.back()) /
+                   meanService(spec, workers.front());
+        };
+        const double pcie = degradation("cpu+gpu");
+        const double package = degradation("cpu+fpga");
+        Json chk = Json::object();
+        chk["workers"] = workers.back();
+        chk["pcie_degradation"] = pcie;
+        chk["package_degradation"] = package;
+        chk["package_beats_pcie"] = package < pcie;
+        package_checks.push(std::move(chk));
+        ctx.notef("\ndegradation at %u workers: cpu+gpu %.2fx, "
+                  "cpu+fpga %.2fx -> package %s\n",
+                  workers.back(), pcie, package,
+                  package < pcie ? "wins under load"
+                                 : "DOES NOT win (!)");
+    }
+
+    ctx.notef("\ntakeaway: co-located workers are not free - the "
+              "cpu+gpu fleet queues on the shared PCIe pipes and\n"
+              "core pool while cpu+fpga's private coherent links "
+              "keep its knee at the DRAM bandwidth roof.\n");
+
+    Json data = Json::object();
+    Json specs_run = Json::array();
+    for (const std::string &s : specs)
+        specs_run.push(s);
+    Json workers_run = Json::array();
+    for (std::uint32_t w : workers)
+        workers_run.push(static_cast<std::int64_t>(w));
+    data["specs_run"] = specs_run;
+    data["workers_run"] = workers_run;
+    data["records"] = records;
+    data["monotone_checks"] = monotone_checks;
+    data["package_checks"] = package_checks;
+    return data;
+}
+
+} // namespace
+
+void
+registerContentionSuites(std::vector<Suite> &suites)
+{
+    suites.push_back(
+        {"contention_matrix",
+         "shared-node contention: workers x spec on one fabric",
+         suiteContentionMatrix,
+         "cpu, cpu+gpu, cpu+fpga x 1,2,4,8 workers (override with "
+         "--spec/--workers)"});
+}
+
+} // namespace centaur::bench

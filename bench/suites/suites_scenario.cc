@@ -71,67 +71,85 @@ suiteScenarioMatrix(SuiteContext &ctx)
         resolved_models.push_back(name);
     };
 
-    for (const std::string &spec : specs) {
-        for (const std::string &model : models) {
-            // One sweep per workload so skew comparisons share the
-            // (spec, resolved model, batch) coordinate.
-            std::vector<std::vector<SweepEntry>> sweeps;
-            for (const std::string &workload : workloads) {
-                Scenario sc;
-                sc.spec = spec;
-                sc.model = model;
-                sc.workload = workload;
-                sweeps.push_back(
-                    runSweep(sc, batches, 1, ctx.seed()));
-                for (const SweepEntry &entry : sweeps.back()) {
-                    const InferenceResult &r = entry.result;
-                    note_model(entry.modelName);
-                    table.addRow(
-                        {spec, entry.modelName, workload,
-                         std::to_string(entry.batch),
-                         TextTable::fmt(usFromTicks(r.latency())),
-                         TextTable::fmt(r.effectiveEmbGBps, 1),
-                         TextTable::fmt(r.inferencesPerSec(), 0),
-                         TextTable::fmt(r.energyJoules * 1e3, 3)});
-                    records.push(toJson(entry));
-                }
-            }
+    // Every (spec, model) cell is an independent set of sweeps
+    // (fresh systems per point): compute the grid on the --jobs
+    // pool, then emit rows/records sequentially in grid order so
+    // output is identical at any job count.
+    struct Cell
+    {
+        std::string spec;
+        std::string model;
+        /** One sweep per workload so skew comparisons share the
+         *  (spec, resolved model, batch) coordinate. */
+        std::vector<std::vector<SweepEntry>> sweeps;
+    };
+    std::vector<Cell> cells;
+    for (const std::string &spec : specs)
+        for (const std::string &model : models)
+            cells.push_back({spec, model, {}});
+    ctx.parallelFor(cells.size(), [&](std::size_t i) {
+        Cell &cell = cells[i];
+        for (const std::string &workload : workloads) {
+            Scenario sc;
+            sc.spec = cell.spec;
+            sc.model = cell.model;
+            sc.workload = workload;
+            cell.sweeps.push_back(
+                runSweep(sc, batches, 1, ctx.seed()));
+        }
+    });
 
-            // Skew invariant on cache-backed gather paths: zipf
-            // traffic concentrates the row working set, so once
-            // batching gives the caches a set to exploit (batch >=
-            // 64; single-sample runs are bank-conflict noise) it
-            // must not gather slower than uniform - on every model
-            // the name expands to.
-            if (!cacheBackedGather(spec))
+    for (const Cell &cell : cells) {
+        const std::string &spec = cell.spec;
+        const std::vector<std::vector<SweepEntry>> &sweeps =
+            cell.sweeps;
+        for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+            const std::string &workload = workloads[wi];
+            for (const SweepEntry &entry : sweeps[wi]) {
+                const InferenceResult &r = entry.result;
+                note_model(entry.modelName);
+                table.addRow(
+                    {spec, entry.modelName, workload,
+                     std::to_string(entry.batch),
+                     TextTable::fmt(usFromTicks(r.latency())),
+                     TextTable::fmt(r.effectiveEmbGBps, 1),
+                     TextTable::fmt(r.inferencesPerSec(), 0),
+                     TextTable::fmt(r.energyJoules * 1e3, 3)});
+                records.push(toJson(entry));
+            }
+        }
+
+        // Skew invariant on cache-backed gather paths: zipf
+        // traffic concentrates the row working set, so once
+        // batching gives the caches a set to exploit (batch >=
+        // 64; single-sample runs are bank-conflict noise) it
+        // must not gather slower than uniform - on every model
+        // the name expands to.
+        if (!cacheBackedGather(spec))
+            continue;
+        for (std::size_t wa = 0; wa < workloads.size(); ++wa) {
+            if (workloads[wa].rfind("zipf", 0) != 0)
                 continue;
-            for (std::size_t wa = 0; wa < workloads.size(); ++wa) {
-                if (workloads[wa].rfind("zipf", 0) != 0)
+            for (std::size_t wb = 0; wb < workloads.size(); ++wb) {
+                if (workloads[wb] != "uniform")
                     continue;
-                for (std::size_t wb = 0; wb < workloads.size();
-                     ++wb) {
-                    if (workloads[wb] != "uniform")
+                for (const SweepEntry &ze : sweeps[wa]) {
+                    if (ze.batch < 64)
                         continue;
-                    for (const SweepEntry &ze : sweeps[wa]) {
-                        if (ze.batch < 64)
-                            continue;
-                        const double zipf_us =
-                            usFromTicks(ze.result.latency());
-                        const double uniform_us = usFromTicks(
-                            findEntry(sweeps[wb], ze.modelName,
-                                      ze.batch)
-                                .result.latency());
-                        Json chk = Json::object();
-                        chk["spec"] = spec;
-                        chk["model"] = ze.modelName;
-                        chk["workload"] = workloads[wa];
-                        chk["batch"] = ze.batch;
-                        chk["zipf_us"] = zipf_us;
-                        chk["uniform_us"] = uniform_us;
-                        chk["zipf_not_slower"] =
-                            zipf_us <= uniform_us;
-                        skew_checks.push(std::move(chk));
-                    }
+                    const double zipf_us =
+                        usFromTicks(ze.result.latency());
+                    const double uniform_us = usFromTicks(
+                        findEntry(sweeps[wb], ze.modelName, ze.batch)
+                            .result.latency());
+                    Json chk = Json::object();
+                    chk["spec"] = spec;
+                    chk["model"] = ze.modelName;
+                    chk["workload"] = workloads[wa];
+                    chk["batch"] = ze.batch;
+                    chk["zipf_us"] = zipf_us;
+                    chk["uniform_us"] = uniform_us;
+                    chk["zipf_not_slower"] = zipf_us <= uniform_us;
+                    skew_checks.push(std::move(chk));
                 }
             }
         }

@@ -224,6 +224,18 @@ specWatts(const SystemSpec &spec, const PowerConfig &power)
     return watts;
 }
 
+Tick
+FabricClient::charge(NodeResource r, Tick ready, Tick duration,
+                     InferenceResult &res, std::uint32_t lanes) const
+{
+    if (!_fabric)
+        return ready + duration;
+    const ResourceClock::Grant g =
+        _fabric->acquire(r, ready, duration, lanes);
+    res.fabricWait += g.wait();
+    return g.end;
+}
+
 void
 MlpBackend::probabilities(const ForwardResult &fwd,
                           InferenceResult &res) const

@@ -12,6 +12,15 @@
  * "cpu+fpga") plus pairings the paper never ran ("gpu", "gpu+fpga",
  * "fpga+fpga"); SystemBuilder (core/system_builder.hh) assembles any
  * spec into a runnable ComposedSystem.
+ *
+ * Stage backends do not own the node they run on: both interfaces
+ * derive from FabricClient, and any stage segment that consumes a
+ * node-shared resource (CPU cores, host DRAM bandwidth, a PCIe
+ * direction) books its occupancy through FabricClient::charge()
+ * against the node's Fabric (core/fabric.hh) instead of returning a
+ * free-running latency. Without an attached fabric charge() is the
+ * identity (ready + duration), so standalone systems time exactly
+ * as before; with a shared fabric, co-located workers queue.
  */
 
 #ifndef CENTAUR_CORE_BACKEND_HH
@@ -20,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fabric.hh"
 #include "core/result.hh"
 #include "dlrm/reference_model.hh"
 #include "dlrm/workload.hh"
@@ -151,12 +161,43 @@ struct EmbStageTiming
 };
 
 /**
+ * Shared base of both stage-backend interfaces: the attachment
+ * point for the node's resource fabric. SystemBuilder wires the
+ * fabric (or leaves it null for a standalone, uncontended system);
+ * backend implementations book shared-resource occupancy through
+ * charge() at the point in their timeline where the traffic happens.
+ */
+class FabricClient
+{
+  public:
+    /** Attach the node's shared fabric (nullptr = uncontended). */
+    void setFabric(Fabric *fabric) { _fabric = fabric; }
+    Fabric *fabric() const { return _fabric; }
+
+  protected:
+    /**
+     * Occupy @p lanes lanes of node resource @p r for @p duration
+     * ticks, earliest at @p ready, and return the completion tick.
+     * Queueing delay behind other workers on the node accrues into
+     * @p res.fabricWait. Without a fabric this is exactly
+     * ready + duration - the free-running latency backends used to
+     * return - so a null fabric reproduces legacy timing tick for
+     * tick.
+     */
+    Tick charge(NodeResource r, Tick ready, Tick duration,
+                InferenceResult &res, std::uint32_t lanes = 1) const;
+
+  private:
+    Fabric *_fabric = nullptr;
+};
+
+/**
  * Times the sparse stage: embedding gathers + reductions plus any
  * index/dense staging traffic. Implementations accumulate phase
  * ticks and cache statistics into the InferenceResult they are
  * handed; ComposedSystem stitches the stage timings together.
  */
-class EmbeddingBackend
+class EmbeddingBackend : public FabricClient
 {
   public:
     virtual ~EmbeddingBackend() = default;
@@ -172,7 +213,7 @@ class EmbeddingBackend
  * Times the dense stage: bottom MLP, feature interaction, top MLP,
  * sigmoid, plus any ingress/egress hops its placement implies.
  */
-class MlpBackend
+class MlpBackend : public FabricClient
 {
   public:
     virtual ~MlpBackend() = default;

@@ -1,0 +1,56 @@
+#include "core/fabric.hh"
+
+namespace centaur {
+
+const char *
+nodeResourceName(NodeResource r)
+{
+    switch (r) {
+      case NodeResource::CpuCores:
+        return "cpu_cores";
+      case NodeResource::HostDram:
+        return "host_dram";
+      case NodeResource::PcieH2d:
+        return "pcie_h2d";
+      case NodeResource::PcieD2h:
+        return "pcie_d2h";
+    }
+    return "?";
+}
+
+Fabric::Fabric(const FabricConfig &cfg)
+    : _cfg(cfg),
+      _clocks{ResourceClock("fabric.cpu_cores", cfg.cpuCores),
+              ResourceClock("fabric.host_dram"),
+              ResourceClock("fabric.pcie_h2d"),
+              ResourceClock("fabric.pcie_d2h")}
+{
+}
+
+ResourceClock::Grant
+Fabric::acquire(NodeResource r, Tick ready, Tick duration,
+                std::uint32_t lanes)
+{
+    return clock(r).acquire(ready, duration, lanes);
+}
+
+ResourceClock &
+Fabric::clock(NodeResource r)
+{
+    return _clocks[static_cast<std::size_t>(r)];
+}
+
+const ResourceClock &
+Fabric::clock(NodeResource r) const
+{
+    return _clocks[static_cast<std::size_t>(r)];
+}
+
+void
+Fabric::reset()
+{
+    for (ResourceClock &clk : _clocks)
+        clk.reset();
+}
+
+} // namespace centaur

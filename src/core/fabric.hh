@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The node's shared-resource fabric.
+ *
+ * The paper's argument (Secs. III-IV) is about which *shared*
+ * resources an inference touches: SparseLengthsSum eats host memory
+ * bandwidth and CPU cores, a discrete accelerator pays PCIe hops,
+ * and Centaur's in-package complexes ride private coherent links
+ * that dodge both. A Fabric makes those node-level resources
+ * first-class: one busy-until ResourceClock (sim/resource.hh) per
+ * shared resource - the CPU core pool, host DRAM bandwidth, and the
+ * per-direction PCIe pipes - shared by every worker system built on
+ * the same node. Stage backends acquire time on these clocks
+ * (core/backend.hh FabricClient::charge) instead of assuming the
+ * node is theirs alone; co-located workers therefore interleave and
+ * wait, which is what makes fleet-scale serving numbers honest.
+ *
+ * A null fabric (the default everywhere) keeps every backend's
+ * closed-form timing untouched - all existing single-system sweeps
+ * reproduce tick for tick - and an attached-but-uncontended fabric
+ * grants every request at its ready tick, so a standalone system
+ * with a fabric is also tick-identical to the no-fabric baseline
+ * (asserted by tests/core/test_fabric.cc). A one-worker *fleet*
+ * with contention enabled never waits on the fabric either, but is
+ * not bit-identical to the legacy engine: the engine aligns the
+ * worker's clock onto the serving timeline, which shifts absolute
+ * DRAM refresh-window (tREFI/tRFC) phase by nanoseconds. Keep
+ * contend off when legacy serving numbers must reproduce exactly.
+ */
+
+#ifndef CENTAUR_CORE_FABRIC_HH
+#define CENTAUR_CORE_FABRIC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/cpu_config.hh"
+#include "interconnect/hop.hh"
+#include "mem/dram.hh"
+#include "sim/resource.hh"
+
+namespace centaur {
+
+/** The shared resources of one serving node. */
+enum class NodeResource : std::uint8_t
+{
+    CpuCores = 0, //!< the socket's core pool (gather + CPU MLP)
+    HostDram = 1, //!< host DRAM bandwidth (every gather path)
+    PcieH2d = 2,  //!< host-to-device PCIe pipe (copies, hops, gathers)
+    PcieD2h = 3,  //!< device-to-host PCIe pipe (results)
+};
+
+constexpr std::size_t kNumNodeResources = 4;
+
+/** Stable JSON/report name of a node resource. */
+const char *nodeResourceName(NodeResource r);
+
+/**
+ * Node resource budgets. Defaults mirror the paper's evaluation
+ * platform configs so an unconfigured fabric agrees with the device
+ * models it arbitrates: the Broadwell socket's core count
+ * (cpu/cpu_config.hh), the 4-channel DDR4 peak (mem/dram.hh), and
+ * the effective PCIe Gen3 x16 payload bandwidth the hop/GPU models
+ * already charge per transfer (interconnect/hop.hh).
+ */
+struct FabricConfig
+{
+    std::uint32_t cpuCores = CpuConfig{}.cores;
+    double hostDramGBps = DramConfig{}.peakBandwidthGBps();
+    /** Per-direction shared PCIe bandwidth (decimal GB/s). */
+    double pcieGBps = InterconnectHop{}.gbps;
+};
+
+/**
+ * One node's shared resources as FIFO busy-until clocks. Not
+ * thread-safe: a fabric belongs to one simulation (one ServingEngine
+ * run or one sweep), which is single-threaded by construction.
+ */
+class Fabric
+{
+  public:
+    explicit Fabric(const FabricConfig &cfg = FabricConfig{});
+
+    /**
+     * Occupy @p lanes lanes of @p r for @p duration ticks, earliest
+     * at @p ready. Grants are FIFO in call order (deterministic).
+     */
+    ResourceClock::Grant acquire(NodeResource r, Tick ready,
+                                 Tick duration,
+                                 std::uint32_t lanes = 1);
+
+    ResourceClock &clock(NodeResource r);
+    const ResourceClock &clock(NodeResource r) const;
+
+    const FabricConfig &config() const { return _cfg; }
+
+    /** Serialization time of @p bytes against the DRAM budget. */
+    Tick
+    dramOccupancy(std::uint64_t bytes) const
+    {
+        return serializationTicks(bytes, _cfg.hostDramGBps);
+    }
+
+    /** Clear every resource clock. */
+    void reset();
+
+  private:
+    FabricConfig _cfg;
+    std::array<ResourceClock, kNumNodeResources> _clocks;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CORE_FABRIC_HH

@@ -65,6 +65,7 @@ toJson(const InferenceResult &res)
     j["phase_share"] = phase_share;
 
     j["effective_emb_gbps"] = res.effectiveEmbGBps;
+    j["fabric_wait_us"] = usFromTicks(res.fabricWait);
     j["emb"] = toJson(res.emb);
     j["mlp"] = toJson(res.mlp);
     j["power_watts"] = res.powerWatts;
@@ -98,6 +99,20 @@ toJson(const WorkerStats &ws)
     j["utilization"] = ws.utilization;
     j["energy_joules"] = ws.energyJoules;
     j["mean_coalesced"] = ws.meanCoalesced();
+    j["fabric_wait_us"] = ws.fabricWaitUs;
+    return j;
+}
+
+Json
+toJson(const FabricResourceStats &fs)
+{
+    Json j = Json::object();
+    j["resource"] = fs.resource;
+    j["lanes"] = fs.lanes;
+    j["grants"] = fs.grants;
+    j["busy_us"] = fs.busyUs;
+    j["wait_us"] = fs.waitUs;
+    j["utilization"] = fs.utilization;
     return j;
 }
 
@@ -130,6 +145,11 @@ toJson(const ServingStats &stats)
     for (const auto &w : stats.perWorker)
         workers.push(toJson(w));
     j["per_worker"] = workers;
+    j["fabric_wait_us"] = stats.fabricWaitUs;
+    Json fabric = Json::array();
+    for (const auto &fs : stats.fabric)
+        fabric.push(toJson(fs));
+    j["fabric"] = fabric;
     return j;
 }
 
@@ -171,6 +191,12 @@ toJson(const ServingConfig &cfg)
     j["max_queue_depth"] = cfg.maxQueueDepth;
     j["queue_timeout_us"] = cfg.queueTimeoutUs;
     j["sla_target_us"] = cfg.slaTargetUs;
+    j["contend"] = cfg.contend;
+    Json fabric = Json::object();
+    fabric["cpu_cores"] = cfg.fabricCfg.cpuCores;
+    fabric["host_dram_gbps"] = cfg.fabricCfg.hostDramGBps;
+    fabric["pcie_gbps"] = cfg.fabricCfg.pcieGBps;
+    j["fabric_cfg"] = fabric;
     return j;
 }
 

@@ -42,8 +42,14 @@ constexpr int kReportSchemaVersion = 1;
  * dlrm/workload_spec.hh); paper reproductions stamp their Table I
  * model names and "uniform", so pre-scenario reports stay
  * field-for-field comparable.
+ * v1.3 surfaces shared-resource contention (core/fabric.hh): every
+ * inference result and per-worker serving record carries
+ * `fabric_wait_us` (queueing behind the node's shared resources,
+ * 0 when uncontended), and serving stats carry a `fabric` array of
+ * per-resource {resource, lanes, grants, busy_us, wait_us,
+ * utilization} stamps (empty without a fabric).
  */
-constexpr int kReportSchemaMinorVersion = 2;
+constexpr int kReportSchemaMinorVersion = 3;
 
 /** Common stamp: schema version (major+minor), kind and seed. */
 Json reportStamp(const std::string &kind, std::uint64_t seed);
@@ -65,6 +71,9 @@ Json toJson(const SweepEntry &entry);
 
 /** Per-worker serving statistics. */
 Json toJson(const WorkerStats &ws);
+
+/** Per-resource fabric accounting of one contended serving run. */
+Json toJson(const FabricResourceStats &fs);
 
 /** Aggregate serving statistics (latency distribution, drops, SLA). */
 Json toJson(const ServingStats &stats);

@@ -79,6 +79,15 @@ struct InferenceResult
     /** Effective embedding gather throughput (GB/s). */
     double effectiveEmbGBps = 0.0;
 
+    /**
+     * Ticks spent queued behind other workers on the node's shared
+     * resources (core/fabric.hh), summed per resource grant. Zero
+     * without a fabric or on an uncontended node; under contention
+     * the stalls also extend the phase the delayed segment belongs
+     * to, so phases still sum to the latency.
+     */
+    Tick fabricWait = 0;
+
     LayerStats emb;
     LayerStats mlp;
 

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <functional>
 
 #include "core/backend.hh"
 #include "core/scenario.hh"
 #include "core/system_builder.hh"
+#include "sim/event_queue.hh"
 #include "sim/log.hh"
 #include "sim/random.hh"
 
@@ -74,8 +76,8 @@ coalesceRequests(const std::vector<InferenceBatch> &payloads,
 } // namespace
 
 ServingEngine::ServingEngine(std::vector<System *> workers,
-                             const ServingConfig &cfg)
-    : _workers(std::move(workers)), _cfg(cfg)
+                             const ServingConfig &cfg, Fabric *fabric)
+    : _workers(std::move(workers)), _cfg(cfg), _fabric(fabric)
 {
     if (cfg.arrivalRatePerSec <= 0.0)
         fatal("server needs a positive arrival rate");
@@ -169,7 +171,28 @@ ServingEngine::run()
         }
     };
 
-    while (true) {
+    // The admission/dispatch loop runs on the discrete-event
+    // kernel: every scheduling round is an event stamped at the
+    // earliest-free worker's tick. The round body is the exact
+    // greedy state machine this engine has always run - decisions
+    // read the double-precision microsecond state, not the event
+    // clock, so an absent fabric reproduces the legacy engine's
+    // numbers bit for bit, and fabric interleaving comes from
+    // dispatch order plus alignClock() below. What the kernel adds
+    // is the global clock anchor: rounds carry honest simulated-time
+    // stamps, so future event sources (deadline timers, per-segment
+    // completions, cross-node traffic) can be scheduled against the
+    // same queue instead of being bolted onto a private while-loop.
+    EventQueue events;
+    std::function<void()> round;
+    const auto scheduleRound = [&]() {
+        const double next_us =
+            *std::min_element(worker_free.begin(), worker_free.end());
+        events.schedule(
+            std::max(events.now(), ticksFromUs(next_us)), round);
+    };
+
+    round = [&]() {
         // The earliest-free worker claims the next dispatch.
         const std::size_t w = static_cast<std::size_t>(
             std::min_element(worker_free.begin(), worker_free.end()) -
@@ -178,7 +201,7 @@ ServingEngine::run()
         admitUpTo(t);
         if (queue.empty()) {
             if (next_arrival >= num_requests)
-                break; // drained
+                return; // drained: nothing left to schedule
             t = arrival_us[next_arrival];
             admitUpTo(t);
         }
@@ -223,13 +246,20 @@ ServingEngine::run()
         }
         if (batch_ids.empty()) {
             // Everything popped had timed out; the worker idles at
-            // the dispatch point and retries.
+            // the dispatch point and retries next round.
             worker_free[w] = std::max(worker_free[w], dispatch_us);
-            continue;
+            scheduleRound();
+            return;
         }
 
         const InferenceBatch merged =
             coalesceRequests(payloads, batch_ids);
+        // On a shared node, pull the worker's private clock forward
+        // to the dispatch point so its fabric occupations happen in
+        // global time rather than on a densely-packed private
+        // timeline.
+        if (_fabric)
+            _workers[w]->alignClock(ticksFromUs(dispatch_us));
         const InferenceResult res = _workers[w]->infer(merged);
         const double service_us = usFromTicks(res.latency());
         const double done_us = dispatch_us + service_us;
@@ -239,6 +269,7 @@ ServingEngine::run()
         worker_stats[w].served += batch_ids.size();
         ++worker_stats[w].dispatches;
         worker_stats[w].energyJoules += res.energyJoules;
+        worker_stats[w].fabricWaitUs += usFromTicks(res.fabricWait);
         energy += res.energyJoules;
         last_completion = std::max(last_completion, done_us);
         served += batch_ids.size();
@@ -252,7 +283,11 @@ ServingEngine::run()
             if (_cfg.slaTargetUs > 0.0 && total <= _cfg.slaTargetUs)
                 ++sla_hits;
         }
-    }
+        scheduleRound();
+    };
+
+    events.schedule(0, round);
+    events.run();
 
     ServingStats out;
     out.offered = num_requests;
@@ -288,6 +323,25 @@ ServingEngine::run()
                 ? worker_stats[i].busyUs / last_completion
                 : 0.0;
         busy_total += worker_stats[i].busyUs;
+        out.fabricWaitUs += worker_stats[i].fabricWaitUs;
+    }
+
+    if (_fabric) {
+        const Tick horizon = ticksFromUs(last_completion);
+        for (std::size_t i = 0; i < kNumNodeResources; ++i) {
+            const auto r = static_cast<NodeResource>(i);
+            const ResourceClock &clk = _fabric->clock(r);
+            FabricResourceStats fs;
+            fs.resource = nodeResourceName(r);
+            fs.lanes = clk.lanes();
+            fs.grants = clk.grants();
+            // Lane-occupancy time: a gang of k cores for d us books
+            // k*d, so utilization divides out to a capacity fraction.
+            fs.busyUs = usFromTicks(clk.busyTicks());
+            fs.waitUs = usFromTicks(clk.waitTicks());
+            fs.utilization = clk.utilization(horizon);
+            out.fabric.push_back(std::move(fs));
+        }
     }
     out.utilization =
         last_completion > 0.0
@@ -318,20 +372,20 @@ makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n)
 
 std::vector<std::unique_ptr<System>>
 makeWorkers(const std::string &default_spec, const DlrmConfig &model,
-            const ServingConfig &cfg)
+            const ServingConfig &cfg, Fabric *fabric)
 {
     std::vector<std::unique_ptr<System>> out;
     if (!cfg.workerSpecs.empty()) {
         out.reserve(cfg.workerSpecs.size());
         for (const std::string &spec : cfg.workerSpecs)
-            out.push_back(makeSystem(spec, model));
+            out.push_back(makeSystem(spec, model, fabric));
         return out;
     }
     if (cfg.workers == 0)
         fatal("serving engine needs at least one worker");
     out.reserve(cfg.workers);
     for (std::uint32_t i = 0; i < cfg.workers; ++i)
-        out.push_back(makeSystem(default_spec, model));
+        out.push_back(makeSystem(default_spec, model, fabric));
     return out;
 }
 
@@ -339,12 +393,14 @@ ServingStats
 runServingSim(const std::string &default_spec, const DlrmConfig &model,
               const ServingConfig &cfg)
 {
-    auto owned = makeWorkers(default_spec, model, cfg);
+    Fabric fabric(cfg.fabricCfg);
+    Fabric *node = cfg.contend ? &fabric : nullptr;
+    auto owned = makeWorkers(default_spec, model, cfg, node);
     std::vector<System *> workers;
     workers.reserve(owned.size());
     for (auto &w : owned)
         workers.push_back(w.get());
-    return ServingEngine(std::move(workers), cfg).run();
+    return ServingEngine(std::move(workers), cfg, node).run();
 }
 
 ServingStats

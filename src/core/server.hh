@@ -19,8 +19,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/fabric.hh"
 #include "core/system.hh"
 #include "dlrm/workload.hh"
 #include "sim/stats.hh"
@@ -84,6 +86,16 @@ struct ServingConfig
     double queueTimeoutUs = 0.0;
     /** Optional SLA budget (us) for hit-rate stats. 0 = untracked. */
     double slaTargetUs = 0.0;
+
+    /**
+     * Model the workers as co-located on one node sharing a
+     * resource fabric (core/fabric.hh): CPU cores, host DRAM
+     * bandwidth and the PCIe pipes. Off (the default) keeps the
+     * legacy every-worker-owns-the-node timing, tick for tick.
+     */
+    bool contend = false;
+    /** Node resource budgets when contend is set. */
+    FabricConfig fabricCfg;
 };
 
 /** Per-worker serving results. */
@@ -96,6 +108,8 @@ struct WorkerStats
     double busyUs = 0.0;
     double utilization = 0.0; //!< busy time / wall time
     double energyJoules = 0.0;
+    /** Queueing behind the node's shared resources (contended runs). */
+    double fabricWaitUs = 0.0;
 
     /** Mean requests coalesced per dispatch. */
     double
@@ -105,6 +119,18 @@ struct WorkerStats
                                 static_cast<double>(dispatches)
                           : 0.0;
     }
+};
+
+/** Per-resource accounting of one contended serving run. */
+struct FabricResourceStats
+{
+    std::string resource; //!< nodeResourceName (core/fabric.hh)
+    std::uint32_t lanes = 0;
+    std::uint64_t grants = 0;
+    double busyUs = 0.0;
+    double waitUs = 0.0;
+    /** Occupied capacity fraction over the run's wall clock. */
+    double utilization = 0.0;
 };
 
 /** Aggregate serving results. */
@@ -139,6 +165,11 @@ struct ServingStats
 
     std::vector<WorkerStats> perWorker;
 
+    /** Total shared-resource queueing across the fleet (us). */
+    double fabricWaitUs = 0.0;
+    /** Per-resource fabric accounting; empty without a fabric. */
+    std::vector<FabricResourceStats> fabric;
+
     double
     dropRate() const
     {
@@ -162,9 +193,14 @@ class ServingEngine
     /**
      * @param workers independent systems draining the shared queue
      * @param cfg serving-engine parameters
+     * @param fabric the node fabric the workers were built on, when
+     *        they share one (core/fabric.hh); the engine aligns
+     *        worker clocks onto the global serving timeline before
+     *        each dispatch and reports per-resource stats. Null for
+     *        the legacy isolated-worker timing.
      */
     ServingEngine(std::vector<System *> workers,
-                  const ServingConfig &cfg);
+                  const ServingConfig &cfg, Fabric *fabric = nullptr);
 
     /** Simulate the configured number of requests. */
     ServingStats run();
@@ -174,6 +210,7 @@ class ServingEngine
   private:
     std::vector<System *> _workers;
     ServingConfig _cfg;
+    Fabric *_fabric;
 };
 
 /** Build @p n independent worker systems for one design point. */
@@ -183,11 +220,12 @@ makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n);
 /**
  * Build the worker fleet for @p cfg: one system per
  * cfg.workerSpecs entry when set (heterogeneous), else cfg.workers
- * copies of @p default_spec.
+ * copies of @p default_spec. With @p fabric non-null every worker
+ * is built sharing that node fabric.
  */
 std::vector<std::unique_ptr<System>>
 makeWorkers(const std::string &default_spec, const DlrmConfig &model,
-            const ServingConfig &cfg);
+            const ServingConfig &cfg, Fabric *fabric = nullptr);
 
 /** Convenience: build workers per @p cfg.workers and run the engine. */
 ServingStats runServingSim(DesignPoint dp, const DlrmConfig &model,

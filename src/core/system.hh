@@ -9,6 +9,7 @@
 #ifndef CENTAUR_CORE_SYSTEM_HH
 #define CENTAUR_CORE_SYSTEM_HH
 
+#include <algorithm>
 #include <memory>
 #include <string>
 
@@ -48,6 +49,18 @@ class System
 
     /** Run one inference; advances internal time. */
     virtual InferenceResult infer(const InferenceBatch &batch) = 0;
+
+    /**
+     * Pull the private clock forward to global tick @p t (never
+     * backward). The serving engine aligns co-located workers onto
+     * one node timeline before each dispatch so their shared-fabric
+     * (core/fabric.hh) occupations interleave in global time; a
+     * standalone system never needs this.
+     */
+    void alignClock(Tick t) { _now = std::max(_now, t); }
+
+    /** Current private clock (tick of the last inference's end). */
+    Tick now() const { return _now; }
 
     std::string name() const { return designPointName(design()); }
     const ReferenceModel &model() const { return _model; }

@@ -23,7 +23,8 @@ class ComposedSystem : public System
     ComposedSystem(const DlrmConfig &model, const SystemSpec &spec,
                    const PowerConfig &power, const CpuConfig &cpu,
                    const GpuConfig &gpu, const CentaurConfig &fpga,
-                   const DramConfig &dram, const InterconnectHop &hop)
+                   const DramConfig &dram, const InterconnectHop &hop,
+                   Fabric *fabric)
         : System(model, power), _spec(spec), _specName(specName(spec)),
           _anchor(anchorDesignPoint(spec)),
           _watts(specWatts(spec, power)),
@@ -68,6 +69,8 @@ class ComposedSystem : public System
             }
             break;
         }
+        _emb->setFabric(fabric);
+        _mlp->setFabric(fabric);
     }
 
     DesignPoint design() const override { return _anchor; }
@@ -173,18 +176,32 @@ SystemBuilder::hop(const InterconnectHop &h)
     return *this;
 }
 
+SystemBuilder &
+SystemBuilder::fabric(Fabric *f)
+{
+    _fabric = f;
+    return *this;
+}
+
 std::unique_ptr<System>
 SystemBuilder::build() const
 {
     return std::make_unique<ComposedSystem>(_model, _spec, _power,
                                             _cpu, _gpu, _fpga, _dram,
-                                            _hop);
+                                            _hop, _fabric);
 }
 
 std::unique_ptr<System>
 makeSystem(const std::string &spec, const DlrmConfig &cfg)
 {
     return SystemBuilder().spec(spec).model(cfg).build();
+}
+
+std::unique_ptr<System>
+makeSystem(const std::string &spec, const DlrmConfig &cfg,
+           Fabric *fabric)
+{
+    return SystemBuilder().spec(spec).model(cfg).fabric(fabric).build();
 }
 
 } // namespace centaur

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/backend.hh"
+#include "core/fabric.hh"
 #include "core/system.hh"
 #include "cpu/cpu_config.hh"
 #include "fpga/centaur_config.hh"
@@ -52,6 +53,13 @@ class SystemBuilder
     SystemBuilder &dram(const DramConfig &cfg);
     /** Hop used by PciePeer-placed FPGA MLP stages. */
     SystemBuilder &hop(const InterconnectHop &h);
+    /**
+     * Attach the node's shared-resource fabric (core/fabric.hh).
+     * Non-owning; every system built with the same fabric contends
+     * for the node's cores, DRAM bandwidth and PCIe pipes. Null
+     * (the default) builds an uncontended standalone system.
+     */
+    SystemBuilder &fabric(Fabric *f);
 
     /** Assemble the composed system. */
     std::unique_ptr<System> build() const;
@@ -65,11 +73,20 @@ class SystemBuilder
     CentaurConfig _fpga{};
     DramConfig _dram{};
     InterconnectHop _hop{};
+    Fabric *_fabric = nullptr;
 };
 
 /** Convenience: build a registered spec with default device configs. */
 std::unique_ptr<System> makeSystem(const std::string &spec,
                                    const DlrmConfig &cfg);
+
+/**
+ * Convenience: build a registered spec sharing @p fabric with the
+ * other systems on its node (nullptr = uncontended).
+ */
+std::unique_ptr<System> makeSystem(const std::string &spec,
+                                   const DlrmConfig &cfg,
+                                   Fabric *fabric);
 
 } // namespace centaur
 

@@ -17,12 +17,25 @@ CpuGatherBackend::run(const InferenceBatch &batch, Tick start,
                       InferenceResult &res)
 {
     const GatherResult g = _gather.run(_model, batch, start);
-    res.phase[static_cast<std::size_t>(Phase::Emb)] = g.latency();
     res.emb.instructions = g.instructions;
     res.emb.llcAccesses = g.llcAccesses;
     res.emb.llcMisses = g.llcMisses;
-    res.effectiveEmbGBps = g.effectiveGBps();
-    return {g.end, g.end};
+
+    // The gather's worker threads gang on the node's core pool and
+    // its table traffic shares host DRAM bandwidth with every other
+    // worker on the node; the stage completes when both grants do.
+    Tick end = g.end;
+    if (fabric()) {
+        const Tick cores = charge(NodeResource::CpuCores, start,
+                                  g.latency(), res, g.threadsUsed);
+        const Tick dram =
+            charge(NodeResource::HostDram, start,
+                   fabric()->dramOccupancy(g.bytesGathered), res);
+        end = std::max(cores, dram);
+    }
+    res.phase[static_cast<std::size_t>(Phase::Emb)] = end - start;
+    res.effectiveEmbGBps = gbPerSec(g.bytesGathered, end - start);
+    return {end, end};
 }
 
 CpuMlpBackend::CpuMlpBackend(const CpuConfig &cpu,
@@ -107,6 +120,18 @@ CpuMlpBackend::run(const InferenceBatch &batch,
                          batch.batch * ticksFromNs(5.0);
     now += sigmoid;
     res.phase[static_cast<std::size_t>(Phase::Other)] += sigmoid;
+
+    // The GEMM roofline assumes the whole socket: book the dense
+    // stage on the node's core pool so co-located workers' MLP
+    // stacks serialize instead of each seeing an idle socket.
+    if (fabric()) {
+        const Tick stage_start =
+            std::max(in.embReady, in.denseReady);
+        const Tick end = charge(NodeResource::CpuCores, stage_start,
+                                now - stage_start, res, _cpu.cores);
+        res.phase[static_cast<std::size_t>(Phase::Mlp)] += end - now;
+        now = end;
+    }
 
     return now;
 }

@@ -48,16 +48,31 @@ EbGatherBackend::run(const InferenceBatch &batch, Tick start,
 
     // ----- EMB: hardware gathers + on-the-fly reductions -----
     const EbGatherResult g = _streamer.gather(_model, batch, idx.end);
-    res.effectiveEmbGBps = g.effectiveGBps();
+
+    // The coherent in-package channel is private - no PCIe charge -
+    // but the tables it streams live in host DRAM, whose bandwidth
+    // the whole node shares. Uncontended, the DRAM grant always ends
+    // inside the (link-limited) gather window, leaving g.end intact.
+    Tick emb_end = g.end;
+    if (fabric()) {
+        const Tick dram =
+            charge(NodeResource::HostDram, t_mmio,
+                   fabric()->dramOccupancy(dnf_bytes + idx_bytes +
+                                           g.bytesGathered),
+                   res);
+        emb_end = std::max(emb_end, dram);
+    }
+    res.effectiveEmbGBps = gbPerSec(g.bytesGathered, emb_end - idx.end);
 
     res.phase[static_cast<std::size_t>(Phase::Idx)] = idx.end - t_mmio;
-    res.phase[static_cast<std::size_t>(Phase::Emb)] = g.end - idx.end;
+    res.phase[static_cast<std::size_t>(Phase::Emb)] =
+        emb_end - idx.end;
     res.phase[static_cast<std::size_t>(Phase::Dnf)] =
-        dnf.end > g.end ? dnf.end - g.end : 0;
+        dnf.end > emb_end ? dnf.end - emb_end : 0;
     res.phase[static_cast<std::size_t>(Phase::Other)] +=
         t_mmio - start;
 
-    return {g.end, dnf.end};
+    return {emb_end, dnf.end};
 }
 
 FpgaMlpBackend::FpgaMlpBackend(const CentaurConfig &acc,
@@ -134,8 +149,13 @@ FpgaMlpBackend::runDiscrete(const InferenceBatch &batch,
         static_cast<std::uint64_t>(batch.batch) * cfg.numTables *
             cfg.vectorBytes() +
         static_cast<std::uint64_t>(batch.batch) * cfg.denseDim * 4;
+    // A discrete board's hops ride the node's shared PCIe fabric:
+    // each transfer occupies the matching direction for its wire
+    // time (the software/DMA setup is this worker's own CPU work).
     const Tick in_start = std::max(in.embReady, in.denseReady);
-    const Tick t0 = _hop.transfer(in_bytes, in_start);
+    const Tick t0 =
+        charge(NodeResource::PcieH2d, in_start + _hop.setupTicks(),
+               _hop.wireTicks(in_bytes), res);
     res.phase[static_cast<std::size_t>(Phase::Other)] +=
         t0 - in_start;
 
@@ -149,8 +169,10 @@ FpgaMlpBackend::runDiscrete(const InferenceBatch &batch,
 
     // ----- sigmoid + egress hop (Other) -----
     const Tick sig_end = _sigmoid.time(batch.batch, top.end);
-    const Tick out_end = _hop.transfer(
-        static_cast<std::uint64_t>(batch.batch) * 4, sig_end);
+    const Tick out_end = charge(
+        NodeResource::PcieD2h, sig_end + _hop.setupTicks(),
+        _hop.wireTicks(static_cast<std::uint64_t>(batch.batch) * 4),
+        res);
 
     res.phase[static_cast<std::size_t>(Phase::Mlp)] = top.end - t0;
     res.phase[static_cast<std::size_t>(Phase::Other)] +=

@@ -14,27 +14,44 @@ GpuGatherBackend::run(const InferenceBatch &batch, Tick start,
 {
     const DlrmConfig &cfg = _model.config();
 
+    // Every segment of this stage crosses the node's shared PCIe
+    // fabric: each occupies the h2d pipe for its wire time (the
+    // per-transfer software setup/launch overhead is this worker's
+    // own CPU and does not hold the pipe), and the fine-grained
+    // gather also reads host DRAM. Uncontended, each charge() is
+    // the identity and the legacy timeline is unchanged.
+
     // ----- DNF: dense features h2d (needed by the bottom MLP) -----
     const std::uint64_t dnf_bytes =
         static_cast<std::uint64_t>(batch.batch) * cfg.denseDim * 4;
-    const Tick dnf_end = _gpu.copy(dnf_bytes, start);
+    const Tick dnf_end =
+        charge(NodeResource::PcieH2d, start + _gpu.copySetupTicks(),
+               _gpu.copyWireTicks(dnf_bytes), res);
     res.phase[static_cast<std::size_t>(Phase::Dnf)] += dnf_end - start;
 
     // ----- IDX: sparse index array h2d -----
     const std::uint64_t idx_bytes = batch.totalLookups() * 4;
-    const Tick idx_end = _gpu.copy(idx_bytes, dnf_end);
+    const Tick idx_end =
+        charge(NodeResource::PcieH2d, dnf_end + _gpu.copySetupTicks(),
+               _gpu.copyWireTicks(idx_bytes), res);
     res.phase[static_cast<std::size_t>(Phase::Idx)] +=
         idx_end - dnf_end;
 
     // ----- EMB: fine-grained gather of host tables over PCIe -----
     const std::uint64_t emb_bytes =
         batch.gatheredBytes(cfg.vectorBytes());
-    const GpuExecResult g = _gpu.gather(emb_bytes, idx_end);
+    const Tick wire_ready = idx_end + _gpu.gatherLaunchTicks();
+    Tick emb_end = charge(NodeResource::PcieH2d, wire_ready,
+                          _gpu.gatherWireTicks(emb_bytes), res);
+    if (fabric())
+        emb_end = std::max(
+            emb_end, charge(NodeResource::HostDram, wire_ready,
+                            fabric()->dramOccupancy(emb_bytes), res));
     res.phase[static_cast<std::size_t>(Phase::Emb)] +=
-        g.end - idx_end;
-    res.effectiveEmbGBps = gbPerSec(emb_bytes, g.end - idx_end);
+        emb_end - idx_end;
+    res.effectiveEmbGBps = gbPerSec(emb_bytes, emb_end - idx_end);
 
-    return {g.end, dnf_end};
+    return {emb_end, dnf_end};
 }
 
 GpuMlpBackend::GpuMlpBackend(const GpuConfig &gpu,
@@ -57,7 +74,9 @@ GpuMlpBackend::run(const InferenceBatch &batch,
             static_cast<std::uint64_t>(batch.batch) * cfg.numTables *
                 cfg.vectorBytes() +
             static_cast<std::uint64_t>(batch.batch) * cfg.denseDim * 4;
-        const Tick t = _gpu.copy(h2d_bytes, now);
+        const Tick t =
+            charge(NodeResource::PcieH2d, now + _gpu.copySetupTicks(),
+                   _gpu.copyWireTicks(h2d_bytes), res);
         res.phase[static_cast<std::size_t>(Phase::Other)] += t - now;
         now = t;
     }
@@ -91,7 +110,10 @@ GpuMlpBackend::run(const InferenceBatch &batch,
     now = t;
 
     // ----- GPU -> CPU result copy (Other) -----
-    t = _gpu.copy(static_cast<std::uint64_t>(batch.batch) * 4, now);
+    t = charge(NodeResource::PcieD2h, now + _gpu.copySetupTicks(),
+               _gpu.copyWireTicks(
+                   static_cast<std::uint64_t>(batch.batch) * 4),
+               res);
     res.phase[static_cast<std::size_t>(Phase::Other)] += t - now;
     now = t;
 

@@ -11,8 +11,7 @@ GpuModel::GpuModel(const GpuConfig &cfg) : _cfg(cfg)
 Tick
 GpuModel::copy(std::uint64_t bytes, Tick start) const
 {
-    return start + ticksFromUs(_cfg.pcieSetupUs) +
-           serializationTicks(bytes, _cfg.pcieGBps);
+    return start + copySetupTicks() + copyWireTicks(bytes);
 }
 
 GpuExecResult
@@ -21,9 +20,7 @@ GpuModel::gather(std::uint64_t bytes, Tick start) const
     GpuExecResult res;
     res.start = start;
     res.flops = bytes / 4; // one accumulate per gathered element
-    res.end = start + ticksFromUs(_cfg.kernelLaunchUs) +
-              serializationTicks(bytes,
-                                 _cfg.pcieGBps * _cfg.gatherEfficiency);
+    res.end = start + gatherLaunchTicks() + gatherWireTicks(bytes);
     return res;
 }
 

@@ -64,6 +64,39 @@ class GpuModel
     /** Host-to-device (or device-to-host) copy over PCIe. */
     Tick copy(std::uint64_t bytes, Tick start) const;
 
+    // A copy/gather splits into host software time and wire time;
+    // only the wire part occupies a shared PCIe direction
+    // (core/fabric.hh), the setup/launch overhead is per-worker CPU
+    // work. copy() == start + copySetupTicks() + copyWireTicks(),
+    // gather().end == start + gatherLaunchTicks() + gatherWireTicks().
+
+    /** cudaMemcpy software stack preceding a copy's wire time. */
+    Tick copySetupTicks() const
+    {
+        return ticksFromUs(_cfg.pcieSetupUs);
+    }
+
+    /** Wire occupancy of a streaming copy (serialization only). */
+    Tick copyWireTicks(std::uint64_t bytes) const
+    {
+        return serializationTicks(bytes, _cfg.pcieGBps);
+    }
+
+    /** Kernel-launch overhead preceding a gather's wire time. */
+    Tick gatherLaunchTicks() const
+    {
+        return ticksFromUs(_cfg.kernelLaunchUs);
+    }
+
+    /** Wire occupancy of a fine-grained zero-copy gather: the TLP
+     *  overhead and latency-bound access pattern hold the pipe at
+     *  gatherEfficiency of its streaming bandwidth. */
+    Tick gatherWireTicks(std::uint64_t bytes) const
+    {
+        return serializationTicks(
+            bytes, _cfg.pcieGBps * _cfg.gatherEfficiency);
+    }
+
     /**
      * Gather kernel pulling @p bytes of embedding vectors from
      * host-resident tables over PCIe (zero-copy, fine-grained reads

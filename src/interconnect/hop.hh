@@ -26,12 +26,23 @@ struct InterconnectHop
     /** Software + DMA setup cost per transfer (microseconds). */
     double setupUs = 5.0;
 
+    /** Software + DMA setup preceding the wire time; per-worker CPU
+     *  work that does not occupy a shared PCIe direction. */
+    Tick setupTicks() const { return ticksFromUs(setupUs); }
+
+    /** Wire occupancy of a @p bytes transfer (serialization only) -
+     *  the part a shared PCIe direction (core/fabric.hh) is held for. */
+    Tick
+    wireTicks(std::uint64_t bytes) const
+    {
+        return serializationTicks(bytes, gbps);
+    }
+
     /** Completion tick of a @p bytes transfer starting at @p start. */
     Tick
     transfer(std::uint64_t bytes, Tick start) const
     {
-        return start + ticksFromUs(setupUs) +
-               serializationTicks(bytes, gbps);
+        return start + setupTicks() + wireTicks(bytes);
     }
 };
 

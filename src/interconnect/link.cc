@@ -7,7 +7,9 @@
 namespace centaur {
 
 Link::Link(const LinkConfig &cfg)
-    : _cfg(cfg), _latency(ticksFromNs(cfg.latencyNs))
+    : _cfg(cfg), _latency(ticksFromNs(cfg.latencyNs)),
+      _pipe{ResourceClock(cfg.name + ".c2f"),
+            ResourceClock(cfg.name + ".f2c")}
 {
     if (cfg.bandwidthGBps <= 0.0)
         fatal("link '", cfg.name, "' needs positive bandwidth");
@@ -30,10 +32,9 @@ Link::transfer(std::uint64_t payload_bytes, Tick ready, LinkDir dir)
     const std::uint64_t wire =
         payload_bytes + packets * _cfg.headerBytes;
 
-    const Tick start = std::max(ready, _busyUntil[d]);
     const Tick serialization =
         serializationTicks(wire, _cfg.bandwidthGBps);
-    _busyUntil[d] = start + serialization;
+    const Tick start = _pipe[d].acquire(ready, serialization).start;
 
     _payloadBytes[d] += payload_bytes;
     _wireBytes[d] += wire;
@@ -53,7 +54,7 @@ void
 Link::reset()
 {
     for (int d = 0; d < 2; ++d) {
-        _busyUntil[d] = 0;
+        _pipe[d].reset();
         _payloadBytes[d] = 0;
         _wireBytes[d] = 0;
     }

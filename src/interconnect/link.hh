@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/resource.hh"
 #include "sim/units.hh"
 
 namespace centaur {
@@ -77,7 +78,13 @@ class Link
     /** Earliest tick the @p dir pipe could accept a new packet. */
     Tick busyUntil(LinkDir dir) const
     {
-        return _busyUntil[static_cast<int>(dir)];
+        return _pipe[static_cast<int>(dir)].busyUntil();
+    }
+
+    /** The @p dir serialization pipe (utilization/wait statistics). */
+    const ResourceClock &pipe(LinkDir dir) const
+    {
+        return _pipe[static_cast<int>(dir)];
     }
 
     std::uint64_t payloadBytes(LinkDir dir) const
@@ -97,7 +104,7 @@ class Link
   private:
     LinkConfig _cfg;
     Tick _latency;
-    Tick _busyUntil[2] = {0, 0};
+    ResourceClock _pipe[2];
     std::uint64_t _payloadBytes[2] = {0, 0};
     std::uint64_t _wireBytes[2] = {0, 0};
 };

@@ -9,12 +9,15 @@ DramModel::DramModel(const DramConfig &cfg)
       _map(cfg.channels, cfg.banksPerChannel(), cfg.linesPerRow()),
       _banks(cfg.channels,
              std::vector<BankState>(cfg.banksPerChannel())),
-      _busBusyUntil(cfg.channels, 0), _tRcd(ticksFromNs(cfg.tRcdNs)),
+      _tRcd(ticksFromNs(cfg.tRcdNs)),
       _tCas(ticksFromNs(cfg.tCasNs)), _tRp(ticksFromNs(cfg.tRpNs)),
       _burst(ticksFromNs(cfg.burstNs)),
       _controller(ticksFromNs(cfg.controllerNs)),
       _tRefi(ticksFromNs(cfg.tRefiNs)), _tRfc(ticksFromNs(cfg.tRfcNs))
 {
+    _bus.reserve(cfg.channels);
+    for (std::uint32_t ch = 0; ch < cfg.channels; ++ch)
+        _bus.emplace_back("dram.ch" + std::to_string(ch) + ".bus");
 }
 
 DramAccessResult
@@ -22,7 +25,6 @@ DramModel::access(Addr addr, Tick issue)
 {
     const DramCoord coord = _map.map(addr);
     BankState &bank = _banks[coord.channel][coord.bank];
-    Tick &bus = _busBusyUntil[coord.channel];
 
     Tick start = std::max(issue + _controller, bank.readyAt);
 
@@ -52,9 +54,8 @@ DramModel::access(Addr addr, Tick issue)
     bank.open = true;
     bank.openRow = coord.row;
 
-    const Tick data_start = std::max(cas_issued + _tCas, bus);
-    const Tick done = data_start + _burst;
-    bus = done;
+    const Tick done =
+        _bus[coord.channel].acquire(cas_issued + _tCas, _burst).end;
     // The bank frees once the column access completes into the row
     // buffer; data-bus scheduling is independent of bank occupancy.
     bank.readyAt = cas_issued + _burst;
@@ -88,7 +89,8 @@ DramModel::reset()
 {
     for (auto &channel : _banks)
         std::fill(channel.begin(), channel.end(), BankState{});
-    std::fill(_busBusyUntil.begin(), _busBusyUntil.end(), 0);
+    for (ResourceClock &bus : _bus)
+        bus.reset();
     _reads = 0;
     _rowHits = 0;
     _stats.resetAll();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mem/address_map.hh"
+#include "sim/resource.hh"
 #include "sim/stats.hh"
 #include "sim/units.hh"
 
@@ -127,7 +128,7 @@ class DramModel
     DramConfig _cfg;
     AddressMap _map;
     std::vector<std::vector<BankState>> _banks; //!< [channel][bank]
-    std::vector<Tick> _busBusyUntil;            //!< per channel
+    std::vector<ResourceClock> _bus;            //!< data bus per channel
 
     Tick _tRcd;
     Tick _tCas;

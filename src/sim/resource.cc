@@ -1,0 +1,96 @@
+#include "sim/resource.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+ResourceClock::ResourceClock(std::string name, std::uint32_t lanes)
+    : _name(std::move(name))
+{
+    if (lanes == 0)
+        fatal("resource '", _name, "' needs at least one lane");
+    _laneBusyUntil.assign(lanes, 0);
+}
+
+ResourceClock::Grant
+ResourceClock::acquire(Tick ready, Tick duration, std::uint32_t lanes)
+{
+    const std::uint32_t want =
+        std::max<std::uint32_t>(1, std::min(lanes, this->lanes()));
+
+    Grant g;
+    g.ready = ready;
+    if (want == 1 && _laneBusyUntil.size() == 1) {
+        // The single-server fast path: exactly the busy-until
+        // arithmetic mem/dram.cc and interconnect/link.cc always used.
+        Tick &lane = _laneBusyUntil.front();
+        g.start = std::max(ready, lane);
+        g.end = g.start + duration;
+        lane = g.end;
+    } else {
+        // Gang scheduling: the request starts once `want` lanes are
+        // simultaneously free. Pick the earliest-free lanes, lowest
+        // index first, so grants are platform-independent.
+        std::vector<std::uint32_t> order(_laneBusyUntil.size());
+        for (std::uint32_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return _laneBusyUntil[a] <
+                                    _laneBusyUntil[b];
+                         });
+        Tick start = ready;
+        for (std::uint32_t i = 0; i < want; ++i)
+            start = std::max(start, _laneBusyUntil[order[i]]);
+        g.start = start;
+        g.end = start + duration;
+        for (std::uint32_t i = 0; i < want; ++i)
+            _laneBusyUntil[order[i]] = g.end;
+    }
+
+    ++_grants;
+    _busyTicks += static_cast<Tick>(want) * duration;
+    _waitTicks += g.wait();
+    _horizon = std::max(_horizon, g.end);
+    return g;
+}
+
+Tick
+ResourceClock::busyUntil() const
+{
+    return *std::min_element(_laneBusyUntil.begin(),
+                             _laneBusyUntil.end());
+}
+
+double
+ResourceClock::utilization(Tick horizon) const
+{
+    const Tick h = horizon ? horizon : _horizon;
+    if (h == 0)
+        return 0.0;
+    return static_cast<double>(_busyTicks) /
+           (static_cast<double>(h) *
+            static_cast<double>(_laneBusyUntil.size()));
+}
+
+double
+ResourceClock::meanWaitUs() const
+{
+    return _grants ? usFromTicks(_waitTicks) /
+                         static_cast<double>(_grants)
+                   : 0.0;
+}
+
+void
+ResourceClock::reset()
+{
+    std::fill(_laneBusyUntil.begin(), _laneBusyUntil.end(), 0);
+    _grants = 0;
+    _busyTicks = 0;
+    _waitTicks = 0;
+    _horizon = 0;
+}
+
+} // namespace centaur

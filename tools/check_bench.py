@@ -10,7 +10,10 @@ Checks performed:
      matches, every expected suite is present, and every measurement
      record (any object whose "kind" ends in "_entry") carries the
      full scenario triple: a non-empty backend "spec" string (v1.1)
-     plus non-empty "model" and "workload" stamps (v1.2).
+     plus non-empty "model" and "workload" stamps (v1.2). v1.3 adds
+     the contention stamps: every per-worker serving record carries
+     fabric_wait_us and every serving stats object carries a fabric
+     array (per-resource utilization/wait on contended runs).
   2. sanity: no null metric anywhere (the C++ writer serializes
      NaN/Inf as null), no non-finite number, and every latency /
      throughput / bandwidth metric is strictly positive.
@@ -23,7 +26,11 @@ Checks performed:
      FPGA-resident MLP stage (*+fpga spec) beats the CPU MLP stage
      at batch >= 64, and in the scenario_matrix cross product
      zipf-skewed traffic is never slower than uniform on a
-     cache-backed spec at the same batch (>= 64).
+     cache-backed spec at the same batch (>= 64), and in the
+     contention_matrix mean service latency is monotonically
+     non-decreasing in co-located workers on every spec while the
+     in-package cpu+fpga pairing degrades strictly less than the
+     PCIe-attached cpu+gpu pairing.
 
 With --baseline OLD.json the run is also diffed against a previous
 report: the largest relative deltas are printed, and with
@@ -39,7 +46,7 @@ import math
 import sys
 
 SCHEMA_VERSION = 1
-SCHEMA_MINOR = 2
+SCHEMA_MINOR = 3
 
 EXPECTED_SUITES = [
     "table1",
@@ -58,6 +65,7 @@ EXPECTED_SUITES = [
     "serving_scaling",
     "spec_matrix",
     "scenario_matrix",
+    "contention_matrix",
 ]
 
 # Backend specs every full spec_matrix run must cover.
@@ -117,6 +125,8 @@ HIGHER_IS_WORSE = {
     "normalized_latency",
     "energy_joules",
     "drop_rate",
+    "fabric_wait_us",
+    "package_degradation",
 }
 LOWER_IS_WORSE = {
     "speedup",
@@ -241,6 +251,27 @@ def check_spec_stamps(chk, suites):
     chk.check(records > 0, "no *_entry records found in the report")
 
 
+def check_fabric_stamps(chk, suites):
+    """Schema v1.3: serving stats carry the contention surface -
+    a fabric array on the stats object and fabric_wait_us on every
+    per-worker record (0.0 on uncontended runs)."""
+    stats_seen = 0
+    for path, node in walk_nodes(suites):
+        if "per_worker" not in node:
+            continue
+        stats_seen += 1
+        chk.check(isinstance(node.get("fabric"), list),
+                  f"serving stats without a fabric array: {path}")
+        chk.check(isinstance(node.get("fabric_wait_us"), (int, float)),
+                  f"serving stats without fabric_wait_us: {path}")
+        for i, worker in enumerate(node.get("per_worker", [])):
+            chk.check(isinstance(worker.get("fabric_wait_us"),
+                                 (int, float)),
+                      f"per-worker record without fabric_wait_us: "
+                      f"{path}.per_worker[{i}]")
+    chk.check(stats_seen > 0, "no serving stats found in the report")
+
+
 def check_invariants(chk, suites):
     # fig14: Centaur beats CPU-only at every preset -- geomean over
     # the batch sweep and strictly at batch 1 (the latency-critical
@@ -328,6 +359,32 @@ def check_invariants(chk, suites):
                   f" / {entry.get('model')} at batch"
                   f" {entry.get('batch')}")
 
+    # contention_matrix: on one shared node, mean service latency
+    # (including fabric queueing) never improves as co-located
+    # workers scale, every record reports live fabric stats, and
+    # the paper's headline claim holds under load - the in-package
+    # pairing degrades strictly less than the PCIe-attached one.
+    data = suites.get("contention_matrix", {}).get("data", {})
+    checks = data.get("monotone_checks", [])
+    chk.check(len(checks) > 0, "contention_matrix: no monotone_checks")
+    for entry in checks:
+        chk.check(entry.get("monotone") is True,
+                  "contention_matrix: service latency not monotone"
+                  f" in workers on {entry.get('spec')}")
+    for rec in data.get("records", []):
+        fabric = rec.get("stats", {}).get("fabric", [])
+        chk.check(len(fabric) > 0,
+                  "contention_matrix: record without fabric stats"
+                  f" ({rec.get('spec')}, {rec.get('workers')}w)")
+    checks = data.get("package_checks", [])
+    chk.check(len(checks) > 0, "contention_matrix: no package_checks")
+    for entry in checks:
+        chk.check(entry.get("package_beats_pcie") is True,
+                  "contention_matrix: cpu+fpga does not degrade less"
+                  f" than cpu+gpu at {entry.get('workers')} workers"
+                  f" ({entry.get('package_degradation')} vs"
+                  f" {entry.get('pcie_degradation')})")
+
 
 def diff_baseline(chk, doc, baseline, threshold, top=10):
     current = {p: v for p, k, v in walk_numeric(doc.get("suites", {}))
@@ -393,6 +450,7 @@ def main():
     check_sanity(chk, suites)
     if suites:
         check_spec_stamps(chk, suites)
+        check_fabric_stamps(chk, suites)
         check_invariants(chk, suites)
     if args.baseline:
         diff_baseline(chk, doc, load(args.baseline), args.threshold)
