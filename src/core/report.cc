@@ -123,6 +123,8 @@ toJson(const ServingStats &stats)
     j["offered"] = stats.offered;
     j["served"] = stats.served;
     j["dropped_queue_full"] = stats.droppedQueueFull;
+    // Count of requests dropped by the queue-timeout policy, not a
+    // duration. centaur-lint: allow(unit-suffix)
     j["dropped_timeout"] = stats.droppedTimeout;
     j["drop_rate"] = stats.dropRate();
     j["mean_service_us"] = stats.meanServiceUs;
@@ -139,7 +141,7 @@ toJson(const ServingStats &stats)
     j["energy_joules"] = stats.energyJoules;
     j["dispatches"] = stats.dispatches;
     j["mean_coalesced_requests"] = stats.meanCoalescedRequests;
-    j["sla_target_us"] = stats.slaTarget;
+    j["sla_target_us"] = stats.slaTargetUs;
     j["sla_hit_rate"] = stats.slaHitRate;
     Json workers = Json::array();
     for (const auto &w : stats.perWorker)

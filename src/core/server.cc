@@ -153,7 +153,7 @@ ServingEngine::run()
     std::uint64_t served = 0;
     std::uint64_t dispatches = 0;
     std::uint64_t sla_hits = 0;
-    double energy = 0.0;
+    double energy_joules = 0.0;
     double last_completion = 0.0;
 
     // Admit every arrival with timestamp <= t, dropping on overflow.
@@ -213,11 +213,11 @@ ServingEngine::run()
         // timer expires - whichever comes first.
         if (_cfg.coalesceWindowUs > 0.0 &&
             queue.size() < _cfg.maxCoalescedBatch) {
-            const double deadline =
+            const double deadline_us =
                 dispatch_us + _cfg.coalesceWindowUs;
             while (queue.size() < _cfg.maxCoalescedBatch &&
                    next_arrival < num_requests &&
-                   arrival_us[next_arrival] <= deadline) {
+                   arrival_us[next_arrival] <= deadline_us) {
                 const double ta = arrival_us[next_arrival];
                 const std::size_t before = queue.size();
                 admitUpTo(ta);
@@ -225,7 +225,7 @@ ServingEngine::run()
                     dispatch_us = ta;
             }
             if (queue.size() < _cfg.maxCoalescedBatch)
-                dispatch_us = deadline; // timer fired underfull
+                dispatch_us = deadline_us; // timer fired underfull
         }
 
         // Pop the batch in arrival order, shedding requests whose
@@ -270,7 +270,7 @@ ServingEngine::run()
         ++worker_stats[w].dispatches;
         worker_stats[w].energyJoules += res.energyJoules;
         worker_stats[w].fabricWaitUs += usFromTicks(res.fabricWait);
-        energy += res.energyJoules;
+        energy_joules += res.energyJoules;
         last_completion = std::max(last_completion, done_us);
         served += batch_ids.size();
         ++dispatches;
@@ -309,20 +309,20 @@ ServingEngine::run()
         last_completion > 0.0
             ? static_cast<double>(served) * 1e6 / last_completion
             : 0.0;
-    out.energyJoules = energy;
+    out.energyJoules = energy_joules;
     out.dispatches = dispatches;
     out.meanCoalescedRequests =
         dispatches ? static_cast<double>(served) /
                          static_cast<double>(dispatches)
                    : 0.0;
 
-    double busy_total = 0.0;
+    double busy_total_us = 0.0;
     for (std::size_t i = 0; i < worker_stats.size(); ++i) {
         worker_stats[i].utilization =
             last_completion > 0.0
                 ? worker_stats[i].busyUs / last_completion
                 : 0.0;
-        busy_total += worker_stats[i].busyUs;
+        busy_total_us += worker_stats[i].busyUs;
         out.fabricWaitUs += worker_stats[i].fabricWaitUs;
     }
 
@@ -345,12 +345,12 @@ ServingEngine::run()
     }
     out.utilization =
         last_completion > 0.0
-            ? busy_total / (last_completion *
+            ? busy_total_us / (last_completion *
                             static_cast<double>(worker_stats.size()))
             : 0.0;
     out.perWorker = std::move(worker_stats);
 
-    out.slaTarget = _cfg.slaTargetUs;
+    out.slaTargetUs = _cfg.slaTargetUs;
     out.slaHitRate = _cfg.slaTargetUs > 0.0
                          ? static_cast<double>(sla_hits) /
                                static_cast<double>(num_requests)
@@ -463,7 +463,7 @@ InferenceServer::run()
     out.offeredRps = s.offeredRps;
     out.utilization = s.utilization;
     out.energyJoules = s.energyJoules;
-    out.slaTarget = s.slaTarget;
+    out.slaTargetUs = s.slaTargetUs;
     out.slaHitRate = s.slaHitRate;
     return out;
 }

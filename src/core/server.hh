@@ -159,8 +159,9 @@ struct ServingStats
     std::uint64_t dispatches = 0;
     double meanCoalescedRequests = 0.0;
 
+    /** SLA budget the hit rate was measured against (us). */
+    double slaTargetUs = 0.0;
     /** Fraction of *offered* requests served within the SLA budget. */
-    double slaTarget = 0.0;
     double slaHitRate = 0.0;
 
     std::vector<WorkerStats> perWorker;
@@ -287,8 +288,9 @@ struct ServerStats
     double utilization = 0.0; //!< busy time / wall time
     double energyJoules = 0.0;
 
-    /** Fraction of requests within an SLA budget (microseconds). */
-    double slaTarget = 0.0;
+    /** SLA budget the hit rate was measured against (us). */
+    double slaTargetUs = 0.0;
+    /** Fraction of requests within the SLA budget. */
     double slaHitRate = 0.0;
 };
 

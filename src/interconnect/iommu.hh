@@ -79,6 +79,13 @@ class Iommu
     Tick _walkLatency;
     // page -> position in LRU list
     std::list<std::uint64_t> _lru; //!< front = most recent
+    // Audited for the determinism contract: _entries is only ever
+    // probed point-wise (find/erase/operator[]/clear) - never
+    // iterated. Every eviction decision reads _lru.back(), a
+    // std::list ordered purely by install/touch recency, and the
+    // emitted stats are the scalar _hits/_misses counters, so no
+    // observable output depends on hash-bucket iteration order.
+    // centaur-lint: allow(ordered-emission)
     std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
         _entries;
     std::uint64_t _hits = 0;

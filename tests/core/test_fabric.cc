@@ -175,14 +175,14 @@ TEST(Fabric, ContendedRunSurfacesPerResourceAccounting)
         runServingSim(std::string("cpu+gpu"), cfg, contendedConfig(4));
 
     ASSERT_EQ(s.fabric.size(), kNumNodeResources);
-    double busy_total = 0.0;
+    double busy_total_us = 0.0;
     for (const FabricResourceStats &fs : s.fabric) {
         EXPECT_FALSE(fs.resource.empty());
         EXPECT_GE(fs.utilization, 0.0) << fs.resource;
         EXPECT_LE(fs.utilization, 1.0) << fs.resource;
-        busy_total += fs.busyUs;
+        busy_total_us += fs.busyUs;
     }
-    EXPECT_GT(busy_total, 0.0);
+    EXPECT_GT(busy_total_us, 0.0);
 
     // cpu+gpu charges gather threads on the core pool and ships
     // embeddings over the shared h2d pipe: both must show traffic.
@@ -199,10 +199,10 @@ TEST(Fabric, ContendedRunSurfacesPerResourceAccounting)
     EXPECT_GT(find("pcie_d2h").grants, 0u);
 
     // Per-worker waits sum to the fleet total.
-    double worker_wait = 0.0;
+    double worker_wait_us = 0.0;
     for (const WorkerStats &w : s.perWorker)
-        worker_wait += w.fabricWaitUs;
-    EXPECT_DOUBLE_EQ(worker_wait, s.fabricWaitUs);
+        worker_wait_us += w.fabricWaitUs;
+    EXPECT_DOUBLE_EQ(worker_wait_us, s.fabricWaitUs);
 }
 
 TEST(Fabric, UncontendedServingMatchesLegacyEngine)

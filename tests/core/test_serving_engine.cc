@@ -91,18 +91,18 @@ TEST(ServingEngine, PerWorkerStatsAccountForEverything)
 
     ASSERT_EQ(s.perWorker.size(), 2u);
     std::uint64_t served = 0, dispatches = 0;
-    double energy = 0.0;
+    double energy_joules = 0.0;
     for (const WorkerStats &w : s.perWorker) {
         EXPECT_GT(w.busyUs, 0.0);
         EXPECT_GT(w.utilization, 0.0);
         EXPECT_LE(w.utilization, 1.0);
         served += w.served;
         dispatches += w.dispatches;
-        energy += w.energyJoules;
+        energy_joules += w.energyJoules;
     }
     EXPECT_EQ(served, s.served);
     EXPECT_EQ(dispatches, s.dispatches);
-    EXPECT_NEAR(energy, s.energyJoules, 1e-9);
+    EXPECT_NEAR(energy_joules, s.energyJoules, 1e-9);
     EXPECT_EQ(s.served, s.offered);
 }
 

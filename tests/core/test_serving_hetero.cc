@@ -65,18 +65,18 @@ TEST(ServingHetero, StatsAttributeToTheRightSpec)
     // requests than the CPU workers, and every worker contributes.
     std::uint64_t fpga_served = 0, cpu_served = 0;
     std::uint64_t served = 0, dispatches = 0;
-    double energy = 0.0;
+    double energy_joules = 0.0;
     for (const WorkerStats &w : s.perWorker) {
         EXPECT_GT(w.served, 0u) << w.spec;
         EXPECT_GT(w.busyUs, 0.0) << w.spec;
         (w.spec == "cpu+fpga" ? fpga_served : cpu_served) += w.served;
         served += w.served;
         dispatches += w.dispatches;
-        energy += w.energyJoules;
+        energy_joules += w.energyJoules;
     }
     EXPECT_EQ(served, s.served);
     EXPECT_EQ(dispatches, s.dispatches);
-    EXPECT_NEAR(energy, s.energyJoules, 1e-9);
+    EXPECT_NEAR(energy_joules, s.energyJoules, 1e-9);
     EXPECT_GT(fpga_served, cpu_served);
 }
 

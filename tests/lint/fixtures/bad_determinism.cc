@@ -1,0 +1,43 @@
+// Lint fixture: every construct here must trip the `determinism`
+// rule. Not compiled; consumed by `centaur_lint.py --self-check`.
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+#include "sim/units.hh"
+
+namespace centaur {
+
+unsigned long
+badSeedFromWallClock()
+{
+    // Ambient wall clock: differs on every run.
+    return static_cast<unsigned long>(time(nullptr));
+}
+
+int
+badAmbientRand()
+{
+    srand(42);
+    return rand();
+}
+
+double
+badRandomDevice()
+{
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    return static_cast<double>(gen());
+}
+
+long
+badChronoNow()
+{
+    const auto now = std::chrono::steady_clock::now();
+    const auto wall = std::chrono::system_clock::now();
+    return now.time_since_epoch().count() +
+           wall.time_since_epoch().count();
+}
+
+} // namespace centaur

@@ -1,0 +1,19 @@
+// Lint fixture: every construct here must trip the
+// `header-hygiene` rule. Not compiled; consumed by
+// `centaur_lint.py --self-check`.
+//
+// No include guard at all, and a namespace dumped on every includer.
+
+#include <string>
+
+using namespace std;
+
+namespace centaur {
+
+inline string
+badLeakyHeader()
+{
+    return "no guard, no hygiene";
+}
+
+} // namespace centaur

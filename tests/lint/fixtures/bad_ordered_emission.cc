@@ -1,0 +1,40 @@
+// Lint fixture: every construct here must trip the
+// `ordered-emission` rule. Not compiled; consumed by
+// `centaur_lint.py --self-check`.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/json.hh"
+
+namespace centaur {
+
+Json
+badEmitUnorderedWalk()
+{
+    std::unordered_map<std::string, double> latency_by_spec;
+    latency_by_spec["cpu"] = 1.0;
+
+    Json out = Json::array();
+    // Hash-bucket order reaches the JSON report: byte-identity of
+    // the emitted document is now libstdc++-version dependent.
+    for (const auto &kv : latency_by_spec) {
+        Json rec = Json::object();
+        rec["spec"] = kv.first;
+        out.push(rec);
+    }
+    return out;
+}
+
+std::size_t
+badIteratorWalk()
+{
+    std::unordered_set<std::uint64_t> pages;
+    std::size_t n = 0;
+    for (auto it = pages.begin(); it != pages.end(); ++it)
+        ++n;
+    return n;
+}
+
+} // namespace centaur

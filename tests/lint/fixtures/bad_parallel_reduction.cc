@@ -1,0 +1,31 @@
+// Lint fixture: every construct here must trip the
+// `parallel-reduction` rule. Not compiled; consumed by
+// `centaur_lint.py --self-check`.
+
+#include <cstddef>
+#include <vector>
+
+#include "suite.hh"
+
+namespace centaur::bench {
+
+double
+badSharedAccumulation(SuiteContext &ctx,
+                      const std::vector<double> &xs)
+{
+    double total_us = 0.0;
+    std::size_t done = 0;
+    std::vector<double> out;
+    ctx.parallelFor(xs.size(), [&](std::size_t i) {
+        // Racy, and float addition is not associative: the reduced
+        // value (and the emitted JSON) depends on thread timing.
+        total_us += xs[i];
+        // Racy counter increment on captured state.
+        ++done;
+        // Unsynchronized growth of a shared container.
+        out.push_back(xs[i]);
+    });
+    return total_us + static_cast<double>(done + out.size());
+}
+
+} // namespace centaur::bench

@@ -1,0 +1,20 @@
+// Lint fixture: every construct here must trip the `schema-sync`
+// rule. Not compiled; consumed by `centaur_lint.py --self-check`
+// (fixtures are treated as emission files).
+
+#include "sim/json.hh"
+
+namespace centaur::bench {
+
+Json
+badUnknownMetricKey(double gather_us)
+{
+    Json rec = Json::object();
+    // A metric key the check_bench.py gate has never heard of: the
+    // Python invariant tables and the C++ writers have drifted.
+    rec["bogus_gather_us"] = gather_us;
+    rec["bogus_speedup_vs_nothing"] = 1.0;
+    return rec;
+}
+
+} // namespace centaur::bench

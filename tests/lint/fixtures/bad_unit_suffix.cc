@@ -1,0 +1,41 @@
+// Lint fixture: every construct here must trip the `unit-suffix`
+// rule. Not compiled; consumed by `centaur_lint.py --self-check`.
+
+#include "sim/json.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+struct BadStats
+{
+    // Unsuffixed time/energy/power-valued fields: is this latency in
+    // ticks, ns or us? The reader cannot tell.
+    double meanLatency = 0.0;
+    double fabricWait = 0.0;
+    double energy = 0.0;
+
+    // A Tick is integral picoseconds; a Us suffix claims otherwise.
+    Tick queueDelayUs = 0;
+};
+
+double
+badMixedAssignment(Tick serviceTicks)
+{
+    double serviceUs = 0.0;
+    // Unit mismatch: ticks flow into a microsecond variable without
+    // a conversion (usFromTicks).
+    serviceUs = serviceTicks;
+    return serviceUs;
+}
+
+Json
+badJsonKeys(const BadStats &s)
+{
+    Json j = Json::object();
+    // Emitted keys without unit suffixes make reports ambiguous.
+    j["mean_latency"] = s.meanLatency;
+    j["fabric_wait"] = s.fabricWait;
+    return j;
+}
+
+} // namespace centaur

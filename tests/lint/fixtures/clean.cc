@@ -1,0 +1,57 @@
+// Lint fixture: patterns the linter must accept, including the
+// correct parallelFor shape (per-index slots, sequential reduce)
+// and unit conversions through the sim/units.hh helpers. Not
+// compiled; consumed by `centaur_lint.py --self-check`.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/json.hh"
+#include "sim/units.hh"
+#include "suite.hh"
+
+namespace centaur::bench {
+
+double
+cleanPerIndexReduction(SuiteContext &ctx,
+                       const std::vector<Tick> &service)
+{
+    // The sanctioned shape: each iteration writes only its own slot;
+    // the float reduction happens sequentially after the join, so
+    // the result is byte-identical at any --jobs count.
+    std::vector<double> service_us(service.size(), 0.0);
+    ctx.parallelFor(service.size(), [&](std::size_t i) {
+        const Tick ticks = service[i] * 2;
+        double point_us = usFromTicks(ticks);
+        point_us += 1.0; // locals may accumulate freely
+        service_us[i] = point_us;
+    });
+
+    double total_us = 0.0;
+    for (double v : service_us)
+        total_us += v;
+    return total_us;
+}
+
+Json
+cleanEmission(double mean_latency_us, double energy_joules)
+{
+    // Every unit-valued key carries its suffix and is known to
+    // tools/check_bench.py's tables.
+    Json rec = Json::object();
+    rec["mean_latency_us"] = mean_latency_us;
+    rec["energy_joules"] = energy_joules;
+    rec["drop_rate"] = 0.0;
+    return rec;
+}
+
+Tick
+cleanConversions(Tick serviceTicks)
+{
+    // Conversions through the named helpers are not unit mixes.
+    const double service_us = usFromTicks(serviceTicks);
+    const Tick back = ticksFromUs(service_us);
+    return back + serviceTicks;
+}
+
+} // namespace centaur::bench

@@ -1,0 +1,54 @@
+/**
+ * Lint fixture: a header the linter must accept untouched. Guard
+ * follows the CENTAUR_<PATH>_HH convention, all unit-valued fields
+ * are suffixed, and the one unordered container is pragma-annotated
+ * with its audit. Not compiled; consumed by
+ * `centaur_lint.py --self-check`.
+ */
+
+#ifndef CENTAUR_TESTS_LINT_FIXTURES_CLEAN_HH
+#define CENTAUR_TESTS_LINT_FIXTURES_CLEAN_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/units.hh"
+
+namespace centaur {
+
+struct CleanStats
+{
+    double meanLatencyUs = 0.0;
+    double busyUs = 0.0;
+    double energyJoules = 0.0;
+    double powerWatts = 0.0;
+    double hitLatencyNs = 4.0;
+    // Tick carries its own unit (integral picoseconds), so a bare
+    // time word needs no suffix...
+    Tick latency = 0;
+    // ...and naming the picoseconds explicitly is also consistent.
+    Tick cyclePs = 5000;
+    // Counts and ratios are not unit-valued quantities.
+    std::uint64_t latencyOverflow = 0;
+    double dropRate = 0.0;
+    double normalizedLatency = 0.0;
+};
+
+class CleanLookup
+{
+  public:
+    double lookup(std::uint64_t key) const
+    {
+        auto it = _scores.find(key);
+        return it == _scores.end() ? 0.0 : it->second;
+    }
+
+  private:
+    // Probed point-wise only, never iterated; nothing observable
+    // depends on bucket order. centaur-lint: allow(ordered-emission)
+    std::unordered_map<std::uint64_t, double> _scores;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_TESTS_LINT_FIXTURES_CLEAN_HH

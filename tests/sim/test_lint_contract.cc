@@ -1,0 +1,54 @@
+// Compile-level checks on the lint contract header: the rule-id
+// table sim/lint.hh exports for tooling must stay well-formed and in
+// sync with the six rules tools/centaur_lint.py enforces (the
+// runtime half of this contract — every rule firing on its fixture —
+// is the lint_selftest CTest).
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/lint.hh"
+
+namespace centaur {
+namespace {
+
+TEST(LintContract, SixRules)
+{
+    EXPECT_EQ(kLintRuleCount, 6);
+}
+
+TEST(LintContract, IdsAreUniqueKebabCase)
+{
+    std::set<std::string> seen;
+    for (const char *id : kLintRules) {
+        ASSERT_NE(id, nullptr);
+        const std::string s(id);
+        ASSERT_FALSE(s.empty());
+        // ids are lowercase words joined by single dashes, no
+        // leading/trailing dash (they appear inside allow(...)).
+        EXPECT_NE(s.front(), '-') << s;
+        EXPECT_NE(s.back(), '-') << s;
+        for (char c : s)
+            EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '-') << s;
+        EXPECT_EQ(s.find("--"), std::string::npos) << s;
+        EXPECT_TRUE(seen.insert(s).second) << "duplicate id: " << s;
+    }
+}
+
+TEST(LintContract, NamesTheDeterminismRules)
+{
+    // The three rules that carry the byte-identical-output promise
+    // must never be renamed silently: pragmas in the tree and the
+    // README reference them by these exact ids.
+    std::set<std::string> ids(std::begin(kLintRules),
+                              std::end(kLintRules));
+    EXPECT_TRUE(ids.count("determinism"));
+    EXPECT_TRUE(ids.count("ordered-emission"));
+    EXPECT_TRUE(ids.count("parallel-reduction"));
+}
+
+} // namespace
+} // namespace centaur

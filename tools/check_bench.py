@@ -127,6 +127,12 @@ HIGHER_IS_WORSE = {
     "drop_rate",
     "fabric_wait_us",
     "package_degradation",
+    "zipf_us",
+    "uniform_us",
+    "service_1w_us",
+    "service_max_us",
+    "mlp_us",
+    "cpu_mlp_us",
 }
 LOWER_IS_WORSE = {
     "speedup",
@@ -153,6 +159,34 @@ LOWER_IS_WORSE = {
     "geomean_perf_cpu_only_vs_cpu_gpu",
     "geomean_eff_cpu_only_vs_cpu_gpu",
     "geomean_eff_centaur_vs_cpu_only",
+    "cpu_gbps",
+    "centaur_gbps",
+    "channel_effective_gbps",
+}
+
+# Known metric keys that are reported but never gate a baseline diff:
+# configuration knobs echoed into records (peak bandwidths, SLA and
+# window budgets, offered rates) and accounting values that can
+# legitimately move in either direction (per-worker busy_us rises
+# when coalescing improves; per-resource wait_us shifts as load moves
+# between resources). tools/centaur_lint.py's schema-sync rule
+# requires every *_us/*_gbps/... key the C++ writers emit to appear
+# in exactly one of these tables, so additions to the report schema
+# must be classified here before they land.
+NEUTRAL_KEYS = {
+    "busy_us",
+    "wait_us",
+    "phase_us",
+    "offered_rps",
+    "arrival_rate_per_sec",
+    "coalesce_window_us",
+    "queue_timeout_us",
+    "sla_target_us",
+    "raw_gbps",
+    "channel_raw_gbps",
+    "dram_peak_gbps",
+    "host_dram_gbps",
+    "pcie_gbps",
 }
 
 
