@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_spec.hh"
 #include "core/backend.hh"
 #include "core/report.hh"
 #include "dlrm/model_registry.hh"
@@ -126,7 +127,14 @@ main(int argc, char **argv)
         } else if (arg == "--spec") {
             for (auto &name : splitList(value())) {
                 std::string error;
-                if (!tryParseSpec(name, nullptr, &error)) {
+                // A "cluster:" spec is validated against the cluster
+                // grammar (src/cluster/cluster_spec.hh); anything
+                // else against the backend spec registry.
+                const bool ok =
+                    isClusterSpec(name)
+                        ? tryParseClusterSpec(name, nullptr, &error)
+                        : tryParseSpec(name, nullptr, &error);
+                if (!ok) {
                     std::fprintf(stderr, "%s\n", error.c_str());
                     return 2;
                 }
@@ -226,6 +234,11 @@ main(int argc, char **argv)
                     "  %s\n  examples:",
                     workloadSpecGrammar());
         for (const std::string &ex : exampleWorkloadSpecs())
+            std::printf(" %s", ex.c_str());
+        std::printf("\n\ncluster spec grammar (--spec, "
+                    "cluster_matrix):\n  %s\n  examples:",
+                    clusterSpecGrammar());
+        for (const std::string &ex : exampleClusterSpecs())
             std::printf(" %s", ex.c_str());
         std::printf("\n");
         return 0;

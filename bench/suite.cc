@@ -97,7 +97,10 @@ SuiteContext::paperSweep(DesignPoint dp)
     const int key = static_cast<int>(dp);
     auto it = _sweeps.find(key);
     if (it == _sweeps.end())
-        it = _sweeps.emplace(key, runPaperSweep(dp, 1, _seed)).first;
+        it = _sweeps.emplace(key,
+                             runPaperSweep(specForDesign(dp), 1,
+                                           _seed))
+                 .first;
     return it->second;
 }
 
@@ -123,6 +126,7 @@ allSuites()
         registerSpecSuites(s);
         registerScenarioSuites(s);
         registerContentionSuites(s);
+        registerClusterSuites(s);
         return s;
     }();
     return suites;

@@ -174,6 +174,7 @@ void registerServingSuites(std::vector<Suite> &suites);
 void registerSpecSuites(std::vector<Suite> &suites);
 void registerScenarioSuites(std::vector<Suite> &suites);
 void registerContentionSuites(std::vector<Suite> &suites);
+void registerClusterSuites(std::vector<Suite> &suites);
 
 } // namespace centaur::bench
 

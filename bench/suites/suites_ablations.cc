@@ -5,9 +5,8 @@
  * PE-array scaling against the GX1150 resource budget).
  */
 
-#include "core/centaur_system.hh"
-#include "core/cpu_only_system.hh"
 #include "core/report.hh"
+#include "core/system_builder.hh"
 #include "fpga/resource_model.hh"
 #include "suite.hh"
 
@@ -39,15 +38,19 @@ suiteAblationLinkBw(SuiteContext &ctx)
             acc.channel.maxOutstandingLines * scale);
 
         for (std::uint32_t batch : {16u, 128u}) {
-            CentaurSystem cen(cfg, acc);
-            CpuOnlySystem cpu(cfg);
+            auto cen = SystemBuilder()
+                           .spec("cpu+fpga")
+                           .model(cfg)
+                           .fpga(acc)
+                           .build();
+            auto cpu = makeSystem("cpu", cfg);
             WorkloadConfig wl;
             wl.batch = batch;
             wl.seed = sweepSeed(4, batch) + ctx.seed();
             WorkloadGenerator gen_c(cfg, wl);
             WorkloadGenerator gen_f(cfg, wl);
-            const auto rc = measureInference(cpu, gen_c, 1);
-            const auto rf = measureInference(cen, gen_f, 1);
+            const auto rc = measureInference(*cpu, gen_c, 1);
+            const auto rf = measureInference(*cen, gen_f, 1);
             table.addRow(
                 {TextTable::fmt(scale, 0) + "x",
                  TextTable::fmt(acc.channel.rawBandwidthGBps(), 1),
@@ -99,15 +102,23 @@ suiteAblationCacheBypass(SuiteContext &ctx)
             wl.seed = sweepSeed(preset, batch) + ctx.seed();
 
             CentaurConfig coherent;
-            CentaurSystem sys_c(cfg, coherent);
+            auto sys_c = SystemBuilder()
+                             .spec("cpu+fpga")
+                             .model(cfg)
+                             .fpga(coherent)
+                             .build();
             WorkloadGenerator gen_c(cfg, wl);
-            const auto rc = measureInference(sys_c, gen_c, 1);
+            const auto rc = measureInference(*sys_c, gen_c, 1);
 
             CentaurConfig bypass;
             bypass.bypassCpuCache = true;
-            CentaurSystem sys_b(cfg, bypass);
+            auto sys_b = SystemBuilder()
+                             .spec("cpu+fpga")
+                             .model(cfg)
+                             .fpga(bypass)
+                             .build();
             WorkloadGenerator gen_b(cfg, wl);
-            const auto rb = measureInference(sys_b, gen_b, 1);
+            const auto rb = measureInference(*sys_b, gen_b, 1);
 
             table.addRow({cfg.name, std::to_string(batch),
                           TextTable::fmt(rc.effectiveEmbGBps),
@@ -156,12 +167,16 @@ suiteAblationPeScaling(SuiteContext &ctx)
         std::vector<double> lat;
         Json results = Json::array();
         for (std::uint32_t batch : {1u, 128u}) {
-            CentaurSystem sys(cfg, acc);
+            auto sys = SystemBuilder()
+                           .spec("cpu+fpga")
+                           .model(cfg)
+                           .fpga(acc)
+                           .build();
             WorkloadConfig wl;
             wl.batch = batch;
             wl.seed = sweepSeed(6, batch) + ctx.seed();
             WorkloadGenerator gen(cfg, wl);
-            const auto r = measureInference(sys, gen, 1);
+            const auto r = measureInference(*sys, gen, 1);
             lat.push_back(usFromTicks(r.latency()));
             Json rr = reportStamp("pe_scaling_point", wl.seed);
             rr["spec"] = "cpu+fpga";

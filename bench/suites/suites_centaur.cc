@@ -9,8 +9,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/centaur_system.hh"
 #include "core/report.hh"
+#include "core/system_builder.hh"
 #include "interconnect/aggregate_link.hh"
 #include "suite.hh"
 
@@ -92,12 +92,12 @@ suiteFig13(SuiteContext &ctx)
             cfg.name = "DLRM(4)x1";
             cfg.numTables = 1;
             cfg.lookupsPerTable = lookups;
-            CentaurSystem sys(cfg);
+            auto sys = makeSystem("cpu+fpga", cfg);
             WorkloadConfig wl;
             wl.batch = batch;
             wl.seed = sweepSeed(4, batch) + lookups + ctx.seed();
             WorkloadGenerator gen(cfg, wl);
-            const auto res = measureInference(sys, gen, 1);
+            const auto res = measureInference(*sys, gen, 1);
             row.push_back(TextTable::fmt(res.effectiveEmbGBps));
 
             Json rec = reportStamp("lookup_sweep_entry", wl.seed);

@@ -8,8 +8,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/cpu_only_system.hh"
 #include "core/report.hh"
+#include "core/system_builder.hh"
 #include "mem/dram.hh"
 #include "suite.hh"
 
@@ -154,12 +154,12 @@ suiteFig7(SuiteContext &ctx)
             cfg.name = "DLRM(4)x1";
             cfg.numTables = 1;
             cfg.lookupsPerTable = lookups;
-            CpuOnlySystem sys(cfg);
+            auto sys = makeSystem("cpu", cfg);
             WorkloadConfig wl;
             wl.batch = batch;
             wl.seed = sweepSeed(4, batch) + lookups + ctx.seed();
             WorkloadGenerator gen(cfg, wl);
-            const auto res = measureInference(sys, gen, 1);
+            const auto res = measureInference(*sys, gen, 1);
             row.push_back(TextTable::fmt(res.effectiveEmbGBps));
 
             Json rec = reportStamp("lookup_sweep_entry", wl.seed);

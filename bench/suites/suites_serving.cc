@@ -54,8 +54,8 @@ suiteServingScaling(SuiteContext &ctx)
             : std::vector<std::uint32_t>{1, 2, 4};
     const std::vector<std::uint32_t> coalesce = {1, 4, 16};
     const auto sweep =
-        runServingSweep(spec, kPreset, workers, coalesce,
-                        {kOverloadRps}, base, ctx.seed());
+        runServingSweep(Scenario{spec, "dlrm1", "uniform"}, workers,
+                        coalesce, {kOverloadRps}, base, ctx.seed());
 
     TextTable scaling("worker x coalesce scaling at offered load " +
                       TextTable::fmt(kOverloadRps, 0) + " rps");

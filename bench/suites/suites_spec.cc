@@ -57,19 +57,18 @@ suiteSpecMatrix(SuiteContext &ctx)
     std::vector<SweepEntry> cpu_sweep;
     for (const std::string &s : specs) {
         if (s == "cpu" || is_fpga_mlp(s)) {
-            cpu_sweep = runSweep("cpu", {kPreset}, batches, 1,
-                                 IndexDistribution::Uniform,
-                                 ctx.seed());
+            cpu_sweep = runSweep(Scenario{"cpu", "dlrm1", "uniform"},
+                                 batches, 1, ctx.seed());
             break;
         }
     }
 
     for (const std::string &spec : specs) {
         const auto sweep =
-            spec == "cpu" ? cpu_sweep
-                          : runSweep(spec, {kPreset}, batches, 1,
-                                     IndexDistribution::Uniform,
-                                     ctx.seed());
+            spec == "cpu"
+                ? cpu_sweep
+                : runSweep(Scenario{spec, "dlrm1", "uniform"},
+                           batches, 1, ctx.seed());
         for (const auto &entry : sweep) {
             const InferenceResult &r = entry.result;
             table.addRow(

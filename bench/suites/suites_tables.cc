@@ -7,6 +7,7 @@
 
 #include "core/backend.hh"
 #include "core/report.hh"
+#include "core/system_builder.hh"
 #include "fpga/resource_model.hh"
 #include "power/power_model.hh"
 #include "suite.hh"
@@ -218,7 +219,7 @@ suiteTable4(SuiteContext &ctx)
     Json records = Json::array();
     for (DesignPoint dp : {DesignPoint::CpuOnly, DesignPoint::CpuGpu,
                            DesignPoint::Centaur}) {
-        auto sys = makeSystem(dp, cfg);
+        auto sys = makeSystem(specForDesign(dp), cfg);
         WorkloadConfig wl;
         wl.batch = 16;
         wl.seed = 11 + ctx.seed();

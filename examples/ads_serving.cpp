@@ -18,6 +18,7 @@
 #include "core/experiment.hh"
 #include "core/server.hh"
 #include "core/system.hh"
+#include "core/system_builder.hh"
 #include "sim/table.hh"
 
 using namespace centaur;
@@ -40,10 +41,9 @@ main()
     table.setHeader({"design", "batch", "latency (ms)", "SLA",
                      "samples/s", "J per 1k samples"});
 
-    for (DesignPoint dp : {DesignPoint::CpuOnly, DesignPoint::CpuGpu,
-                           DesignPoint::Centaur}) {
+    for (const char *spec : {"cpu", "cpu+gpu", "cpu+fpga"}) {
         for (std::uint32_t batch : {1u, 8u, 32u, 128u}) {
-            auto sys = makeSystem(dp, model);
+            auto sys = makeSystem(spec, model);
             WorkloadConfig wl;
             wl.batch = batch;
             wl.seed = 1234 + batch;
@@ -93,7 +93,7 @@ main()
             cfg.maxQueueDepth = 64; // shed rather than queue forever
             cfg.slaTargetUs = kSlaMs * 1000.0;
             const ServingStats s =
-                runServingSim(DesignPoint::Centaur, model, cfg);
+                runServingSim("cpu+fpga", model, cfg);
             const ServingVerdict verdict = analyzeServing(s, cfg);
             fleet.addRow(
                 {std::to_string(nworkers), std::to_string(limit),

@@ -10,8 +10,8 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/centaur_system.hh"
 #include "core/experiment.hh"
+#include "core/system_builder.hh"
 #include "fpga/resource_model.hh"
 #include "sim/table.hh"
 
@@ -23,12 +23,16 @@ double
 runPoint(const DlrmConfig &model, const CentaurConfig &acc,
          std::uint32_t batch)
 {
-    CentaurSystem sys(model, acc);
+    auto sys = SystemBuilder()
+                   .spec("cpu+fpga")
+                   .model(model)
+                   .fpga(acc)
+                   .build();
     WorkloadConfig wl;
     wl.batch = batch;
     wl.seed = 99;
     WorkloadGenerator gen(model, wl);
-    return usFromTicks(measureInference(sys, gen, 1).latency());
+    return usFromTicks(measureInference(*sys, gen, 1).latency());
 }
 
 } // namespace

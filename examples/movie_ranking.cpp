@@ -13,6 +13,7 @@
 
 #include "core/experiment.hh"
 #include "core/system.hh"
+#include "core/system_builder.hh"
 #include "sim/table.hh"
 
 using namespace centaur;
@@ -41,11 +42,10 @@ main()
     table.setHeader({"design", "distribution", "latency (us)",
                      "emb GB/s", "p(top-1 sample)"});
 
-    for (DesignPoint dp : {DesignPoint::CpuOnly,
-                           DesignPoint::Centaur}) {
+    for (const char *spec : {"cpu", "cpu+fpga"}) {
         for (auto dist : {IndexDistribution::Uniform,
                           IndexDistribution::Zipf}) {
-            auto sys = makeSystem(dp, model);
+            auto sys = makeSystem(spec, model);
             WorkloadConfig wl;
             wl.batch = 16;
             wl.dist = dist;

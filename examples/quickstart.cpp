@@ -9,6 +9,7 @@
 
 #include "core/experiment.hh"
 #include "core/system.hh"
+#include "core/system_builder.hh"
 #include "dlrm/model_config.hh"
 #include "dlrm/workload.hh"
 
@@ -29,9 +30,8 @@ main()
                 static_cast<double>(model.totalTableBytes()) / 1e6,
                 static_cast<double>(model.mlpParamBytes()) / 1024.0);
 
-    for (DesignPoint dp : {DesignPoint::CpuGpu, DesignPoint::CpuOnly,
-                           DesignPoint::Centaur}) {
-        auto sys = makeSystem(dp, model);
+    for (const char *spec : {"cpu+gpu", "cpu", "cpu+fpga"}) {
+        auto sys = makeSystem(spec, model);
         WorkloadConfig wl;
         wl.batch = batch;
         wl.seed = 7;

@@ -17,9 +17,9 @@
 #include <iostream>
 
 #include "core/analysis.hh"
-#include "core/centaur_system.hh"
-#include "core/cpu_only_system.hh"
 #include "core/experiment.hh"
+#include "core/system_builder.hh"
+#include "fpga/centaur_config.hh"
 
 using namespace centaur;
 
@@ -41,14 +41,14 @@ main(int argc, char **argv)
         return 1;
     }
 
-    DesignPoint dp = DesignPoint::Centaur;
+    const char *spec = "cpu+fpga";
     if (std::strcmp(design, "cpu") == 0)
-        dp = DesignPoint::CpuOnly;
+        spec = "cpu";
     else if (std::strcmp(design, "gpu") == 0)
-        dp = DesignPoint::CpuGpu;
+        spec = "cpu+gpu";
 
     const DlrmConfig model = dlrmPreset(preset);
-    auto sys = makeSystem(dp, model);
+    auto sys = makeSystem(spec, model);
     WorkloadConfig wl;
     wl.batch = batch;
     wl.dist = zipf ? IndexDistribution::Zipf
@@ -79,9 +79,9 @@ main(int argc, char **argv)
                                           : res.probabilities[0]);
 
     std::vector<PhaseVerdict> verdicts;
-    if (dp == DesignPoint::Centaur)
+    if (std::strcmp(spec, "cpu+fpga") == 0)
         verdicts = analyzeCentaur(res, model, CentaurConfig{});
-    else if (dp == DesignPoint::CpuOnly)
+    else if (std::strcmp(spec, "cpu") == 0)
         verdicts = analyzeCpuOnly(res, model);
     for (const auto &v : verdicts)
         std::printf("  %-5s limited by %-18s (%.0f%% of ceiling) - "

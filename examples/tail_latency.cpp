@@ -12,6 +12,7 @@
 
 #include "core/server.hh"
 #include "core/system.hh"
+#include "core/system_builder.hh"
 #include "dlrm/model_config.hh"
 #include "sim/table.hh"
 
@@ -31,10 +32,9 @@ main()
     table.setHeader({"design", "offered rps", "p50 (us)", "p99 (us)",
                      "util", "SLA hit", "J/request"});
 
-    for (DesignPoint dp : {DesignPoint::CpuOnly,
-                           DesignPoint::Centaur}) {
+    for (const char *spec : {"cpu", "cpu+fpga"}) {
         for (double rps : {1000.0, 4000.0, 12000.0}) {
-            auto sys = makeSystem(dp, model);
+            auto sys = makeSystem(spec, model);
             ServerConfig cfg;
             cfg.arrivalRatePerSec = rps;
             cfg.batchPerRequest = 8;

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cluster-spec string grammar — the scale-out extension of the
+ * backend spec strings (core/backend.hh). A cluster spec names a
+ * whole serving fleet in one string:
+ *
+ *   cluster:<N>x(<spec>)[/<part>...]
+ *
+ *   part := shard:<policy>[:<replicas>]   policy := hash | range
+ *         | route:<policy>                policy := random | least
+ *                                                 | affinity
+ *         | net:null
+ *         | net:<gbps>[:<read-lat>[:<setup>]]   (GB/s, us, us)
+ *
+ * Examples: "cluster:4x(cpu+fpga)/shard:hash:2",
+ * "cluster:2x(cpu)/shard:range/route:affinity/net:12.5:2:25",
+ * "cluster:1x(cpu+fpga)/net:null" (tick-identical to the
+ * single-node serving fleet). Defaults: shard hash:1, route
+ * affinity, net 12.5 GB/s with 2 us one-sided reads and 25 us
+ * connection setup. The inner <spec> must be a registered backend
+ * spec; every node runs the same worker fleet shape on its own
+ * Fabric.
+ */
+
+#ifndef CENTAUR_CLUSTER_CLUSTER_SPEC_HH
+#define CENTAUR_CLUSTER_CLUSTER_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/network.hh"
+#include "cluster/shard_map.hh"
+
+namespace centaur {
+
+/** How the front-end router picks a node per request. */
+enum class RoutePolicy : std::uint8_t
+{
+    Random = 0,       //!< seeded uniform pick
+    LeastLoaded = 1,  //!< earliest virtual-finish node
+    ShardAffinity = 2, //!< node owning the most of the payload's rows
+};
+
+/** Stable CLI / JSON name of a routing policy. */
+const char *routePolicyName(RoutePolicy policy);
+
+/** Parse a routing policy name; false + @p error on unknown names. */
+bool tryParseRoutePolicy(const std::string &name, RoutePolicy *out,
+                         std::string *error = nullptr);
+
+/** One parsed cluster spec. */
+struct ClusterSpec
+{
+    std::uint32_t nodes = 1;
+    /** Registered backend spec every node's workers are built from. */
+    std::string nodeSpec = "cpu";
+    ShardPolicy shard = ShardPolicy::Hash;
+    std::uint32_t replicas = 1;
+    RoutePolicy route = RoutePolicy::ShardAffinity;
+    NetworkConfig net;
+
+    bool
+    operator==(const ClusterSpec &o) const
+    {
+        return nodes == o.nodes && nodeSpec == o.nodeSpec &&
+               shard == o.shard && replicas == o.replicas &&
+               route == o.route && net == o.net;
+    }
+    bool operator!=(const ClusterSpec &o) const { return !(*this == o); }
+};
+
+/** Whether @p spec looks like a cluster spec ("cluster:" prefix). */
+bool isClusterSpec(const std::string &spec);
+
+/**
+ * Parse a cluster spec string into @p out. Returns false and fills
+ * @p error (when non-null) with a message naming the bad token and
+ * the grammar; true fills @p out.
+ */
+bool tryParseClusterSpec(const std::string &spec, ClusterSpec *out,
+                         std::string *error = nullptr);
+
+/** Parse a cluster spec string; fatal with the grammar on error. */
+ClusterSpec parseClusterSpec(const std::string &spec);
+
+/**
+ * Canonical spec string for @p spec: parts matching the defaults are
+ * omitted; parsing it back yields the same ClusterSpec (round trip).
+ */
+std::string clusterSpecName(const ClusterSpec &spec);
+
+/** One-line grammar summary for CLI help / --list output. */
+const char *clusterSpecGrammar();
+
+/** Representative spec strings for --list output. */
+std::vector<std::string> exampleClusterSpecs();
+
+} // namespace centaur
+
+#endif // CENTAUR_CLUSTER_CLUSTER_SPEC_HH

@@ -1,0 +1,602 @@
+#include "cluster/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+
+#include "cluster/router.hh"
+#include "core/scenario.hh"
+#include "core/system_builder.hh"
+#include "sim/event_queue.hh"
+#include "sim/log.hh"
+#include "sim/random.hh"
+
+namespace centaur {
+
+namespace {
+
+/** One admitted request waiting for a worker on its node. */
+struct PendingRequest
+{
+    std::uint32_t id = 0;
+    double arrivalUs = 0.0;
+};
+
+/**
+ * Concatenate per-request payloads into one dispatched batch -
+ * mirrors the single-node engine (core/server.cc) exactly.
+ */
+InferenceBatch
+coalesceRequests(const std::vector<InferenceBatch> &payloads,
+                 const std::vector<std::uint32_t> &ids)
+{
+    const InferenceBatch &first = payloads[ids.front()];
+    InferenceBatch merged;
+    merged.batch = 0;
+    merged.lookupsPerTable = first.lookupsPerTable;
+    merged.indices.resize(first.indices.size());
+    for (std::uint32_t id : ids) {
+        const InferenceBatch &req = payloads[id];
+        merged.batch += req.batch;
+        for (std::size_t t = 0; t < req.indices.size(); ++t)
+            merged.indices[t].insert(merged.indices[t].end(),
+                                     req.indices[t].begin(),
+                                     req.indices[t].end());
+        merged.dense.insert(merged.dense.end(), req.dense.begin(),
+                            req.dense.end());
+    }
+    return merged;
+}
+
+/** Per-node scheduling state: the single-node engine's locals. */
+struct NodeState
+{
+    ClusterNode *node = nullptr;
+    /** Request ids routed here, ascending (= arrival order). */
+    std::vector<std::uint32_t> ids;
+    std::size_t next = 0; //!< next unadmitted index into ids
+    std::deque<PendingRequest> queue;
+    std::vector<double> workerFree;
+    std::vector<WorkerStats> workerStats;
+    std::uint64_t droppedFull = 0;
+    std::uint64_t droppedTimeout = 0;
+    std::uint64_t served = 0;
+    std::uint64_t dispatches = 0;
+    double energyJoules = 0.0;
+    std::uint64_t remoteReads = 0;
+    std::uint64_t remoteReadBytes = 0;
+    double remoteGatherUs = 0.0;
+    std::function<void()> round;
+};
+
+std::uint64_t
+nameHash(const std::string &name)
+{
+    // FNV-1a, stable across platforms.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+ClusterEngine::ClusterEngine(ClusterTopology &topo,
+                             const ServingConfig &cfg)
+    : _topo(topo), _cfg(cfg)
+{
+    if (cfg.arrivalRatePerSec <= 0.0)
+        fatal("cluster engine needs a positive arrival rate");
+    if (cfg.requests == 0)
+        fatal("cluster engine needs at least one request");
+    if (cfg.maxCoalescedBatch == 0)
+        fatal("cluster engine needs a positive coalesced batch");
+    if (cfg.maxQueueDepth > 0 &&
+        cfg.maxQueueDepth < cfg.maxCoalescedBatch)
+        fatal("maxQueueDepth (", cfg.maxQueueDepth,
+              ") must cover maxCoalescedBatch (",
+              cfg.maxCoalescedBatch,
+              ") or the admission cap starves forming batches");
+    if (topo.nodes() == 0)
+        fatal("cluster engine needs at least one node");
+    for (std::uint32_t n = 0; n < topo.nodes(); ++n)
+        if (topo.node(n).workers.empty())
+            panic("cluster node ", n, " has no workers");
+}
+
+ClusterStats
+ClusterEngine::run()
+{
+    const ClusterSpec &spec = _topo.spec();
+    const std::uint32_t nodes = _topo.nodes();
+    const std::uint32_t num_requests = _cfg.requests;
+    const DlrmConfig &model = _topo.node(0).workers.front()->config();
+    const EmbeddingShardMap &map = _topo.shardMap();
+    ClusterNetwork &net = _topo.network();
+
+    // Arrival process and per-request payloads, generated up front in
+    // request-id order from the exact RNG streams of the single-node
+    // engine (core/server.cc). Nothing downstream - routing included -
+    // consumes these streams, so a 1-node cluster sees the same
+    // arrivals and payloads as ServingEngine, draw for draw.
+    Rng arrivals_rng(_cfg.seed * 7919 + 13);
+    WorkloadConfig wl = _cfg.workloadConfig();
+    WorkloadGenerator gen(model, wl);
+
+    const double mean_gap_us = 1e6 / _cfg.arrivalRatePerSec;
+    const bool bursty = _cfg.arrival == ArrivalProcess::Burst &&
+                        _cfg.burstFactor > 1.0;
+    const double burst_gap_us = mean_gap_us / _cfg.burstFactor;
+    const double idle_gap_us =
+        mean_gap_us *
+        (_cfg.burstFactor - 1.0 + 1.0 / _cfg.burstFactor);
+    std::vector<double> arrival_us(num_requests);
+    std::vector<InferenceBatch> payloads(num_requests);
+    double clock_us = 0.0;
+    for (std::uint32_t r = 0; r < num_requests; ++r) {
+        double gap_mean_us = mean_gap_us;
+        if (bursty)
+            gap_mean_us =
+                arrivals_rng.nextDouble() < 1.0 / _cfg.burstFactor
+                    ? idle_gap_us
+                    : burst_gap_us;
+        const double u = std::max(arrivals_rng.nextDouble(), 1e-12);
+        clock_us += -std::log(u) * gap_mean_us;
+        arrival_us[r] = clock_us;
+        payloads[r] = gen.next();
+    }
+
+    // Least-loaded books an estimated per-request service time; probe
+    // it on a throwaway system so the main workers' state (and the
+    // workload streams above) stay untouched.
+    double est_service_us = 0.0;
+    if (spec.route == RoutePolicy::LeastLoaded && nodes > 1) {
+        const auto probe = makeSystem(spec.nodeSpec, model);
+        WorkloadGenerator probe_gen(model, wl);
+        est_service_us =
+            usFromTicks(probe->infer(probe_gen.next()).latency());
+    }
+
+    // Route every request up front, in id order: decisions depend
+    // only on (seed, payload stream), never on event interleaving.
+    Router router(spec.route, nodes, map, _cfg.seed, est_service_us);
+    std::vector<std::uint32_t> route_of(num_requests);
+    std::vector<NodeState> ns(nodes);
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+        NodeState &s = ns[n];
+        s.node = &_topo.node(n);
+        s.workerFree.assign(s.node->workers.size(), 0.0);
+        s.workerStats.resize(s.node->workers.size());
+        for (std::size_t i = 0; i < s.node->workers.size(); ++i)
+            s.workerStats[i].spec = s.node->workers[i]->spec();
+    }
+    for (std::uint32_t r = 0; r < num_requests; ++r) {
+        route_of[r] = router.route(r, payloads[r], arrival_us[r]);
+        ns[route_of[r]].ids.push_back(r);
+    }
+
+    std::vector<ClusterShardStats> shard_stats(map.shards());
+    for (std::uint32_t s = 0; s < map.shards(); ++s) {
+        shard_stats[s].shard = s;
+        shard_stats[s].primaryNode = map.primary(s);
+        shard_stats[s].replicas = map.replicas();
+    }
+
+    StatHistogram latency(0.0, 100000.0, 2000); // us, 50 us buckets
+    StatAverage service;
+    StatAverage queueing;
+    std::uint64_t served = 0;
+    std::uint64_t dispatches = 0;
+    std::uint64_t sla_hits = 0;
+    double energy_joules = 0.0;
+    double last_completion = 0.0;
+    std::uint64_t fanout_total = 0;
+    std::uint64_t fanout_dispatches = 0;
+    double straggler_us = 0.0;
+
+    // Admit every arrival routed to @p s with timestamp <= t.
+    const auto admitUpTo = [&](NodeState &s, double t) {
+        while (s.next < s.ids.size() &&
+               arrival_us[s.ids[s.next]] <= t) {
+            if (_cfg.maxQueueDepth > 0 &&
+                s.queue.size() >= _cfg.maxQueueDepth) {
+                ++s.droppedFull;
+            } else {
+                s.queue.push_back(
+                    {s.ids[s.next], arrival_us[s.ids[s.next]]});
+            }
+            ++s.next;
+        }
+    };
+
+    // One shared event queue carries every node's scheduling rounds,
+    // so cross-node interleaving is fixed by tick + insertion order
+    // and the run is deterministic at any --jobs count.
+    EventQueue events;
+    const auto scheduleRound = [&](std::uint32_t n) {
+        NodeState &s = ns[n];
+        const double next_us = *std::min_element(
+            s.workerFree.begin(), s.workerFree.end());
+        events.schedule(
+            std::max(events.now(), ticksFromUs(next_us)), s.round);
+    };
+
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+        // The round body is the single-node engine's greedy state
+        // machine verbatim, restricted to the node's routed ids, plus
+        // the sharded-gather charge after infer().
+        ns[n].round = [&, n]() {
+            NodeState &s = ns[n];
+            const std::size_t w = static_cast<std::size_t>(
+                std::min_element(s.workerFree.begin(),
+                                 s.workerFree.end()) -
+                s.workerFree.begin());
+            double t = s.workerFree[w];
+            admitUpTo(s, t);
+            if (s.queue.empty()) {
+                if (s.next >= s.ids.size())
+                    return; // drained: nothing left to schedule
+                t = arrival_us[s.ids[s.next]];
+                // An idle node waiting on a future arrival re-fires
+                // at that arrival's tick instead of dispatching
+                // "early" at a stale event time: NIC grants must be
+                // requested in (near) global time order or the FIFO
+                // busy-until clocks would stall other nodes' reads
+                // behind one booked far in the future. Decisions are
+                // unchanged - they read the microsecond state - so a
+                // 1-node run stays tick-identical.
+                if (ticksFromUs(t) > events.now()) {
+                    events.schedule(ticksFromUs(t), s.round);
+                    return;
+                }
+                admitUpTo(s, t);
+            }
+
+            double dispatch_us = std::max(t, s.queue.front().arrivalUs);
+
+            if (_cfg.coalesceWindowUs > 0.0 &&
+                s.queue.size() < _cfg.maxCoalescedBatch) {
+                const double deadline_us =
+                    dispatch_us + _cfg.coalesceWindowUs;
+                while (s.queue.size() < _cfg.maxCoalescedBatch &&
+                       s.next < s.ids.size() &&
+                       arrival_us[s.ids[s.next]] <= deadline_us) {
+                    const double ta = arrival_us[s.ids[s.next]];
+                    const std::size_t before = s.queue.size();
+                    admitUpTo(s, ta);
+                    if (s.queue.size() > before)
+                        dispatch_us = ta;
+                }
+                if (s.queue.size() < _cfg.maxCoalescedBatch)
+                    dispatch_us = deadline_us; // timer fired underfull
+            }
+
+            std::vector<std::uint32_t> batch_ids;
+            std::vector<double> batch_arrivals;
+            while (!s.queue.empty() &&
+                   batch_ids.size() < _cfg.maxCoalescedBatch) {
+                const PendingRequest req = s.queue.front();
+                s.queue.pop_front();
+                if (_cfg.queueTimeoutUs > 0.0 &&
+                    dispatch_us - req.arrivalUs >
+                        _cfg.queueTimeoutUs) {
+                    ++s.droppedTimeout;
+                    continue;
+                }
+                batch_ids.push_back(req.id);
+                batch_arrivals.push_back(req.arrivalUs);
+            }
+            if (batch_ids.empty()) {
+                s.workerFree[w] =
+                    std::max(s.workerFree[w], dispatch_us);
+                scheduleRound(n);
+                return;
+            }
+
+            const InferenceBatch merged =
+                coalesceRequests(payloads, batch_ids);
+            if (s.node->fabric)
+                s.node->workers[w]->alignClock(
+                    ticksFromUs(dispatch_us));
+            const InferenceResult res =
+                s.node->workers[w]->infer(merged);
+            double service_us = usFromTicks(res.latency());
+
+            // Sharded gather: rows on a replica this node holds are
+            // free; the rest fan out as one one-sided read per owner
+            // node, and the dense stage waits for the slowest.
+            std::vector<std::uint64_t> bytes(nodes, 0);
+            for (std::size_t tb = 0; tb < merged.indices.size();
+                 ++tb) {
+                for (std::uint64_t row : merged.indices[tb]) {
+                    const std::uint32_t shard = map.shardOf(
+                        static_cast<std::uint32_t>(tb), row);
+                    if (map.isOwner(shard, n)) {
+                        ++shard_stats[shard].localLookups;
+                    } else {
+                        const std::uint32_t owner =
+                            map.replicaFor(shard, n);
+                        bytes[owner] += model.vectorBytes();
+                        ++shard_stats[shard].remoteLookups;
+                    }
+                }
+            }
+            if (!net.isNull()) {
+                Tick done_min = 0;
+                Tick done_max = 0;
+                std::uint32_t fanout = 0;
+                std::uint64_t read_bytes = 0;
+                const Tick ready = ticksFromUs(dispatch_us);
+                for (std::uint32_t owner = 0; owner < nodes;
+                     ++owner) {
+                    if (bytes[owner] == 0)
+                        continue;
+                    const Tick done =
+                        net.read(n, owner, bytes[owner], ready);
+                    done_min =
+                        fanout ? std::min(done_min, done) : done;
+                    done_max = std::max(done_max, done);
+                    ++fanout;
+                    read_bytes += bytes[owner];
+                }
+                if (fanout > 0) {
+                    // The gather overlaps the local IDX+EMB phases;
+                    // only the tail past them extends the dispatch.
+                    const double emb_done_us =
+                        dispatch_us +
+                        usFromTicks(res.phaseTicks(Phase::Idx) +
+                                    res.phaseTicks(Phase::Emb));
+                    const double extra_us = std::max(
+                        0.0, usFromTicks(done_max) - emb_done_us);
+                    service_us += extra_us;
+                    s.remoteGatherUs += extra_us;
+                    s.remoteReads += fanout;
+                    s.remoteReadBytes += read_bytes;
+                    fanout_total += fanout;
+                    ++fanout_dispatches;
+                    if (fanout > 1)
+                        straggler_us +=
+                            usFromTicks(done_max - done_min);
+                }
+            }
+
+            const double done_us = dispatch_us + service_us;
+            s.workerFree[w] = done_us;
+            s.workerStats[w].busyUs += service_us;
+            s.workerStats[w].served += batch_ids.size();
+            ++s.workerStats[w].dispatches;
+            s.workerStats[w].energyJoules += res.energyJoules;
+            s.workerStats[w].fabricWaitUs +=
+                usFromTicks(res.fabricWait);
+            s.energyJoules += res.energyJoules;
+            s.served += batch_ids.size();
+            ++s.dispatches;
+            energy_joules += res.energyJoules;
+            last_completion = std::max(last_completion, done_us);
+            served += batch_ids.size();
+            ++dispatches;
+
+            for (double arrival : batch_arrivals) {
+                const double total = done_us - arrival;
+                latency.sample(total);
+                service.sample(service_us);
+                queueing.sample(dispatch_us - arrival);
+                if (_cfg.slaTargetUs > 0.0 &&
+                    total <= _cfg.slaTargetUs)
+                    ++sla_hits;
+            }
+            scheduleRound(n);
+        };
+    }
+
+    for (std::uint32_t n = 0; n < nodes; ++n)
+        events.schedule(0, ns[n].round);
+    events.run();
+
+    ClusterStats out;
+    out.cluster = clusterSpecName(spec);
+    out.spec = spec;
+    out.routeOf = std::move(route_of);
+
+    ServingStats &tot = out.total;
+    tot.offered = num_requests;
+    tot.served = served;
+    tot.meanServiceUs = service.mean();
+    tot.meanQueueUs = queueing.mean();
+    tot.meanLatencyUs = latency.mean();
+    tot.p50Us = latency.quantile(0.50);
+    tot.p95Us = latency.quantile(0.95);
+    tot.p99Us = latency.quantile(0.99);
+    tot.maxLatencyUs = latency.max();
+    tot.latencyOverflow = latency.overflow();
+    tot.offeredRps = _cfg.arrivalRatePerSec;
+    tot.throughputRps =
+        last_completion > 0.0
+            ? static_cast<double>(served) * 1e6 / last_completion
+            : 0.0;
+    tot.energyJoules = energy_joules;
+    tot.dispatches = dispatches;
+    tot.meanCoalescedRequests =
+        dispatches ? static_cast<double>(served) /
+                         static_cast<double>(dispatches)
+                   : 0.0;
+    tot.slaTargetUs = _cfg.slaTargetUs;
+    tot.slaHitRate = _cfg.slaTargetUs > 0.0
+                         ? static_cast<double>(sla_hits) /
+                               static_cast<double>(num_requests)
+                         : 0.0;
+
+    const Tick horizon = ticksFromUs(last_completion);
+    double busy_total_us = 0.0;
+    std::size_t total_workers = 0;
+    out.perNode.resize(nodes);
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+        NodeState &s = ns[n];
+        ClusterNodeStats &pn = out.perNode[n];
+        pn.node = n;
+        pn.spec = spec.nodeSpec;
+        pn.routed = s.ids.size();
+        pn.served = s.served;
+        pn.dispatches = s.dispatches;
+        pn.nodeEnergyJoules = s.energyJoules;
+        pn.remoteReads = s.remoteReads;
+        pn.remoteReadBytes = s.remoteReadBytes;
+        pn.remoteGatherUs = s.remoteGatherUs;
+        tot.droppedQueueFull += s.droppedFull;
+        tot.droppedTimeout += s.droppedTimeout;
+
+        for (std::size_t i = 0; i < s.workerStats.size(); ++i) {
+            WorkerStats &ws = s.workerStats[i];
+            ws.utilization = last_completion > 0.0
+                                 ? ws.busyUs / last_completion
+                                 : 0.0;
+            pn.busyUs += ws.busyUs;
+            pn.fabricWaitUs += ws.fabricWaitUs;
+            busy_total_us += ws.busyUs;
+            tot.fabricWaitUs += ws.fabricWaitUs;
+        }
+        pn.utilization =
+            last_completion > 0.0
+                ? pn.busyUs /
+                      (last_completion *
+                       static_cast<double>(s.workerStats.size()))
+                : 0.0;
+
+        if (s.node->fabric) {
+            for (std::size_t i = 0; i < kNumNodeResources; ++i) {
+                const auto r = static_cast<NodeResource>(i);
+                const ResourceClock &clk = s.node->fabric->clock(r);
+                FabricResourceStats fs;
+                fs.resource = nodeResourceName(r);
+                fs.lanes = clk.lanes();
+                fs.grants = clk.grants();
+                fs.busyUs = usFromTicks(clk.busyTicks());
+                fs.waitUs = usFromTicks(clk.waitTicks());
+                fs.utilization = clk.utilization(horizon);
+                pn.fabric.push_back(std::move(fs));
+            }
+        }
+        total_workers += s.workerStats.size();
+        pn.workers = std::move(s.workerStats);
+        tot.perWorker.insert(tot.perWorker.end(),
+                             pn.workers.begin(), pn.workers.end());
+    }
+    tot.utilization =
+        last_completion > 0.0 && total_workers > 0
+            ? busy_total_us /
+                  (last_completion *
+                   static_cast<double>(total_workers))
+            : 0.0;
+
+    out.perShard = std::move(shard_stats);
+
+    out.nics.resize(nodes);
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+        ClusterNicStats &nic = out.nics[n];
+        nic.node = n;
+        nic.txGrants = net.tx(n).grants();
+        nic.rxGrants = net.rx(n).grants();
+        nic.txBusyUs = usFromTicks(net.tx(n).busyTicks());
+        nic.rxBusyUs = usFromTicks(net.rx(n).busyTicks());
+        nic.txWaitUs = usFromTicks(net.tx(n).waitTicks());
+        nic.rxWaitUs = usFromTicks(net.rx(n).waitTicks());
+        nic.txUtilization = net.tx(n).utilization(horizon);
+        nic.rxUtilization = net.rx(n).utilization(horizon);
+    }
+    out.remoteReads = net.reads();
+    out.remoteReadBytes = net.readBytes();
+    out.connectionSetups = net.setups();
+    out.meanFanout =
+        fanout_dispatches
+            ? static_cast<double>(fanout_total) /
+                  static_cast<double>(fanout_dispatches)
+            : 0.0;
+    out.stragglerWaitUs = straggler_us;
+    return out;
+}
+
+ClusterStats
+runClusterSim(const ClusterSpec &spec, const DlrmConfig &model,
+              const ServingConfig &cfg)
+{
+    ClusterTopology topo(spec, model, cfg);
+    return ClusterEngine(topo, cfg).run();
+}
+
+ClusterStats
+runClusterSim(const Scenario &sc, const ServingConfig &base)
+{
+    const ClusterSpec spec = parseClusterSpec(sc.spec);
+    const std::vector<ModelInfo> models = parseModelSet(sc.model);
+    if (models.size() != 1)
+        fatal("scenario ", scenarioName(sc), " names ",
+              models.size(),
+              " models; a cluster run needs exactly one");
+    ServingConfig cfg = base;
+    cfg.applyWorkload(parseWorkloadSpec(sc.workload));
+    return runClusterSim(spec, models.front().config, cfg);
+}
+
+std::uint64_t
+clusterSweepSeed(const std::string &key, const std::string &model,
+                double rate)
+{
+    return 0xC1A57E2ULL * 1000003ULL + nameHash(key) +
+           nameHash(model) * 31ULL +
+           static_cast<std::uint64_t>(rate);
+}
+
+std::vector<ClusterSweepEntry>
+runClusterSweep(const Scenario &sc, const std::vector<double> &rates,
+                const ServingConfig &base, std::uint64_t seed_offset)
+{
+    const ClusterSpec spec = parseClusterSpec(sc.spec);
+    const std::vector<ModelInfo> models = parseModelSet(sc.model);
+    if (models.size() != 1)
+        fatal("scenario ", scenarioName(sc), " names ",
+              models.size(),
+              " models; a cluster sweep needs exactly one");
+    const ModelInfo &model = models.front();
+    ServingConfig cfg = base;
+    const WorkloadConfig wl = parseWorkloadSpec(sc.workload);
+    cfg.applyWorkload(wl);
+    // A workload that pins its own arrival rate replaces the swept
+    // rate axis (same rule as runServingSweep).
+    const std::vector<double> swept_rates =
+        wl.arrivalRatePerSec > 0.0
+            ? std::vector<double>{wl.arrivalRatePerSec}
+            : rates;
+
+    const std::string cluster = clusterSpecName(spec);
+    std::vector<ClusterSweepEntry> out;
+    out.reserve(swept_rates.size());
+    for (double rate : swept_rates) {
+        ServingConfig point = cfg;
+        point.arrivalRatePerSec = rate;
+        point.seed = clusterSweepSeed(cluster, model.name, rate) +
+                     seed_offset;
+        ClusterSweepEntry entry;
+        entry.modelName = model.config.name;
+        entry.spec = spec.nodeSpec;
+        entry.workload = workloadSpecName(point.workloadConfig());
+        entry.cluster = cluster;
+        entry.nodes = spec.nodes;
+        entry.workersPerNode =
+            cfg.workerSpecs.empty()
+                ? cfg.workers
+                : static_cast<std::uint32_t>(cfg.workerSpecs.size());
+        entry.shardPolicy = shardPolicyName(spec.shard);
+        entry.replicas = spec.replicas;
+        entry.route = routePolicyName(spec.route);
+        entry.arrivalRatePerSec = rate;
+        entry.seed = point.seed;
+        entry.stats = runClusterSim(spec, model.config, point);
+        out.push_back(std::move(entry));
+    }
+    return out;
+}
+
+} // namespace centaur

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Modeled cluster network: per-NIC busy-until pipes with RDMA-class
+ * one-sided read semantics.
+ *
+ * Remote embedding gather lives in the microsecond regime: a
+ * one-sided RDMA READ completes in a couple of microseconds on
+ * 100 Gb-class fabrics, and fast connection setup (KRCore-style
+ * DCT-backed QP bring-up) costs tens of microseconds instead of the
+ * milliseconds of classic verbs connect. The model charges exactly
+ * those three things: a one-time per-(src,dst) connection setup, a
+ * base read latency covering flight time plus the remote NIC's DMA
+ * turnaround, and payload serialization on both endpoints' NIC
+ * pipes (the owner's egress and the reader's ingress), each a
+ * per-direction busy-until ResourceClock (sim/resource.hh) shared
+ * by all traffic of the node - which is what makes incast and
+ * straggler effects visible.
+ *
+ * A null network (nullNet) charges nothing and grants at the ready
+ * tick; a 1-node cluster over it is tick-identical to the
+ * single-node serving fleet (asserted in tests/cluster/).
+ */
+
+#ifndef CENTAUR_CLUSTER_NETWORK_HH
+#define CENTAUR_CLUSTER_NETWORK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/resource.hh"
+#include "sim/units.hh"
+
+namespace centaur {
+
+/** Cluster network budgets and latencies. */
+struct NetworkConfig
+{
+    /** Per-NIC, per-direction bandwidth (decimal GB/s; 100 GbE). */
+    double nicGBps = 12.5;
+    /** One-sided read base latency: flight + remote DMA engine (us). */
+    double readLatencyUs = 2.0;
+    /** One-time connection setup per (src, dst) pair (us). */
+    double setupUs = 25.0;
+    /** Zero-cost network: remote reads complete at their ready tick. */
+    bool nullNet = false;
+
+    bool
+    operator==(const NetworkConfig &o) const
+    {
+        return nicGBps == o.nicGBps &&
+               readLatencyUs == o.readLatencyUs &&
+               setupUs == o.setupUs && nullNet == o.nullNet;
+    }
+    bool operator!=(const NetworkConfig &o) const { return !(*this == o); }
+};
+
+/**
+ * The cluster's NICs as FIFO busy-until clocks: one egress (tx) and
+ * one ingress (rx) pipe per node. Not thread-safe - a network
+ * belongs to one simulation, which is single-threaded by
+ * construction (suite parallelism is across simulations).
+ */
+class ClusterNetwork
+{
+  public:
+    ClusterNetwork(std::uint32_t nodes, const NetworkConfig &cfg);
+
+    /**
+     * One-sided read of @p bytes from @p dst's memory into @p src,
+     * earliest at @p ready. Returns the completion tick. Charges
+     * connection setup on first use of the (src, dst) pair, the
+     * request descriptor on src's egress, the base read latency,
+     * and payload serialization on dst's egress + src's ingress.
+     * A null network (or src == dst) returns @p ready untouched.
+     */
+    Tick read(std::uint32_t src, std::uint32_t dst,
+              std::uint64_t bytes, Tick ready);
+
+    std::uint32_t nodes() const { return _nodes; }
+    const NetworkConfig &config() const { return _cfg; }
+    bool isNull() const { return _cfg.nullNet; }
+
+    /** Completed one-sided reads. */
+    std::uint64_t reads() const { return _reads; }
+    /** Payload bytes moved by reads. */
+    std::uint64_t readBytes() const { return _readBytes; }
+    /** Connections set up (ordered (src, dst) pairs used). */
+    std::uint64_t setups() const { return _setups; }
+
+    const ResourceClock &tx(std::uint32_t node) const
+    {
+        return _tx[node];
+    }
+    const ResourceClock &rx(std::uint32_t node) const
+    {
+        return _rx[node];
+    }
+
+  private:
+    std::uint32_t _nodes;
+    NetworkConfig _cfg;
+    std::vector<ResourceClock> _tx;
+    std::vector<ResourceClock> _rx;
+    /** connected[src * nodes + dst]: setup already paid. */
+    std::vector<bool> _connected;
+    std::uint64_t _reads = 0;
+    std::uint64_t _readBytes = 0;
+    std::uint64_t _setups = 0;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CLUSTER_NETWORK_HH

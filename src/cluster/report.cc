@@ -1,0 +1,126 @@
+#include "cluster/report.hh"
+
+#include "core/report.hh"
+
+namespace centaur {
+
+Json
+toJson(const ClusterNodeStats &ns)
+{
+    Json j = Json::object();
+    j["node"] = ns.node;
+    j["spec"] = ns.spec;
+    j["routed"] = ns.routed;
+    j["served"] = ns.served;
+    j["dispatches"] = ns.dispatches;
+    j["busy_us"] = ns.busyUs;
+    j["utilization"] = ns.utilization;
+    j["node_energy_joules"] = ns.nodeEnergyJoules;
+    j["fabric_wait_us"] = ns.fabricWaitUs;
+    j["remote_reads"] = ns.remoteReads;
+    j["remote_read_bytes"] = ns.remoteReadBytes;
+    j["remote_gather_us"] = ns.remoteGatherUs;
+    Json fabric = Json::array();
+    for (const auto &fs : ns.fabric)
+        fabric.push(toJson(fs));
+    j["fabric"] = fabric;
+    return j;
+}
+
+Json
+toJson(const ClusterShardStats &ss)
+{
+    Json j = Json::object();
+    j["shard"] = ss.shard;
+    j["primary_node"] = ss.primaryNode;
+    j["replicas"] = ss.replicas;
+    j["local_lookups"] = ss.localLookups;
+    j["remote_lookups"] = ss.remoteLookups;
+    return j;
+}
+
+Json
+toJson(const ClusterNicStats &nic)
+{
+    Json j = Json::object();
+    j["node"] = nic.node;
+    j["tx_grants"] = nic.txGrants;
+    j["rx_grants"] = nic.rxGrants;
+    j["tx_busy_us"] = nic.txBusyUs;
+    j["rx_busy_us"] = nic.rxBusyUs;
+    j["tx_wait_us"] = nic.txWaitUs;
+    j["rx_wait_us"] = nic.rxWaitUs;
+    j["tx_utilization"] = nic.txUtilization;
+    j["rx_utilization"] = nic.rxUtilization;
+    return j;
+}
+
+Json
+toJson(const ClusterStats &stats)
+{
+    Json j = Json::object();
+    j["cluster"] = stats.cluster;
+    j["nodes"] = stats.spec.nodes;
+    j["node_spec"] = stats.spec.nodeSpec;
+    j["shard_policy"] = shardPolicyName(stats.spec.shard);
+    j["shard_replicas"] = stats.spec.replicas;
+    j["route"] = routePolicyName(stats.spec.route);
+
+    Json net = Json::object();
+    net["null_net"] = stats.spec.net.nullNet;
+    net["nic_gbps"] = stats.spec.net.nicGBps;
+    net["read_latency_us"] = stats.spec.net.readLatencyUs;
+    net["setup_us"] = stats.spec.net.setupUs;
+    j["net"] = net;
+
+    // Cluster-wide aggregate without per-worker rows: a worker on a
+    // starved node may have served nothing, and zero-valued
+    // strictly-positive worker keys must not be emitted (see file
+    // comment). Node-level activity lives in per_node instead.
+    ServingStats total = stats.total;
+    total.perWorker.clear();
+    total.fabric.clear();
+    j["serving"] = toJson(total);
+
+    Json per_node = Json::array();
+    for (const auto &ns : stats.perNode)
+        per_node.push(toJson(ns));
+    j["per_node"] = per_node;
+
+    Json per_shard = Json::array();
+    for (const auto &ss : stats.perShard)
+        per_shard.push(toJson(ss));
+    j["per_shard"] = per_shard;
+
+    Json nics = Json::array();
+    for (const auto &nic : stats.nics)
+        nics.push(toJson(nic));
+    j["nics"] = nics;
+
+    j["remote_reads"] = stats.remoteReads;
+    j["remote_read_bytes"] = stats.remoteReadBytes;
+    j["connection_setups"] = stats.connectionSetups;
+    j["mean_fanout"] = stats.meanFanout;
+    j["straggler_wait_us"] = stats.stragglerWaitUs;
+    return j;
+}
+
+Json
+toJson(const ClusterSweepEntry &entry)
+{
+    Json j = reportStamp("cluster_entry", entry.seed);
+    j["model"] = entry.modelName;
+    j["spec"] = entry.spec;
+    j["workload"] = entry.workload;
+    j["cluster"] = entry.cluster;
+    j["nodes"] = entry.nodes;
+    j["workers_per_node"] = entry.workersPerNode;
+    j["shard_policy"] = entry.shardPolicy;
+    j["replicas"] = entry.replicas;
+    j["route"] = entry.route;
+    j["arrival_rate_per_sec"] = entry.arrivalRatePerSec;
+    j["stats"] = toJson(entry.stats);
+    return j;
+}
+
+} // namespace centaur

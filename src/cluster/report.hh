@@ -1,0 +1,42 @@
+/**
+ * @file
+ * JSON serializers for cluster-scale serving records (schema v1.4).
+ *
+ * Layout notes, shaped by the bench contract (tools/check_bench.py):
+ * the cluster-wide "serving" object is the standard ServingStats
+ * serialization with per_worker and fabric emptied - under skewed
+ * routing a node (or worker) can legitimately serve zero requests,
+ * and strictly-positive per-worker keys (energy_joules,
+ * throughput_rps) must never appear with a zero value. Per-node
+ * activity is instead reported in "per_node" records whose energy
+ * key (node_energy_joules) is allowed to be zero, alongside the
+ * node's own fabric array; per-shard gather locality lands in
+ * "per_shard" and per-NIC accounting in "nics".
+ */
+
+#ifndef CENTAUR_CLUSTER_REPORT_HH
+#define CENTAUR_CLUSTER_REPORT_HH
+
+#include "cluster/engine.hh"
+#include "sim/json.hh"
+
+namespace centaur {
+
+/** Per-node serving + gather accounting. */
+Json toJson(const ClusterNodeStats &ns);
+
+/** Per-shard gather locality. */
+Json toJson(const ClusterShardStats &ss);
+
+/** Per-NIC busy/wait accounting. */
+Json toJson(const ClusterNicStats &nic);
+
+/** Full cluster run: serving aggregate + node/shard/NIC breakdown. */
+Json toJson(const ClusterStats &stats);
+
+/** One cluster sweep point, stamped kind "cluster_entry". */
+Json toJson(const ClusterSweepEntry &entry);
+
+} // namespace centaur
+
+#endif // CENTAUR_CLUSTER_REPORT_HH

@@ -1,0 +1,75 @@
+#include "cluster/router.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+Router::Router(RoutePolicy policy, std::uint32_t nodes,
+               const EmbeddingShardMap &map, std::uint64_t seed,
+               double estServiceUs)
+    : _policy(policy), _nodes(nodes), _map(map),
+      // Decision stream independent of the workload/arrival draws.
+      _rng(seed * 6271 + 29), _estServiceUs(estServiceUs),
+      _virtualFreeUs(nodes, 0.0), _score(nodes, 0)
+{
+    if (nodes == 0)
+        fatal("router needs at least one node");
+}
+
+std::uint32_t
+Router::route(std::uint32_t id, const InferenceBatch &payload,
+              double arrivalUs)
+{
+    if (_nodes == 1)
+        return 0;
+    switch (_policy) {
+      case RoutePolicy::Random:
+        return static_cast<std::uint32_t>(_rng.nextBelow(_nodes));
+
+      case RoutePolicy::LeastLoaded: {
+        // Earliest virtual finish; ties break toward the lowest id.
+        std::uint32_t best = 0;
+        for (std::uint32_t n = 1; n < _nodes; ++n)
+            if (_virtualFreeUs[n] < _virtualFreeUs[best])
+                best = n;
+        _virtualFreeUs[best] =
+            std::max(_virtualFreeUs[best], arrivalUs) + _estServiceUs;
+        return best;
+      }
+
+      case RoutePolicy::ShardAffinity: {
+        std::fill(_score.begin(), _score.end(), 0);
+        for (std::size_t t = 0; t < payload.indices.size(); ++t) {
+            for (std::uint64_t row : payload.indices[t]) {
+                const std::uint32_t shard = _map.shardOf(
+                    static_cast<std::uint32_t>(t), row);
+                for (std::uint32_t owner : _map.owners(shard))
+                    ++_score[owner];
+            }
+        }
+        std::uint64_t best_score = 0;
+        for (std::uint32_t n = 0; n < _nodes; ++n)
+            best_score = std::max(best_score, _score[n]);
+        // Exact ties rotate by request id so uniform traffic (where
+        // every node owns about the same share) still spreads.
+        std::uint32_t ties = 0;
+        for (std::uint32_t n = 0; n < _nodes; ++n)
+            if (_score[n] == best_score)
+                ++ties;
+        std::uint32_t pick = id % ties;
+        for (std::uint32_t n = 0; n < _nodes; ++n) {
+            if (_score[n] != best_score)
+                continue;
+            if (pick == 0)
+                return n;
+            --pick;
+        }
+        panic("affinity router lost its argmax");
+      }
+    }
+    panic("unknown route policy");
+}
+
+} // namespace centaur

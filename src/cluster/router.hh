@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Front-end request router with pluggable policies.
+ *
+ * Routing happens at request-generation time, in request-id order,
+ * so decisions are a pure function of (seed, payload stream) - never
+ * of event interleaving. That is what keeps cluster runs
+ * deterministic at any --jobs count and lets a test replay the exact
+ * decision vector.
+ *
+ *   random    seeded uniform pick (load-oblivious baseline)
+ *   least     earliest virtual-finish node: the router books an
+ *             estimated service time per routed request, mirroring
+ *             what a front-end with response-time feedback knows
+ *   affinity  the node owning the most embedding rows of the
+ *             payload (any replica counts); exact ties rotate by
+ *             request id so uniform traffic still spreads
+ */
+
+#ifndef CENTAUR_CLUSTER_ROUTER_HH
+#define CENTAUR_CLUSTER_ROUTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_spec.hh"
+#include "cluster/shard_map.hh"
+#include "dlrm/workload.hh"
+#include "sim/random.hh"
+
+namespace centaur {
+
+/** Deterministic per-request node selection. */
+class Router
+{
+  public:
+    /**
+     * @param policy routing policy
+     * @param nodes cluster size
+     * @param map shard map scoring affinity
+     * @param seed decision stream seed (Random policy)
+     * @param estServiceUs estimated per-request service time the
+     *        LeastLoaded policy books per routed request
+     */
+    Router(RoutePolicy policy, std::uint32_t nodes,
+           const EmbeddingShardMap &map, std::uint64_t seed,
+           double estServiceUs = 0.0);
+
+    /**
+     * Pick the node for request @p id arriving at @p arrivalUs with
+     * @p payload. Must be called in request-id order (the router
+     * keeps policy state).
+     */
+    std::uint32_t route(std::uint32_t id,
+                        const InferenceBatch &payload,
+                        double arrivalUs);
+
+    RoutePolicy policy() const { return _policy; }
+
+  private:
+    RoutePolicy _policy;
+    std::uint32_t _nodes;
+    const EmbeddingShardMap &_map;
+    Rng _rng;
+    double _estServiceUs;
+    /** LeastLoaded: virtual finish time per node (us). */
+    std::vector<double> _virtualFreeUs;
+    /** Affinity scratch: lookups owned per node for one payload. */
+    std::vector<std::uint64_t> _score;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CLUSTER_ROUTER_HH

@@ -1,0 +1,112 @@
+#include "cluster/shard_map.hh"
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+const char *
+shardPolicyName(ShardPolicy policy)
+{
+    switch (policy) {
+      case ShardPolicy::Hash:
+        return "hash";
+      case ShardPolicy::Range:
+        return "range";
+    }
+    panic("unknown shard policy");
+}
+
+bool
+tryParseShardPolicy(const std::string &name, ShardPolicy *out,
+                    std::string *error)
+{
+    if (name == "hash") {
+        if (out)
+            *out = ShardPolicy::Hash;
+        return true;
+    }
+    if (name == "range") {
+        if (out)
+            *out = ShardPolicy::Range;
+        return true;
+    }
+    if (error)
+        *error = "unknown shard policy '" + name + "' (hash | range)";
+    return false;
+}
+
+namespace {
+
+/** splitmix64 finalizer: full-avalanche mix of a (table, row) pair. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+EmbeddingShardMap::EmbeddingShardMap(const DlrmConfig &model,
+                                     std::uint32_t nodes,
+                                     ShardPolicy policy,
+                                     std::uint32_t replicas)
+    : _shards(nodes), _policy(policy)
+{
+    if (nodes == 0)
+        fatal("shard map needs at least one node");
+    if (replicas == 0)
+        fatal("shard map needs at least one replica");
+    _replicas = std::min(replicas, nodes);
+    // Range policy: ceil(rows / shards) so the last shard absorbs
+    // the remainder and every row has exactly one shard.
+    _rowsPerShard = (model.rowsPerTable + _shards - 1) / _shards;
+    if (_rowsPerShard == 0)
+        _rowsPerShard = 1;
+    _owners.resize(_shards);
+    for (std::uint32_t s = 0; s < _shards; ++s) {
+        _owners[s].reserve(_replicas);
+        for (std::uint32_t k = 0; k < _replicas; ++k)
+            _owners[s].push_back((s + k) % nodes);
+    }
+}
+
+std::uint32_t
+EmbeddingShardMap::shardOf(std::uint32_t table, std::uint64_t row) const
+{
+    if (_policy == ShardPolicy::Range) {
+        const std::uint64_t s = row / _rowsPerShard;
+        return static_cast<std::uint32_t>(
+            s < _shards ? s : _shards - 1);
+    }
+    const std::uint64_t h =
+        mix64(row * 0x100000001B3ULL + table);
+    return static_cast<std::uint32_t>(h % _shards);
+}
+
+bool
+EmbeddingShardMap::isOwner(std::uint32_t shard,
+                           std::uint32_t node) const
+{
+    for (std::uint32_t owner : _owners[shard])
+        if (owner == node)
+            return true;
+    return false;
+}
+
+std::uint32_t
+EmbeddingShardMap::replicaFor(std::uint32_t shard,
+                              std::uint32_t reader) const
+{
+    const std::vector<std::uint32_t> &own = _owners[shard];
+    // A full-avalanche mix: a linear (reader + shard) % K choice
+    // collapses by parity and funnels every remote shard of one
+    // reader to the same replica.
+    const std::uint64_t h = mix64(
+        static_cast<std::uint64_t>(reader) * 0x100000001B3ULL + shard);
+    return own[static_cast<std::size_t>(h % own.size())];
+}
+
+} // namespace centaur

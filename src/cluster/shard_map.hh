@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Embedding shard map: which cluster node owns which embedding rows.
+ *
+ * A DLRM request touches *every* table (one reduced vector per
+ * table), so table-granular sharding could never give a router
+ * locality to exploit. The unit of sharding is therefore a row
+ * partition applied to every table of the model: shard s of N covers
+ * either a contiguous row range (Range policy - Zipf-popular head
+ * rows stay together, concentrating hot traffic on one shard) or a
+ * hashed spread of (table, row) pairs (Hash policy - hot rows
+ * scatter evenly, trading locality for balance). Each shard has a
+ * primary node plus K-1 chained replicas, so a gather can be served
+ * by any owner and the router can trade locality against load.
+ */
+
+#ifndef CENTAUR_CLUSTER_SHARD_MAP_HH
+#define CENTAUR_CLUSTER_SHARD_MAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dlrm/model_config.hh"
+
+namespace centaur {
+
+/** How embedding rows map to shards. */
+enum class ShardPolicy : std::uint8_t
+{
+    Hash = 0,  //!< (table, row) hashed across shards (load balance)
+    Range = 1, //!< contiguous row ranges per shard (popularity locality)
+};
+
+/** Stable CLI / JSON name of a shard policy. */
+const char *shardPolicyName(ShardPolicy policy);
+
+/** Parse a shard policy name; false + @p error on unknown names. */
+bool tryParseShardPolicy(const std::string &name, ShardPolicy *out,
+                         std::string *error = nullptr);
+
+/**
+ * Row-partition shard map over one model's embedding tables: one
+ * shard per cluster node, each replicated onto @p replicas
+ * consecutive nodes (chain replication; the shard's own node is its
+ * primary). Deterministic: the same (model, nodes, policy, replicas)
+ * always yields the same map.
+ */
+class EmbeddingShardMap
+{
+  public:
+    EmbeddingShardMap(const DlrmConfig &model, std::uint32_t nodes,
+                      ShardPolicy policy, std::uint32_t replicas);
+
+    std::uint32_t shards() const { return _shards; }
+    ShardPolicy policy() const { return _policy; }
+    /** Owners per shard after clamping to the node count. */
+    std::uint32_t replicas() const { return _replicas; }
+
+    /** Shard owning row @p row of table @p table. */
+    std::uint32_t shardOf(std::uint32_t table, std::uint64_t row) const;
+
+    /** Owner nodes of @p shard, primary first. */
+    const std::vector<std::uint32_t> &owners(std::uint32_t shard) const
+    {
+        return _owners[shard];
+    }
+
+    /** Primary owner node of @p shard. */
+    std::uint32_t primary(std::uint32_t shard) const
+    {
+        return _owners[shard].front();
+    }
+
+    /** Whether @p node holds a replica of @p shard. */
+    bool isOwner(std::uint32_t shard, std::uint32_t node) const;
+
+    /**
+     * Owner serving @p reader's remote reads of @p shard: a
+     * deterministic hash of (reader, shard) spread across the
+     * replica set, so replicated shards share gather load instead of
+     * hammering the primary.
+     */
+    std::uint32_t replicaFor(std::uint32_t shard,
+                             std::uint32_t reader) const;
+
+  private:
+    std::uint32_t _shards;
+    ShardPolicy _policy;
+    std::uint32_t _replicas;
+    std::uint64_t _rowsPerShard; //!< Range policy bucket width
+    std::vector<std::vector<std::uint32_t>> _owners;
+};
+
+} // namespace centaur
+
+#endif // CENTAUR_CLUSTER_SHARD_MAP_HH

@@ -1,0 +1,30 @@
+#include "cluster/topology.hh"
+
+#include "sim/log.hh"
+
+namespace centaur {
+
+ClusterTopology::ClusterTopology(const ClusterSpec &spec,
+                                 const DlrmConfig &model,
+                                 const ServingConfig &cfg)
+    : _spec(spec),
+      _shardMap(model, spec.nodes, spec.shard, spec.replicas),
+      _network(spec.nodes, spec.net)
+{
+    if (spec.nodes == 0)
+        fatal("cluster topology needs at least one node");
+    _nodes.resize(spec.nodes);
+    for (std::uint32_t n = 0; n < spec.nodes; ++n) {
+        ClusterNode &node = _nodes[n];
+        node.id = n;
+        if (cfg.contend)
+            node.fabric = std::make_unique<Fabric>(cfg.fabricCfg);
+        node.owned = makeWorkers(spec.nodeSpec, model, cfg,
+                                 node.fabric.get());
+        node.workers.reserve(node.owned.size());
+        for (auto &w : node.owned)
+            node.workers.push_back(w.get());
+    }
+}
+
+} // namespace centaur

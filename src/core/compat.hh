@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Legacy compatibility surface: every deprecated entry point of the
+ * pre-scenario API generations, consolidated in one documented
+ * header. Three generations live here, oldest first:
+ *
+ *  1. The monolithic system classes (PR 1): CpuOnlySystem,
+ *     CpuGpuSystem and CentaurSystem. The classes themselves stay -
+ *     they are the tick-for-tick references the composed presets are
+ *     asserted against (tests/core/test_composed_system.cc) - but
+ *     new code includes them through this header, not through
+ *     core/{cpu_only,cpu_gpu,centaur}_system.hh directly.
+ *  2. The DesignPoint factories (PR 2): makeSystem / makeWorkers /
+ *     runServingSim over the three-point DesignPoint enum. Replaced
+ *     by the string-addressable backend spec registry
+ *     (core/backend.hh) and SystemBuilder
+ *     (core/system_builder.hh).
+ *  3. The model-implicit sweeps (PR 3): runSweep / runPaperSweep /
+ *     runServingSweep overloads taking Table I preset numbers and
+ *     IndexDistribution enums. Replaced by the Scenario surface
+ *     (core/scenario.hh): one backend spec x one registry model x
+ *     one workload spec string.
+ *
+ * Deprecation policy: a legacy entry point is a thin shim over its
+ * modern replacement and reproduces it tick for tick (asserted by
+ * the tick-equivalence tests that remain on this surface). Shims are
+ * declared [[deprecated]] here and nowhere else, so the only way to
+ * call one silently is to include this header knowingly; under
+ * -Werror (CI) every call site needs an explicit
+ * `#pragma GCC diagnostic ignored "-Wdeprecated-declarations"`.
+ * Shims are removed two PRs after their last in-tree caller
+ * migrates.
+ */
+
+#ifndef CENTAUR_CORE_COMPAT_HH
+#define CENTAUR_CORE_COMPAT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/centaur_system.hh"
+#include "core/cpu_gpu_system.hh"
+#include "core/cpu_only_system.hh"
+#include "core/experiment.hh"
+#include "core/server.hh"
+#include "core/system.hh"
+
+namespace centaur {
+
+// ------------------------------------------------------------------
+// Generation 2: DesignPoint factories.
+// ------------------------------------------------------------------
+
+/**
+ * Factory covering the paper's three design points with default
+ * configs.
+ *
+ * @deprecated Thin shim over SystemBuilder (core/system_builder.hh):
+ * `makeSystem(specForDesign(dp), cfg)`. Prefer the builder - it
+ * reaches every registered backend spec, not just the paper's three
+ * design points.
+ */
+[[deprecated("use makeSystem(spec, model) or SystemBuilder "
+             "(core/system_builder.hh)")]]
+std::unique_ptr<System> makeSystem(DesignPoint dp,
+                                   const DlrmConfig &cfg);
+
+/**
+ * Build @p n independent worker systems for one design point.
+ *
+ * @deprecated Use makeWorkers(default_spec, model, cfg)
+ * (core/server.hh); it honours heterogeneous cfg.workerSpecs and a
+ * shared node fabric.
+ */
+[[deprecated("use makeWorkers(default_spec, model, cfg) from "
+             "core/server.hh")]]
+std::vector<std::unique_ptr<System>>
+makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n);
+
+/**
+ * Convenience: build workers per @p cfg.workers and run the engine.
+ *
+ * @deprecated Use the spec-based
+ * `runServingSim(specForDesign(dp), model, cfg)` or the
+ * scenario-based `runServingSim(Scenario{...}, base)`
+ * (core/server.hh).
+ */
+[[deprecated("use runServingSim(spec, model, cfg) or "
+             "runServingSim(Scenario, base) from core/server.hh")]]
+ServingStats runServingSim(DesignPoint dp, const DlrmConfig &model,
+                           const ServingConfig &cfg);
+
+// ------------------------------------------------------------------
+// Generation 3: model-implicit preset/IndexDistribution sweeps.
+// ------------------------------------------------------------------
+
+/**
+ * Measure backend spec @p spec on every (preset, batch) pair.
+ *
+ * @deprecated Model-implicit shim over the scenario-based runSweep;
+ * prefer `runSweep(Scenario{spec, model, workload}, batches)`.
+ * Per-point seeds are identical: paper-preset models keep the
+ * legacy preset-indexed sweepSeed().
+ */
+[[deprecated("use runSweep(Scenario{spec, model, workload}, batches) "
+             "from core/experiment.hh")]]
+std::vector<SweepEntry>
+runSweep(const std::string &spec, const std::vector<int> &presets,
+         const std::vector<std::uint32_t> &batches, int warmup_runs = 1,
+         IndexDistribution dist = IndexDistribution::Uniform,
+         std::uint64_t seed_offset = 0);
+
+/**
+ * Legacy design-point shim over the spec-based runSweep.
+ *
+ * @deprecated Prefer
+ * `runSweep(Scenario{specForDesign(dp), model, workload}, batches)`.
+ */
+[[deprecated("use runSweep(Scenario{spec, model, workload}, batches) "
+             "from core/experiment.hh")]]
+std::vector<SweepEntry>
+runSweep(DesignPoint dp, const std::vector<int> &presets,
+         const std::vector<std::uint32_t> &batches, int warmup_runs = 1,
+         IndexDistribution dist = IndexDistribution::Uniform,
+         std::uint64_t seed_offset = 0);
+
+/**
+ * Legacy design-point shim over the spec-based runPaperSweep.
+ *
+ * @deprecated Prefer `runPaperSweep(specForDesign(dp))`
+ * (core/experiment.hh).
+ */
+[[deprecated("use runPaperSweep(spec) from core/experiment.hh")]]
+std::vector<SweepEntry> runPaperSweep(DesignPoint dp,
+                                      int warmup_runs = 1,
+                                      std::uint64_t seed_offset = 0);
+
+/**
+ * Run the serving engine on @p spec across the cross product of
+ * worker counts, coalescing limits and arrival rates.
+ *
+ * @deprecated Model-implicit shim over the scenario-based
+ * runServingSweep; prefer passing a Scenario. Per-point seeds are
+ * identical for paper-preset models.
+ */
+[[deprecated("use runServingSweep(Scenario{spec, model, workload}, "
+             "...) from core/experiment.hh")]]
+std::vector<ServingSweepEntry>
+runServingSweep(const std::string &spec, int preset,
+                const std::vector<std::uint32_t> &workers,
+                const std::vector<std::uint32_t> &coalesce,
+                const std::vector<double> &rates,
+                const ServingConfig &base = ServingConfig{},
+                std::uint64_t seed_offset = 0);
+
+/** Legacy design-point shim over the spec-based runServingSweep.
+ *
+ * @deprecated Prefer passing a Scenario (core/experiment.hh).
+ */
+[[deprecated("use runServingSweep(Scenario{spec, model, workload}, "
+             "...) from core/experiment.hh")]]
+std::vector<ServingSweepEntry>
+runServingSweep(DesignPoint dp, int preset,
+                const std::vector<std::uint32_t> &workers,
+                const std::vector<std::uint32_t> &coalesce,
+                const std::vector<double> &rates,
+                const ServingConfig &base = ServingConfig{},
+                std::uint64_t seed_offset = 0);
+
+} // namespace centaur
+
+#endif // CENTAUR_CORE_COMPAT_HH

@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include "core/backend.hh"
+#include "core/compat.hh"
 #include "core/system_builder.hh"
 #include "sim/log.hh"
 
@@ -83,6 +84,12 @@ runSweep(const Scenario &sc, const std::vector<std::uint32_t> &batches,
                           seed_offset);
 }
 
+// Definitions of the core/compat.hh legacy sweep surface; the
+// non-deprecated runPaperSweep(spec) rides along because it shares
+// the preset-indexed core.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 std::vector<SweepEntry>
 runSweep(const std::string &spec, const std::vector<int> &presets,
          const std::vector<std::uint32_t> &batches, int warmup_runs,
@@ -125,6 +132,8 @@ runPaperSweep(DesignPoint dp, int warmup_runs,
 {
     return runPaperSweep(specForDesign(dp), warmup_runs, seed_offset);
 }
+
+#pragma GCC diagnostic pop
 
 const SweepEntry &
 findEntry(const std::vector<SweepEntry> &entries, int preset,
@@ -231,6 +240,10 @@ runServingSweep(const Scenario &sc,
                                 seed_offset);
 }
 
+// Definitions of the core/compat.hh legacy serving-sweep surface.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 std::vector<ServingSweepEntry>
 runServingSweep(const std::string &spec, int preset,
                 const std::vector<std::uint32_t> &workers,
@@ -255,6 +268,8 @@ runServingSweep(DesignPoint dp, int preset,
     return runServingSweep(specForDesign(dp), preset, workers,
                            coalesce, rates, base, seed_offset);
 }
+
+#pragma GCC diagnostic pop
 
 const ServingSweepEntry &
 findServingEntry(const std::vector<ServingSweepEntry> &entries,

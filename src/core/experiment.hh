@@ -53,32 +53,12 @@ std::vector<SweepEntry>
 runSweep(const Scenario &sc, const std::vector<std::uint32_t> &batches,
          int warmup_runs = 1, std::uint64_t seed_offset = 0);
 
-/**
- * Measure backend spec @p spec on every (preset, batch) pair.
- *
- * @deprecated Model-implicit shim over the scenario-based runSweep;
- * prefer `runSweep(Scenario{spec, model, workload}, batches)`.
- */
-std::vector<SweepEntry>
-runSweep(const std::string &spec, const std::vector<int> &presets,
-         const std::vector<std::uint32_t> &batches, int warmup_runs = 1,
-         IndexDistribution dist = IndexDistribution::Uniform,
-         std::uint64_t seed_offset = 0);
-
-/** Legacy design-point shim over the spec-based runSweep. */
-std::vector<SweepEntry>
-runSweep(DesignPoint dp, const std::vector<int> &presets,
-         const std::vector<std::uint32_t> &batches, int warmup_runs = 1,
-         IndexDistribution dist = IndexDistribution::Uniform,
-         std::uint64_t seed_offset = 0);
+// The deprecated model-implicit overloads (Table I preset lists,
+// IndexDistribution enums, DesignPoint shims) live on the legacy
+// surface, core/compat.hh.
 
 /** Convenience: all six presets x the paper's batch sizes. */
 std::vector<SweepEntry> runPaperSweep(const std::string &spec,
-                                      int warmup_runs = 1,
-                                      std::uint64_t seed_offset = 0);
-
-/** Legacy design-point shim over the spec-based runPaperSweep. */
-std::vector<SweepEntry> runPaperSweep(DesignPoint dp,
                                       int warmup_runs = 1,
                                       std::uint64_t seed_offset = 0);
 
@@ -136,29 +116,8 @@ runServingSweep(const Scenario &sc,
                 const ServingConfig &base = ServingConfig{},
                 std::uint64_t seed_offset = 0);
 
-/**
- * Run the serving engine on @p spec across the cross product of
- * worker counts, coalescing limits and arrival rates.
- *
- * @deprecated Model-implicit shim over the scenario-based
- * runServingSweep; prefer passing a Scenario.
- */
-std::vector<ServingSweepEntry>
-runServingSweep(const std::string &spec, int preset,
-                const std::vector<std::uint32_t> &workers,
-                const std::vector<std::uint32_t> &coalesce,
-                const std::vector<double> &rates,
-                const ServingConfig &base = ServingConfig{},
-                std::uint64_t seed_offset = 0);
-
-/** Legacy design-point shim over the spec-based runServingSweep. */
-std::vector<ServingSweepEntry>
-runServingSweep(DesignPoint dp, int preset,
-                const std::vector<std::uint32_t> &workers,
-                const std::vector<std::uint32_t> &coalesce,
-                const std::vector<double> &rates,
-                const ServingConfig &base = ServingConfig{},
-                std::uint64_t seed_offset = 0);
+// The deprecated preset-indexed runServingSweep overloads live on
+// the legacy surface, core/compat.hh.
 
 /** Locate a serving-sweep entry; fatal if absent. */
 const ServingSweepEntry &

@@ -48,8 +48,18 @@ constexpr int kReportSchemaVersion = 1;
  * 0 when uncontended), and serving stats carry a `fabric` array of
  * per-resource {resource, lanes, grants, busy_us, wait_us,
  * utilization} stamps (empty without a fabric).
+ * v1.4 adds cluster-scale serving (src/cluster/): `cluster_entry`
+ * records stamp the canonical cluster spec string, the node/shard/
+ * route shape, and a `stats` object whose `serving` aggregate keeps
+ * the ServingStats layout (per_worker and fabric emptied - a starved
+ * node can serve zero and strictly-positive worker keys must never
+ * be zero), alongside `per_node` records (own fabric array,
+ * node_energy_joules allowed zero), `per_shard` gather-locality hit
+ * counts, per-NIC tx/rx busy/wait accounting, and network totals
+ * {remote_reads, remote_read_bytes, connection_setups, mean_fanout,
+ * straggler_wait_us}.
  */
-constexpr int kReportSchemaMinorVersion = 3;
+constexpr int kReportSchemaMinorVersion = 4;
 
 /** Common stamp: schema version (major+minor), kind and seed. */
 Json reportStamp(const std::string &kind, std::uint64_t seed);

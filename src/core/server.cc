@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "core/backend.hh"
+#include "core/compat.hh"
 #include "core/scenario.hh"
 #include "core/system_builder.hh"
 #include "sim/event_queue.hh"
@@ -358,6 +359,10 @@ ServingEngine::run()
     return out;
 }
 
+// Definition of the core/compat.hh legacy worker factory.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 std::vector<std::unique_ptr<System>>
 makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n)
 {
@@ -369,6 +374,8 @@ makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n)
         out.push_back(makeSystem(dp, model));
     return out;
 }
+
+#pragma GCC diagnostic pop
 
 std::vector<std::unique_ptr<System>>
 makeWorkers(const std::string &default_spec, const DlrmConfig &model,
@@ -403,12 +410,18 @@ runServingSim(const std::string &default_spec, const DlrmConfig &model,
     return ServingEngine(std::move(workers), cfg, node).run();
 }
 
+// Definition of the core/compat.hh legacy serving shim.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 ServingStats
 runServingSim(DesignPoint dp, const DlrmConfig &model,
               const ServingConfig &cfg)
 {
     return runServingSim(specForDesign(dp), model, cfg);
 }
+
+#pragma GCC diagnostic pop
 
 ServingStats
 runServingSim(const Scenario &sc, const ServingConfig &base)

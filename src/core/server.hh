@@ -214,9 +214,9 @@ class ServingEngine
     Fabric *_fabric;
 };
 
-/** Build @p n independent worker systems for one design point. */
-std::vector<std::unique_ptr<System>>
-makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n);
+// The deprecated DesignPoint helpers makeWorkers(DesignPoint, ...)
+// and runServingSim(DesignPoint, ...) live on the legacy surface,
+// core/compat.hh.
 
 /**
  * Build the worker fleet for @p cfg: one system per
@@ -227,10 +227,6 @@ makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n);
 std::vector<std::unique_ptr<System>>
 makeWorkers(const std::string &default_spec, const DlrmConfig &model,
             const ServingConfig &cfg, Fabric *fabric = nullptr);
-
-/** Convenience: build workers per @p cfg.workers and run the engine. */
-ServingStats runServingSim(DesignPoint dp, const DlrmConfig &model,
-                           const ServingConfig &cfg);
 
 /**
  * Spec-based convenience: build the fleet via

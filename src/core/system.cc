@@ -1,6 +1,7 @@
 #include "core/system.hh"
 
 #include "core/backend.hh"
+#include "core/compat.hh"
 #include "core/system_builder.hh"
 #include "sim/log.hh"
 
@@ -12,6 +13,10 @@ System::spec() const
     return specForDesign(design());
 }
 
+// Definition of the core/compat.hh legacy surface.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 std::unique_ptr<System>
 makeSystem(DesignPoint dp, const DlrmConfig &cfg)
 {
@@ -20,6 +25,8 @@ makeSystem(DesignPoint dp, const DlrmConfig &cfg)
     // class exactly (tests/core/test_composed_system.cc).
     return SystemBuilder().spec(specForDesign(dp)).model(cfg).build();
 }
+
+#pragma GCC diagnostic pop
 
 InferenceResult
 measureInference(System &sys, WorkloadGenerator &gen, int warmup_runs)

@@ -82,16 +82,8 @@ class System
     Tick _now = 0;
 };
 
-/**
- * Factory covering all three design points with default configs.
- *
- * @deprecated Thin shim over SystemBuilder (core/system_builder.hh):
- * `SystemBuilder().spec(specForDesign(dp)).model(cfg).build()`.
- * Prefer the builder - it reaches every registered backend spec, not
- * just the paper's three design points.
- */
-std::unique_ptr<System> makeSystem(DesignPoint dp,
-                                   const DlrmConfig &cfg);
+// The deprecated DesignPoint factory makeSystem(DesignPoint,
+// DlrmConfig) lives on the legacy surface, core/compat.hh.
 
 /**
  * Run @p warmup_runs throwaway inferences (cache/TLB warmup, as the

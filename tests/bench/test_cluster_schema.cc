@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Golden-schema test for the cluster_matrix suite (schema v1.4): the
+ * stamped envelope, every cluster_entry key tools/check_bench.py
+ * gates on (per-node fabric arrays, per-shard hit counts, NIC
+ * accounting, the remote/affinity invariant blocks), and byte-equal
+ * JSON at --jobs 1 vs --jobs 4 (routing happens at generation time,
+ * so parallelism must never change a record).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+#include "suite.hh"
+
+using namespace centaur;
+using namespace centaur::bench;
+
+namespace {
+
+/** Run cluster_matrix quietly and hand back the parsed envelope. */
+Json
+runClusterMatrix(std::uint32_t jobs)
+{
+    const Suite *suite = findSuite("cluster_matrix");
+    if (suite == nullptr) {
+        ADD_FAILURE() << "cluster_matrix not registered";
+        return Json::object();
+    }
+    SuiteContext ctx(nullptr, 0, {}, 0, {}, {}, jobs);
+    const Json envelope = runSuite(*suite, ctx);
+    // Schema checks run on what a JSON consumer would actually see.
+    Json doc;
+    std::string err;
+    EXPECT_TRUE(Json::parse(envelope.dump(2), doc, &err)) << err;
+    return doc;
+}
+
+TEST(ClusterSchemaTest, ClusterMatrixIsRegistered)
+{
+    const Suite *s = findSuite("cluster_matrix");
+    ASSERT_NE(s, nullptr);
+    EXPECT_STREQ(s->name, "cluster_matrix");
+    ASSERT_NE(s->specs, nullptr);
+    // --list documents the cluster grammar axis.
+    EXPECT_NE(std::string(s->specs).find("cluster:"),
+              std::string::npos);
+}
+
+TEST(ClusterSchemaTest, ClusterMatrixGoldenSchema)
+{
+    const Json doc = runClusterMatrix(1);
+
+    // Stamped v1.4 envelope.
+    ASSERT_NE(doc.find("schema_version"), nullptr);
+    EXPECT_EQ(doc.find("schema_version")->asInt(),
+              kReportSchemaVersion);
+    ASSERT_NE(doc.find("schema_minor"), nullptr);
+    EXPECT_EQ(doc.find("schema_minor")->asInt(),
+              kReportSchemaMinorVersion);
+    EXPECT_GE(kReportSchemaMinorVersion, 4);
+    EXPECT_EQ(doc.find("kind")->asString(), "suite");
+    EXPECT_EQ(doc.find("suite")->asString(), "cluster_matrix");
+
+    const Json *data = doc.find("data");
+    ASSERT_NE(data, nullptr);
+    for (const char *key :
+         {"clusters_run", "workloads_run", "records", "remote_checks",
+          "affinity_checks"})
+        ASSERT_NE(data->find(key), nullptr) << key;
+
+    const Json *records = data->find("records");
+    ASSERT_TRUE(records->isArray());
+    // Default matrix: 8 clusters x 2 workloads.
+    EXPECT_EQ(records->size(), data->find("clusters_run")->size() *
+                                   data->find("workloads_run")->size());
+
+    for (const Json &rec : records->elements()) {
+        ASSERT_EQ(rec.find("kind")->asString(), "cluster_entry");
+        for (const char *key :
+             {"schema_version", "schema_minor", "seed", "model",
+              "spec", "workload", "cluster", "nodes",
+              "workers_per_node", "shard_policy", "replicas", "route",
+              "arrival_rate_per_sec"})
+            ASSERT_NE(rec.find(key), nullptr) << key;
+
+        const Json *stats = rec.find("stats");
+        ASSERT_NE(stats, nullptr);
+        for (const char *key :
+             {"cluster", "nodes", "node_spec", "shard_policy",
+              "shard_replicas", "route", "net", "serving", "per_node",
+              "per_shard", "nics", "remote_reads",
+              "remote_read_bytes", "connection_setups", "mean_fanout",
+              "straggler_wait_us"})
+            ASSERT_NE(stats->find(key), nullptr) << key;
+
+        const Json *net = stats->find("net");
+        for (const char *key :
+             {"null_net", "nic_gbps", "read_latency_us", "setup_us"})
+            ASSERT_NE(net->find(key), nullptr) << key;
+
+        // The cluster-wide serving aggregate keeps the ServingStats
+        // shape but drops the per-worker rows (a starved node's
+        // worker may serve zero; per-node activity carries it).
+        const Json *serving = stats->find("serving");
+        ASSERT_NE(serving, nullptr);
+        EXPECT_GT(serving->find("mean_service_us")->asDouble(), 0.0);
+        EXPECT_GT(serving->find("p99_us")->asDouble(), 0.0);
+        EXPECT_EQ(serving->find("per_worker")->size(), 0u);
+        EXPECT_EQ(serving->find("fabric")->size(), 0u);
+
+        const std::uint32_t nodes =
+            static_cast<std::uint32_t>(rec.find("nodes")->asInt());
+        const Json *per_node = stats->find("per_node");
+        ASSERT_EQ(per_node->size(), nodes);
+        for (const Json &pn : per_node->elements()) {
+            for (const char *key :
+                 {"node", "spec", "routed", "served", "dispatches",
+                  "busy_us", "utilization", "node_energy_joules",
+                  "fabric_wait_us", "remote_reads",
+                  "remote_read_bytes", "remote_gather_us", "fabric"})
+                ASSERT_NE(pn.find(key), nullptr) << key;
+            // The suite runs contended: every node carries its own
+            // fabric accounting.
+            EXPECT_GT(pn.find("fabric")->size(), 0u);
+        }
+
+        // One shard per node, hit counts present on every shard.
+        const Json *per_shard = stats->find("per_shard");
+        ASSERT_EQ(per_shard->size(), nodes);
+        std::uint64_t lookups = 0;
+        for (const Json &ps : per_shard->elements()) {
+            for (const char *key :
+                 {"shard", "primary_node", "replicas",
+                  "local_lookups", "remote_lookups"})
+                ASSERT_NE(ps.find(key), nullptr) << key;
+            lookups +=
+                static_cast<std::uint64_t>(
+                    ps.find("local_lookups")->asDouble()) +
+                static_cast<std::uint64_t>(
+                    ps.find("remote_lookups")->asDouble());
+        }
+        EXPECT_GT(lookups, 0u) << rec.find("cluster")->asString();
+
+        const Json *nics = stats->find("nics");
+        ASSERT_EQ(nics->size(), nodes);
+        for (const Json &nic : nics->elements())
+            for (const char *key :
+                 {"node", "tx_grants", "rx_grants", "tx_busy_us",
+                  "rx_busy_us", "tx_wait_us", "rx_wait_us",
+                  "tx_utilization", "rx_utilization"})
+                ASSERT_NE(nic.find(key), nullptr) << key;
+    }
+
+    // The CI invariants hold on the default matrix.
+    const Json *remote = data->find("remote_checks");
+    EXPECT_GT(remote->size(), 0u);
+    for (const Json &chk : remote->elements()) {
+        for (const char *key :
+             {"workload", "cluster", "local_service_us",
+              "remote_service_us", "remote_not_faster"})
+            ASSERT_NE(chk.find(key), nullptr) << key;
+        EXPECT_TRUE(chk.find("remote_not_faster")->asBool())
+            << chk.find("cluster")->asString();
+    }
+    const Json *affinity = data->find("affinity_checks");
+    EXPECT_GT(affinity->size(), 0u);
+    for (const Json &chk : affinity->elements()) {
+        for (const char *key :
+             {"workload", "nodes", "shard_policy", "affinity_p99_us",
+              "random_p99_us", "affinity_not_slower"})
+            ASSERT_NE(chk.find(key), nullptr) << key;
+        EXPECT_TRUE(chk.find("affinity_not_slower")->asBool())
+            << chk.find("workload")->asString() << " @ "
+            << chk.find("nodes")->asInt() << " nodes";
+    }
+}
+
+TEST(ClusterSchemaTest, JobsDoNotChangeTheJson)
+{
+    // Routing and payload generation happen before any event runs,
+    // so the emitted document must be byte-identical at any --jobs.
+    const Json serial = runClusterMatrix(1);
+    const Json parallel = runClusterMatrix(4);
+    EXPECT_EQ(serial.dump(2), parallel.dump(2));
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The cluster engine's anchor guarantee: a 1-node cluster over a
+ * null network is tick-identical to the single-node serving fleet
+ * (core/server.hh). Every aggregate scalar, every per-worker row and
+ * the node fabric accounting must match exactly - with contention
+ * off and on. This is what makes the cluster layer an extension of
+ * the serving stack instead of a second simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/engine.hh"
+#include "core/experiment.hh"
+#include "core/scenario.hh"
+#include "core/server.hh"
+
+namespace centaur {
+namespace {
+
+ServingConfig
+baseConfig(bool contend)
+{
+    ServingConfig cfg;
+    cfg.arrivalRatePerSec = 1500.0;
+    cfg.batchPerRequest = 8;
+    cfg.requests = 120;
+    cfg.workers = 2;
+    cfg.maxCoalescedBatch = 2;
+    cfg.seed = 77;
+    cfg.contend = contend;
+    return cfg;
+}
+
+void
+expectIdenticalWorker(const WorkerStats &c, const WorkerStats &s)
+{
+    EXPECT_EQ(c.spec, s.spec);
+    EXPECT_EQ(c.served, s.served);
+    EXPECT_EQ(c.dispatches, s.dispatches);
+    EXPECT_DOUBLE_EQ(c.busyUs, s.busyUs);
+    EXPECT_DOUBLE_EQ(c.utilization, s.utilization);
+    EXPECT_DOUBLE_EQ(c.energyJoules, s.energyJoules);
+    EXPECT_DOUBLE_EQ(c.fabricWaitUs, s.fabricWaitUs);
+}
+
+/** Every field of the serving aggregates matches exactly. */
+void
+expectIdenticalServing(const ServingStats &c, const ServingStats &s)
+{
+    EXPECT_EQ(c.offered, s.offered);
+    EXPECT_EQ(c.served, s.served);
+    EXPECT_EQ(c.droppedQueueFull, s.droppedQueueFull);
+    EXPECT_EQ(c.droppedTimeout, s.droppedTimeout);
+    EXPECT_DOUBLE_EQ(c.meanServiceUs, s.meanServiceUs);
+    EXPECT_DOUBLE_EQ(c.meanQueueUs, s.meanQueueUs);
+    EXPECT_DOUBLE_EQ(c.meanLatencyUs, s.meanLatencyUs);
+    EXPECT_DOUBLE_EQ(c.p50Us, s.p50Us);
+    EXPECT_DOUBLE_EQ(c.p95Us, s.p95Us);
+    EXPECT_DOUBLE_EQ(c.p99Us, s.p99Us);
+    EXPECT_DOUBLE_EQ(c.maxLatencyUs, s.maxLatencyUs);
+    EXPECT_EQ(c.latencyOverflow, s.latencyOverflow);
+    EXPECT_DOUBLE_EQ(c.throughputRps, s.throughputRps);
+    EXPECT_DOUBLE_EQ(c.offeredRps, s.offeredRps);
+    EXPECT_DOUBLE_EQ(c.utilization, s.utilization);
+    EXPECT_DOUBLE_EQ(c.energyJoules, s.energyJoules);
+    EXPECT_EQ(c.dispatches, s.dispatches);
+    EXPECT_DOUBLE_EQ(c.meanCoalescedRequests, s.meanCoalescedRequests);
+    EXPECT_DOUBLE_EQ(c.slaHitRate, s.slaHitRate);
+    EXPECT_DOUBLE_EQ(c.fabricWaitUs, s.fabricWaitUs);
+    ASSERT_EQ(c.perWorker.size(), s.perWorker.size());
+    for (std::size_t w = 0; w < c.perWorker.size(); ++w) {
+        SCOPED_TRACE("worker " + std::to_string(w));
+        expectIdenticalWorker(c.perWorker[w], s.perWorker[w]);
+    }
+}
+
+class ClusterIdentity : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(ClusterIdentity, OneNodeNullNetMatchesServingEngine)
+{
+    const bool contend = GetParam();
+    const DlrmConfig model = dlrmPreset(1);
+    const ServingConfig cfg = baseConfig(contend);
+
+    const ServingStats serving =
+        runServingSim("cpu+fpga", model, cfg);
+    const ClusterStats cluster = runClusterSim(
+        parseClusterSpec("cluster:1x(cpu+fpga)/net:null"), model, cfg);
+
+    expectIdenticalServing(cluster.total, serving);
+
+    // Nothing crossed the (nonexistent) network.
+    EXPECT_EQ(cluster.remoteReads, 0u);
+    EXPECT_EQ(cluster.remoteReadBytes, 0u);
+    EXPECT_EQ(cluster.connectionSetups, 0u);
+    EXPECT_DOUBLE_EQ(cluster.meanFanout, 0.0);
+    EXPECT_DOUBLE_EQ(cluster.stragglerWaitUs, 0.0);
+
+    // The single node carries the whole run, and its fabric mirrors
+    // the serving fleet's fabric row for row.
+    ASSERT_EQ(cluster.perNode.size(), 1u);
+    const ClusterNodeStats &node = cluster.perNode.front();
+    EXPECT_EQ(node.routed, serving.offered);
+    EXPECT_EQ(node.served, serving.served);
+    EXPECT_EQ(node.dispatches, serving.dispatches);
+    EXPECT_DOUBLE_EQ(node.nodeEnergyJoules, serving.energyJoules);
+    EXPECT_EQ(node.remoteReads, 0u);
+    EXPECT_DOUBLE_EQ(node.remoteGatherUs, 0.0);
+    ASSERT_EQ(node.fabric.size(), serving.fabric.size());
+    EXPECT_EQ(node.fabric.empty(), !contend);
+    for (std::size_t r = 0; r < node.fabric.size(); ++r) {
+        const FabricResourceStats &cf = node.fabric[r];
+        const FabricResourceStats &sf = serving.fabric[r];
+        SCOPED_TRACE(cf.resource);
+        EXPECT_EQ(cf.resource, sf.resource);
+        EXPECT_EQ(cf.lanes, sf.lanes);
+        EXPECT_EQ(cf.grants, sf.grants);
+        EXPECT_DOUBLE_EQ(cf.busyUs, sf.busyUs);
+        EXPECT_DOUBLE_EQ(cf.waitUs, sf.waitUs);
+        EXPECT_DOUBLE_EQ(cf.utilization, sf.utilization);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ContendOffAndOn, ClusterIdentity,
+                         ::testing::Bool());
+
+// The Scenario front door agrees with the explicit-spec one, and a
+// workload axis applies over the base config the same way
+// runServingSim(Scenario) does.
+TEST(ClusterScenario, ScenarioEntryMatchesExplicitSpec)
+{
+    const ServingConfig base = baseConfig(true);
+    Scenario sc;
+    sc.spec = "cluster:1x(cpu+fpga)/net:null";
+    sc.model = "dlrm1";
+    sc.workload = "uniform";
+    const ClusterStats via_scenario = runClusterSim(sc, base);
+    const ClusterStats via_spec = runClusterSim(
+        parseClusterSpec(sc.spec), dlrmPreset(1), base);
+    expectIdenticalServing(via_scenario.total, via_spec.total);
+    EXPECT_EQ(via_scenario.cluster, via_spec.cluster);
+
+    const ServingStats serving =
+        runServingSim(Scenario{"cpu+fpga", "dlrm1", "uniform"}, base);
+    expectIdenticalServing(via_scenario.total, serving);
+}
+
+TEST(ClusterScenarioDeath, RejectsNonClusterSpecs)
+{
+    Scenario sc;
+    sc.spec = "cpu+fpga"; // not a cluster spec
+    sc.model = "dlrm1";
+    EXPECT_DEATH((void)runClusterSim(sc, ServingConfig{}), "cluster");
+}
+
+} // namespace
+} // namespace centaur

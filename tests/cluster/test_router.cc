@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the front-end router (cluster/router.hh). The
+ * headline property is determinism: routing is a pure function of
+ * (seed, payload stream), so two routers fed the same stream replay
+ * the identical decision vector - the reason cluster runs are
+ * byte-stable at any --jobs count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "cluster/router.hh"
+#include "core/experiment.hh"
+
+namespace centaur {
+namespace {
+
+constexpr std::uint32_t kNodes = 4;
+
+DlrmConfig
+model()
+{
+    return dlrmPreset(1);
+}
+
+/** A payload whose rows all sit in @p shard of a 4-way range map. */
+InferenceBatch
+payloadInShard(const DlrmConfig &cfg, std::uint32_t shard)
+{
+    const std::uint64_t per = (cfg.rowsPerTable + kNodes - 1) / kNodes;
+    InferenceBatch b;
+    b.batch = 1;
+    b.lookupsPerTable = 4;
+    b.indices.resize(cfg.numTables);
+    for (auto &t : b.indices)
+        for (std::uint64_t j = 0; j < 4; ++j)
+            t.push_back(per * shard + j);
+    return b;
+}
+
+/** The generated request stream a serving run would route. */
+std::vector<InferenceBatch>
+stream(const DlrmConfig &cfg, std::size_t n, std::uint64_t seed)
+{
+    WorkloadConfig wl;
+    wl.batch = 4;
+    wl.seed = seed;
+    WorkloadGenerator gen(cfg, wl);
+    std::vector<InferenceBatch> out;
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(gen.next());
+    return out;
+}
+
+std::vector<std::uint32_t>
+decisions(Router &router, const std::vector<InferenceBatch> &reqs)
+{
+    std::vector<std::uint32_t> out;
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+        out.push_back(router.route(static_cast<std::uint32_t>(i),
+                                   reqs[i], 100.0 * i));
+    return out;
+}
+
+class RouterPolicy : public ::testing::TestWithParam<RoutePolicy>
+{
+};
+
+TEST_P(RouterPolicy, SameSeedReplaysTheIdenticalDecisionVector)
+{
+    const DlrmConfig cfg = model();
+    const EmbeddingShardMap map(cfg, kNodes, ShardPolicy::Range, 1);
+    const auto reqs = stream(cfg, 64, 11);
+    Router a(GetParam(), kNodes, map, 42, 250.0);
+    Router b(GetParam(), kNodes, map, 42, 250.0);
+    EXPECT_EQ(decisions(a, reqs), decisions(b, reqs));
+}
+
+TEST_P(RouterPolicy, EveryDecisionIsAValidNode)
+{
+    const DlrmConfig cfg = model();
+    const EmbeddingShardMap map(cfg, kNodes, ShardPolicy::Hash, 2);
+    const auto reqs = stream(cfg, 64, 3);
+    Router r(GetParam(), kNodes, map, 7, 250.0);
+    for (std::uint32_t node : decisions(r, reqs))
+        EXPECT_LT(node, kNodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, RouterPolicy,
+                         ::testing::Values(RoutePolicy::Random,
+                                           RoutePolicy::LeastLoaded,
+                                           RoutePolicy::ShardAffinity));
+
+TEST(Router, RandomSeedChangesTheVectorButStaysUniform)
+{
+    const DlrmConfig cfg = model();
+    const EmbeddingShardMap map(cfg, kNodes, ShardPolicy::Range, 1);
+    const auto reqs = stream(cfg, 128, 11);
+    Router a(RoutePolicy::Random, kNodes, map, 1);
+    Router b(RoutePolicy::Random, kNodes, map, 2);
+    const auto da = decisions(a, reqs);
+    const auto db = decisions(b, reqs);
+    EXPECT_NE(da, db);
+    // Load-oblivious but uniform: every node sees traffic.
+    std::set<std::uint32_t> seen(da.begin(), da.end());
+    EXPECT_EQ(seen.size(), kNodes);
+}
+
+TEST(Router, AffinityFollowsTheShardOwner)
+{
+    // Unreplicated range shards have exactly one owner; a payload
+    // living wholly in shard s must route to node s.
+    const DlrmConfig cfg = model();
+    const EmbeddingShardMap map(cfg, kNodes, ShardPolicy::Range, 1);
+    Router r(RoutePolicy::ShardAffinity, kNodes, map, 9);
+    for (std::uint32_t shard = 0; shard < kNodes; ++shard) {
+        const InferenceBatch b = payloadInShard(cfg, shard);
+        EXPECT_EQ(r.route(shard, b, 100.0 * shard), shard);
+    }
+}
+
+TEST(Router, AffinityTiesRotateAcrossRequests)
+{
+    // With every node owning every row (full replication) all scores
+    // tie; the rotation must still spread requests instead of
+    // pinning node 0.
+    const DlrmConfig cfg = model();
+    const EmbeddingShardMap map(cfg, kNodes, ShardPolicy::Range,
+                                kNodes);
+    Router r(RoutePolicy::ShardAffinity, kNodes, map, 9);
+    const auto reqs = stream(cfg, 32, 5);
+    const auto d = decisions(r, reqs);
+    std::set<std::uint32_t> seen(d.begin(), d.end());
+    EXPECT_EQ(seen.size(), kNodes);
+}
+
+TEST(Router, LeastLoadedBalancesAnEmptyCluster)
+{
+    // Identical requests at one instant: the booked virtual finish
+    // times force a round-robin, so all nodes end equally loaded.
+    const DlrmConfig cfg = model();
+    const EmbeddingShardMap map(cfg, kNodes, ShardPolicy::Hash, 1);
+    Router r(RoutePolicy::LeastLoaded, kNodes, map, 0, 500.0);
+    const InferenceBatch b = payloadInShard(cfg, 0);
+    std::vector<std::uint32_t> hits(kNodes, 0);
+    for (std::uint32_t id = 0; id < 4 * kNodes; ++id)
+        ++hits[r.route(id, b, 0.0)];
+    for (std::uint32_t n = 0; n < kNodes; ++n)
+        EXPECT_EQ(hits[n], 4u) << "node " << n;
+}
+
+} // namespace
+} // namespace centaur

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the embedding shard map (cluster/shard_map.hh):
+ * full row coverage under both policies, range contiguity, hash
+ * balance, replica chaining/clamping, and the replicaFor spread that
+ * keeps replicated shards from hammering their primary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "cluster/shard_map.hh"
+#include "core/experiment.hh"
+
+namespace centaur {
+namespace {
+
+DlrmConfig
+model()
+{
+    return dlrmPreset(1);
+}
+
+TEST(ShardMap, EveryRowHasExactlyOneShardUnderBothPolicies)
+{
+    const DlrmConfig cfg = model();
+    for (ShardPolicy policy : {ShardPolicy::Hash, ShardPolicy::Range}) {
+        const EmbeddingShardMap map(cfg, 4, policy, 1);
+        ASSERT_EQ(map.shards(), 4u);
+        const std::vector<std::uint64_t> rows = {
+            0, 1, cfg.rowsPerTable / 2, cfg.rowsPerTable - 1};
+        for (std::uint64_t row : rows) {
+            const std::uint32_t s = map.shardOf(0, row);
+            EXPECT_LT(s, map.shards())
+                << shardPolicyName(policy) << " row " << row;
+        }
+    }
+}
+
+TEST(ShardMap, RangePolicyKeepsTheHeadRowsTogether)
+{
+    // The property the cluster_matrix suite banks on: under Zipf
+    // traffic the popular head rows all land on shard 0, giving
+    // affinity routing a hot node to pin.
+    const EmbeddingShardMap map(model(), 4, ShardPolicy::Range, 1);
+    const std::uint64_t rows = model().rowsPerTable;
+    const std::uint64_t per = (rows + 3) / 4;
+    for (std::uint32_t table : {0u, 1u, 5u}) {
+        EXPECT_EQ(map.shardOf(table, 0), 0u);
+        EXPECT_EQ(map.shardOf(table, per - 1), 0u);
+        EXPECT_EQ(map.shardOf(table, per), 1u);
+        EXPECT_EQ(map.shardOf(table, rows - 1), 3u);
+    }
+    // Contiguity: shard index is monotone in the row.
+    std::uint32_t last = 0;
+    for (std::uint64_t row = 0; row < rows; row += 997) {
+        const std::uint32_t s = map.shardOf(0, row);
+        EXPECT_GE(s, last);
+        last = s;
+    }
+}
+
+TEST(ShardMap, HashPolicyTouchesEveryShardAndBalances)
+{
+    const EmbeddingShardMap map(model(), 4, ShardPolicy::Hash, 1);
+    std::vector<std::uint64_t> hits(4, 0);
+    const std::uint64_t samples = 4000;
+    for (std::uint64_t row = 0; row < samples; ++row)
+        ++hits[map.shardOf(static_cast<std::uint32_t>(row % 8), row)];
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        // Within 25% of the fair share: hashing spreads hot rows.
+        EXPECT_GT(hits[s], samples / 4 * 3 / 4) << s;
+        EXPECT_LT(hits[s], samples / 4 * 5 / 4) << s;
+    }
+}
+
+TEST(ShardMap, DeterministicAcrossInstances)
+{
+    const DlrmConfig cfg = model();
+    const EmbeddingShardMap a(cfg, 4, ShardPolicy::Hash, 2);
+    const EmbeddingShardMap b(cfg, 4, ShardPolicy::Hash, 2);
+    for (std::uint64_t row = 0; row < 512; ++row)
+        EXPECT_EQ(a.shardOf(3, row), b.shardOf(3, row)) << row;
+    for (std::uint32_t s = 0; s < 4; ++s)
+        EXPECT_EQ(a.owners(s), b.owners(s)) << s;
+}
+
+TEST(ShardMap, ChainReplicationOwnsConsecutiveNodes)
+{
+    const EmbeddingShardMap map(model(), 4, ShardPolicy::Hash, 2);
+    EXPECT_EQ(map.replicas(), 2u);
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        const auto &own = map.owners(s);
+        ASSERT_EQ(own.size(), 2u);
+        EXPECT_EQ(own[0], s); // the shard's own node is primary
+        EXPECT_EQ(own[1], (s + 1) % 4);
+        EXPECT_EQ(map.primary(s), s);
+        EXPECT_TRUE(map.isOwner(s, own[0]));
+        EXPECT_TRUE(map.isOwner(s, own[1]));
+        EXPECT_FALSE(map.isOwner(s, (s + 2) % 4));
+    }
+}
+
+TEST(ShardMap, ReplicasClampToTheNodeCount)
+{
+    const EmbeddingShardMap map(model(), 2, ShardPolicy::Range, 8);
+    EXPECT_EQ(map.replicas(), 2u);
+    for (std::uint32_t s = 0; s < 2; ++s)
+        EXPECT_EQ(map.owners(s).size(), 2u);
+}
+
+TEST(ShardMap, ReplicaForSpreadsReadersAcrossTheReplicaSet)
+{
+    // Fully replicated map: every node owns every shard, so a good
+    // spread must hand different readers different replicas instead
+    // of collapsing onto the primary (the mix64 regression).
+    const std::uint32_t nodes = 4;
+    const EmbeddingShardMap map(model(), nodes, ShardPolicy::Hash,
+                                nodes);
+    for (std::uint32_t shard = 0; shard < nodes; ++shard) {
+        std::set<std::uint32_t> picked;
+        for (std::uint32_t reader = 0; reader < 64; ++reader) {
+            const std::uint32_t owner = map.replicaFor(shard, reader);
+            EXPECT_TRUE(map.isOwner(shard, owner));
+            picked.insert(owner);
+        }
+        // 64 readers over 4 replicas must not all agree.
+        EXPECT_GE(picked.size(), 3u) << "shard " << shard;
+    }
+    // ... while one (reader, shard) pair is stable.
+    EXPECT_EQ(map.replicaFor(1, 7), map.replicaFor(1, 7));
+}
+
+TEST(ShardMapDeath, RejectsDegenerateShapes)
+{
+    EXPECT_DEATH(EmbeddingShardMap(model(), 0, ShardPolicy::Hash, 1),
+                 "at least one node");
+    EXPECT_DEATH(EmbeddingShardMap(model(), 2, ShardPolicy::Hash, 0),
+                 "at least one replica");
+}
+
+} // namespace
+} // namespace centaur

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include "core/analysis.hh"
-#include "core/centaur_system.hh"
-#include "core/cpu_only_system.hh"
+// CentaurSystem/CpuOnlySystem expose the accelerator/cache config
+// accessors the analyzer needs; reached through the consolidated
+// legacy surface.
+#include "core/compat.hh"
 #include "core/experiment.hh"
 
 namespace centaur {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.hh"
+#include "core/system_builder.hh"
 
 namespace centaur {
 namespace {
@@ -20,7 +21,7 @@ TEST(Experiment, SweepSeedIsDeterministicAndDistinct)
 TEST(Experiment, RunSweepProducesAllPoints)
 {
     const auto entries =
-        runSweep(DesignPoint::Centaur, {1}, {1, 4}, 0);
+        runSweep(Scenario{"cpu+fpga", "dlrm1", "uniform"}, {1, 4}, 0);
     ASSERT_EQ(entries.size(), 2u);
     EXPECT_EQ(entries[0].preset, 1);
     EXPECT_EQ(entries[0].batch, 1u);
@@ -31,13 +32,14 @@ TEST(Experiment, RunSweepProducesAllPoints)
 TEST(Experiment, FindEntryLocatesPoints)
 {
     const auto entries =
-        runSweep(DesignPoint::Centaur, {1}, {1, 4}, 0);
+        runSweep(Scenario{"cpu+fpga", "dlrm1", "uniform"}, {1, 4}, 0);
     EXPECT_EQ(findEntry(entries, 1, 4).batch, 4u);
 }
 
 TEST(Experiment, SweepResultsHaveTiming)
 {
-    const auto entries = runSweep(DesignPoint::Centaur, {1}, {1}, 0);
+    const auto entries =
+        runSweep(Scenario{"cpu+fpga", "dlrm1", "uniform"}, {1}, 0);
     EXPECT_GT(entries[0].result.latency(), 0u);
     EXPECT_GT(entries[0].result.effectiveEmbGBps, 0.0);
 }
@@ -45,8 +47,8 @@ TEST(Experiment, SweepResultsHaveTiming)
 TEST(Experiment, MeasureInferenceWarmupAffectsCaches)
 {
     const DlrmConfig cfg = dlrmPreset(1);
-    auto cold = makeSystem(DesignPoint::CpuOnly, cfg);
-    auto warm = makeSystem(DesignPoint::CpuOnly, cfg);
+    auto cold = makeSystem("cpu", cfg);
+    auto warm = makeSystem("cpu", cfg);
     WorkloadConfig wl;
     wl.batch = 4;
     wl.seed = 1;
@@ -60,8 +62,8 @@ TEST(Experiment, MeasureInferenceWarmupAffectsCaches)
 
 TEST(Experiment, SweepIsReproducible)
 {
-    const auto a = runSweep(DesignPoint::Centaur, {1}, {4}, 1);
-    const auto b = runSweep(DesignPoint::Centaur, {1}, {4}, 1);
+    const auto a = runSweep(Scenario{"cpu+fpga", "dlrm1", "uniform"}, {4}, 1);
+    const auto b = runSweep(Scenario{"cpu+fpga", "dlrm1", "uniform"}, {4}, 1);
     EXPECT_EQ(a[0].result.latency(), b[0].result.latency());
     EXPECT_EQ(a[0].result.probabilities, b[0].result.probabilities);
 }

@@ -19,19 +19,27 @@ namespace {
 class PaperClaims : public ::testing::Test
 {
   protected:
-    static void
-    SetUpTestSuite()
+    static std::vector<SweepEntry>
+    sweepFor(const std::string &spec)
     {
         // Presets 1 (baseline), 2 (many tables) and 6 (MLP-heavy),
         // batches 1/16/128: enough to pin every claim cheaply.
-        const std::vector<int> presets{1, 2, 6};
         const std::vector<std::uint32_t> batches{1, 16, 128};
-        cpu_ = new std::vector<SweepEntry>(
-            runSweep(DesignPoint::CpuOnly, presets, batches));
-        gpu_ = new std::vector<SweepEntry>(
-            runSweep(DesignPoint::CpuGpu, presets, batches));
-        cen_ = new std::vector<SweepEntry>(
-            runSweep(DesignPoint::Centaur, presets, batches));
+        std::vector<SweepEntry> out;
+        for (const char *model : {"dlrm1", "dlrm2", "dlrm6"}) {
+            const auto part =
+                runSweep(Scenario{spec, model, "uniform"}, batches);
+            out.insert(out.end(), part.begin(), part.end());
+        }
+        return out;
+    }
+
+    static void
+    SetUpTestSuite()
+    {
+        cpu_ = new std::vector<SweepEntry>(sweepFor("cpu"));
+        gpu_ = new std::vector<SweepEntry>(sweepFor("cpu+gpu"));
+        cen_ = new std::vector<SweepEntry>(sweepFor("cpu+fpga"));
     }
 
     static void

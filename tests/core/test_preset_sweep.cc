@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
-#include "core/centaur_system.hh"
-#include "core/cpu_only_system.hh"
+// The monolithic reference classes are reached through the
+// consolidated legacy surface.
+#include "core/compat.hh"
 #include "core/experiment.hh"
+#include "core/system_builder.hh"
 #include "interconnect/aggregate_link.hh"
 #include "mem/dram.hh"
 
@@ -49,9 +51,8 @@ TEST_P(PresetSweep, BreakdownSumsToLatencyOnBothSystems)
 {
     const DlrmConfig cfg = dlrmPreset(GetParam());
     const auto batch = batchFor(cfg);
-    for (DesignPoint dp :
-         {DesignPoint::CpuOnly, DesignPoint::Centaur}) {
-        auto sys = makeSystem(dp, cfg);
+    for (const char *spec : {"cpu", "cpu+fpga"}) {
+        auto sys = makeSystem(spec, cfg);
         const auto r = sys->infer(batch);
         Tick sum = 0;
         for (std::size_t p = 0; p < kNumPhases; ++p)

@@ -9,6 +9,7 @@
 
 #include "core/report.hh"
 #include "core/system.hh"
+#include "core/system_builder.hh"
 #include "sim/units.hh"
 
 using namespace centaur;
@@ -16,11 +17,11 @@ using namespace centaur;
 namespace {
 
 InferenceResult
-measureOne(DesignPoint dp, int preset, std::uint32_t batch,
+measureOne(const std::string &spec, int preset, std::uint32_t batch,
            std::uint64_t seed)
 {
     const DlrmConfig cfg = dlrmPreset(preset);
-    auto sys = makeSystem(dp, cfg);
+    auto sys = makeSystem(spec, cfg);
     WorkloadConfig wl;
     wl.batch = batch;
     wl.seed = seed;
@@ -43,8 +44,7 @@ TEST(ReportTest, StampHasVersionKindSeed)
 
 TEST(ReportTest, InferenceResultFields)
 {
-    const InferenceResult res =
-        measureOne(DesignPoint::Centaur, 1, 4, 7);
+    const InferenceResult res = measureOne("cpu+fpga", 1, 4, 7);
     const Json j = toJson(res);
 
     EXPECT_EQ(j.find("design")->asString(),
@@ -80,8 +80,8 @@ TEST(ReportTest, InferenceResultFields)
 TEST(ReportTest, SweepEntryStampAndRoundTrip)
 {
     const auto entries =
-        runSweep(DesignPoint::CpuOnly, {1}, {1, 8}, 1,
-                 IndexDistribution::Uniform, 1000);
+        runSweep(Scenario{"cpu", "dlrm1", "uniform"}, {1, 8}, 1,
+                 1000);
     ASSERT_EQ(entries.size(), 2u);
     EXPECT_EQ(entries[0].seed, sweepSeed(1, 1) + 1000);
 
@@ -109,8 +109,9 @@ TEST(ReportTest, ServingRecords)
     ServingConfig base;
     base.requests = 50;
     base.batchPerRequest = 4;
-    const auto sweep = runServingSweep(
-        DesignPoint::CpuOnly, 1, {1}, {2}, {5000.0}, base, 7);
+    const auto sweep =
+        runServingSweep(Scenario{"cpu", "dlrm1", "uniform"}, {1}, {2},
+                        {5000.0}, base, 7);
     ASSERT_EQ(sweep.size(), 1u);
     EXPECT_EQ(sweep[0].seed, servingSweepSeed(1, 1, 2, 5000.0) + 7);
 

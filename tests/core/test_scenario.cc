@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/compat.hh"
 #include "core/experiment.hh"
 #include "core/scenario.hh"
 
@@ -100,8 +101,12 @@ TEST(Scenario, PaperUniformReproducesLegacySweepTickForTick)
         sc.model = "paper";
         sc.workload = "uniform";
         const auto scenario_sweep = runSweep(sc, batches);
+        // Tick-equivalence assertion for the core/compat.hh shim.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
         const auto legacy_sweep =
             runSweep(std::string(spec), {1, 2, 3, 4, 5, 6}, batches);
+#pragma GCC diagnostic pop
 
         ASSERT_EQ(scenario_sweep.size(), legacy_sweep.size());
         for (std::size_t i = 0; i < scenario_sweep.size(); ++i) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/server.hh"
+#include "core/system_builder.hh"
 
 namespace centaur {
 namespace {
@@ -32,7 +33,7 @@ lightLoad()
 
 TEST(Server, ServesAllRequests)
 {
-    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    auto sys = makeSystem("cpu+fpga", smallModel());
     InferenceServer server(*sys, lightLoad());
     const auto stats = server.run();
     EXPECT_EQ(stats.served, 60u);
@@ -41,7 +42,7 @@ TEST(Server, ServesAllRequests)
 
 TEST(Server, LightLoadHasNoQueueing)
 {
-    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    auto sys = makeSystem("cpu+fpga", smallModel());
     InferenceServer server(*sys, lightLoad());
     const auto stats = server.run();
     EXPECT_LT(stats.meanQueueUs, stats.meanServiceUs * 0.2);
@@ -52,7 +53,7 @@ TEST(Server, LightLoadHasNoQueueing)
 
 TEST(Server, OverloadBuildsQueueAndSaturatesThroughput)
 {
-    auto sys = makeSystem(DesignPoint::CpuOnly, smallModel());
+    auto sys = makeSystem("cpu", smallModel());
     ServerConfig cfg = lightLoad();
     cfg.arrivalRatePerSec = 1e6; // absurd offered load
     cfg.requests = 80;
@@ -69,7 +70,7 @@ TEST(Server, OverloadRegimeIsFullyCharacterized)
     // queue grows without bound, the SLA collapses, and the reported
     // p99 must be a real measured value even though the latencies
     // blow past the histogram range.
-    auto sys = makeSystem(DesignPoint::CpuOnly, smallModel());
+    auto sys = makeSystem("cpu", smallModel());
     ServerConfig cfg = lightLoad();
     cfg.arrivalRatePerSec = 1e6;
     cfg.requests = 2000;
@@ -91,7 +92,7 @@ TEST(Server, OverloadRegimeIsFullyCharacterized)
 
 TEST(Server, TailIsAtLeastMedian)
 {
-    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    auto sys = makeSystem("cpu+fpga", smallModel());
     ServerConfig cfg = lightLoad();
     cfg.arrivalRatePerSec = 5000.0;
     cfg.requests = 150;
@@ -103,18 +104,18 @@ TEST(Server, TailIsAtLeastMedian)
 
 TEST(Server, SlaHitRateCountsCorrectly)
 {
-    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    auto sys = makeSystem("cpu+fpga", smallModel());
     InferenceServer strict(*sys, lightLoad(), 0.001); // impossible
     EXPECT_DOUBLE_EQ(strict.run().slaHitRate, 0.0);
 
-    auto sys2 = makeSystem(DesignPoint::Centaur, smallModel());
+    auto sys2 = makeSystem("cpu+fpga", smallModel());
     InferenceServer loose(*sys2, lightLoad(), 1e9); // trivial
     EXPECT_DOUBLE_EQ(loose.run().slaHitRate, 1.0);
 }
 
 TEST(Server, EnergyAccumulatesAcrossRequests)
 {
-    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    auto sys = makeSystem("cpu+fpga", smallModel());
     InferenceServer server(*sys, lightLoad());
     const auto stats = server.run();
     EXPECT_GT(stats.energyJoules, 0.0);
@@ -122,8 +123,8 @@ TEST(Server, EnergyAccumulatesAcrossRequests)
 
 TEST(Server, DeterministicUnderSeed)
 {
-    auto a = makeSystem(DesignPoint::Centaur, smallModel());
-    auto b = makeSystem(DesignPoint::Centaur, smallModel());
+    auto a = makeSystem("cpu+fpga", smallModel());
+    auto b = makeSystem("cpu+fpga", smallModel());
     const auto sa = InferenceServer(*a, lightLoad()).run();
     const auto sb = InferenceServer(*b, lightLoad()).run();
     EXPECT_DOUBLE_EQ(sa.meanLatencyUs, sb.meanLatencyUs);
@@ -136,8 +137,8 @@ TEST(Server, CentaurSustainsHigherLoadThanCpuOnly)
     ServerConfig cfg = lightLoad();
     cfg.arrivalRatePerSec = 8000.0;
     cfg.requests = 120;
-    auto cpu = makeSystem(DesignPoint::CpuOnly, smallModel());
-    auto cen = makeSystem(DesignPoint::Centaur, smallModel());
+    auto cpu = makeSystem("cpu", smallModel());
+    auto cen = makeSystem("cpu+fpga", smallModel());
     const auto sc = InferenceServer(*cpu, cfg).run();
     const auto sf = InferenceServer(*cen, cfg).run();
     EXPECT_LT(sf.p99Us, sc.p99Us);
@@ -146,7 +147,7 @@ TEST(Server, CentaurSustainsHigherLoadThanCpuOnly)
 
 TEST(ServerDeath, RejectsBadConfig)
 {
-    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    auto sys = makeSystem("cpu+fpga", smallModel());
     ServerConfig bad = lightLoad();
     bad.arrivalRatePerSec = 0.0;
     EXPECT_DEATH(InferenceServer(*sys, bad), "arrival");

@@ -7,6 +7,7 @@
 
 #include "core/analysis.hh"
 #include "core/server.hh"
+#include "core/system_builder.hh"
 
 namespace centaur {
 namespace {
@@ -36,7 +37,7 @@ overload()
 ServingStats
 runPoint(const ServingConfig &cfg)
 {
-    return runServingSim(DesignPoint::Centaur, smallModel(), cfg);
+    return runServingSim("cpu+fpga", smallModel(), cfg);
 }
 
 TEST(ServingEngine, WorkerScalingIncreasesSustainedThroughput)
@@ -179,7 +180,7 @@ TEST(ServingEngine, MatchesLegacyServerOnSingleWorkerNoCoalescing)
     legacy.requests = 120;
     legacy.seed = 3;
 
-    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    auto sys = makeSystem("cpu+fpga", smallModel());
     const ServerStats via_shim =
         InferenceServer(*sys, legacy).run();
 
@@ -203,7 +204,7 @@ TEST(ServingEngineDeath, RejectsBadConfig)
     ServingConfig cfg = overload();
     EXPECT_DEATH(ServingEngine(std::vector<System *>{}, cfg),
                  "worker");
-    auto sys = makeSystem(DesignPoint::Centaur, smallModel());
+    auto sys = makeSystem("cpu+fpga", smallModel());
     ServingConfig zero = overload();
     zero.maxCoalescedBatch = 0;
     EXPECT_DEATH(ServingEngine({sys.get()}, zero), "coalesced");

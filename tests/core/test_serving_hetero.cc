@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/compat.hh"
 #include "core/server.hh"
 
 namespace centaur {
@@ -132,8 +133,12 @@ TEST(ServingHetero, LegacyDesignPointOverloadMatchesSpecOverload)
 {
     ServingConfig cfg = overload();
     cfg.workers = 2;
+    // Tick-equivalence assertion for the core/compat.hh shim.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     const ServingStats via_dp =
         runServingSim(DesignPoint::Centaur, smallModel(), cfg);
+#pragma GCC diagnostic pop
     const ServingStats via_spec =
         runServingSim("cpu+fpga", smallModel(), cfg);
     EXPECT_EQ(via_dp.served, via_spec.served);

@@ -9,10 +9,12 @@
 
 #include <cmath>
 
-#include "core/centaur_system.hh"
-#include "core/cpu_gpu_system.hh"
-#include "core/cpu_only_system.hh"
+// The monolithic reference classes are reached through the
+// consolidated legacy surface.
+#include "core/backend.hh"
+#include "core/compat.hh"
 #include "core/system.hh"
+#include "core/system_builder.hh"
 
 namespace centaur {
 namespace {
@@ -65,9 +67,8 @@ TEST(Systems, PhaseTicksSumToLatency)
 {
     const DlrmConfig cfg = smallModel();
     const auto batch = makeBatch(cfg, 4);
-    for (DesignPoint dp : {DesignPoint::CpuOnly, DesignPoint::CpuGpu,
-                           DesignPoint::Centaur}) {
-        auto sys = makeSystem(dp, cfg);
+    for (const char *spec : {"cpu", "cpu+gpu", "cpu+fpga"}) {
+        auto sys = makeSystem(spec, cfg);
         const auto r = sys->infer(batch);
         Tick sum = 0;
         for (std::size_t p = 0; p < kNumPhases; ++p)
@@ -80,9 +81,8 @@ TEST(Systems, EnergyEqualsPowerTimesLatency)
 {
     const DlrmConfig cfg = smallModel();
     const auto batch = makeBatch(cfg, 4);
-    for (DesignPoint dp : {DesignPoint::CpuOnly, DesignPoint::CpuGpu,
-                           DesignPoint::Centaur}) {
-        auto sys = makeSystem(dp, cfg);
+    for (const char *spec : {"cpu", "cpu+gpu", "cpu+fpga"}) {
+        auto sys = makeSystem(spec, cfg);
         const auto r = sys->infer(batch);
         EXPECT_NEAR(r.energyJoules,
                     r.powerWatts * secFromTicks(r.latency()),
@@ -157,14 +157,17 @@ TEST(Systems, InternalClockAdvancesAcrossInferences)
 TEST(Systems, LatencyGrowsWithBatch)
 {
     const DlrmConfig cfg = smallModel();
-    for (DesignPoint dp : {DesignPoint::CpuOnly, DesignPoint::CpuGpu,
-                           DesignPoint::Centaur}) {
-        auto sys = makeSystem(dp, cfg);
+    for (const char *spec : {"cpu", "cpu+gpu", "cpu+fpga"}) {
+        auto sys = makeSystem(spec, cfg);
         const auto r1 = sys->infer(makeBatch(cfg, 1));
         const auto r64 = sys->infer(makeBatch(cfg, 64));
         EXPECT_GT(r64.latency(), r1.latency()) << sys->name();
     }
 }
+
+// Coverage of the deprecated core/compat.hh factory itself.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 TEST(Systems, MakeSystemCoversAllDesignPoints)
 {
@@ -183,6 +186,8 @@ TEST(Systems, NamesMatchDesignPoints)
     EXPECT_EQ(makeSystem(DesignPoint::Centaur, cfg)->name(),
               "Centaur");
 }
+
+#pragma GCC diagnostic pop
 
 TEST(Systems, ResultMetadataIsFilled)
 {

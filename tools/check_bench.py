@@ -30,7 +30,14 @@ Checks performed:
      contention_matrix mean service latency is monotonically
      non-decreasing in co-located workers on every spec while the
      in-package cpu+fpga pairing degrades strictly less than the
-     PCIe-attached cpu+gpu pairing.
+     PCIe-attached cpu+gpu pairing, and in the cluster_matrix every
+     multi-node cluster's mean service time is no better than the
+     single-node anchor replaying the same request stream
+     (remote_not_faster: remote gathers only add latency) while
+     under zipf skew with range sharding shard-affinity routing's
+     p99 never loses to random routing (affinity_not_slower), with
+     every cluster record carrying live per-node fabric arrays and
+     per-shard gather hit counts (v1.4).
 
 With --baseline OLD.json the run is also diffed against a previous
 report: the largest relative deltas are printed, and with
@@ -46,7 +53,7 @@ import math
 import sys
 
 SCHEMA_VERSION = 1
-SCHEMA_MINOR = 3
+SCHEMA_MINOR = 4
 
 EXPECTED_SUITES = [
     "table1",
@@ -66,6 +73,7 @@ EXPECTED_SUITES = [
     "spec_matrix",
     "scenario_matrix",
     "contention_matrix",
+    "cluster_matrix",
 ]
 
 # Backend specs every full spec_matrix run must cover.
@@ -187,6 +195,26 @@ NEUTRAL_KEYS = {
     "dram_peak_gbps",
     "host_dram_gbps",
     "pcie_gbps",
+    # Cluster records (v1.4). Network knobs echoed from the cluster
+    # spec; per-node/per-NIC accounting that shifts with routing
+    # (a locality win moves busy time between NICs and nodes); and
+    # the invariant-block inputs, which are gated by their boolean
+    # verdicts (remote_not_faster / affinity_not_slower), not by
+    # baseline drift.
+    "nic_gbps",
+    "read_latency_us",
+    "setup_us",
+    "node_energy_joules",
+    "remote_gather_us",
+    "straggler_wait_us",
+    "tx_busy_us",
+    "rx_busy_us",
+    "tx_wait_us",
+    "rx_wait_us",
+    "local_service_us",
+    "remote_service_us",
+    "affinity_p99_us",
+    "random_p99_us",
 }
 
 
@@ -418,6 +446,46 @@ def check_invariants(chk, suites):
                   f" than cpu+gpu at {entry.get('workers')} workers"
                   f" ({entry.get('package_degradation')} vs"
                   f" {entry.get('pcie_degradation')})")
+
+    # cluster_matrix (v1.4): every record carries the full cluster
+    # breakdown (per-node fabric arrays on the contended suite run,
+    # per-shard gather hit counts), remote gathers never make a
+    # multi-node cluster faster than the single-node anchor on the
+    # same request stream, and under zipf skew with range sharding
+    # affinity routing's p99 never loses to random routing.
+    data = suites.get("cluster_matrix", {}).get("data", {})
+    records = data.get("records", [])
+    chk.check(len(records) > 0, "cluster_matrix: no records")
+    for rec in records:
+        stats = rec.get("stats", {})
+        label = f"{rec.get('cluster')} / {rec.get('workload')}"
+        per_node = stats.get("per_node", [])
+        chk.check(len(per_node) == rec.get("nodes"),
+                  f"cluster_matrix: {label}: {len(per_node)} per_node"
+                  f" records for {rec.get('nodes')} nodes")
+        for node in per_node:
+            chk.check(len(node.get("fabric", [])) > 0,
+                      f"cluster_matrix: {label}: node"
+                      f" {node.get('node')} without fabric stats")
+        chk.check(len(stats.get("per_shard", [])) > 0,
+                  f"cluster_matrix: {label}: no per_shard records")
+    checks = data.get("remote_checks", [])
+    chk.check(len(checks) > 0, "cluster_matrix: no remote_checks")
+    for entry in checks:
+        chk.check(entry.get("remote_not_faster") is True,
+                  f"cluster_matrix: {entry.get('cluster')} beats the"
+                  " single-node anchor on the same request stream"
+                  f" ({entry.get('remote_service_us')} vs"
+                  f" {entry.get('local_service_us')} us)")
+    checks = data.get("affinity_checks", [])
+    chk.check(len(checks) > 0, "cluster_matrix: no affinity_checks")
+    for entry in checks:
+        chk.check(entry.get("affinity_not_slower") is True,
+                  f"cluster_matrix: affinity p99 loses to random at"
+                  f" {entry.get('nodes')} nodes under"
+                  f" {entry.get('workload')}"
+                  f" ({entry.get('affinity_p99_us')} vs"
+                  f" {entry.get('random_p99_us')} us)")
 
 
 def diff_baseline(chk, doc, baseline, threshold, top=10):
