@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cachetier/cache_tier.hh"
 #include "cluster/cluster_spec.hh"
 #include "core/backend.hh"
 #include "core/report.hh"
@@ -239,6 +240,11 @@ main(int argc, char **argv)
                     "cluster_matrix):\n  %s\n  examples:",
                     clusterSpecGrammar());
         for (const std::string &ex : exampleClusterSpecs())
+            std::printf(" %s", ex.c_str());
+        std::printf("\n\ncache tier grammar (spec suffix, "
+                    "cache_matrix):\n  /%s\n  examples:",
+                    cacheTierGrammar());
+        for (const std::string &ex : exampleCacheParts())
             std::printf(" %s", ex.c_str());
         std::printf("\n");
         return 0;

@@ -127,6 +127,7 @@ allSuites()
         registerScenarioSuites(s);
         registerContentionSuites(s);
         registerClusterSuites(s);
+        registerCacheSuites(s);
         return s;
     }();
     return suites;

@@ -175,6 +175,7 @@ void registerSpecSuites(std::vector<Suite> &suites);
 void registerScenarioSuites(std::vector<Suite> &suites);
 void registerContentionSuites(std::vector<Suite> &suites);
 void registerClusterSuites(std::vector<Suite> &suites);
+void registerCacheSuites(std::vector<Suite> &suites);
 
 } // namespace centaur::bench
 

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * JSON serialization of the cache tier's counters (schema v1.5).
+ * Lives next to the subsystem it describes so the schema-sync lint
+ * (tools/centaur_lint.py) can cross-check every emitted key against
+ * tools/check_bench.py's classification tables.
+ */
+
+#include "cachetier/cache_report.hh"
+
+namespace centaur {
+
+Json
+toJson(const CacheStats &cs)
+{
+    Json j = Json::object();
+    j["hits"] = cs.hits;
+    j["misses"] = cs.misses;
+    j["evictions"] = cs.evictions;
+    j["rejected_fills"] = cs.rejectedFills;
+    j["hit_rate"] = cs.hitRate();
+    j["bytes_resident"] = cs.bytesResident;
+    j["fabric_saved_us"] = cs.fabricSavedUs;
+    return j;
+}
+
+} // namespace centaur

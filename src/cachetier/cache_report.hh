@@ -1,0 +1,20 @@
+/**
+ * @file
+ * JSON serializer for CacheStats, shared by the single-node
+ * (core/report.cc) and cluster (cluster/report.cc) report surfaces.
+ */
+
+#ifndef CENTAUR_CACHETIER_CACHE_REPORT_HH
+#define CENTAUR_CACHETIER_CACHE_REPORT_HH
+
+#include "cachetier/cache_tier.hh"
+#include "sim/json.hh"
+
+namespace centaur {
+
+/** Cache-tier counters: hits/misses/evictions/hit-rate/residency. */
+Json toJson(const CacheStats &cs);
+
+} // namespace centaur
+
+#endif // CENTAUR_CACHETIER_CACHE_REPORT_HH

@@ -49,7 +49,8 @@ namespace {
 constexpr const char *kGrammar =
     "cluster:<N>x(<spec>)[/shard:<hash|range>[:<replicas>]]"
     "[/route:<random|least|affinity>]"
-    "[/net:null | /net:<gbps>[:<read-lat>[:<setup>]]]";
+    "[/net:null | /net:<gbps>[:<read-lat>[:<setup>]]]"
+    "[/cache:<mb>[:<lru|lfu|slru>[:ghost]]]";
 
 /** Parse a finite double, consuming the whole string. */
 bool
@@ -211,6 +212,7 @@ tryParseClusterSpec(const std::string &spec, ClusterSpec *out,
     bool saw_shard = false;
     bool saw_route = false;
     bool saw_net = false;
+    bool saw_cache = false;
     std::size_t begin = close + 1;
     while (begin < head.size()) {
         if (head[begin] != '/')
@@ -243,10 +245,18 @@ tryParseClusterSpec(const std::string &spec, ClusterSpec *out,
             saw_net = true;
             if (!parseNetPart(part.substr(4), spec, &cfg, error))
                 return false;
+        } else if (part.rfind("cache:", 0) == 0) {
+            if (saw_cache)
+                return failWith(error, spec, "duplicate cache part");
+            saw_cache = true;
+            std::string cache_error;
+            if (!tryParseCachePart(part, &cfg.cache, &cache_error))
+                return failWith(error, spec, cache_error);
         } else {
             return failWith(error, spec,
                             "unknown part '" + part +
-                                "' (shard: | route: | net:)");
+                                "' (shard: | route: | net: | "
+                                "cache:)");
         }
     }
 
@@ -294,6 +304,8 @@ clusterSpecName(const ClusterSpec &spec)
                     formatNumber(spec.net.setupUs);
         }
     }
+    if (spec.cache.enabled())
+        name += "/" + cachePartName(spec.cache);
     return name;
 }
 
@@ -309,7 +321,8 @@ exampleClusterSpecs()
     return {"cluster:4x(cpu+fpga)/shard:hash:2",
             "cluster:2x(cpu)/shard:range/route:random",
             "cluster:4x(cpu+fpga)/route:least/net:12.5:2:25",
-            "cluster:1x(cpu+fpga)/net:null"};
+            "cluster:1x(cpu+fpga)/net:null",
+            "cluster:4x(cpu+fpga)/cache:64:slru:ghost"};
 }
 
 } // namespace centaur

@@ -11,15 +11,19 @@
  *                                                 | affinity
  *         | net:null
  *         | net:<gbps>[:<read-lat>[:<setup>]]   (GB/s, us, us)
+ *         | cache:<mb>[:<lru|lfu|slru>[:ghost]]
  *
  * Examples: "cluster:4x(cpu+fpga)/shard:hash:2",
  * "cluster:2x(cpu)/shard:range/route:affinity/net:12.5:2:25",
  * "cluster:1x(cpu+fpga)/net:null" (tick-identical to the
- * single-node serving fleet). Defaults: shard hash:1, route
- * affinity, net 12.5 GB/s with 2 us one-sided reads and 25 us
- * connection setup. The inner <spec> must be a registered backend
- * spec; every node runs the same worker fleet shape on its own
- * Fabric.
+ * single-node serving fleet),
+ * "cluster:4x(cpu+fpga)/cache:64:slru:ghost" (a 64 MiB hot-row
+ * cache tier per node, shared by the node's workers). Defaults:
+ * shard hash:1, route affinity, net 12.5 GB/s with 2 us one-sided
+ * reads and 25 us connection setup, no cache. The inner <spec> must
+ * be a registered backend spec; every node runs the same worker
+ * fleet shape on its own Fabric. A cluster-level /cache: part wins
+ * over a /cache: suffix on the inner node spec.
  */
 
 #ifndef CENTAUR_CLUSTER_CLUSTER_SPEC_HH
@@ -29,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "cachetier/cache_tier.hh"
 #include "cluster/network.hh"
 #include "cluster/shard_map.hh"
 
@@ -59,13 +64,19 @@ struct ClusterSpec
     std::uint32_t replicas = 1;
     RoutePolicy route = RoutePolicy::ShardAffinity;
     NetworkConfig net;
+    /**
+     * Per-node hot-row cache tier (cachetier/cache_tier.hh), shared
+     * by every worker on a node. Disabled by default; a cluster
+     * /cache: part overrides a /cache: suffix on nodeSpec.
+     */
+    CacheTierConfig cache;
 
     bool
     operator==(const ClusterSpec &o) const
     {
         return nodes == o.nodes && nodeSpec == o.nodeSpec &&
                shard == o.shard && replicas == o.replicas &&
-               route == o.route && net == o.net;
+               route == o.route && net == o.net && cache == o.cache;
     }
     bool operator!=(const ClusterSpec &o) const { return !(*this == o); }
 };

@@ -307,14 +307,22 @@ ClusterEngine::run()
 
             // Sharded gather: rows on a replica this node holds are
             // free; the rest fan out as one one-sided read per owner
-            // node, and the dense stage waits for the slowest.
+            // node, and the dense stage waits for the slowest. Rows
+            // resident in the node's hot-row cache tier never leave
+            // the node: they count as local and skip the NIC.
             std::vector<std::uint64_t> bytes(nodes, 0);
+            std::uint64_t cached_remote_bytes = 0;
             for (std::size_t tb = 0; tb < merged.indices.size();
                  ++tb) {
-                for (std::uint64_t row : merged.indices[tb]) {
+                for (std::uint64_t i = 0;
+                     i < merged.indices[tb].size(); ++i) {
+                    const std::uint64_t row = merged.indices[tb][i];
                     const std::uint32_t shard = map.shardOf(
                         static_cast<std::uint32_t>(tb), row);
                     if (map.isOwner(shard, n)) {
+                        ++shard_stats[shard].localLookups;
+                    } else if (merged.rowCached(tb, i)) {
+                        cached_remote_bytes += model.vectorBytes();
                         ++shard_stats[shard].localLookups;
                     } else {
                         const std::uint32_t owner =
@@ -324,6 +332,10 @@ ClusterEngine::run()
                     }
                 }
             }
+            if (!net.isNull() && cached_remote_bytes &&
+                s.node->cache)
+                s.node->cache->recordSavedTicks(serializationTicks(
+                    cached_remote_bytes, net.config().nicGBps));
             if (!net.isNull()) {
                 Tick done_min = 0;
                 Tick done_max = 0;
@@ -371,6 +383,10 @@ ClusterEngine::run()
             s.workerStats[w].energyJoules += res.energyJoules;
             s.workerStats[w].fabricWaitUs +=
                 usFromTicks(res.fabricWait);
+            s.workerStats[w].cacheHits += res.cacheHits;
+            s.workerStats[w].cacheMisses += res.cacheMisses;
+            s.workerStats[w].cacheSavedUs +=
+                usFromTicks(res.cacheSavedTicks);
             s.energyJoules += res.energyJoules;
             s.served += batch_ids.size();
             ++s.dispatches;
@@ -445,6 +461,10 @@ ClusterEngine::run()
         pn.remoteReads = s.remoteReads;
         pn.remoteReadBytes = s.remoteReadBytes;
         pn.remoteGatherUs = s.remoteGatherUs;
+        if (s.node->cache) {
+            pn.cache = s.node->cache->stats();
+            tot.cache += pn.cache;
+        }
         tot.droppedQueueFull += s.droppedFull;
         tot.droppedTimeout += s.droppedTimeout;
 

@@ -54,6 +54,11 @@ struct ClusterNodeStats
     std::vector<WorkerStats> workers;
     /** Node fabric accounting; empty without contention. */
     std::vector<FabricResourceStats> fabric;
+    /**
+     * Node hot-row cache tier counters (cachetier/cache_tier.hh);
+     * all-zero when the spec enables no cache.
+     */
+    CacheStats cache;
 };
 
 /** Per-shard gather accounting of one cluster run. */

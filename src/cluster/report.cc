@@ -1,5 +1,6 @@
 #include "cluster/report.hh"
 
+#include "cachetier/cache_report.hh"
 #include "core/report.hh"
 
 namespace centaur {
@@ -24,6 +25,7 @@ toJson(const ClusterNodeStats &ns)
     for (const auto &fs : ns.fabric)
         fabric.push(toJson(fs));
     j["fabric"] = fabric;
+    j["cache"] = toJson(ns.cache);
     return j;
 }
 

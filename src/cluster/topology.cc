@@ -1,5 +1,6 @@
 #include "cluster/topology.hh"
 
+#include "core/backend.hh"
 #include "sim/log.hh"
 
 namespace centaur {
@@ -13,14 +14,22 @@ ClusterTopology::ClusterTopology(const ClusterSpec &spec,
 {
     if (spec.nodes == 0)
         fatal("cluster topology needs at least one node");
+    // The cluster-level /cache: part wins; otherwise a /cache:
+    // suffix on the node spec provisions the same node-shared tier.
+    CacheTierConfig cache_cfg = spec.cache;
+    if (!cache_cfg.enabled())
+        cache_cfg = parseSpec(spec.nodeSpec).cache;
     _nodes.resize(spec.nodes);
     for (std::uint32_t n = 0; n < spec.nodes; ++n) {
         ClusterNode &node = _nodes[n];
         node.id = n;
         if (cfg.contend)
             node.fabric = std::make_unique<Fabric>(cfg.fabricCfg);
+        if (cache_cfg.enabled())
+            node.cache = std::make_unique<CacheTier>(
+                cache_cfg, model.vectorBytes());
         node.owned = makeWorkers(spec.nodeSpec, model, cfg,
-                                 node.fabric.get());
+                                 node.fabric.get(), node.cache.get());
         node.workers.reserve(node.owned.size());
         for (auto &w : node.owned)
             node.workers.push_back(w.get());

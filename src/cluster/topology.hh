@@ -34,6 +34,11 @@ struct ClusterNode
     std::uint32_t id = 0;
     /** Node-private resource fabric; null when contention is off. */
     std::unique_ptr<Fabric> fabric;
+    /**
+     * Node-private hot-row cache tier shared by the node's workers
+     * (cachetier/cache_tier.hh); null when the spec enables none.
+     */
+    std::unique_ptr<CacheTier> cache;
     std::vector<std::unique_ptr<System>> owned;
     /** Non-owning worker views, in owned order. */
     std::vector<System *> workers;

@@ -121,15 +121,27 @@ bool
 tryParseSpec(const std::string &name, SystemSpec *out,
              std::string *error)
 {
+    // Split an optional "/cache:..." suffix off the registry name.
+    std::string base = name;
+    CacheTierConfig cache;
+    const std::size_t slash = name.find("/cache:");
+    if (slash != std::string::npos) {
+        base = name.substr(0, slash);
+        if (!tryParseCachePart(name.substr(slash + 1), &cache,
+                               error))
+            return false;
+    }
     for (const SpecInfo &info : specRegistry()) {
-        if (name == info.name) {
-            if (out)
+        if (base == info.name) {
+            if (out) {
                 *out = info.spec;
+                out->cache = cache;
+            }
             return true;
         }
     }
     if (error)
-        *error = "unknown backend spec '" + name +
+        *error = "unknown backend spec '" + base +
                  "' (known specs: " + knownSpecList() + ")";
     return false;
 }
@@ -147,14 +159,24 @@ parseSpec(const std::string &name)
 std::string
 specName(const SystemSpec &spec)
 {
+    std::string name;
+    SystemSpec base = spec;
+    base.cache = CacheTierConfig{};
     for (const SpecInfo &info : specRegistry())
-        if (info.spec == spec)
-            return info.name;
-    std::ostringstream os;
-    os << "emb:" << embBackendName(spec.emb)
-       << "/mlp:" << mlpBackendName(spec.mlp) << "@"
-       << mlpPlacementName(spec.placement);
-    return os.str();
+        if (info.spec == base) {
+            name = info.name;
+            break;
+        }
+    if (name.empty()) {
+        std::ostringstream os;
+        os << "emb:" << embBackendName(spec.emb)
+           << "/mlp:" << mlpBackendName(spec.mlp) << "@"
+           << mlpPlacementName(spec.placement);
+        name = os.str();
+    }
+    if (spec.cache.enabled())
+        name += "/" + cachePartName(spec.cache);
+    return name;
 }
 
 const char *
@@ -174,8 +196,11 @@ specForDesign(DesignPoint dp)
 DesignPoint
 anchorDesignPoint(const SystemSpec &spec)
 {
+    // The cache tier does not move a spec off its paper anchor.
+    SystemSpec base = spec;
+    base.cache = CacheTierConfig{};
     for (const SpecInfo &info : specRegistry())
-        if (info.spec == spec)
+        if (info.spec == base)
             return info.paperDesignPoint;
     switch (spec.mlp) {
       case MlpBackendKind::Cpu:
@@ -191,9 +216,13 @@ anchorDesignPoint(const SystemSpec &spec)
 double
 specWatts(const SystemSpec &spec, const PowerConfig &power)
 {
-    // Paper design points use the exact Table IV wall measurements.
+    // Paper design points use the exact Table IV wall measurements;
+    // the cache tier's SRAM draw is below the wall meter's noise, so
+    // a cache suffix keeps the base spec's figure.
+    SystemSpec base = spec;
+    base.cache = CacheTierConfig{};
     for (const SpecInfo &info : specRegistry())
-        if (info.spec == spec && info.isPaperDesignPoint)
+        if (info.spec == base && info.isPaperDesignPoint)
             return PowerModel(power).watts(info.paperDesignPoint);
 
     double watts = 0.0;

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "cachetier/cache_tier.hh"
 #include "core/fabric.hh"
 #include "core/result.hh"
 #include "dlrm/reference_model.hh"
@@ -69,18 +70,23 @@ const char *embBackendName(EmbBackendKind k);
 const char *mlpBackendName(MlpBackendKind k);
 const char *mlpPlacementName(MlpPlacement p);
 
-/** One (embedding backend, MLP backend, placement) pairing. */
+/**
+ * One (embedding backend, MLP backend, placement) pairing, plus the
+ * optional hot-row cache tier fronting its gathers
+ * (cachetier/cache_tier.hh; disabled by default).
+ */
 struct SystemSpec
 {
     EmbBackendKind emb = EmbBackendKind::CpuGather;
     MlpBackendKind mlp = MlpBackendKind::Cpu;
     MlpPlacement placement = MlpPlacement::Host;
+    CacheTierConfig cache{};
 
     bool
     operator==(const SystemSpec &o) const
     {
         return emb == o.emb && mlp == o.mlp &&
-               placement == o.placement;
+               placement == o.placement && cache == o.cache;
     }
     bool operator!=(const SystemSpec &o) const { return !(*this == o); }
 };
@@ -113,9 +119,11 @@ const std::vector<SpecInfo> &specRegistry();
 std::vector<std::string> registeredSpecs();
 
 /**
- * Parse a registered spec string. Returns false and fills @p error
- * (when non-null) with a message naming the offender and the known
- * specs; true fills @p out.
+ * Parse a spec string: a registered name, optionally followed by a
+ * hot-row cache suffix (`<name>/cache:<mb>[:<lru|lfu|slru>[:ghost]]`,
+ * cachetier/cache_tier.hh). Returns false and fills @p error (when
+ * non-null) with a message naming the offender and the known specs
+ * (or the bad cache token); true fills @p out.
  */
 bool tryParseSpec(const std::string &name, SystemSpec *out,
                   std::string *error = nullptr);
@@ -126,7 +134,8 @@ SystemSpec parseSpec(const std::string &name);
 /**
  * Canonical string for @p spec: the registry name when registered,
  * otherwise a synthesized "emb:<e>/mlp:<m>@<placement>" form (such
- * specs can only come from assembling a SystemSpec by hand).
+ * specs can only come from assembling a SystemSpec by hand). An
+ * enabled cache tier appends its canonical `/cache:...` part.
  */
 std::string specName(const SystemSpec &spec);
 

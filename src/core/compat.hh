@@ -2,7 +2,7 @@
  * @file
  * Legacy compatibility surface: every deprecated entry point of the
  * pre-scenario API generations, consolidated in one documented
- * header. Three generations live here, oldest first:
+ * header. Two generations live here, oldest first:
  *
  *  1. The monolithic system classes (PR 1): CpuOnlySystem,
  *     CpuGpuSystem and CentaurSystem. The classes themselves stay -
@@ -10,16 +10,17 @@
  *     asserted against (tests/core/test_composed_system.cc) - but
  *     new code includes them through this header, not through
  *     core/{cpu_only,cpu_gpu,centaur}_system.hh directly.
- *  2. The DesignPoint factories (PR 2): makeSystem / makeWorkers /
- *     runServingSim over the three-point DesignPoint enum. Replaced
- *     by the string-addressable backend spec registry
- *     (core/backend.hh) and SystemBuilder
- *     (core/system_builder.hh).
- *  3. The model-implicit sweeps (PR 3): runSweep / runPaperSweep /
+ *  2. The model-implicit sweeps (PR 3): runSweep / runPaperSweep /
  *     runServingSweep overloads taking Table I preset numbers and
  *     IndexDistribution enums. Replaced by the Scenario surface
  *     (core/scenario.hh): one backend spec x one registry model x
  *     one workload spec string.
+ *
+ * The DesignPoint factories (PR 2: makeSystem / makeWorkers /
+ * runServingSim over the three-point DesignPoint enum) were removed
+ * under the two-PR policy below once their last in-tree callers
+ * migrated to the spec registry (core/backend.hh) and SystemBuilder
+ * (core/system_builder.hh).
  *
  * Deprecation policy: a legacy entry point is a thin shim over its
  * modern replacement and reproduces it tick for tick (asserted by
@@ -50,50 +51,7 @@
 namespace centaur {
 
 // ------------------------------------------------------------------
-// Generation 2: DesignPoint factories.
-// ------------------------------------------------------------------
-
-/**
- * Factory covering the paper's three design points with default
- * configs.
- *
- * @deprecated Thin shim over SystemBuilder (core/system_builder.hh):
- * `makeSystem(specForDesign(dp), cfg)`. Prefer the builder - it
- * reaches every registered backend spec, not just the paper's three
- * design points.
- */
-[[deprecated("use makeSystem(spec, model) or SystemBuilder "
-             "(core/system_builder.hh)")]]
-std::unique_ptr<System> makeSystem(DesignPoint dp,
-                                   const DlrmConfig &cfg);
-
-/**
- * Build @p n independent worker systems for one design point.
- *
- * @deprecated Use makeWorkers(default_spec, model, cfg)
- * (core/server.hh); it honours heterogeneous cfg.workerSpecs and a
- * shared node fabric.
- */
-[[deprecated("use makeWorkers(default_spec, model, cfg) from "
-             "core/server.hh")]]
-std::vector<std::unique_ptr<System>>
-makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n);
-
-/**
- * Convenience: build workers per @p cfg.workers and run the engine.
- *
- * @deprecated Use the spec-based
- * `runServingSim(specForDesign(dp), model, cfg)` or the
- * scenario-based `runServingSim(Scenario{...}, base)`
- * (core/server.hh).
- */
-[[deprecated("use runServingSim(spec, model, cfg) or "
-             "runServingSim(Scenario, base) from core/server.hh")]]
-ServingStats runServingSim(DesignPoint dp, const DlrmConfig &model,
-                           const ServingConfig &cfg);
-
-// ------------------------------------------------------------------
-// Generation 3: model-implicit preset/IndexDistribution sweeps.
+// Generation 2: model-implicit preset/IndexDistribution sweeps.
 // ------------------------------------------------------------------
 
 /**

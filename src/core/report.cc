@@ -1,5 +1,6 @@
 #include "core/report.hh"
 
+#include "cachetier/cache_report.hh"
 #include "sim/units.hh"
 
 namespace centaur {
@@ -100,6 +101,9 @@ toJson(const WorkerStats &ws)
     j["energy_joules"] = ws.energyJoules;
     j["mean_coalesced"] = ws.meanCoalesced();
     j["fabric_wait_us"] = ws.fabricWaitUs;
+    j["cache_hits"] = ws.cacheHits;
+    j["cache_misses"] = ws.cacheMisses;
+    j["cache_saved_us"] = ws.cacheSavedUs;
     return j;
 }
 
@@ -152,6 +156,7 @@ toJson(const ServingStats &stats)
     for (const auto &fs : stats.fabric)
         fabric.push(toJson(fs));
     j["fabric"] = fabric;
+    j["cache"] = toJson(stats.cache);
     return j;
 }
 

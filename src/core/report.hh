@@ -58,8 +58,15 @@ constexpr int kReportSchemaVersion = 1;
  * counts, per-NIC tx/rx busy/wait accounting, and network totals
  * {remote_reads, remote_read_bytes, connection_setups, mean_fanout,
  * straggler_wait_us}.
+ * v1.5 adds the hot-row embedding cache tier (src/cachetier/):
+ * every per-worker serving record carries `cache_hits`,
+ * `cache_misses` and `cache_saved_us`, and serving aggregates plus
+ * cluster per-node records carry a `cache` object {hits, misses,
+ * evictions, rejected_fills, hit_rate, bytes_resident,
+ * fabric_saved_us} - all-zero when no cache tier is configured, so
+ * cache-less reports stay field-for-field comparable.
  */
-constexpr int kReportSchemaMinorVersion = 4;
+constexpr int kReportSchemaMinorVersion = 5;
 
 /** Common stamp: schema version (major+minor), kind and seed. */
 Json reportStamp(const std::string &kind, std::uint64_t seed);

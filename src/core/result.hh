@@ -88,6 +88,16 @@ struct InferenceResult
      */
     Tick fabricWait = 0;
 
+    /**
+     * Hot-row cache tier outcome of this inference (zero without an
+     * attached tier, cachetier/cache_tier.hh): lookups served from
+     * the tier, lookups that went to the memory system, and the
+     * fabric/NIC occupancy the hits avoided.
+     */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    Tick cacheSavedTicks = 0;
+
     LayerStats emb;
     LayerStats mlp;
 

@@ -6,7 +6,6 @@
 #include <functional>
 
 #include "core/backend.hh"
-#include "core/compat.hh"
 #include "core/scenario.hh"
 #include "core/system_builder.hh"
 #include "sim/event_queue.hh"
@@ -271,6 +270,10 @@ ServingEngine::run()
         ++worker_stats[w].dispatches;
         worker_stats[w].energyJoules += res.energyJoules;
         worker_stats[w].fabricWaitUs += usFromTicks(res.fabricWait);
+        worker_stats[w].cacheHits += res.cacheHits;
+        worker_stats[w].cacheMisses += res.cacheMisses;
+        worker_stats[w].cacheSavedUs +=
+            usFromTicks(res.cacheSavedTicks);
         energy_joules += res.energyJoules;
         last_completion = std::max(last_completion, done_us);
         served += batch_ids.size();
@@ -351,6 +354,20 @@ ServingEngine::run()
             : 0.0;
     out.perWorker = std::move(worker_stats);
 
+    // Snapshot the hot-row cache tiers the fleet is attached to; a
+    // node tier shared by several workers counts exactly once.
+    std::vector<const CacheTier *> seen_tiers;
+    for (System *w : _workers) {
+        const CacheTier *tier = w->cacheTier();
+        if (!tier)
+            continue;
+        if (std::find(seen_tiers.begin(), seen_tiers.end(), tier) !=
+            seen_tiers.end())
+            continue;
+        seen_tiers.push_back(tier);
+        out.cache += tier->stats();
+    }
+
     out.slaTargetUs = _cfg.slaTargetUs;
     out.slaHitRate = _cfg.slaTargetUs > 0.0
                          ? static_cast<double>(sla_hits) /
@@ -359,40 +376,30 @@ ServingEngine::run()
     return out;
 }
 
-// Definition of the core/compat.hh legacy worker factory.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-std::vector<std::unique_ptr<System>>
-makeWorkers(DesignPoint dp, const DlrmConfig &model, std::uint32_t n)
-{
-    if (n == 0)
-        fatal("serving engine needs at least one worker");
-    std::vector<std::unique_ptr<System>> out;
-    out.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i)
-        out.push_back(makeSystem(dp, model));
-    return out;
-}
-
-#pragma GCC diagnostic pop
-
 std::vector<std::unique_ptr<System>>
 makeWorkers(const std::string &default_spec, const DlrmConfig &model,
-            const ServingConfig &cfg, Fabric *fabric)
+            const ServingConfig &cfg, Fabric *fabric, CacheTier *cache)
 {
+    auto build = [&](const std::string &spec) {
+        return SystemBuilder()
+            .spec(spec)
+            .model(model)
+            .fabric(fabric)
+            .cacheTier(cache)
+            .build();
+    };
     std::vector<std::unique_ptr<System>> out;
     if (!cfg.workerSpecs.empty()) {
         out.reserve(cfg.workerSpecs.size());
         for (const std::string &spec : cfg.workerSpecs)
-            out.push_back(makeSystem(spec, model, fabric));
+            out.push_back(build(spec));
         return out;
     }
     if (cfg.workers == 0)
         fatal("serving engine needs at least one worker");
     out.reserve(cfg.workers);
     for (std::uint32_t i = 0; i < cfg.workers; ++i)
-        out.push_back(makeSystem(default_spec, model, fabric));
+        out.push_back(build(default_spec));
     return out;
 }
 
@@ -402,26 +409,22 @@ runServingSim(const std::string &default_spec, const DlrmConfig &model,
 {
     Fabric fabric(cfg.fabricCfg);
     Fabric *node = cfg.contend ? &fabric : nullptr;
-    auto owned = makeWorkers(default_spec, model, cfg, node);
+    // A `/cache:` part on the default spec provisions one node-level
+    // tier shared by the whole fleet (heterogeneous workerSpecs with
+    // their own cache parts still own private tiers).
+    const SystemSpec parsed = parseSpec(default_spec);
+    std::unique_ptr<CacheTier> tier;
+    if (parsed.cache.enabled())
+        tier = std::make_unique<CacheTier>(parsed.cache,
+                                           model.vectorBytes());
+    auto owned = makeWorkers(default_spec, model, cfg, node,
+                             tier.get());
     std::vector<System *> workers;
     workers.reserve(owned.size());
     for (auto &w : owned)
         workers.push_back(w.get());
     return ServingEngine(std::move(workers), cfg, node).run();
 }
-
-// Definition of the core/compat.hh legacy serving shim.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-ServingStats
-runServingSim(DesignPoint dp, const DlrmConfig &model,
-              const ServingConfig &cfg)
-{
-    return runServingSim(specForDesign(dp), model, cfg);
-}
-
-#pragma GCC diagnostic pop
 
 ServingStats
 runServingSim(const Scenario &sc, const ServingConfig &base)

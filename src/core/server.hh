@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cachetier/cache_tier.hh"
 #include "core/fabric.hh"
 #include "core/system.hh"
 #include "dlrm/workload.hh"
@@ -110,6 +111,11 @@ struct WorkerStats
     double energyJoules = 0.0;
     /** Queueing behind the node's shared resources (contended runs). */
     double fabricWaitUs = 0.0;
+    /** Hot-row cache tier lookups served / missed by this worker. */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    /** Fabric/NIC occupancy this worker's cache hits avoided (us). */
+    double cacheSavedUs = 0.0;
 
     /** Mean requests coalesced per dispatch. */
     double
@@ -171,6 +177,14 @@ struct ServingStats
     /** Per-resource fabric accounting; empty without a fabric. */
     std::vector<FabricResourceStats> fabric;
 
+    /**
+     * Hot-row cache tier counters (cachetier/cache_tier.hh),
+     * aggregated over the distinct tiers the fleet's workers are
+     * attached to (one shared node tier counts once). All-zero
+     * when no worker has a tier.
+     */
+    CacheStats cache;
+
     double
     dropRate() const
     {
@@ -214,19 +228,18 @@ class ServingEngine
     Fabric *_fabric;
 };
 
-// The deprecated DesignPoint helpers makeWorkers(DesignPoint, ...)
-// and runServingSim(DesignPoint, ...) live on the legacy surface,
-// core/compat.hh.
-
 /**
  * Build the worker fleet for @p cfg: one system per
  * cfg.workerSpecs entry when set (heterogeneous), else cfg.workers
  * copies of @p default_spec. With @p fabric non-null every worker
- * is built sharing that node fabric.
+ * is built sharing that node fabric; with @p cache non-null every
+ * worker shares that node hot-row cache tier (a worker spec with
+ * its own `/cache:` part and no shared tier owns a private one).
  */
 std::vector<std::unique_ptr<System>>
 makeWorkers(const std::string &default_spec, const DlrmConfig &model,
-            const ServingConfig &cfg, Fabric *fabric = nullptr);
+            const ServingConfig &cfg, Fabric *fabric = nullptr,
+            CacheTier *cache = nullptr);
 
 /**
  * Spec-based convenience: build the fleet via

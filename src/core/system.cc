@@ -1,8 +1,6 @@
 #include "core/system.hh"
 
 #include "core/backend.hh"
-#include "core/compat.hh"
-#include "core/system_builder.hh"
 #include "sim/log.hh"
 
 namespace centaur {
@@ -12,21 +10,6 @@ System::spec() const
 {
     return specForDesign(design());
 }
-
-// Definition of the core/compat.hh legacy surface.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-std::unique_ptr<System>
-makeSystem(DesignPoint dp, const DlrmConfig &cfg)
-{
-    // Thin shim over the composable backend API: each legacy design
-    // point is a canned preset that reproduces the former monolithic
-    // class exactly (tests/core/test_composed_system.cc).
-    return SystemBuilder().spec(specForDesign(dp)).model(cfg).build();
-}
-
-#pragma GCC diagnostic pop
 
 InferenceResult
 measureInference(System &sys, WorkloadGenerator &gen, int warmup_runs)

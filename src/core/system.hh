@@ -20,6 +20,8 @@
 
 namespace centaur {
 
+class CacheTier;
+
 /**
  * Base class for inference design points.
  */
@@ -49,6 +51,14 @@ class System
 
     /** Run one inference; advances internal time. */
     virtual InferenceResult infer(const InferenceBatch &batch) = 0;
+
+    /**
+     * The hot-row cache tier fronting this system's gathers
+     * (cachetier/cache_tier.hh), or nullptr when none is attached.
+     * Workers sharing one node tier return the same pointer, which
+     * is how the serving engine de-duplicates tier snapshots.
+     */
+    virtual const CacheTier *cacheTier() const { return nullptr; }
 
     /**
      * Pull the private clock forward to global tick @p t (never
@@ -82,8 +92,10 @@ class System
     Tick _now = 0;
 };
 
-// The deprecated DesignPoint factory makeSystem(DesignPoint,
-// DlrmConfig) lives on the legacy surface, core/compat.hh.
+// Systems are built by name through the spec registry
+// (core/backend.hh) and SystemBuilder (core/system_builder.hh); the
+// old DesignPoint factory was removed under the core/compat.hh
+// two-PR policy.
 
 /**
  * Run @p warmup_runs throwaway inferences (cache/TLB warmup, as the

@@ -24,12 +24,21 @@ class ComposedSystem : public System
                    const PowerConfig &power, const CpuConfig &cpu,
                    const GpuConfig &gpu, const CentaurConfig &fpga,
                    const DramConfig &dram, const InterconnectHop &hop,
-                   Fabric *fabric)
+                   Fabric *fabric, CacheTier *cache_tier)
         : System(model, power), _spec(spec), _specName(specName(spec)),
           _anchor(anchorDesignPoint(spec)),
           _watts(specWatts(spec, power)),
           _hier(broadwellHierarchyConfig()), _dram(dram)
     {
+        // Hot-row cache tier: an externally shared (node-level) tier
+        // wins; otherwise a cache-enabled spec gets a private one.
+        if (cache_tier) {
+            _cache = cache_tier;
+        } else if (spec.cache.enabled()) {
+            _ownedCache = std::make_unique<CacheTier>(
+                spec.cache, model.vectorBytes());
+            _cache = _ownedCache.get();
+        }
         switch (spec.emb) {
           case EmbBackendKind::CpuGather:
             _emb = std::make_unique<CpuGatherBackend>(cpu, _hier,
@@ -76,6 +85,7 @@ class ComposedSystem : public System
     DesignPoint design() const override { return _anchor; }
     std::string spec() const override { return _specName; }
     const SystemSpec &systemSpec() const { return _spec; }
+    const CacheTier *cacheTier() const override { return _cache; }
 
     InferenceResult
     infer(const InferenceBatch &batch) override
@@ -86,10 +96,29 @@ class ComposedSystem : public System
         res.batch = batch.batch;
         res.start = _now;
 
-        const EmbStageTiming staged = _emb->run(batch, _now, res);
+        // Annotate the batch against the hot-row tier first: the
+        // stage backends then skip the DRAM/PCIe charge for every
+        // masked lookup and shrink their gathered-byte totals.
+        if (_cache) {
+            const CacheTier::Access acc = _cache->annotate(batch);
+            res.cacheHits = acc.hits;
+            res.cacheMisses = acc.misses;
+        }
+
+        EmbStageTiming staged = _emb->run(batch, _now, res);
+        if (_cache && res.cacheHits) {
+            // Hits are not free: the SRAM/HBM-class lookup cost
+            // lands on the embedding phase's critical path.
+            const Tick lookup = _cache->lookupTicks(res.cacheHits);
+            staged.embReady += lookup;
+            res.phase[static_cast<std::size_t>(Phase::Emb)] +=
+                lookup;
+        }
         const Tick end = _mlp->run(batch, staged, res);
         res.end = end;
         _now = end;
+        if (_cache)
+            _cache->recordSavedTicks(res.cacheSavedTicks);
 
         // ----- functional result (stage-appropriate sigmoid) -----
         const ForwardResult fwd = _model.forward(batch);
@@ -107,6 +136,8 @@ class ComposedSystem : public System
     double _watts;
     CacheHierarchy _hier;
     DramModel _dram;
+    std::unique_ptr<CacheTier> _ownedCache;
+    CacheTier *_cache = nullptr;
     std::unique_ptr<EmbeddingBackend> _emb;
     std::unique_ptr<MlpBackend> _mlp;
 };
@@ -183,12 +214,20 @@ SystemBuilder::fabric(Fabric *f)
     return *this;
 }
 
+SystemBuilder &
+SystemBuilder::cacheTier(CacheTier *tier)
+{
+    _cacheTier = tier;
+    return *this;
+}
+
 std::unique_ptr<System>
 SystemBuilder::build() const
 {
     return std::make_unique<ComposedSystem>(_model, _spec, _power,
                                             _cpu, _gpu, _fpga, _dram,
-                                            _hop, _fabric);
+                                            _hop, _fabric,
+                                            _cacheTier);
 }
 
 std::unique_ptr<System>

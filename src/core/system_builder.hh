@@ -61,6 +61,15 @@ class SystemBuilder
      */
     SystemBuilder &fabric(Fabric *f);
 
+    /**
+     * Attach the node's shared hot-row cache tier
+     * (cachetier/cache_tier.hh). Non-owning; workers sharing one
+     * tier warm it for each other, like the fabric. When null (the
+     * default) and the spec carries an enabled `/cache:` part, the
+     * built system owns a private tier instead.
+     */
+    SystemBuilder &cacheTier(CacheTier *tier);
+
     /** Assemble the composed system. */
     std::unique_ptr<System> build() const;
 
@@ -74,6 +83,7 @@ class SystemBuilder
     DramConfig _dram{};
     InterconnectHop _hop{};
     Fabric *_fabric = nullptr;
+    CacheTier *_cacheTier = nullptr;
 };
 
 /** Convenience: build a registered spec with default device configs. */

@@ -24,6 +24,8 @@ CpuGatherBackend::run(const InferenceBatch &batch, Tick start,
     // The gather's worker threads gang on the node's core pool and
     // its table traffic shares host DRAM bandwidth with every other
     // worker on the node; the stage completes when both grants do.
+    // Cache-tier hits already dropped out of g.bytesGathered, so the
+    // DRAM grant shrinks with the hit rate.
     Tick end = g.end;
     if (fabric()) {
         const Tick cores = charge(NodeResource::CpuCores, start,
@@ -32,6 +34,9 @@ CpuGatherBackend::run(const InferenceBatch &batch, Tick start,
             charge(NodeResource::HostDram, start,
                    fabric()->dramOccupancy(g.bytesGathered), res);
         end = std::max(cores, dram);
+        res.cacheSavedTicks += fabric()->dramOccupancy(
+            batch.cachedLookups() *
+            _model.config().vectorBytes());
     }
     res.phase[static_cast<std::size_t>(Phase::Emb)] = end - start;
     res.effectiveEmbGBps = gbPerSec(g.bytesGathered, end - start);

@@ -56,7 +56,11 @@ GatherEngine::run(const ReferenceModel &model,
     GatherResult res;
     res.start = start;
     res.lookups = batch.totalLookups();
-    res.bytesGathered = res.lookups * vec_bytes;
+    // Lookups resident in the hot-row cache tier (batch.cacheHit,
+    // annotated before the backend runs) never touch the memory
+    // system: their bytes drop out of the DRAM-side total.
+    res.bytesGathered =
+        (res.lookups - batch.cachedLookups()) * vec_bytes;
 
     // PyTorch's EmbeddingBag runs tables as sequential operators and
     // parallelizes each over the batch dimension (at::parallel_for),
@@ -117,9 +121,24 @@ GatherEngine::run(const ReferenceModel &model,
 
             tc->now += lookup_instr_ticks;
 
-            const std::uint64_t row =
-                indices[static_cast<std::size_t>(b) *
-                            batch.lookupsPerTable + j];
+            const std::size_t flat =
+                static_cast<std::size_t>(b) *
+                    batch.lookupsPerTable + j;
+
+            // A cache-tier hit skips the row's line fetches
+            // entirely (the tier's own lookup cost is charged by
+            // ComposedSystem); the index fetch and the per-lookup
+            // instruction stream are still paid above.
+            if (batch.rowCached(t, flat)) {
+                if (++tc->lookup == batch.lookupsPerTable) {
+                    tc->lookup = 0;
+                    ++tc->sample;
+                    tc->now += store_ticks;
+                }
+                continue;
+            }
+
+            const std::uint64_t row = indices[flat];
             const Addr row_addr = table.rowAddr(row);
             for (std::uint32_t l = 0; l < lines_per_vec; ++l) {
                 const Addr line = row_addr +

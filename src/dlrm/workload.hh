@@ -73,6 +73,40 @@ struct InferenceBatch
     /** dense[sample * denseDim + d] */
     std::vector<float> dense;
 
+    /**
+     * Per-lookup hot-row cache hit mask, parallel to `indices`
+     * (cacheHit[table][flat] == 1 means the row was resident in the
+     * attached CacheTier and the stage backends skip its DRAM / PCIe
+     * / NIC charge). Empty - the generator's default - means "no
+     * cache tier": every backend takes its unmodified legacy path,
+     * which is what keeps cache:0 specs byte-identical to their
+     * no-cache twins. Mutable because the tier annotates the batch
+     * inside System::infer (const surface); a batch is annotated by
+     * at most one system, so never share one InferenceBatch object
+     * between a cached and an uncached system.
+     */
+    mutable std::vector<std::vector<std::uint8_t>> cacheHit;
+
+    /** Was lookup @p flat of @p table a cache hit? */
+    bool
+    rowCached(std::size_t table, std::size_t flat) const
+    {
+        return table < cacheHit.size() &&
+               flat < cacheHit[table].size() &&
+               cacheHit[table][flat] != 0;
+    }
+
+    /** Total lookups the cache tier marked as hits. */
+    std::uint64_t
+    cachedLookups() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : cacheHit)
+            for (std::uint8_t hit : t)
+                n += hit;
+        return n;
+    }
+
     std::uint64_t
     totalLookups() const
     {

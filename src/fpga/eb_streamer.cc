@@ -84,7 +84,10 @@ EbStreamer::gather(const ReferenceModel &model,
     EbGatherResult res;
     res.start = start;
     res.vectors = batch.totalLookups();
-    res.bytesGathered = res.vectors * vec_bytes;
+    // Rows resident in the hot-row cache tier never cross the
+    // coherent channel: their bytes drop out of the streamed total.
+    res.bytesGathered =
+        (res.vectors - batch.cachedLookups()) * vec_bytes;
 
     // Credit-limited outstanding line reads (AFU tag space).
     const std::uint32_t credits = _channel.maxOutstandingLines();
@@ -98,6 +101,21 @@ EbStreamer::gather(const ReferenceModel &model,
         const auto &indices = batch.indices[t];
         const VirtualEmbeddingTable &table = model.table(t);
         for (std::uint64_t i = 0; i < indices.size(); ++i) {
+            // A cache-tier hit skips the IOMMU translate and the
+            // line transfers entirely; the row still flows through
+            // the reduce unit like any other vector.
+            if (batch.rowCached(t, i)) {
+                gu_time += _cyclePs;
+                const Cycles hit_ru_cycles =
+                    (cfg.embeddingDim + _cfg.reduceLanes - 1) /
+                    _cfg.reduceLanes;
+                const Tick ru_done = std::max(gu_time, ru_free) +
+                                     hit_ru_cycles * _cyclePs;
+                ru_free = ru_done;
+                last_done = std::max(last_done, ru_done);
+                continue;
+            }
+
             const Addr row_addr = table.rowAddr(indices[i]);
             const auto trans = _iommu.translate(row_addr);
             if (!trans.tlbHit)

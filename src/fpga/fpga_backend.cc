@@ -61,6 +61,10 @@ EbGatherBackend::run(const InferenceBatch &batch, Tick start,
                                            g.bytesGathered),
                    res);
         emb_end = std::max(emb_end, dram);
+        // Hot-row cache hits dropped out of g.bytesGathered above;
+        // book the DRAM occupancy they avoided.
+        res.cacheSavedTicks += fabric()->dramOccupancy(
+            batch.cachedLookups() * cfg.vectorBytes());
     }
     res.effectiveEmbGBps = gbPerSec(g.bytesGathered, emb_end - idx.end);
 

@@ -38,11 +38,21 @@ GpuGatherBackend::run(const InferenceBatch &batch, Tick start,
         idx_end - dnf_end;
 
     // ----- EMB: fine-grained gather of host tables over PCIe -----
+    // Rows resident in the hot-row cache tier never cross the wire:
+    // their bytes drop out of both the PCIe and host-DRAM charges.
+    const std::uint64_t hit_bytes =
+        batch.cachedLookups() * cfg.vectorBytes();
     const std::uint64_t emb_bytes =
-        batch.gatheredBytes(cfg.vectorBytes());
+        batch.gatheredBytes(cfg.vectorBytes()) - hit_bytes;
     const Tick wire_ready = idx_end + _gpu.gatherLaunchTicks();
     Tick emb_end = charge(NodeResource::PcieH2d, wire_ready,
                           _gpu.gatherWireTicks(emb_bytes), res);
+    if (hit_bytes) {
+        res.cacheSavedTicks += _gpu.gatherWireTicks(hit_bytes);
+        if (fabric())
+            res.cacheSavedTicks +=
+                fabric()->dramOccupancy(hit_bytes);
+    }
     if (fabric())
         emb_end = std::max(
             emb_end, charge(NodeResource::HostDram, wire_ready,

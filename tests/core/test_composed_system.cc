@@ -124,26 +124,22 @@ TEST(ComposedSystem, PresetEquivalenceHoldsAtLargeBatchToo)
     expectPresetEquivalence(cen, "cpu+fpga", cfg, 64);
 }
 
-TEST(ComposedSystem, MakeSystemShimIsTheComposedPreset)
+TEST(ComposedSystem, MakeSystemConvenienceIsTheBuilder)
 {
     const DlrmConfig cfg = dlrmPreset(1);
     for (DesignPoint dp : {DesignPoint::CpuOnly, DesignPoint::CpuGpu,
                            DesignPoint::Centaur}) {
-        // Tick-equivalence assertion for the core/compat.hh shim.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-        auto via_shim = makeSystem(dp, cfg);
-#pragma GCC diagnostic pop
+        auto via_factory = makeSystem(specForDesign(dp), cfg);
         auto via_builder = SystemBuilder()
                                .spec(specForDesign(dp))
                                .model(cfg)
                                .build();
-        EXPECT_EQ(via_shim->design(), dp);
-        EXPECT_EQ(via_shim->spec(), via_builder->spec());
+        EXPECT_EQ(via_factory->design(), dp);
+        EXPECT_EQ(via_factory->spec(), via_builder->spec());
         const InferenceBatch b = makeBatch(cfg, 8);
-        expectIdenticalResults(via_shim->infer(b),
+        expectIdenticalResults(via_factory->infer(b),
                                via_builder->infer(b),
-                               via_shim->spec());
+                               via_factory->spec());
     }
 }
 

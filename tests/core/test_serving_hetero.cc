@@ -8,7 +8,6 @@
 
 #include <gtest/gtest.h>
 
-#include "core/compat.hh"
 #include "core/server.hh"
 
 namespace centaur {
@@ -129,22 +128,21 @@ TEST(ServingHetero, HomogeneousPathStillUsesWorkersCount)
         EXPECT_EQ(w.spec, "cpu+fpga");
 }
 
-TEST(ServingHetero, LegacyDesignPointOverloadMatchesSpecOverload)
+TEST(ServingHetero, ZeroBudgetCacheSuffixIsTickIdentical)
 {
     ServingConfig cfg = overload();
     cfg.workers = 2;
-    // Tick-equivalence assertion for the core/compat.hh shim.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    const ServingStats via_dp =
-        runServingSim(DesignPoint::Centaur, smallModel(), cfg);
-#pragma GCC diagnostic pop
+    // `/cache:0` normalizes to "no cache" at parse time, so the
+    // serving run must match the bare spec tick for tick.
+    const ServingStats via_zero =
+        runServingSim("cpu+fpga/cache:0", smallModel(), cfg);
     const ServingStats via_spec =
         runServingSim("cpu+fpga", smallModel(), cfg);
-    EXPECT_EQ(via_dp.served, via_spec.served);
-    EXPECT_DOUBLE_EQ(via_dp.meanLatencyUs, via_spec.meanLatencyUs);
-    EXPECT_DOUBLE_EQ(via_dp.p99Us, via_spec.p99Us);
-    EXPECT_DOUBLE_EQ(via_dp.energyJoules, via_spec.energyJoules);
+    EXPECT_EQ(via_zero.served, via_spec.served);
+    EXPECT_DOUBLE_EQ(via_zero.meanLatencyUs, via_spec.meanLatencyUs);
+    EXPECT_DOUBLE_EQ(via_zero.p99Us, via_spec.p99Us);
+    EXPECT_DOUBLE_EQ(via_zero.energyJoules, via_spec.energyJoules);
+    EXPECT_EQ(via_zero.cache.hits + via_zero.cache.misses, 0u);
 }
 
 TEST(ServingHeteroDeath, UnknownWorkerSpecIsFatal)

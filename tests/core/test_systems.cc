@@ -165,29 +165,21 @@ TEST(Systems, LatencyGrowsWithBatch)
     }
 }
 
-// Coverage of the deprecated core/compat.hh factory itself.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 TEST(Systems, MakeSystemCoversAllDesignPoints)
 {
     const DlrmConfig cfg = smallModel();
-    EXPECT_EQ(makeSystem(DesignPoint::CpuOnly, cfg)->design(),
-              DesignPoint::CpuOnly);
-    EXPECT_EQ(makeSystem(DesignPoint::CpuGpu, cfg)->design(),
+    EXPECT_EQ(makeSystem("cpu", cfg)->design(), DesignPoint::CpuOnly);
+    EXPECT_EQ(makeSystem("cpu+gpu", cfg)->design(),
               DesignPoint::CpuGpu);
-    EXPECT_EQ(makeSystem(DesignPoint::Centaur, cfg)->design(),
+    EXPECT_EQ(makeSystem("cpu+fpga", cfg)->design(),
               DesignPoint::Centaur);
 }
 
 TEST(Systems, NamesMatchDesignPoints)
 {
     const DlrmConfig cfg = smallModel();
-    EXPECT_EQ(makeSystem(DesignPoint::Centaur, cfg)->name(),
-              "Centaur");
+    EXPECT_EQ(makeSystem("cpu+fpga", cfg)->name(), "Centaur");
 }
-
-#pragma GCC diagnostic pop
 
 TEST(Systems, ResultMetadataIsFilled)
 {

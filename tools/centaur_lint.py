@@ -29,8 +29,9 @@ Rules (see src/sim/lint.hh for the in-tree documentation):
                       captured state inside a SuiteContext::parallelFor
                       body that is not indexed by the loop variable
   schema-sync         every metric key the sim/json writers emit in
-                      bench/suites/*, src/core/report.cc and
-                      src/cluster/* must appear in check_bench.py's
+                      bench/suites/*, src/core/report.cc,
+                      src/cachetier/* and src/cluster/* must appear
+                      in check_bench.py's
                       key tables, and every key the Python gate names
                       must still exist in the C++ tree
   header-hygiene      include guards present, matching the
@@ -707,6 +708,7 @@ PY_KEY_TABLES = ["POSITIVE_KEYS", "HIGHER_IS_WORSE", "LOWER_IS_WORSE",
 
 def is_emission_file(rel):
     return rel.startswith("bench/suites/") or \
+        rel.startswith("src/cachetier/") or \
         rel.startswith("src/cluster/") or \
         rel.endswith("core/report.cc")
 

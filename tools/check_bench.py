@@ -13,7 +13,11 @@ Checks performed:
      plus non-empty "model" and "workload" stamps (v1.2). v1.3 adds
      the contention stamps: every per-worker serving record carries
      fabric_wait_us and every serving stats object carries a fabric
-     array (per-resource utilization/wait on contended runs).
+     array (per-resource utilization/wait on contended runs). v1.5
+     adds the cache-tier stamps: every per-worker serving record
+     carries cache_hits/cache_misses/cache_saved_us and every
+     serving stats object carries a cache object (all-zero when no
+     cache tier is configured).
   2. sanity: no null metric anywhere (the C++ writer serializes
      NaN/Inf as null), no non-finite number, and every latency /
      throughput / bandwidth metric is strictly positive.
@@ -37,7 +41,12 @@ Checks performed:
      under zipf skew with range sharding shard-affinity routing's
      p99 never loses to random routing (affinity_not_slower), with
      every cluster record carrying live per-node fabric arrays and
-     per-shard gather hit counts (v1.4).
+     per-shard gather hit counts (v1.4), and in the cache_matrix the
+     hot-row cache hit rate is monotonically non-decreasing in zipf
+     skew at every fixed capacity, a cached run's serving p50 never
+     loses to the cache-less anchor on the same request stream, a
+     /cache:0 spec is identical to the bare spec, and a hit-rate
+     knee is found for every (model, workload) cell (v1.5).
 
 With --baseline OLD.json the run is also diffed against a previous
 report: the largest relative deltas are printed, and with
@@ -53,7 +62,7 @@ import math
 import sys
 
 SCHEMA_VERSION = 1
-SCHEMA_MINOR = 4
+SCHEMA_MINOR = 5
 
 EXPECTED_SUITES = [
     "table1",
@@ -74,6 +83,7 @@ EXPECTED_SUITES = [
     "scenario_matrix",
     "contention_matrix",
     "cluster_matrix",
+    "cache_matrix",
 ]
 
 # Backend specs every full spec_matrix run must cover.
@@ -215,6 +225,15 @@ NEUTRAL_KEYS = {
     "remote_service_us",
     "affinity_p99_us",
     "random_p99_us",
+    # Cache-tier records (v1.5). Saved-time accounting is zero on
+    # cache-less runs and scales with hit volume, and the
+    # cache_matrix invariant inputs are gated by their boolean
+    # verdicts (hit_rate_monotone / cache_not_slower), not by
+    # baseline drift.
+    "fabric_saved_us",
+    "cache_saved_us",
+    "cached_p50_us",
+    "uncached_p50_us",
 }
 
 
@@ -332,6 +351,29 @@ def check_fabric_stamps(chk, suites):
                       f"per-worker record without fabric_wait_us: "
                       f"{path}.per_worker[{i}]")
     chk.check(stats_seen > 0, "no serving stats found in the report")
+
+
+def check_cache_stamps(chk, suites):
+    """Schema v1.5: serving stats carry the cache-tier surface -
+    a cache object on the stats object and hit/miss/saved counters
+    on every per-worker record (all-zero without a cache tier)."""
+    for path, node in walk_nodes(suites):
+        if "per_worker" not in node:
+            continue
+        cache = node.get("cache")
+        if chk.check(isinstance(cache, dict),
+                     f"serving stats without a cache object: {path}"):
+            for key in ("hits", "misses", "evictions",
+                        "rejected_fills", "hit_rate",
+                        "bytes_resident", "fabric_saved_us"):
+                chk.check(isinstance(cache.get(key), (int, float)),
+                          f"cache object without {key}: {path}.cache")
+        for i, worker in enumerate(node.get("per_worker", [])):
+            for key in ("cache_hits", "cache_misses",
+                        "cache_saved_us"):
+                chk.check(isinstance(worker.get(key), (int, float)),
+                          f"per-worker record without {key}: "
+                          f"{path}.per_worker[{i}]")
 
 
 def check_invariants(chk, suites):
@@ -487,6 +529,56 @@ def check_invariants(chk, suites):
                   f" ({entry.get('affinity_p99_us')} vs"
                   f" {entry.get('random_p99_us')} us)")
 
+    # cache_matrix (v1.5): every record carries live cache stats, the
+    # hit rate never drops as zipf skew rises at fixed capacity, a
+    # cached run's p50 never loses to the cache-less anchor on the
+    # same request stream, /cache:0 is identical to the bare spec,
+    # and a hit-rate knee exists for every (model, workload) cell.
+    data = suites.get("cache_matrix", {}).get("data", {})
+    records = data.get("records", [])
+    chk.check(len(records) > 0, "cache_matrix: no records")
+    for rec in records:
+        stats = rec.get("stats", {})
+        label = f"{rec.get('spec')} / {rec.get('workload')}"
+        chk.check(isinstance(stats.get("cache"), dict),
+                  f"cache_matrix: {label}: record without cache"
+                  " stats")
+        if rec.get("cache_mb", 0) > 0 and not rec.get("anchor"):
+            cache = stats.get("cache", {})
+            lookups = cache.get("hits", 0) + cache.get("misses", 0)
+            chk.check(lookups > 0,
+                      f"cache_matrix: {label}: cache tier saw no"
+                      " lookups")
+    checks = data.get("hit_rate_checks", [])
+    chk.check(len(checks) > 0, "cache_matrix: no hit_rate_checks")
+    for entry in checks:
+        chk.check(entry.get("hit_rate_monotone") is True,
+                  f"cache_matrix: hit rate drops with skew on"
+                  f" {entry.get('model')} at"
+                  f" {entry.get('cache_mb')} MB"
+                  f" ({entry.get('skew_lo')}:"
+                  f" {entry.get('hit_rate_lo')} ->"
+                  f" {entry.get('skew_hi')}:"
+                  f" {entry.get('hit_rate_hi')})")
+    checks = data.get("cache_checks", [])
+    chk.check(len(checks) > 0, "cache_matrix: no cache_checks")
+    for entry in checks:
+        chk.check(entry.get("cache_not_slower") is True,
+                  f"cache_matrix: {entry.get('cache_mb')} MB cache"
+                  f" makes {entry.get('model')} /"
+                  f" {entry.get('workload')} slower"
+                  f" ({entry.get('cached_p50_us')} vs"
+                  f" {entry.get('uncached_p50_us')} us p50)")
+    checks = data.get("zero_checks", [])
+    chk.check(len(checks) > 0, "cache_matrix: no zero_checks")
+    for entry in checks:
+        chk.check(entry.get("zero_identical") is True,
+                  f"cache_matrix: /cache:0 differs from the bare"
+                  f" spec on {entry.get('model')} /"
+                  f" {entry.get('workload')}")
+    knees = data.get("knee_points", [])
+    chk.check(len(knees) > 0, "cache_matrix: no knee_points")
+
 
 def diff_baseline(chk, doc, baseline, threshold, top=10):
     current = {p: v for p, k, v in walk_numeric(doc.get("suites", {}))
@@ -553,6 +645,7 @@ def main():
     if suites:
         check_spec_stamps(chk, suites)
         check_fabric_stamps(chk, suites)
+        check_cache_stamps(chk, suites)
         check_invariants(chk, suites)
     if args.baseline:
         diff_baseline(chk, doc, load(args.baseline), args.threshold)
