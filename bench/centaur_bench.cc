@@ -26,6 +26,7 @@
 #include "cluster/cluster_spec.hh"
 #include "core/backend.hh"
 #include "core/report.hh"
+#include "ctrlplane/ctrl_spec.hh"
 #include "dlrm/model_registry.hh"
 #include "dlrm/trace.hh"
 #include "dlrm/workload_spec.hh"
@@ -245,6 +246,11 @@ main(int argc, char **argv)
                     "cache_matrix):\n  /%s\n  examples:",
                     cacheTierGrammar());
         for (const std::string &ex : exampleCacheParts())
+            std::printf(" %s", ex.c_str());
+        std::printf("\n\ncontrol plane grammar (spec suffix, "
+                    "slo_matrix):\n  /%s\n  examples:",
+                    ctrlGrammar());
+        for (const std::string &ex : exampleCtrlParts())
             std::printf(" %s", ex.c_str());
         std::printf("\n");
         return 0;

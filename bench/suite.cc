@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "core/report.hh"
+#include "sim/event_queue.hh"
+#include "sim/walltime.hh"
 
 namespace centaur::bench {
 
@@ -128,6 +130,7 @@ allSuites()
         registerContentionSuites(s);
         registerClusterSuites(s);
         registerCacheSuites(s);
+        registerCtrlSuites(s);
         return s;
     }();
     return suites;
@@ -148,7 +151,15 @@ runSuite(const Suite &suite, SuiteContext &ctx)
     Json j = reportStamp("suite", ctx.seed());
     j["suite"] = suite.name;
     j["title"] = suite.title;
+    const std::uint64_t events_before = globalSimEvents();
+    const std::uint64_t wall_before_us = wallMicros();
     j["data"] = suite.fn(ctx);
+    // Cost stamps: sim_events is a pure function of the simulated
+    // work (identical at any --jobs); sim_wall_us is host time and
+    // therefore NEUTRAL - baselines ignore it and CI's byte-identity
+    // comparison filters it.
+    j["sim_events"] = globalSimEvents() - events_before;
+    j["sim_wall_us"] = wallMicros() - wall_before_us;
     return j;
 }
 

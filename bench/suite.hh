@@ -176,6 +176,7 @@ void registerScenarioSuites(std::vector<Suite> &suites);
 void registerContentionSuites(std::vector<Suite> &suites);
 void registerClusterSuites(std::vector<Suite> &suites);
 void registerCacheSuites(std::vector<Suite> &suites);
+void registerCtrlSuites(std::vector<Suite> &suites);
 
 } // namespace centaur::bench
 

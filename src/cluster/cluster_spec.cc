@@ -50,7 +50,8 @@ constexpr const char *kGrammar =
     "cluster:<N>x(<spec>)[/shard:<hash|range>[:<replicas>]]"
     "[/route:<random|least|affinity>]"
     "[/net:null | /net:<gbps>[:<read-lat>[:<setup>]]]"
-    "[/cache:<mb>[:<lru|lfu|slru>[:ghost]]]";
+    "[/cache:<mb>[:<lru|lfu|slru>[:ghost]]]"
+    "[/ctrl:<fixed|adaptive>[:hedge[:<q>]][:scale[:<lo>-<hi>]]]";
 
 /** Parse a finite double, consuming the whole string. */
 bool
@@ -213,6 +214,7 @@ tryParseClusterSpec(const std::string &spec, ClusterSpec *out,
     bool saw_route = false;
     bool saw_net = false;
     bool saw_cache = false;
+    bool saw_ctrl = false;
     std::size_t begin = close + 1;
     while (begin < head.size()) {
         if (head[begin] != '/')
@@ -252,11 +254,18 @@ tryParseClusterSpec(const std::string &spec, ClusterSpec *out,
             std::string cache_error;
             if (!tryParseCachePart(part, &cfg.cache, &cache_error))
                 return failWith(error, spec, cache_error);
+        } else if (part.rfind("ctrl:", 0) == 0) {
+            if (saw_ctrl)
+                return failWith(error, spec, "duplicate ctrl part");
+            saw_ctrl = true;
+            std::string ctrl_error;
+            if (!tryParseCtrlPart(part, &cfg.ctrl, &ctrl_error))
+                return failWith(error, spec, ctrl_error);
         } else {
             return failWith(error, spec,
                             "unknown part '" + part +
                                 "' (shard: | route: | net: | "
-                                "cache:)");
+                                "cache: | ctrl:)");
         }
     }
 
@@ -306,6 +315,8 @@ clusterSpecName(const ClusterSpec &spec)
     }
     if (spec.cache.enabled())
         name += "/" + cachePartName(spec.cache);
+    if (spec.ctrl.enabled())
+        name += "/" + ctrlPartName(spec.ctrl);
     return name;
 }
 
@@ -322,7 +333,8 @@ exampleClusterSpecs()
             "cluster:2x(cpu)/shard:range/route:random",
             "cluster:4x(cpu+fpga)/route:least/net:12.5:2:25",
             "cluster:1x(cpu+fpga)/net:null",
-            "cluster:4x(cpu+fpga)/cache:64:slru:ghost"};
+            "cluster:4x(cpu+fpga)/cache:64:slru:ghost",
+            "cluster:4x(cpu)/ctrl:adaptive:hedge:0.95:scale:0.3-0.8"};
 }
 
 } // namespace centaur

@@ -12,18 +12,21 @@
  *         | net:null
  *         | net:<gbps>[:<read-lat>[:<setup>]]   (GB/s, us, us)
  *         | cache:<mb>[:<lru|lfu|slru>[:ghost]]
+ *         | ctrl:<fixed|adaptive>[:hedge[:<q>]][:scale[:<lo>-<hi>]]
  *
  * Examples: "cluster:4x(cpu+fpga)/shard:hash:2",
  * "cluster:2x(cpu)/shard:range/route:affinity/net:12.5:2:25",
  * "cluster:1x(cpu+fpga)/net:null" (tick-identical to the
  * single-node serving fleet),
  * "cluster:4x(cpu+fpga)/cache:64:slru:ghost" (a 64 MiB hot-row
- * cache tier per node, shared by the node's workers). Defaults:
+ * cache tier per node, shared by the node's workers),
+ * "cluster:4x(cpu)/ctrl:adaptive:hedge:0.95:scale:0.3-0.8"
+ * (closed-loop control plane, ctrlplane/ctrl_spec.hh). Defaults:
  * shard hash:1, route affinity, net 12.5 GB/s with 2 us one-sided
- * reads and 25 us connection setup, no cache. The inner <spec> must
- * be a registered backend spec; every node runs the same worker
- * fleet shape on its own Fabric. A cluster-level /cache: part wins
- * over a /cache: suffix on the inner node spec.
+ * reads and 25 us connection setup, no cache, ctrl:fixed. The inner
+ * <spec> must be a registered backend spec; every node runs the same
+ * worker fleet shape on its own Fabric. A cluster-level /cache: or
+ * /ctrl: part wins over the same suffix on the inner node spec.
  */
 
 #ifndef CENTAUR_CLUSTER_CLUSTER_SPEC_HH
@@ -36,6 +39,7 @@
 #include "cachetier/cache_tier.hh"
 #include "cluster/network.hh"
 #include "cluster/shard_map.hh"
+#include "ctrlplane/ctrl_spec.hh"
 
 namespace centaur {
 
@@ -70,13 +74,20 @@ struct ClusterSpec
      * /cache: part overrides a /cache: suffix on nodeSpec.
      */
     CacheTierConfig cache;
+    /**
+     * Cluster-wide control-plane policy (ctrlplane/ctrl_spec.hh).
+     * Disabled (ctrl:fixed) by default; a cluster /ctrl: part
+     * overrides a /ctrl: suffix on nodeSpec.
+     */
+    CtrlConfig ctrl;
 
     bool
     operator==(const ClusterSpec &o) const
     {
         return nodes == o.nodes && nodeSpec == o.nodeSpec &&
                shard == o.shard && replicas == o.replicas &&
-               route == o.route && net == o.net && cache == o.cache;
+               route == o.route && net == o.net && cache == o.cache &&
+               ctrl == o.ctrl;
     }
     bool operator!=(const ClusterSpec &o) const { return !(*this == o); }
 };

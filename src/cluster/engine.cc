@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "cluster/router.hh"
+#include "core/backend.hh"
 #include "core/scenario.hh"
 #include "core/system_builder.hh"
 #include "sim/event_queue.hh"
@@ -129,20 +130,31 @@ ClusterEngine::run()
     const double mean_gap_us = 1e6 / _cfg.arrivalRatePerSec;
     const bool bursty = _cfg.arrival == ArrivalProcess::Burst &&
                         _cfg.burstFactor > 1.0;
+    const bool diurnal = _cfg.arrival == ArrivalProcess::Diurnal &&
+                         _cfg.diurnalAmplitude > 0.0;
     const double burst_gap_us = mean_gap_us / _cfg.burstFactor;
     const double idle_gap_us =
         mean_gap_us *
         (_cfg.burstFactor - 1.0 + 1.0 / _cfg.burstFactor);
+    const double diurnal_period_us = _cfg.diurnalPeriodSec * 1e6;
     std::vector<double> arrival_us(num_requests);
+    std::vector<std::uint8_t> arrival_burst(num_requests, 0);
     std::vector<InferenceBatch> payloads(num_requests);
     double clock_us = 0.0;
     for (std::uint32_t r = 0; r < num_requests; ++r) {
         double gap_mean_us = mean_gap_us;
-        if (bursty)
+        if (bursty) {
+            const bool in_burst =
+                arrivals_rng.nextDouble() >= 1.0 / _cfg.burstFactor;
+            gap_mean_us = in_burst ? burst_gap_us : idle_gap_us;
+            arrival_burst[r] = in_burst ? 1 : 0;
+        } else if (diurnal) {
             gap_mean_us =
-                arrivals_rng.nextDouble() < 1.0 / _cfg.burstFactor
-                    ? idle_gap_us
-                    : burst_gap_us;
+                mean_gap_us /
+                (1.0 + _cfg.diurnalAmplitude *
+                           std::sin(2.0 * M_PI * clock_us /
+                                    diurnal_period_us));
+        }
         const double u = std::max(arrivals_rng.nextDouble(), 1e-12);
         clock_us += -std::log(u) * gap_mean_us;
         arrival_us[r] = clock_us;
@@ -197,6 +209,60 @@ ClusterEngine::run()
     std::uint64_t fanout_dispatches = 0;
     double straggler_us = 0.0;
 
+    // Per-SLO-class accounting (report v1.6); class of request r is
+    // r % classes, stamped at generation time.
+    const std::size_t num_classes = _cfg.sloClasses.size();
+    std::vector<StatHistogram> class_latency;
+    class_latency.reserve(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c)
+        class_latency.emplace_back(0.0, 100000.0, 2000);
+    std::vector<std::uint64_t> class_served(num_classes, 0);
+    std::vector<std::uint64_t> class_within(num_classes, 0);
+
+    // Control plane (ctrlplane/). The cluster /ctrl: part wins over
+    // a /ctrl: suffix on the inner node spec (same precedence as
+    // /cache:); either wins over the caller's ServingConfig. All
+    // controllers run on the shared event queue, so decisions are
+    // totally ordered and jobs-independent.
+    CtrlConfig ctrl = _cfg.ctrl;
+    if (spec.ctrl.enabled())
+        ctrl = spec.ctrl;
+    else if (const CtrlConfig node_ctrl = parseSpec(spec.nodeSpec).ctrl;
+             node_ctrl.enabled())
+        ctrl = node_ctrl;
+    const bool adaptive = ctrl.adaptive;
+    const bool hedging = ctrl.hedge && nodes > 1;
+    const bool scaling = ctrl.scale && nodes > 1;
+    std::vector<AdaptiveBatcher> batchers;
+    batchers.reserve(nodes);
+    for (std::uint32_t n = 0; n < nodes; ++n)
+        batchers.emplace_back(
+            _cfg.coalesceWindowUs,
+            std::max(_cfg.coalesceWindowUs * 8.0, 4.0 * mean_gap_us));
+    ServiceQuantile svc_quantile;
+    Autoscaler scaler(ctrl, nodes,
+                      std::max(1000.0, 32.0 * mean_gap_us));
+    std::vector<std::uint8_t> node_active(nodes, 1);
+    std::vector<double> active_since(nodes, 0.0);
+    std::vector<double> node_active_us(nodes, 0.0);
+    double interval_busy_us = 0.0;
+    std::uint64_t dropped_burst = 0;
+    std::uint64_t dropped_idle = 0;
+    std::uint64_t hedge_dispatches = 0;
+    std::uint64_t hedge_wins = 0;
+    std::uint64_t hedge_losses = 0;
+    double hedge_wasted_us = 0.0;
+    double hedge_energy_joules = 0.0;
+
+    const auto classifyDrop = [&](std::uint32_t id) {
+        if (!bursty)
+            return;
+        if (arrival_burst[id])
+            ++dropped_burst;
+        else
+            ++dropped_idle;
+    };
+
     // Admit every arrival routed to @p s with timestamp <= t.
     const auto admitUpTo = [&](NodeState &s, double t) {
         while (s.next < s.ids.size() &&
@@ -204,6 +270,7 @@ ClusterEngine::run()
             if (_cfg.maxQueueDepth > 0 &&
                 s.queue.size() >= _cfg.maxQueueDepth) {
                 ++s.droppedFull;
+                classifyDrop(s.ids[s.next]);
             } else {
                 s.queue.push_back(
                     {s.ids[s.next], arrival_us[s.ids[s.next]]});
@@ -222,6 +289,68 @@ ClusterEngine::run()
             s.workerFree.begin(), s.workerFree.end());
         events.schedule(
             std::max(events.now(), ticksFromUs(next_us)), s.round);
+    };
+
+    // Autoscaler victims are whole nodes. Draining stops accruing
+    // provisioned (idle-energy) time, redistributes the victim's
+    // not-yet-admitted arrivals round-robin over the surviving
+    // active nodes (each receiver's id list stays sorted via a tail
+    // merge, so admission order is unchanged), and wakes the
+    // receivers; requests already queued on the victim drain out on
+    // its own workers. A re-added node only receives traffic from
+    // future drain redistributions.
+    const auto drainNode = [&](double now_us) {
+        std::uint32_t victim = nodes;
+        for (std::uint32_t i = 0; i < nodes; ++i)
+            if (node_active[i])
+                victim = i;
+        if (victim >= nodes)
+            return;
+        node_active[victim] = 0;
+        node_active_us[victim] += now_us - active_since[victim];
+        NodeState &v = ns[victim];
+        std::vector<std::uint32_t> receivers;
+        for (std::uint32_t i = 0; i < nodes; ++i)
+            if (node_active[i])
+                receivers.push_back(i);
+        if (receivers.empty() || v.next >= v.ids.size())
+            return;
+        std::vector<std::size_t> old_size(nodes, 0);
+        for (std::uint32_t rn : receivers)
+            old_size[rn] = ns[rn].ids.size();
+        for (std::size_t k = v.next; k < v.ids.size(); ++k) {
+            const std::uint32_t rn =
+                receivers[(k - v.next) % receivers.size()];
+            ns[rn].ids.push_back(v.ids[k]);
+            route_of[v.ids[k]] = rn;
+        }
+        v.ids.resize(v.next);
+        for (std::uint32_t rn : receivers) {
+            NodeState &r = ns[rn];
+            std::inplace_merge(
+                r.ids.begin() +
+                    static_cast<std::ptrdiff_t>(r.next),
+                r.ids.begin() +
+                    static_cast<std::ptrdiff_t>(old_size[rn]),
+                r.ids.end());
+            // A receiver parked on a future arrival (or fully
+            // drained) must re-examine its id list; an extra round
+            // on a busy receiver is a harmless no-op.
+            events.schedule(
+                std::max(events.now(), ticksFromUs(now_us)),
+                r.round);
+        }
+    };
+    const auto wakeNode = [&](double now_us) {
+        for (std::uint32_t i = 0; i < nodes; ++i) {
+            if (node_active[i])
+                continue;
+            node_active[i] = 1;
+            active_since[i] = now_us;
+            for (double &f : ns[i].workerFree)
+                f = std::max(f, now_us);
+            return;
+        }
     };
 
     for (std::uint32_t n = 0; n < nodes; ++n) {
@@ -257,10 +386,15 @@ ClusterEngine::run()
 
             double dispatch_us = std::max(t, s.queue.front().arrivalUs);
 
-            if (_cfg.coalesceWindowUs > 0.0 &&
+            // Each node runs its own window controller; the fixed
+            // policy never consults it, so the open-loop trajectory
+            // is untouched.
+            const double window_us = adaptive
+                                         ? batchers[n].windowUs()
+                                         : _cfg.coalesceWindowUs;
+            if (window_us > 0.0 &&
                 s.queue.size() < _cfg.maxCoalescedBatch) {
-                const double deadline_us =
-                    dispatch_us + _cfg.coalesceWindowUs;
+                const double deadline_us = dispatch_us + window_us;
                 while (s.queue.size() < _cfg.maxCoalescedBatch &&
                        s.next < s.ids.size() &&
                        arrival_us[s.ids[s.next]] <= deadline_us) {
@@ -284,6 +418,7 @@ ClusterEngine::run()
                     dispatch_us - req.arrivalUs >
                         _cfg.queueTimeoutUs) {
                     ++s.droppedTimeout;
+                    classifyDrop(req.id);
                     continue;
                 }
                 batch_ids.push_back(req.id);
@@ -301,6 +436,11 @@ ClusterEngine::run()
             if (s.node->fabric)
                 s.node->workers[w]->alignClock(
                     ticksFromUs(dispatch_us));
+            // Snapshot this node's fabric frontier before the primary
+            // books occupancy so a hedge win can cancel its residual.
+            Fabric::Frontier primary_snap;
+            if (hedging && s.node->fabric)
+                primary_snap = s.node->fabric->snapshot();
             const InferenceResult res =
                 s.node->workers[w]->infer(merged);
             double service_us = usFromTicks(res.latency());
@@ -376,33 +516,189 @@ ClusterEngine::run()
             }
 
             const double done_us = dispatch_us + service_us;
-            s.workerFree[w] = done_us;
-            s.workerStats[w].busyUs += service_us;
-            s.workerStats[w].served += batch_ids.size();
-            ++s.workerStats[w].dispatches;
-            s.workerStats[w].energyJoules += res.energyJoules;
-            s.workerStats[w].fabricWaitUs +=
-                usFromTicks(res.fabricWait);
-            s.workerStats[w].cacheHits += res.cacheHits;
-            s.workerStats[w].cacheMisses += res.cacheMisses;
-            s.workerStats[w].cacheSavedUs +=
-                usFromTicks(res.cacheSavedTicks);
-            s.energyJoules += res.energyJoules;
-            s.served += batch_ids.size();
-            ++s.dispatches;
-            energy_joules += res.energyJoules;
-            last_completion = std::max(last_completion, done_us);
+
+            // Hedged duplicate: a dispatch running past the
+            // q-quantile of observed service times clones onto the
+            // earliest-free worker of the next active node; the first
+            // completion wins and the loser is cancelled at the
+            // winner tick. The clone serves from its own node's
+            // replicas without a modeled gather - a deliberate
+            // simplification: hedge targets are picked for headroom,
+            // and charging the NIC twice for one logical request
+            // would double-book the fabric the primary already paid.
+            double complete_us = done_us;
+            bool clone_won = false;
+            if (hedging && svc_quantile.ready()) {
+                const double delay_us =
+                    svc_quantile.quantileUs(ctrl.hedgeQuantile);
+                std::uint32_t n2 = nodes;
+                if (service_us > delay_us) {
+                    for (std::uint32_t k = 1; k < nodes; ++k) {
+                        const std::uint32_t cand = (n + k) % nodes;
+                        if (node_active[cand]) {
+                            n2 = cand;
+                            break;
+                        }
+                    }
+                }
+                if (n2 < nodes) {
+                    NodeState &s2 = ns[n2];
+                    const std::size_t w2 = static_cast<std::size_t>(
+                        std::min_element(s2.workerFree.begin(),
+                                         s2.workerFree.end()) -
+                        s2.workerFree.begin());
+                    const double clone_start =
+                        std::max(dispatch_us + delay_us,
+                                 s2.workerFree[w2]);
+                    if (clone_start < done_us) {
+                        ++hedge_dispatches;
+                        Fabric::Frontier clone_snap;
+                        if (s2.node->fabric) {
+                            clone_snap = s2.node->fabric->snapshot();
+                            s2.node->workers[w2]->alignClock(
+                                ticksFromUs(clone_start));
+                        }
+                        const InferenceResult clone_res =
+                            s2.node->workers[w2]->infer(merged);
+                        const double clone_service =
+                            usFromTicks(clone_res.latency());
+                        const double clone_done =
+                            clone_start + clone_service;
+                        if (clone_done < done_us) {
+                            // Clone wins; cancel the primary at
+                            // clone_done. The pre-primary frontier
+                            // keeps the clone's bookings (other
+                            // node's fabric) and reclaims the
+                            // primary's residual.
+                            ++hedge_wins;
+                            clone_won = true;
+                            complete_us = clone_done;
+                            const double burned =
+                                clone_done - dispatch_us;
+                            s.workerFree[w] = clone_done;
+                            s.workerStats[w].busyUs += burned;
+                            s.workerStats[w].fabricWaitUs +=
+                                usFromTicks(res.fabricWait);
+                            hedge_wasted_us += burned;
+                            hedge_energy_joules +=
+                                service_us > 0.0
+                                    ? res.energyJoules *
+                                          (burned / service_us)
+                                    : 0.0;
+                            if (s.node->fabric)
+                                s.node->fabric->cancelAfter(
+                                    primary_snap,
+                                    ticksFromUs(clone_done));
+                            s2.workerFree[w2] = clone_done;
+                            s2.workerStats[w2].busyUs +=
+                                clone_service;
+                            s2.workerStats[w2].served +=
+                                batch_ids.size();
+                            ++s2.workerStats[w2].dispatches;
+                            s2.workerStats[w2].energyJoules +=
+                                clone_res.energyJoules;
+                            s2.workerStats[w2].fabricWaitUs +=
+                                usFromTicks(clone_res.fabricWait);
+                            s2.workerStats[w2].cacheHits +=
+                                clone_res.cacheHits;
+                            s2.workerStats[w2].cacheMisses +=
+                                clone_res.cacheMisses;
+                            s2.workerStats[w2].cacheSavedUs +=
+                                usFromTicks(clone_res.cacheSavedTicks);
+                            s2.energyJoules += clone_res.energyJoules;
+                            s2.served += batch_ids.size();
+                            ++s2.dispatches;
+                            energy_joules += clone_res.energyJoules;
+                        } else {
+                            // Primary wins (ties included); cancel
+                            // the clone on its own node.
+                            ++hedge_losses;
+                            const double burned = done_us - clone_start;
+                            s2.workerFree[w2] =
+                                std::max(s2.workerFree[w2], done_us);
+                            s2.workerStats[w2].busyUs += burned;
+                            hedge_wasted_us += burned;
+                            hedge_energy_joules +=
+                                clone_service > 0.0
+                                    ? clone_res.energyJoules *
+                                          (burned / clone_service)
+                                    : 0.0;
+                            if (s2.node->fabric)
+                                s2.node->fabric->cancelAfter(
+                                    clone_snap, ticksFromUs(done_us));
+                        }
+                    }
+                }
+            }
+            if (hedging)
+                svc_quantile.add(service_us);
+
+            if (!clone_won) {
+                s.workerFree[w] = done_us;
+                s.workerStats[w].busyUs += service_us;
+                s.workerStats[w].served += batch_ids.size();
+                ++s.workerStats[w].dispatches;
+                s.workerStats[w].energyJoules += res.energyJoules;
+                s.workerStats[w].fabricWaitUs +=
+                    usFromTicks(res.fabricWait);
+                s.workerStats[w].cacheHits += res.cacheHits;
+                s.workerStats[w].cacheMisses += res.cacheMisses;
+                s.workerStats[w].cacheSavedUs +=
+                    usFromTicks(res.cacheSavedTicks);
+                s.energyJoules += res.energyJoules;
+                s.served += batch_ids.size();
+                ++s.dispatches;
+                energy_joules += res.energyJoules;
+            }
+            last_completion = std::max(last_completion, complete_us);
             served += batch_ids.size();
             ++dispatches;
 
-            for (double arrival : batch_arrivals) {
-                const double total = done_us - arrival;
+            // On the open-loop path this is service_us bit-for-bit;
+            // only a winning clone shortens the effective service.
+            const double effective_service_us =
+                clone_won ? complete_us - dispatch_us : service_us;
+            double worst_latency_us = 0.0;
+            double tightest_target_us = 0.0;
+            for (std::size_t k = 0; k < batch_ids.size(); ++k) {
+                const double arrival = batch_arrivals[k];
+                const double total = complete_us - arrival;
+                worst_latency_us = std::max(worst_latency_us, total);
                 latency.sample(total);
-                service.sample(service_us);
+                service.sample(effective_service_us);
                 queueing.sample(dispatch_us - arrival);
                 if (_cfg.slaTargetUs > 0.0 &&
                     total <= _cfg.slaTargetUs)
                     ++sla_hits;
+                if (num_classes) {
+                    const std::size_t c = batch_ids[k] % num_classes;
+                    const SloClass &cls = _cfg.sloClasses[c];
+                    class_latency[c].sample(total);
+                    ++class_served[c];
+                    if (total <= cls.p99TargetUs)
+                        ++class_within[c];
+                    if (tightest_target_us == 0.0 ||
+                        cls.p99TargetUs < tightest_target_us)
+                        tightest_target_us = cls.p99TargetUs;
+                }
+            }
+
+            if (adaptive)
+                batchers[n].update(s.queue.size(),
+                                   _cfg.maxCoalescedBatch,
+                                   worst_latency_us,
+                                   tightest_target_us);
+
+            if (scaling) {
+                interval_busy_us += effective_service_us;
+                while (scaler.due(dispatch_us)) {
+                    const int dir = scaler.decide(interval_busy_us);
+                    interval_busy_us = 0.0;
+                    if (dir < 0)
+                        drainNode(dispatch_us);
+                    else if (dir > 0)
+                        wakeNode(dispatch_us);
+                }
             }
             scheduleRound(n);
         };
@@ -444,6 +740,9 @@ ClusterEngine::run()
                          ? static_cast<double>(sla_hits) /
                                static_cast<double>(num_requests)
                          : 0.0;
+    tot.p999Us = latency.quantile(0.999);
+    tot.droppedBurstArrivals = dropped_burst;
+    tot.droppedIdleArrivals = dropped_idle;
 
     const Tick horizon = ticksFromUs(last_completion);
     double busy_total_us = 0.0;
@@ -510,6 +809,101 @@ ClusterEngine::run()
                   (last_completion *
                    static_cast<double>(total_workers))
             : 0.0;
+
+    // Idle energy: time a node's workers spent provisioned but not
+    // serving, priced at a fraction of spec draw (same convention as
+    // the single-node engine). A drained node stops accruing.
+    constexpr double kIdleEnergyFraction = 0.3;
+    double idle_energy_joules = 0.0;
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+        if (node_active[n])
+            node_active_us[n] += last_completion - active_since[n];
+        const NodeState &s = ns[n];
+        const ClusterNodeStats &pn = out.perNode[n];
+        for (std::size_t i = 0; i < pn.workers.size(); ++i) {
+            const double idle_us = std::max(
+                0.0, node_active_us[n] - pn.workers[i].busyUs);
+            const double watts =
+                s.node->workers[i]->power().watts(
+                    s.node->workers[i]->design());
+            idle_energy_joules +=
+                idle_us * 1e-6 * watts * kIdleEnergyFraction;
+        }
+    }
+    tot.idleEnergyJoules = idle_energy_joules;
+    tot.joulesPerQuery =
+        served ? (energy_joules + idle_energy_joules +
+                  hedge_energy_joules) /
+                     static_cast<double>(served)
+               : 0.0;
+
+    // Per-SLO-class outcome: offered counts come straight from the
+    // round-robin stamping, attainment counts drops as misses.
+    for (std::size_t c = 0; c < num_classes; ++c) {
+        SloClassStats cs;
+        cs.name = _cfg.sloClasses[c].name;
+        cs.targetUs = _cfg.sloClasses[c].p99TargetUs;
+        cs.offered = num_requests / num_classes +
+                     (c < num_requests % num_classes ? 1 : 0);
+        cs.served = class_served[c];
+        cs.p99Us = class_latency[c].quantile(0.99);
+        cs.attainment =
+            cs.offered ? static_cast<double>(class_within[c]) /
+                             static_cast<double>(cs.offered)
+                       : 0.0;
+        tot.perClass.push_back(std::move(cs));
+    }
+
+    tot.ctrl.policy = ctrlPartName(ctrl);
+    if (adaptive) {
+        // Merge the per-node window trajectories: updates sum,
+        // extrema merge, the mean weights by update count, and the
+        // final window averages across nodes.
+        double weighted_sum_us = 0.0;
+        double final_sum_us = 0.0;
+        for (std::uint32_t n = 0; n < nodes; ++n) {
+            CtrlStats one;
+            batchers[n].fill(&one);
+            tot.ctrl.windowUpdates += one.windowUpdates;
+            final_sum_us += one.windowFinalUs;
+            weighted_sum_us +=
+                one.windowMeanUs *
+                static_cast<double>(one.windowUpdates);
+            if (n == 0) {
+                tot.ctrl.windowMinUs = one.windowMinUs;
+                tot.ctrl.windowMaxUs = one.windowMaxUs;
+            } else {
+                tot.ctrl.windowMinUs =
+                    std::min(tot.ctrl.windowMinUs, one.windowMinUs);
+                tot.ctrl.windowMaxUs =
+                    std::max(tot.ctrl.windowMaxUs, one.windowMaxUs);
+            }
+        }
+        tot.ctrl.windowFinalUs =
+            final_sum_us / static_cast<double>(nodes);
+        tot.ctrl.windowMeanUs =
+            tot.ctrl.windowUpdates
+                ? weighted_sum_us /
+                      static_cast<double>(tot.ctrl.windowUpdates)
+                : tot.ctrl.windowFinalUs;
+    } else {
+        tot.ctrl.windowMinUs = _cfg.coalesceWindowUs;
+        tot.ctrl.windowMeanUs = _cfg.coalesceWindowUs;
+        tot.ctrl.windowMaxUs = _cfg.coalesceWindowUs;
+        tot.ctrl.windowFinalUs = _cfg.coalesceWindowUs;
+    }
+    tot.ctrl.hedgeDispatches = hedge_dispatches;
+    tot.ctrl.hedgeWins = hedge_wins;
+    tot.ctrl.hedgeLosses = hedge_losses;
+    tot.ctrl.hedgeWastedUs = hedge_wasted_us;
+    tot.ctrl.hedgeEnergyJoules = hedge_energy_joules;
+    if (scaling) {
+        scaler.fill(&tot.ctrl);
+    } else {
+        tot.ctrl.activeMin = nodes;
+        tot.ctrl.activeMax = nodes;
+        tot.ctrl.meanActiveWorkers = static_cast<double>(nodes);
+    }
 
     out.perShard = std::move(shard_stats);
 

@@ -121,21 +121,65 @@ bool
 tryParseSpec(const std::string &name, SystemSpec *out,
              std::string *error)
 {
-    // Split an optional "/cache:..." suffix off the registry name.
+    // Split optional "/cache:..." and "/ctrl:..." suffix parts off
+    // the registry name (either order, each at most once).
     std::string base = name;
     CacheTierConfig cache;
-    const std::size_t slash = name.find("/cache:");
-    if (slash != std::string::npos) {
-        base = name.substr(0, slash);
-        if (!tryParseCachePart(name.substr(slash + 1), &cache,
-                               error))
-            return false;
+    CtrlConfig ctrl;
+    std::size_t cut = std::string::npos;
+    for (const char *tag : {"/cache:", "/ctrl:"}) {
+        const std::size_t at = name.find(tag);
+        if (at != std::string::npos)
+            cut = std::min(cut, at);
+    }
+    if (cut != std::string::npos) {
+        base = name.substr(0, cut);
+        bool saw_cache = false;
+        bool saw_ctrl = false;
+        std::size_t start = cut + 1;
+        while (start <= name.size()) {
+            const std::size_t slash = name.find('/', start);
+            const std::size_t end =
+                slash == std::string::npos ? name.size() : slash;
+            const std::string part = name.substr(start, end - start);
+            if (part.rfind("cache:", 0) == 0) {
+                if (saw_cache) {
+                    if (error)
+                        *error = "bad backend spec '" + name +
+                                 "': duplicate cache part";
+                    return false;
+                }
+                saw_cache = true;
+                if (!tryParseCachePart(part, &cache, error))
+                    return false;
+            } else if (part.rfind("ctrl:", 0) == 0) {
+                if (saw_ctrl) {
+                    if (error)
+                        *error = "bad backend spec '" + name +
+                                 "': duplicate ctrl part";
+                    return false;
+                }
+                saw_ctrl = true;
+                if (!tryParseCtrlPart(part, &ctrl, error))
+                    return false;
+            } else {
+                if (error)
+                    *error = "bad backend spec '" + name +
+                             "': unknown part '" + part +
+                             "' (want cache: or ctrl:)";
+                return false;
+            }
+            if (slash == std::string::npos)
+                break;
+            start = slash + 1;
+        }
     }
     for (const SpecInfo &info : specRegistry()) {
         if (base == info.name) {
             if (out) {
                 *out = info.spec;
                 out->cache = cache;
+                out->ctrl = ctrl;
             }
             return true;
         }
@@ -162,6 +206,7 @@ specName(const SystemSpec &spec)
     std::string name;
     SystemSpec base = spec;
     base.cache = CacheTierConfig{};
+    base.ctrl = CtrlConfig{};
     for (const SpecInfo &info : specRegistry())
         if (info.spec == base) {
             name = info.name;
@@ -176,6 +221,8 @@ specName(const SystemSpec &spec)
     }
     if (spec.cache.enabled())
         name += "/" + cachePartName(spec.cache);
+    if (spec.ctrl.enabled())
+        name += "/" + ctrlPartName(spec.ctrl);
     return name;
 }
 
@@ -196,9 +243,11 @@ specForDesign(DesignPoint dp)
 DesignPoint
 anchorDesignPoint(const SystemSpec &spec)
 {
-    // The cache tier does not move a spec off its paper anchor.
+    // Neither the cache tier nor the control-plane policy moves a
+    // spec off its paper anchor.
     SystemSpec base = spec;
     base.cache = CacheTierConfig{};
+    base.ctrl = CtrlConfig{};
     for (const SpecInfo &info : specRegistry())
         if (info.spec == base)
             return info.paperDesignPoint;
@@ -217,10 +266,12 @@ double
 specWatts(const SystemSpec &spec, const PowerConfig &power)
 {
     // Paper design points use the exact Table IV wall measurements;
-    // the cache tier's SRAM draw is below the wall meter's noise, so
-    // a cache suffix keeps the base spec's figure.
+    // the cache tier's SRAM draw is below the wall meter's noise and
+    // the control plane is scheduling policy, so cache/ctrl suffixes
+    // keep the base spec's figure.
     SystemSpec base = spec;
     base.cache = CacheTierConfig{};
+    base.ctrl = CtrlConfig{};
     for (const SpecInfo &info : specRegistry())
         if (info.spec == base && info.isPaperDesignPoint)
             return PowerModel(power).watts(info.paperDesignPoint);

@@ -31,6 +31,7 @@
 
 #include "cachetier/cache_tier.hh"
 #include "core/fabric.hh"
+#include "ctrlplane/ctrl_spec.hh"
 #include "core/result.hh"
 #include "dlrm/reference_model.hh"
 #include "dlrm/workload.hh"
@@ -81,12 +82,15 @@ struct SystemSpec
     MlpBackendKind mlp = MlpBackendKind::Cpu;
     MlpPlacement placement = MlpPlacement::Host;
     CacheTierConfig cache{};
+    /** Closed-loop serving policy ("/ctrl:" part, ctrlplane/). */
+    CtrlConfig ctrl{};
 
     bool
     operator==(const SystemSpec &o) const
     {
         return emb == o.emb && mlp == o.mlp &&
-               placement == o.placement && cache == o.cache;
+               placement == o.placement && cache == o.cache &&
+               ctrl == o.ctrl;
     }
     bool operator!=(const SystemSpec &o) const { return !(*this == o); }
 };
@@ -119,11 +123,14 @@ const std::vector<SpecInfo> &specRegistry();
 std::vector<std::string> registeredSpecs();
 
 /**
- * Parse a spec string: a registered name, optionally followed by a
- * hot-row cache suffix (`<name>/cache:<mb>[:<lru|lfu|slru>[:ghost]]`,
- * cachetier/cache_tier.hh). Returns false and fills @p error (when
+ * Parse a spec string: a registered name, optionally followed by
+ * suffix parts in any order, each at most once - a hot-row cache
+ * (`/cache:<mb>[:<lru|lfu|slru>[:ghost]]`, cachetier/cache_tier.hh)
+ * and a control-plane policy
+ * (`/ctrl:<fixed|adaptive>[:hedge[:<q>]][:scale[:<lo>-<hi>]]`,
+ * ctrlplane/ctrl_spec.hh). Returns false and fills @p error (when
  * non-null) with a message naming the offender and the known specs
- * (or the bad cache token); true fills @p out.
+ * (or the bad cache/ctrl token); true fills @p out.
  */
 bool tryParseSpec(const std::string &name, SystemSpec *out,
                   std::string *error = nullptr);
@@ -135,7 +142,8 @@ SystemSpec parseSpec(const std::string &name);
  * Canonical string for @p spec: the registry name when registered,
  * otherwise a synthesized "emb:<e>/mlp:<m>@<placement>" form (such
  * specs can only come from assembling a SystemSpec by hand). An
- * enabled cache tier appends its canonical `/cache:...` part.
+ * enabled cache tier appends its canonical `/cache:...` part; an
+ * enabled control plane appends its `/ctrl:...` part after it.
  */
 std::string specName(const SystemSpec &spec);
 

@@ -2,7 +2,7 @@
  * @file
  * Legacy compatibility surface: every deprecated entry point of the
  * pre-scenario API generations, consolidated in one documented
- * header. Two generations live here, oldest first:
+ * header. One generation remains:
  *
  *  1. The monolithic system classes (PR 1): CpuOnlySystem,
  *     CpuGpuSystem and CentaurSystem. The classes themselves stay -
@@ -10,17 +10,21 @@
  *     asserted against (tests/core/test_composed_system.cc) - but
  *     new code includes them through this header, not through
  *     core/{cpu_only,cpu_gpu,centaur}_system.hh directly.
- *  2. The model-implicit sweeps (PR 3): runSweep / runPaperSweep /
- *     runServingSweep overloads taking Table I preset numbers and
- *     IndexDistribution enums. Replaced by the Scenario surface
- *     (core/scenario.hh): one backend spec x one registry model x
- *     one workload spec string.
  *
- * The DesignPoint factories (PR 2: makeSystem / makeWorkers /
- * runServingSim over the three-point DesignPoint enum) were removed
- * under the two-PR policy below once their last in-tree callers
- * migrated to the spec registry (core/backend.hh) and SystemBuilder
- * (core/system_builder.hh).
+ * Removed under the two-PR policy below once their last in-tree
+ * callers migrated:
+ *
+ *  - The DesignPoint factories (PR 2): makeSystem / makeWorkers /
+ *    runServingSim over the three-point DesignPoint enum. Replaced
+ *    by the spec registry (core/backend.hh) and SystemBuilder
+ *    (core/system_builder.hh).
+ *  - The model-implicit sweeps (PR 3): runSweep / runPaperSweep /
+ *    runServingSweep overloads taking Table I preset numbers and
+ *    IndexDistribution enums. Replaced by the Scenario surface
+ *    (core/scenario.hh); paper-preset models keep the legacy
+ *    preset-indexed sweepSeed() through modelSweepSeed(), which
+ *    tests/core/test_scenario.cc pins so historical sweep numbers
+ *    stay reproducible from the modern surface.
  *
  * Deprecation policy: a legacy entry point is a thin shim over its
  * modern replacement and reproduces it tick for tick (asserted by
@@ -36,97 +40,9 @@
 #ifndef CENTAUR_CORE_COMPAT_HH
 #define CENTAUR_CORE_COMPAT_HH
 
-#include <cstdint>
-#include <memory>
-#include <string>
-#include <vector>
-
 #include "core/centaur_system.hh"
 #include "core/cpu_gpu_system.hh"
 #include "core/cpu_only_system.hh"
-#include "core/experiment.hh"
-#include "core/server.hh"
 #include "core/system.hh"
-
-namespace centaur {
-
-// ------------------------------------------------------------------
-// Generation 2: model-implicit preset/IndexDistribution sweeps.
-// ------------------------------------------------------------------
-
-/**
- * Measure backend spec @p spec on every (preset, batch) pair.
- *
- * @deprecated Model-implicit shim over the scenario-based runSweep;
- * prefer `runSweep(Scenario{spec, model, workload}, batches)`.
- * Per-point seeds are identical: paper-preset models keep the
- * legacy preset-indexed sweepSeed().
- */
-[[deprecated("use runSweep(Scenario{spec, model, workload}, batches) "
-             "from core/experiment.hh")]]
-std::vector<SweepEntry>
-runSweep(const std::string &spec, const std::vector<int> &presets,
-         const std::vector<std::uint32_t> &batches, int warmup_runs = 1,
-         IndexDistribution dist = IndexDistribution::Uniform,
-         std::uint64_t seed_offset = 0);
-
-/**
- * Legacy design-point shim over the spec-based runSweep.
- *
- * @deprecated Prefer
- * `runSweep(Scenario{specForDesign(dp), model, workload}, batches)`.
- */
-[[deprecated("use runSweep(Scenario{spec, model, workload}, batches) "
-             "from core/experiment.hh")]]
-std::vector<SweepEntry>
-runSweep(DesignPoint dp, const std::vector<int> &presets,
-         const std::vector<std::uint32_t> &batches, int warmup_runs = 1,
-         IndexDistribution dist = IndexDistribution::Uniform,
-         std::uint64_t seed_offset = 0);
-
-/**
- * Legacy design-point shim over the spec-based runPaperSweep.
- *
- * @deprecated Prefer `runPaperSweep(specForDesign(dp))`
- * (core/experiment.hh).
- */
-[[deprecated("use runPaperSweep(spec) from core/experiment.hh")]]
-std::vector<SweepEntry> runPaperSweep(DesignPoint dp,
-                                      int warmup_runs = 1,
-                                      std::uint64_t seed_offset = 0);
-
-/**
- * Run the serving engine on @p spec across the cross product of
- * worker counts, coalescing limits and arrival rates.
- *
- * @deprecated Model-implicit shim over the scenario-based
- * runServingSweep; prefer passing a Scenario. Per-point seeds are
- * identical for paper-preset models.
- */
-[[deprecated("use runServingSweep(Scenario{spec, model, workload}, "
-             "...) from core/experiment.hh")]]
-std::vector<ServingSweepEntry>
-runServingSweep(const std::string &spec, int preset,
-                const std::vector<std::uint32_t> &workers,
-                const std::vector<std::uint32_t> &coalesce,
-                const std::vector<double> &rates,
-                const ServingConfig &base = ServingConfig{},
-                std::uint64_t seed_offset = 0);
-
-/** Legacy design-point shim over the spec-based runServingSweep.
- *
- * @deprecated Prefer passing a Scenario (core/experiment.hh).
- */
-[[deprecated("use runServingSweep(Scenario{spec, model, workload}, "
-             "...) from core/experiment.hh")]]
-std::vector<ServingSweepEntry>
-runServingSweep(DesignPoint dp, int preset,
-                const std::vector<std::uint32_t> &workers,
-                const std::vector<std::uint32_t> &coalesce,
-                const std::vector<double> &rates,
-                const ServingConfig &base = ServingConfig{},
-                std::uint64_t seed_offset = 0);
-
-} // namespace centaur
 
 #endif // CENTAUR_CORE_COMPAT_HH

@@ -1,7 +1,6 @@
 #include "core/experiment.hh"
 
 #include "core/backend.hh"
-#include "core/compat.hh"
 #include "core/system_builder.hh"
 #include "sim/log.hh"
 
@@ -84,56 +83,19 @@ runSweep(const Scenario &sc, const std::vector<std::uint32_t> &batches,
                           seed_offset);
 }
 
-// Definitions of the core/compat.hh legacy sweep surface; the
-// non-deprecated runPaperSweep(spec) rides along because it shares
-// the preset-indexed core.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-std::vector<SweepEntry>
-runSweep(const std::string &spec, const std::vector<int> &presets,
-         const std::vector<std::uint32_t> &batches, int warmup_runs,
-         IndexDistribution dist, std::uint64_t seed_offset)
-{
-    const std::vector<ModelInfo> paper = parseModelSet("paper");
-    std::vector<ModelInfo> models;
-    for (int preset : presets) {
-        if (preset < 1 || preset > static_cast<int>(paper.size()))
-            fatal("dlrmPreset expects 1..6, got ", preset);
-        models.push_back(paper[preset - 1]);
-    }
-    WorkloadConfig wl;
-    wl.dist = dist;
-    return runSweepModels(spec, models, batches, warmup_runs, wl,
-                          workloadSpecName(wl), seed_offset);
-}
-
-std::vector<SweepEntry>
-runSweep(DesignPoint dp, const std::vector<int> &presets,
-         const std::vector<std::uint32_t> &batches, int warmup_runs,
-         IndexDistribution dist, std::uint64_t seed_offset)
-{
-    return runSweep(specForDesign(dp), presets, batches, warmup_runs,
-                    dist, seed_offset);
-}
-
+// The paper sweep enumerates all six Table I presets over the paper
+// batch ladder; paper-preset models keep the legacy preset-indexed
+// sweepSeed() through modelSweepSeed(), so this reproduces the
+// removed model-implicit generation tick for tick.
 std::vector<SweepEntry>
 runPaperSweep(const std::string &spec, int warmup_runs,
               std::uint64_t seed_offset)
 {
-    return runSweep(spec, {1, 2, 3, 4, 5, 6}, paperBatchSizes(),
-                    warmup_runs, IndexDistribution::Uniform,
-                    seed_offset);
+    const WorkloadConfig wl;
+    return runSweepModels(spec, parseModelSet("paper"),
+                          paperBatchSizes(), warmup_runs, wl,
+                          workloadSpecName(wl), seed_offset);
 }
-
-std::vector<SweepEntry>
-runPaperSweep(DesignPoint dp, int warmup_runs,
-              std::uint64_t seed_offset)
-{
-    return runPaperSweep(specForDesign(dp), warmup_runs, seed_offset);
-}
-
-#pragma GCC diagnostic pop
 
 const SweepEntry &
 findEntry(const std::vector<SweepEntry> &entries, int preset,
@@ -239,37 +201,6 @@ runServingSweep(const Scenario &sc,
                                 coalesce, swept_rates, cfg,
                                 seed_offset);
 }
-
-// Definitions of the core/compat.hh legacy serving-sweep surface.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-std::vector<ServingSweepEntry>
-runServingSweep(const std::string &spec, int preset,
-                const std::vector<std::uint32_t> &workers,
-                const std::vector<std::uint32_t> &coalesce,
-                const std::vector<double> &rates,
-                const ServingConfig &base, std::uint64_t seed_offset)
-{
-    const std::vector<ModelInfo> paper = parseModelSet("paper");
-    if (preset < 1 || preset > static_cast<int>(paper.size()))
-        fatal("dlrmPreset expects 1..6, got ", preset);
-    return runServingSweepModel(spec, paper[preset - 1], workers,
-                                coalesce, rates, base, seed_offset);
-}
-
-std::vector<ServingSweepEntry>
-runServingSweep(DesignPoint dp, int preset,
-                const std::vector<std::uint32_t> &workers,
-                const std::vector<std::uint32_t> &coalesce,
-                const std::vector<double> &rates,
-                const ServingConfig &base, std::uint64_t seed_offset)
-{
-    return runServingSweep(specForDesign(dp), preset, workers,
-                           coalesce, rates, base, seed_offset);
-}
-
-#pragma GCC diagnostic pop
 
 const ServingSweepEntry &
 findServingEntry(const std::vector<ServingSweepEntry> &entries,

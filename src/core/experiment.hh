@@ -53,9 +53,10 @@ std::vector<SweepEntry>
 runSweep(const Scenario &sc, const std::vector<std::uint32_t> &batches,
          int warmup_runs = 1, std::uint64_t seed_offset = 0);
 
-// The deprecated model-implicit overloads (Table I preset lists,
-// IndexDistribution enums, DesignPoint shims) live on the legacy
-// surface, core/compat.hh.
+// The model-implicit overloads (Table I preset lists,
+// IndexDistribution enums, DesignPoint shims) were removed under
+// the core/compat.hh two-PR deprecation policy; paper-preset seed
+// compatibility is pinned by tests/core/test_scenario.cc.
 
 /** Convenience: all six presets x the paper's batch sizes. */
 std::vector<SweepEntry> runPaperSweep(const std::string &spec,

@@ -46,6 +46,24 @@ Fabric::clock(NodeResource r) const
     return _clocks[static_cast<std::size_t>(r)];
 }
 
+Fabric::Frontier
+Fabric::snapshot() const
+{
+    Frontier snap;
+    for (std::size_t i = 0; i < kNumNodeResources; ++i)
+        snap.clocks[i] = _clocks[i].snapshot();
+    return snap;
+}
+
+Tick
+Fabric::cancelAfter(const Frontier &snap, Tick cutoff)
+{
+    Tick reclaimed = 0;
+    for (std::size_t i = 0; i < kNumNodeResources; ++i)
+        reclaimed += _clocks[i].rollbackTo(snap.clocks[i], cutoff);
+    return reclaimed;
+}
+
 void
 Fabric::reset()
 {

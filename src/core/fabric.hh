@@ -104,6 +104,27 @@ class Fabric
     /** Clear every resource clock. */
     void reset();
 
+    /**
+     * Frontier snapshot across every resource clock, for cancelling
+     * speculative bookings (hedged duplicates, ctrlplane/): snapshot
+     * before the speculative work books occupancy, cancelAfter once
+     * the race resolves.
+     */
+    struct Frontier
+    {
+        std::array<ResourceClock::Frontier, kNumNodeResources> clocks;
+    };
+
+    /** Capture every clock's current lane frontier. */
+    Frontier snapshot() const;
+
+    /**
+     * Truncate every clock's lanes to max(@p cutoff, its snapshot
+     * frontier), reclaiming occupancy booked since @p snap. Returns
+     * total reclaimed lane-ticks across resources.
+     */
+    Tick cancelAfter(const Frontier &snap, Tick cutoff);
+
   private:
     FabricConfig _cfg;
     std::array<ResourceClock, kNumNodeResources> _clocks;

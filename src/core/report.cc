@@ -1,6 +1,7 @@
 #include "core/report.hh"
 
 #include "cachetier/cache_report.hh"
+#include "ctrlplane/ctrl_report.hh"
 #include "sim/units.hh"
 
 namespace centaur {
@@ -130,6 +131,11 @@ toJson(const ServingStats &stats)
     // Count of requests dropped by the queue-timeout policy, not a
     // duration. centaur-lint: allow(unit-suffix)
     j["dropped_timeout"] = stats.droppedTimeout;
+    // Arrival-state attribution of sheds (burst workloads only);
+    // counts, not durations. centaur-lint: allow(unit-suffix)
+    j["dropped_burst_arrivals"] = stats.droppedBurstArrivals;
+    // centaur-lint: allow(unit-suffix)
+    j["dropped_idle_arrivals"] = stats.droppedIdleArrivals;
     j["drop_rate"] = stats.dropRate();
     j["mean_service_us"] = stats.meanServiceUs;
     j["mean_queue_us"] = stats.meanQueueUs;
@@ -137,16 +143,24 @@ toJson(const ServingStats &stats)
     j["p50_us"] = stats.p50Us;
     j["p95_us"] = stats.p95Us;
     j["p99_us"] = stats.p99Us;
+    j["p999_us"] = stats.p999Us;
     j["max_latency_us"] = stats.maxLatencyUs;
     j["latency_overflow"] = stats.latencyOverflow;
     j["throughput_rps"] = stats.throughputRps;
     j["offered_rps"] = stats.offeredRps;
     j["utilization"] = stats.utilization;
     j["energy_joules"] = stats.energyJoules;
+    j["idle_energy_joules"] = stats.idleEnergyJoules;
+    j["joules_per_query"] = stats.joulesPerQuery;
     j["dispatches"] = stats.dispatches;
     j["mean_coalesced_requests"] = stats.meanCoalescedRequests;
     j["sla_target_us"] = stats.slaTargetUs;
     j["sla_hit_rate"] = stats.slaHitRate;
+    Json per_class = Json::array();
+    for (const auto &cs : stats.perClass)
+        per_class.push(toJson(cs));
+    j["per_class"] = per_class;
+    j["ctrl"] = toJson(stats.ctrl);
     Json workers = Json::array();
     for (const auto &w : stats.perWorker)
         workers.push(toJson(w));
@@ -188,6 +202,17 @@ toJson(const ServingConfig &cfg)
     j["trace_path"] = cfg.tracePath;
     j["arrival"] = arrivalProcessName(cfg.arrival);
     j["burst_factor"] = cfg.burstFactor;
+    j["diurnal_amplitude"] = cfg.diurnalAmplitude;
+    j["diurnal_period_sec"] = cfg.diurnalPeriodSec;
+    Json slo_classes = Json::array();
+    for (const SloClass &cls : cfg.sloClasses) {
+        Json c = Json::object();
+        c["name"] = cls.name;
+        c["p99_target_us"] = cls.p99TargetUs;
+        slo_classes.push(c);
+    }
+    j["slo_classes"] = slo_classes;
+    j["ctrl"] = ctrlPartName(cfg.ctrl);
     j["workers"] = cfg.workers;
     Json specs = Json::array();
     for (const std::string &s : cfg.workerSpecs)

@@ -65,8 +65,20 @@ constexpr int kReportSchemaVersion = 1;
  * evictions, rejected_fills, hit_rate, bytes_resident,
  * fabric_saved_us} - all-zero when no cache tier is configured, so
  * cache-less reports stay field-for-field comparable.
+ * v1.6 adds the SLO-driven control plane (src/ctrlplane/): serving
+ * aggregates carry `p999_us`, `dropped_burst_arrivals` /
+ * `dropped_idle_arrivals` (arrival-state attribution of sheds under
+ * burst workloads), `idle_energy_joules` and `joules_per_query`
+ * (provisioned-but-idle energy priced in), a `per_class` array of
+ * {name, target_us, offered, served, p99_us, attainment} SLO-class
+ * records (empty without /slo: parts), and a `ctrl` object with the
+ * batching-window trajectory, hedged-duplicate counters and
+ * autoscaler trajectory - policy "ctrl:fixed" with all-zero deltas
+ * when the control plane is disabled, so open-loop reports stay
+ * field-for-field comparable. Serving-config echoes gain the
+ * diurnal-arrival and SLO-class knobs.
  */
-constexpr int kReportSchemaMinorVersion = 5;
+constexpr int kReportSchemaMinorVersion = 6;
 
 /** Common stamp: schema version (major+minor), kind and seed. */
 Json reportStamp(const std::string &kind, std::uint64_t seed);

@@ -22,6 +22,9 @@ ServingConfig::applyWorkload(const WorkloadConfig &wl)
     tracePath = wl.tracePath;
     arrival = wl.arrival;
     burstFactor = wl.burstFactor;
+    diurnalAmplitude = wl.diurnalAmplitude;
+    diurnalPeriodSec = wl.diurnalPeriodSec;
+    sloClasses = wl.sloClasses;
     if (wl.arrivalRatePerSec > 0.0)
         arrivalRatePerSec = wl.arrivalRatePerSec;
 }
@@ -38,6 +41,9 @@ ServingConfig::workloadConfig() const
     wl.arrival = arrival;
     wl.arrivalRatePerSec = arrivalRatePerSec;
     wl.burstFactor = burstFactor;
+    wl.diurnalAmplitude = diurnalAmplitude;
+    wl.diurnalPeriodSec = diurnalPeriodSec;
+    wl.sloClasses = sloClasses;
     return wl;
 }
 
@@ -113,24 +119,42 @@ ServingEngine::run()
     // Poisson draws exponential gaps at the mean rate. Burst draws
     // from a two-state mixture: geometric trains of mean length
     // burstFactor at burstFactor x the mean rate, separated by idle
-    // gaps sized so the long-run mean rate is preserved.
+    // gaps sized so the long-run mean rate is preserved. Diurnal
+    // modulates the Poisson rate sinusoidally against the arrival
+    // clock (a compressed day) without consuming extra draws.
+    // Because the whole stream is generated here, before any
+    // dispatching, shedding decisions downstream can never perturb
+    // the draw sequence.
     const double mean_gap_us = 1e6 / _cfg.arrivalRatePerSec;
     const bool bursty = _cfg.arrival == ArrivalProcess::Burst &&
                         _cfg.burstFactor > 1.0;
+    const bool diurnal = _cfg.arrival == ArrivalProcess::Diurnal &&
+                         _cfg.diurnalAmplitude > 0.0;
     const double burst_gap_us = mean_gap_us / _cfg.burstFactor;
     const double idle_gap_us =
         mean_gap_us *
         (_cfg.burstFactor - 1.0 + 1.0 / _cfg.burstFactor);
+    const double diurnal_period_us = _cfg.diurnalPeriodSec * 1e6;
     std::vector<double> arrival_us(num_requests);
+    // Arrival-state tag per request: 1 when the gap was drawn in the
+    // burst state, 0 otherwise. Drops are classified against this.
+    std::vector<std::uint8_t> arrival_burst(num_requests, 0);
     std::vector<InferenceBatch> payloads(num_requests);
     double clock_us = 0.0;
     for (std::uint32_t r = 0; r < num_requests; ++r) {
         double gap_mean_us = mean_gap_us;
-        if (bursty)
+        if (bursty) {
+            const bool in_burst =
+                arrivals_rng.nextDouble() >= 1.0 / _cfg.burstFactor;
+            gap_mean_us = in_burst ? burst_gap_us : idle_gap_us;
+            arrival_burst[r] = in_burst ? 1 : 0;
+        } else if (diurnal) {
             gap_mean_us =
-                arrivals_rng.nextDouble() < 1.0 / _cfg.burstFactor
-                    ? idle_gap_us
-                    : burst_gap_us;
+                mean_gap_us /
+                (1.0 + _cfg.diurnalAmplitude *
+                           std::sin(2.0 * M_PI * clock_us /
+                                    diurnal_period_us));
+        }
         const double u = std::max(arrivals_rng.nextDouble(), 1e-12);
         clock_us += -std::log(u) * gap_mean_us;
         arrival_us[r] = clock_us;
@@ -141,6 +165,35 @@ ServingEngine::run()
     StatAverage service;
     StatAverage queueing;
 
+    // Per-SLO-class accounting (report v1.6). The class of request r
+    // is r % classes - stamped at generation time, no RNG involved.
+    const std::size_t num_classes = _cfg.sloClasses.size();
+    std::vector<StatHistogram> class_latency;
+    class_latency.reserve(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c)
+        class_latency.emplace_back(0.0, 100000.0, 2000);
+    std::vector<std::uint64_t> class_served(num_classes, 0);
+    std::vector<std::uint64_t> class_within(num_classes, 0);
+
+    // Control plane (ctrlplane/). Controllers are built up front but
+    // only consulted behind their CtrlConfig flags, so a disabled
+    // policy ("ctrl:fixed") executes the open-loop engine
+    // tick-identically.
+    const bool adaptive = _cfg.ctrl.adaptive;
+    const bool hedging = _cfg.ctrl.hedge && _workers.size() > 1;
+    const bool scaling = _cfg.ctrl.scale && _workers.size() > 1;
+    AdaptiveBatcher batcher(
+        _cfg.coalesceWindowUs,
+        std::max(_cfg.coalesceWindowUs * 8.0, 4.0 * mean_gap_us));
+    ServiceQuantile svc_quantile;
+    Autoscaler scaler(_cfg.ctrl,
+                      static_cast<std::uint32_t>(_workers.size()),
+                      std::max(1000.0, 32.0 * mean_gap_us));
+    std::vector<std::uint8_t> worker_active(_workers.size(), 1);
+    std::vector<double> active_since(_workers.size(), 0.0);
+    std::vector<double> active_us(_workers.size(), 0.0);
+    double interval_busy_us = 0.0;
+
     std::vector<double> worker_free(_workers.size(), 0.0);
     std::vector<WorkerStats> worker_stats(_workers.size());
     for (std::size_t i = 0; i < _workers.size(); ++i)
@@ -150,11 +203,29 @@ ServingEngine::run()
     std::uint32_t next_arrival = 0;
     std::uint64_t dropped_full = 0;
     std::uint64_t dropped_timeout = 0;
+    std::uint64_t dropped_burst = 0;
+    std::uint64_t dropped_idle = 0;
     std::uint64_t served = 0;
     std::uint64_t dispatches = 0;
     std::uint64_t sla_hits = 0;
+    std::uint64_t hedge_dispatches = 0;
+    std::uint64_t hedge_wins = 0;
+    std::uint64_t hedge_losses = 0;
+    double hedge_wasted_us = 0.0;
+    double hedge_energy_joules = 0.0;
     double energy_joules = 0.0;
     double last_completion = 0.0;
+
+    // Classify a shed request by the arrival state its gap was drawn
+    // in (pure bookkeeping - the draw stream is fixed above).
+    const auto classifyDrop = [&](std::uint32_t id) {
+        if (!bursty)
+            return;
+        if (arrival_burst[id])
+            ++dropped_burst;
+        else
+            ++dropped_idle;
+    };
 
     // Admit every arrival with timestamp <= t, dropping on overflow.
     const auto admitUpTo = [&](double t) {
@@ -163,6 +234,7 @@ ServingEngine::run()
             if (_cfg.maxQueueDepth > 0 &&
                 queue.size() >= _cfg.maxQueueDepth) {
                 ++dropped_full;
+                classifyDrop(next_arrival);
             } else {
                 queue.push_back(
                     {next_arrival, arrival_us[next_arrival]});
@@ -185,18 +257,31 @@ ServingEngine::run()
     // same queue instead of being bolted onto a private while-loop.
     EventQueue events;
     std::function<void()> round;
+
+    // Earliest-free *active* worker, ascending index on ties - with
+    // every worker active this is exactly std::min_element over
+    // worker_free, so the open-loop engine's choice is unchanged.
+    const auto earliestActive = [&]() {
+        std::size_t best = _workers.size();
+        for (std::size_t i = 0; i < _workers.size(); ++i) {
+            if (!worker_active[i])
+                continue;
+            if (best == _workers.size() ||
+                worker_free[i] < worker_free[best])
+                best = i;
+        }
+        return best;
+    };
+
     const auto scheduleRound = [&]() {
-        const double next_us =
-            *std::min_element(worker_free.begin(), worker_free.end());
+        const double next_us = worker_free[earliestActive()];
         events.schedule(
             std::max(events.now(), ticksFromUs(next_us)), round);
     };
 
     round = [&]() {
-        // The earliest-free worker claims the next dispatch.
-        const std::size_t w = static_cast<std::size_t>(
-            std::min_element(worker_free.begin(), worker_free.end()) -
-            worker_free.begin());
+        // The earliest-free active worker claims the next dispatch.
+        const std::size_t w = earliestActive();
         double t = worker_free[w];
         admitUpTo(t);
         if (queue.empty()) {
@@ -210,11 +295,15 @@ ServingEngine::run()
 
         // Dynamic batching window: an underfull batch waits for more
         // arrivals, dispatching as soon as it fills or the window
-        // timer expires - whichever comes first.
-        if (_cfg.coalesceWindowUs > 0.0 &&
+        // timer expires - whichever comes first. The adaptive
+        // batcher swaps in its controlled window; updates land at
+        // dispatch boundaries in request-id order, so the trajectory
+        // is jobs-independent.
+        const double window_us =
+            adaptive ? batcher.windowUs() : _cfg.coalesceWindowUs;
+        if (window_us > 0.0 &&
             queue.size() < _cfg.maxCoalescedBatch) {
-            const double deadline_us =
-                dispatch_us + _cfg.coalesceWindowUs;
+            const double deadline_us = dispatch_us + window_us;
             while (queue.size() < _cfg.maxCoalescedBatch &&
                    next_arrival < num_requests &&
                    arrival_us[next_arrival] <= deadline_us) {
@@ -239,6 +328,7 @@ ServingEngine::run()
             if (_cfg.queueTimeoutUs > 0.0 &&
                 dispatch_us - req.arrivalUs > _cfg.queueTimeoutUs) {
                 ++dropped_timeout;
+                classifyDrop(req.id);
                 continue;
             }
             batch_ids.push_back(req.id);
@@ -260,32 +350,192 @@ ServingEngine::run()
         // timeline.
         if (_fabric)
             _workers[w]->alignClock(ticksFromUs(dispatch_us));
+        // Snapshot the fabric frontier before the primary books
+        // occupancy so a hedge win can cancel its residual.
+        Fabric::Frontier primary_snap;
+        if (hedging && _fabric)
+            primary_snap = _fabric->snapshot();
         const InferenceResult res = _workers[w]->infer(merged);
         const double service_us = usFromTicks(res.latency());
         const double done_us = dispatch_us + service_us;
 
-        worker_free[w] = done_us;
-        worker_stats[w].busyUs += service_us;
-        worker_stats[w].served += batch_ids.size();
-        ++worker_stats[w].dispatches;
-        worker_stats[w].energyJoules += res.energyJoules;
-        worker_stats[w].fabricWaitUs += usFromTicks(res.fabricWait);
-        worker_stats[w].cacheHits += res.cacheHits;
-        worker_stats[w].cacheMisses += res.cacheMisses;
-        worker_stats[w].cacheSavedUs +=
-            usFromTicks(res.cacheSavedTicks);
-        energy_joules += res.energyJoules;
-        last_completion = std::max(last_completion, done_us);
+        // Hedged duplicate: once enough service history is banked, a
+        // dispatch running past the q-quantile of observed service
+        // times is a straggler; clone it onto the earliest-free
+        // other active worker, delayed by that quantile, and let the
+        // first completion win. The loser is cancelled at the winner
+        // tick: its worker frees, its residual fabric occupancy
+        // rolls back, and its burned time/energy is accounted as
+        // hedge waste, separate from useful work.
+        double complete_us = done_us;
+        bool clone_won = false;
+        if (hedging && svc_quantile.ready()) {
+            const double delay_us =
+                svc_quantile.quantileUs(_cfg.ctrl.hedgeQuantile);
+            std::size_t w2 = _workers.size();
+            if (service_us > delay_us) {
+                for (std::size_t i = 0; i < _workers.size(); ++i) {
+                    if (i == w || !worker_active[i])
+                        continue;
+                    if (w2 == _workers.size() ||
+                        worker_free[i] < worker_free[w2])
+                        w2 = i;
+                }
+            }
+            const double clone_start =
+                w2 < _workers.size()
+                    ? std::max(dispatch_us + delay_us, worker_free[w2])
+                    : 0.0;
+            if (w2 < _workers.size() && clone_start < done_us) {
+                ++hedge_dispatches;
+                Fabric::Frontier clone_snap;
+                if (_fabric) {
+                    clone_snap = _fabric->snapshot();
+                    _workers[w2]->alignClock(ticksFromUs(clone_start));
+                }
+                const InferenceResult clone_res =
+                    _workers[w2]->infer(merged);
+                const double clone_service =
+                    usFromTicks(clone_res.latency());
+                const double clone_done = clone_start + clone_service;
+                if (clone_done < done_us) {
+                    // Clone wins; primary cancelled at clone_done.
+                    // Rolling back to the pre-primary frontier keeps
+                    // the clone's bookings (they end by clone_done)
+                    // and reclaims the primary's residual.
+                    ++hedge_wins;
+                    clone_won = true;
+                    complete_us = clone_done;
+                    const double burned = clone_done - dispatch_us;
+                    worker_free[w] = clone_done;
+                    worker_stats[w].busyUs += burned;
+                    worker_stats[w].fabricWaitUs +=
+                        usFromTicks(res.fabricWait);
+                    hedge_wasted_us += burned;
+                    hedge_energy_joules +=
+                        service_us > 0.0
+                            ? res.energyJoules * (burned / service_us)
+                            : 0.0;
+                    if (_fabric)
+                        _fabric->cancelAfter(primary_snap,
+                                             ticksFromUs(clone_done));
+                    worker_free[w2] = clone_done;
+                    worker_stats[w2].busyUs += clone_service;
+                    worker_stats[w2].served += batch_ids.size();
+                    ++worker_stats[w2].dispatches;
+                    worker_stats[w2].energyJoules +=
+                        clone_res.energyJoules;
+                    worker_stats[w2].fabricWaitUs +=
+                        usFromTicks(clone_res.fabricWait);
+                    worker_stats[w2].cacheHits += clone_res.cacheHits;
+                    worker_stats[w2].cacheMisses +=
+                        clone_res.cacheMisses;
+                    worker_stats[w2].cacheSavedUs +=
+                        usFromTicks(clone_res.cacheSavedTicks);
+                    energy_joules += clone_res.energyJoules;
+                } else {
+                    // Primary wins (ties included); cancel the clone.
+                    ++hedge_losses;
+                    const double burned = done_us - clone_start;
+                    worker_free[w2] =
+                        std::max(worker_free[w2], done_us);
+                    worker_stats[w2].busyUs += burned;
+                    hedge_wasted_us += burned;
+                    hedge_energy_joules +=
+                        clone_service > 0.0
+                            ? clone_res.energyJoules *
+                                  (burned / clone_service)
+                            : 0.0;
+                    if (_fabric)
+                        _fabric->cancelAfter(clone_snap,
+                                             ticksFromUs(done_us));
+                }
+            }
+        }
+        if (hedging)
+            svc_quantile.add(service_us);
+
+        if (!clone_won) {
+            worker_free[w] = done_us;
+            worker_stats[w].busyUs += service_us;
+            worker_stats[w].served += batch_ids.size();
+            ++worker_stats[w].dispatches;
+            worker_stats[w].energyJoules += res.energyJoules;
+            worker_stats[w].fabricWaitUs +=
+                usFromTicks(res.fabricWait);
+            worker_stats[w].cacheHits += res.cacheHits;
+            worker_stats[w].cacheMisses += res.cacheMisses;
+            worker_stats[w].cacheSavedUs +=
+                usFromTicks(res.cacheSavedTicks);
+            energy_joules += res.energyJoules;
+        }
+        last_completion = std::max(last_completion, complete_us);
         served += batch_ids.size();
         ++dispatches;
 
-        for (double arrival : batch_arrivals) {
-            const double total = done_us - arrival;
+        // On the open-loop path this is service_us bit-for-bit; only
+        // a winning clone shortens the effective service time.
+        const double effective_service_us =
+            clone_won ? complete_us - dispatch_us : service_us;
+        double worst_latency_us = 0.0;
+        double tightest_target_us = 0.0;
+        for (std::size_t k = 0; k < batch_ids.size(); ++k) {
+            const double arrival = batch_arrivals[k];
+            const double total = complete_us - arrival;
+            worst_latency_us = std::max(worst_latency_us, total);
             latency.sample(total);
-            service.sample(service_us);
+            service.sample(effective_service_us);
             queueing.sample(dispatch_us - arrival);
             if (_cfg.slaTargetUs > 0.0 && total <= _cfg.slaTargetUs)
                 ++sla_hits;
+            if (num_classes) {
+                const std::size_t c = batch_ids[k] % num_classes;
+                const SloClass &cls = _cfg.sloClasses[c];
+                class_latency[c].sample(total);
+                ++class_served[c];
+                if (total <= cls.p99TargetUs)
+                    ++class_within[c];
+                if (tightest_target_us == 0.0 ||
+                    cls.p99TargetUs < tightest_target_us)
+                    tightest_target_us = cls.p99TargetUs;
+            }
+        }
+
+        if (adaptive)
+            batcher.update(queue.size(), _cfg.maxCoalescedBatch,
+                           worst_latency_us, tightest_target_us);
+
+        if (scaling) {
+            interval_busy_us += effective_service_us;
+            while (scaler.due(dispatch_us)) {
+                const int dir = scaler.decide(interval_busy_us);
+                interval_busy_us = 0.0;
+                if (dir < 0) {
+                    // Drain the highest-index active worker (floor
+                    // of one is the scaler's invariant).
+                    for (std::size_t i = _workers.size(); i-- > 0;) {
+                        if (worker_active[i]) {
+                            worker_active[i] = 0;
+                            active_us[i] +=
+                                dispatch_us - active_since[i];
+                            break;
+                        }
+                    }
+                } else if (dir > 0) {
+                    // Re-add the lowest-index drained worker; it
+                    // cannot start before the decision tick.
+                    for (std::size_t i = 0; i < _workers.size();
+                         ++i) {
+                        if (!worker_active[i]) {
+                            worker_active[i] = 1;
+                            active_since[i] = dispatch_us;
+                            worker_free[i] = std::max(worker_free[i],
+                                                      dispatch_us);
+                            break;
+                        }
+                    }
+                }
+            }
         }
         scheduleRound();
     };
@@ -298,6 +548,8 @@ ServingEngine::run()
     out.served = served;
     out.droppedQueueFull = dropped_full;
     out.droppedTimeout = dropped_timeout;
+    out.droppedBurstArrivals = dropped_burst;
+    out.droppedIdleArrivals = dropped_idle;
     out.meanServiceUs = service.mean();
     out.meanQueueUs = queueing.mean();
     // StatHistogram keeps an exact running average alongside the
@@ -306,6 +558,7 @@ ServingEngine::run()
     out.p50Us = latency.quantile(0.50);
     out.p95Us = latency.quantile(0.95);
     out.p99Us = latency.quantile(0.99);
+    out.p999Us = latency.quantile(0.999);
     out.maxLatencyUs = latency.max();
     out.latencyOverflow = latency.overflow();
     out.offeredRps = _cfg.arrivalRatePerSec;
@@ -373,6 +626,70 @@ ServingEngine::run()
                          ? static_cast<double>(sla_hits) /
                                static_cast<double>(num_requests)
                          : 0.0;
+
+    // Idle energy: time a worker spent provisioned but not serving,
+    // priced at a fraction of its spec draw. With the autoscaler
+    // drained workers stop accruing; without it every worker is
+    // provisioned for the whole run.
+    constexpr double kIdleEnergyFraction = 0.3;
+    double idle_energy_joules = 0.0;
+    for (std::size_t i = 0; i < _workers.size(); ++i) {
+        if (worker_active[i])
+            active_us[i] += last_completion - active_since[i];
+        const double idle_us =
+            std::max(0.0, active_us[i] - out.perWorker[i].busyUs);
+        const double watts =
+            _workers[i]->power().watts(_workers[i]->design());
+        idle_energy_joules +=
+            idle_us * 1e-6 * watts * kIdleEnergyFraction;
+    }
+    out.idleEnergyJoules = idle_energy_joules;
+    out.joulesPerQuery =
+        served ? (energy_joules + idle_energy_joules +
+                  hedge_energy_joules) /
+                     static_cast<double>(served)
+               : 0.0;
+
+    // Per-SLO-class outcome: offered counts come straight from the
+    // round-robin stamping, attainment counts drops as misses.
+    for (std::size_t c = 0; c < num_classes; ++c) {
+        SloClassStats cs;
+        cs.name = _cfg.sloClasses[c].name;
+        cs.targetUs = _cfg.sloClasses[c].p99TargetUs;
+        cs.offered = num_requests / num_classes +
+                     (c < num_requests % num_classes ? 1 : 0);
+        cs.served = class_served[c];
+        cs.p99Us = class_latency[c].quantile(0.99);
+        cs.attainment =
+            cs.offered ? static_cast<double>(class_within[c]) /
+                             static_cast<double>(cs.offered)
+                       : 0.0;
+        out.perClass.push_back(std::move(cs));
+    }
+
+    out.ctrl.policy = ctrlPartName(_cfg.ctrl);
+    if (adaptive) {
+        batcher.fill(&out.ctrl);
+    } else {
+        out.ctrl.windowMinUs = _cfg.coalesceWindowUs;
+        out.ctrl.windowMeanUs = _cfg.coalesceWindowUs;
+        out.ctrl.windowMaxUs = _cfg.coalesceWindowUs;
+        out.ctrl.windowFinalUs = _cfg.coalesceWindowUs;
+    }
+    out.ctrl.hedgeDispatches = hedge_dispatches;
+    out.ctrl.hedgeWins = hedge_wins;
+    out.ctrl.hedgeLosses = hedge_losses;
+    out.ctrl.hedgeWastedUs = hedge_wasted_us;
+    out.ctrl.hedgeEnergyJoules = hedge_energy_joules;
+    if (scaling) {
+        scaler.fill(&out.ctrl);
+    } else {
+        out.ctrl.activeMin =
+            static_cast<std::uint32_t>(_workers.size());
+        out.ctrl.activeMax = out.ctrl.activeMin;
+        out.ctrl.meanActiveWorkers =
+            static_cast<double>(_workers.size());
+    }
     return out;
 }
 
@@ -411,19 +728,23 @@ runServingSim(const std::string &default_spec, const DlrmConfig &model,
     Fabric *node = cfg.contend ? &fabric : nullptr;
     // A `/cache:` part on the default spec provisions one node-level
     // tier shared by the whole fleet (heterogeneous workerSpecs with
-    // their own cache parts still own private tiers).
+    // their own cache parts still own private tiers); a `/ctrl:`
+    // part selects the fleet's control-plane policy.
     const SystemSpec parsed = parseSpec(default_spec);
     std::unique_ptr<CacheTier> tier;
     if (parsed.cache.enabled())
         tier = std::make_unique<CacheTier>(parsed.cache,
                                            model.vectorBytes());
-    auto owned = makeWorkers(default_spec, model, cfg, node,
+    ServingConfig run_cfg = cfg;
+    if (parsed.ctrl.enabled())
+        run_cfg.ctrl = parsed.ctrl;
+    auto owned = makeWorkers(default_spec, model, run_cfg, node,
                              tier.get());
     std::vector<System *> workers;
     workers.reserve(owned.size());
     for (auto &w : owned)
         workers.push_back(w.get());
-    return ServingEngine(std::move(workers), cfg, node).run();
+    return ServingEngine(std::move(workers), run_cfg, node).run();
 }
 
 ServingStats

@@ -25,6 +25,7 @@
 #include "cachetier/cache_tier.hh"
 #include "core/fabric.hh"
 #include "core/system.hh"
+#include "ctrlplane/controllers.hh"
 #include "dlrm/workload.hh"
 #include "sim/stats.hh"
 
@@ -51,6 +52,15 @@ struct ServingConfig
     ArrivalProcess arrival = ArrivalProcess::Poisson;
     /** Peak-to-mean ratio of Burst arrivals (1 = Poisson). */
     double burstFactor = 1.0;
+    /** Rate-swing fraction of Diurnal arrivals. */
+    double diurnalAmplitude = 0.0;
+    /** Compressed day length of Diurnal arrivals (seconds). */
+    double diurnalPeriodSec = 0.25;
+    /**
+     * Latency classes requests are stamped with round-robin
+     * (id % classes) at generation time; empty = untracked.
+     */
+    std::vector<SloClass> sloClasses;
 
     /**
      * Copy the traffic shape out of a parsed workload spec
@@ -97,6 +107,13 @@ struct ServingConfig
     bool contend = false;
     /** Node resource budgets when contend is set. */
     FabricConfig fabricCfg;
+
+    /**
+     * Closed-loop control plane (ctrlplane/): adaptive batching,
+     * hedged duplicates, worker autoscaling. Disabled ("ctrl:fixed")
+     * keeps the open-loop engine tick-identical.
+     */
+    CtrlConfig ctrl;
 };
 
 /** Per-worker serving results. */
@@ -146,6 +163,14 @@ struct ServingStats
     std::uint64_t served = 0;  //!< requests completed
     std::uint64_t droppedQueueFull = 0;
     std::uint64_t droppedTimeout = 0;
+    /**
+     * Drops split by the arrival-state the request was drawn in
+     * (burst vs idle gap of a Burst process; both zero otherwise).
+     * Shedding never perturbs the arrival draw stream - arrivals are
+     * generated up front - so these are a pure classification.
+     */
+    std::uint64_t droppedBurstArrivals = 0;
+    std::uint64_t droppedIdleArrivals = 0;
 
     double meanServiceUs = 0.0;
     double meanQueueUs = 0.0;
@@ -153,6 +178,7 @@ struct ServingStats
     double p50Us = 0.0;
     double p95Us = 0.0;
     double p99Us = 0.0;
+    double p999Us = 0.0;
     double maxLatencyUs = 0.0;
     /** Latency samples beyond the histogram cap (overloaded tail). */
     std::uint64_t latencyOverflow = 0;
@@ -161,6 +187,10 @@ struct ServingStats
     double offeredRps = 0.0;
     double utilization = 0.0; //!< mean busy fraction across workers
     double energyJoules = 0.0;
+    /** Active-but-idle worker time priced at idle draw (v1.6). */
+    double idleEnergyJoules = 0.0;
+    /** (energy + idle + hedge energy) / served (v1.6). */
+    double joulesPerQuery = 0.0;
 
     std::uint64_t dispatches = 0;
     double meanCoalescedRequests = 0.0;
@@ -184,6 +214,11 @@ struct ServingStats
      * when no worker has a tier.
      */
     CacheStats cache;
+
+    /** Per-SLO-class outcome; empty without /slo: classes (v1.6). */
+    std::vector<SloClassStats> perClass;
+    /** Control-plane outcome; defaults (ctrl:fixed) when open-loop. */
+    CtrlStats ctrl;
 
     double
     dropRate() const
@@ -253,9 +288,10 @@ struct Scenario; // core/scenario.hh
 
 /**
  * Scenario-based convenience: resolve a single-model scenario
- * (fatal on model sets), apply its workload spec (distribution and
- * arrival process, including a pinned "@poisson:"/"@burst:" rate)
- * over @p base, and run the engine.
+ * (fatal on model sets), apply its workload spec (distribution,
+ * arrival process including a pinned "@poisson:"/"@burst:"/
+ * "@diurnal:" rate, and any "/slo:" classes) over @p base, and run
+ * the engine.
  */
 ServingStats runServingSim(const Scenario &sc,
                            const ServingConfig &base = ServingConfig{});

@@ -1,0 +1,150 @@
+#include "ctrlplane/controllers.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace centaur {
+
+void
+ServiceQuantile::add(double sample_us)
+{
+    _sorted.insert(std::upper_bound(_sorted.begin(), _sorted.end(),
+                                    sample_us),
+                   sample_us);
+}
+
+double
+ServiceQuantile::quantileUs(double q) const
+{
+    if (_sorted.empty())
+        return 0.0;
+    const double pos =
+        q * static_cast<double>(_sorted.size() - 1);
+    std::size_t idx =
+        static_cast<std::size_t>(std::ceil(pos));
+    if (idx >= _sorted.size())
+        idx = _sorted.size() - 1;
+    return _sorted[idx];
+}
+
+AdaptiveBatcher::AdaptiveBatcher(double initial_window_us,
+                                 double max_window_us)
+{
+    _windowNs = static_cast<std::int64_t>(initial_window_us * 1e3);
+    if (_windowNs < 0)
+        _windowNs = 0;
+    _maxNs = static_cast<std::int64_t>(max_window_us * 1e3);
+    if (_maxNs < 1000000)
+        _maxNs = 1000000; // floor the cap at 1 ms of headroom
+    if (_windowNs > _maxNs)
+        _windowNs = _maxNs;
+    _minNs = _windowNs;
+    _maxSeenNs = _windowNs;
+}
+
+void
+AdaptiveBatcher::update(std::size_t queue_depth,
+                        std::uint32_t max_batch,
+                        double worst_latency_us, double target_us)
+{
+    std::int64_t delta_ns = 0;
+    bool has_target = target_us > 0.0;
+    if (has_target) {
+        // Asymmetric PI on the latency error, fixed-point. The
+        // integral is miss-only and leaky (meeting the target drains
+        // it, missing charges it), so the loop parks just under the
+        // SLO boundary instead of hunting across it: a miss bites a
+        // quarter off the window plus kP = 1/8 and the integral's
+        // kI = 1/16; headroom only probes the window up at kP = 1/64
+        // per update.
+        const std::int64_t err_ns = static_cast<std::int64_t>(
+            (target_us - worst_latency_us) * 1e3);
+        _integralNs -= _integralNs / 8;
+        if (err_ns < 0) {
+            _integralNs += err_ns / 4;
+            _integralNs = std::max(-_maxNs, _integralNs);
+            delta_ns = err_ns / 8 + _integralNs / 16 - _windowNs / 4;
+        } else {
+            delta_ns = err_ns / 64;
+        }
+    }
+    // Queue-depth term: a backlog already covering the coalescing
+    // limit means waiting buys nothing (narrow); an underfull queue
+    // means the window is what fills batches (widen). With an SLO
+    // target the latency loop owns the window, so the depth term is
+    // scaled down to a tie-breaker.
+    const std::int64_t depth_err =
+        static_cast<std::int64_t>(max_batch) - 1 -
+        static_cast<std::int64_t>(queue_depth);
+    delta_ns += depth_err * (has_target ? 1000 : 4000) /
+                std::max<std::int64_t>(1, max_batch);
+
+    _windowNs += delta_ns;
+    _windowNs = std::max<std::int64_t>(
+        0, std::min(_maxNs, _windowNs));
+
+    ++_updates;
+    _minNs = std::min(_minNs, _windowNs);
+    _maxSeenNs = std::max(_maxSeenNs, _windowNs);
+    _sumNs += static_cast<double>(_windowNs);
+}
+
+void
+AdaptiveBatcher::fill(CtrlStats *out) const
+{
+    out->windowUpdates = _updates;
+    out->windowMinUs = static_cast<double>(_minNs) * 1e-3;
+    out->windowMaxUs = static_cast<double>(_maxSeenNs) * 1e-3;
+    out->windowFinalUs = windowUs();
+    out->windowMeanUs =
+        _updates ? _sumNs * 1e-3 / static_cast<double>(_updates)
+                 : windowUs();
+}
+
+Autoscaler::Autoscaler(const CtrlConfig &cfg, std::uint32_t pool,
+                       double interval_us)
+    : _loUtil(cfg.scaleLoUtil), _hiUtil(cfg.scaleHiUtil),
+      _pool(pool), _active(pool), _intervalUs(interval_us),
+      _nextControlUs(interval_us), _minActive(pool),
+      _maxActive(pool)
+{
+}
+
+int
+Autoscaler::decide(double busy_us)
+{
+    const double capacity_us =
+        _intervalUs * static_cast<double>(_active);
+    const double util =
+        capacity_us > 0.0 ? busy_us / capacity_us : 0.0;
+    int dir = 0;
+    if (util < _loUtil && _active > 1) {
+        --_active;
+        ++_downs;
+        dir = -1;
+    } else if (util > _hiUtil && _active < _pool) {
+        ++_active;
+        ++_ups;
+        dir = 1;
+    }
+    _minActive = std::min(_minActive, _active);
+    _maxActive = std::max(_maxActive, _active);
+    ++_decisions;
+    _activeSum += static_cast<double>(_active);
+    _nextControlUs += _intervalUs;
+    return dir;
+}
+
+void
+Autoscaler::fill(CtrlStats *out) const
+{
+    out->scaleUps = _ups;
+    out->scaleDowns = _downs;
+    out->activeMin = _minActive;
+    out->activeMax = _maxActive;
+    out->meanActiveWorkers =
+        _decisions ? _activeSum / static_cast<double>(_decisions)
+                   : static_cast<double>(_active);
+}
+
+} // namespace centaur

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * JSON serialization of the control plane's counters (schema v1.6).
+ * Lives next to the subsystem it describes so the schema-sync lint
+ * (tools/centaur_lint.py) can cross-check every emitted key against
+ * tools/check_bench.py's classification tables.
+ */
+
+#include "ctrlplane/ctrl_report.hh"
+
+namespace centaur {
+
+Json
+toJson(const SloClassStats &cs)
+{
+    Json j = Json::object();
+    j["name"] = cs.name;
+    j["target_us"] = cs.targetUs;
+    j["offered"] = cs.offered;
+    j["served"] = cs.served;
+    j["p99_us"] = cs.p99Us;
+    j["attainment"] = cs.attainment;
+    return j;
+}
+
+Json
+toJson(const CtrlStats &cs)
+{
+    Json j = Json::object();
+    j["policy"] = cs.policy;
+    // A count of controller decisions, not a duration.
+    // centaur-lint: allow(unit-suffix)
+    j["window_updates"] = cs.windowUpdates;
+    j["window_min_us"] = cs.windowMinUs;
+    j["window_mean_us"] = cs.windowMeanUs;
+    j["window_max_us"] = cs.windowMaxUs;
+    j["window_final_us"] = cs.windowFinalUs;
+    j["hedge_dispatches"] = cs.hedgeDispatches;
+    j["hedge_wins"] = cs.hedgeWins;
+    j["hedge_losses"] = cs.hedgeLosses;
+    j["hedge_wasted_us"] = cs.hedgeWastedUs;
+    j["hedge_energy_joules"] = cs.hedgeEnergyJoules;
+    j["scale_ups"] = cs.scaleUps;
+    j["scale_downs"] = cs.scaleDowns;
+    j["active_min"] = cs.activeMin;
+    j["active_max"] = cs.activeMax;
+    j["mean_active_workers"] = cs.meanActiveWorkers;
+    return j;
+}
+
+} // namespace centaur

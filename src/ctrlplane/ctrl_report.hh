@@ -1,0 +1,24 @@
+/**
+ * @file
+ * JSON serializers for the control plane's outcome records
+ * (CtrlStats, SloClassStats), shared by the single-node
+ * (core/report.cc) and cluster (cluster/report.cc) report surfaces.
+ */
+
+#ifndef CENTAUR_CTRLPLANE_CTRL_REPORT_HH
+#define CENTAUR_CTRLPLANE_CTRL_REPORT_HH
+
+#include "ctrlplane/controllers.hh"
+#include "sim/json.hh"
+
+namespace centaur {
+
+/** Per-SLO-class serving outcome: target, p99, attainment. */
+Json toJson(const SloClassStats &cs);
+
+/** Control-plane counters: window trajectory, hedging, scaling. */
+Json toJson(const CtrlStats &cs);
+
+} // namespace centaur
+
+#endif // CENTAUR_CTRLPLANE_CTRL_REPORT_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Control-plane policy grammar - the closed-loop mirror of the
+ * cache-tier suffix grammar (cachetier/cache_tier.hh).
+ *
+ * A ctrl part names which controllers close the serving loop:
+ *
+ *   ctrl:<fixed|adaptive>[:hedge[:<q>]][:scale[:<lo>-<hi>]]
+ *
+ *   fixed | adaptive   the coalescing-window policy: fixed keeps the
+ *                      configured window (the open-loop engine),
+ *                      adaptive runs the PID-style batcher against
+ *                      queue depth and per-class p99-vs-target error
+ *   hedge[:<q>]        duplicate straggler dispatches after the
+ *                      observed service-time quantile <q> (default
+ *                      0.95); first completion wins, the loser's
+ *                      residual occupancy is cancelled
+ *   scale[:<lo>-<hi>]  drain/re-add workers (cluster: whole nodes)
+ *                      when interval utilization leaves the
+ *                      [<lo>,<hi>] band (default 0.3-0.8)
+ *
+ * Examples: "ctrl:adaptive", "ctrl:fixed:hedge:0.99",
+ * "ctrl:adaptive:hedge:0.95:scale:0.3-0.8". "ctrl:fixed" alone is
+ * the default everywhere and parses to a disabled config, so specs
+ * that never mention ctrl stay byte-identical to the open-loop
+ * engine.
+ *
+ * The part rides on backend spec strings ("cpu/ctrl:adaptive") and
+ * cluster specs ("cluster:4x(cpu)/ctrl:adaptive:hedge"); a ctrl part
+ * on the cluster grammar wins over one on the inner node spec (same
+ * precedence rule as /cache:).
+ */
+
+#ifndef CENTAUR_CTRLPLANE_CTRL_SPEC_HH
+#define CENTAUR_CTRLPLANE_CTRL_SPEC_HH
+
+#include <string>
+#include <vector>
+
+namespace centaur {
+
+/** Which controllers close the serving loop (parsed ctrl part). */
+struct CtrlConfig
+{
+    /** Adaptive coalescing-window batcher (false = fixed window). */
+    bool adaptive = false;
+
+    /** Hedge straggler dispatches onto a second worker/node. */
+    bool hedge = false;
+    /** Service-time quantile that arms a hedge (0 < q < 1). */
+    double hedgeQuantile = 0.95;
+
+    /** Autoscale workers/nodes on the utilization band below. */
+    bool scale = false;
+    double scaleLoUtil = 0.3; //!< drain below this utilization
+    double scaleHiUtil = 0.8; //!< re-add above this utilization
+
+    /** Any controller beyond the open-loop default? */
+    bool
+    enabled() const
+    {
+        return adaptive || hedge || scale;
+    }
+
+    bool
+    operator==(const CtrlConfig &o) const
+    {
+        return adaptive == o.adaptive && hedge == o.hedge &&
+               hedgeQuantile == o.hedgeQuantile && scale == o.scale &&
+               scaleLoUtil == o.scaleLoUtil &&
+               scaleHiUtil == o.scaleHiUtil;
+    }
+    bool
+    operator!=(const CtrlConfig &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/**
+ * Parse one "ctrl:..." part (no leading '/'). Returns false and
+ * fills @p error (when non-null) with a message naming the offending
+ * token and the grammar; true fills @p out.
+ */
+bool tryParseCtrlPart(const std::string &part, CtrlConfig *out,
+                      std::string *error = nullptr);
+
+/**
+ * Canonical part string for @p cfg: "ctrl:adaptive:hedge:0.95".
+ * Parsing it back round-trips. A disabled config names itself
+ * "ctrl:fixed".
+ */
+std::string ctrlPartName(const CtrlConfig &cfg);
+
+/** One-line grammar summary for CLI help / --list output. */
+const char *ctrlGrammar();
+
+/** Representative ctrl parts for --list output. */
+std::vector<std::string> exampleCtrlParts();
+
+} // namespace centaur
+
+#endif // CENTAUR_CTRLPLANE_CTRL_SPEC_HH

@@ -29,6 +29,8 @@ arrivalProcessName(ArrivalProcess arrival)
         return "poisson";
       case ArrivalProcess::Burst:
         return "burst";
+      case ArrivalProcess::Diurnal:
+        return "diurnal";
     }
     return "?";
 }

@@ -37,10 +37,30 @@ enum class ArrivalProcess : std::uint8_t
      * rate separated by longer idle gaps, preserving the mean rate.
      */
     Burst,
+    /**
+     * Diurnal arrivals: a Poisson process whose rate swings
+     * sinusoidally around the mean by diurnalAmplitude over a
+     * (time-compressed) diurnalPeriodSec cycle - the slow rate
+     * modulation the autoscaler tracks.
+     */
+    Diurnal,
 };
 
 const char *indexDistributionName(IndexDistribution dist);
 const char *arrivalProcessName(ArrivalProcess arrival);
+
+/** One latency class of the serving SLO grammar ("/slo:..."). */
+struct SloClass
+{
+    std::string name;      //!< class label, e.g. "rt" or "batch"
+    double p99TargetUs = 0.0; //!< p99 latency target
+
+    bool
+    operator==(const SloClass &o) const
+    {
+        return name == o.name && p99TargetUs == o.p99TargetUs;
+    }
+};
 
 /** Workload knobs. */
 struct WorkloadConfig
@@ -61,6 +81,19 @@ struct WorkloadConfig
     ArrivalProcess arrival = ArrivalProcess::Poisson;
     double arrivalRatePerSec = 0.0;
     double burstFactor = 1.0; //!< peak-to-mean ratio for Burst
+
+    /** Rate swing fraction (0..1) when arrival == Diurnal. */
+    double diurnalAmplitude = 0.0;
+    /** Compressed diurnal cycle length (simulated seconds). */
+    double diurnalPeriodSec = 0.25;
+
+    /**
+     * SLO latency classes ("/slo:<class>:<p99_us>" parts, in spec
+     * order). Requests are stamped round-robin in id order
+     * (class = id % classes), so the class axis never consumes RNG
+     * draws. Empty means "one unnamed class, no target".
+     */
+    std::vector<SloClass> sloClasses;
 };
 
 /** One generated inference batch. */

@@ -5,7 +5,7 @@
  *
  * A workload spec names how inference traffic looks, in one string:
  *
- *   <distribution>[@<arrival>]
+ *   <distribution>[@<arrival>][/slo:<class>:<p99_us>]...
  *
  *   distribution := uniform            DLRM's bundled generator
  *                 | zipf[:<skew>]      popularity skew (default 0.9)
@@ -13,11 +13,20 @@
  *   arrival      := poisson:<qps>      memoryless arrivals
  *                 | burst:<qps>:<factor>  bursty arrivals at
  *                                      <factor> x the mean rate
+ *                 | diurnal:<qps>:<amp>[:<period_s>]  sinusoidal
+ *                                      rate swing of +/-<amp> over a
+ *                                      compressed <period_s> cycle
+ *   slo class    := slo:<class>:<p99_us>  a named latency class
+ *                                      with a p99 target; requests
+ *                                      are stamped round-robin in
+ *                                      id order
  *
  * Examples: "uniform", "zipf:1", "trace:prod.trace",
- * "zipf:0.99@poisson:8000", "uniform@burst:8000:4". The arrival
- * part only matters to the serving layer; single-inference sweeps
- * use the distribution alone.
+ * "zipf:0.99@poisson:8000", "uniform@burst:8000:4",
+ * "uniform@diurnal:8000:0.5:0.25",
+ * "zipf:0.9@poisson:8000/slo:rt:2000/slo:batch:20000". The arrival
+ * and slo parts only matter to the serving layer; single-inference
+ * sweeps use the distribution alone.
  */
 
 #ifndef CENTAUR_DLRM_WORKLOAD_SPEC_HH

@@ -1,10 +1,23 @@
 #include "sim/event_queue.hh"
 
+#include <atomic>
 #include <utility>
 
 #include "sim/log.hh"
 
 namespace centaur {
+
+namespace {
+/** Atomic because bench suites run sweep points on --jobs threads;
+ *  the total is the same at any job count. */
+std::atomic<std::uint64_t> global_sim_events{0};
+} // namespace
+
+std::uint64_t
+globalSimEvents()
+{
+    return global_sim_events.load(std::memory_order_relaxed);
+}
 
 void
 EventQueue::schedule(Tick when, std::function<void()> action)
@@ -44,6 +57,7 @@ EventQueue::step()
     _queue.pop();
     _now = ev.when;
     ++_executed;
+    global_sim_events.fetch_add(1, std::memory_order_relaxed);
     ev.action();
     return true;
 }

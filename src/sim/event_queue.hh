@@ -100,6 +100,14 @@ class EventQueue
     std::uint64_t _executed = 0;
 };
 
+/**
+ * Process-wide count of events executed by every EventQueue since
+ * start-up. A pure function of the simulated work, so bench reports
+ * stamp deltas of it ("sim_events") as a deterministic cost metric:
+ * two runs of the same suite agree exactly, at any thread count.
+ */
+std::uint64_t globalSimEvents();
+
 } // namespace centaur
 
 #endif // CENTAUR_SIM_EVENT_QUEUE_HH

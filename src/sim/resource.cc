@@ -83,6 +83,31 @@ ResourceClock::meanWaitUs() const
                    : 0.0;
 }
 
+ResourceClock::Frontier
+ResourceClock::snapshot() const
+{
+    return Frontier{_laneBusyUntil};
+}
+
+Tick
+ResourceClock::rollbackTo(const Frontier &snap, Tick cutoff)
+{
+    if (snap.laneBusyUntil.size() != _laneBusyUntil.size())
+        fatal("resource '", _name,
+              "' frontier snapshot has ", snap.laneBusyUntil.size(),
+              " lanes, clock has ", _laneBusyUntil.size());
+    Tick reclaimed = 0;
+    for (std::size_t i = 0; i < _laneBusyUntil.size(); ++i) {
+        const Tick floor = std::max(cutoff, snap.laneBusyUntil[i]);
+        if (_laneBusyUntil[i] > floor) {
+            reclaimed += _laneBusyUntil[i] - floor;
+            _laneBusyUntil[i] = floor;
+        }
+    }
+    _busyTicks -= std::min(reclaimed, _busyTicks);
+    return reclaimed;
+}
+
 void
 ResourceClock::reset()
 {

@@ -85,6 +85,30 @@ class ResourceClock
     /** Clear lane clocks and statistics. */
     void reset();
 
+    /**
+     * A saved copy of the per-lane busy-until frontier, used to
+     * cancel speculative work (hedged duplicates, ctrlplane/): take
+     * a snapshot before booking the speculative grants, then
+     * rollbackTo() once the race resolves. Only the grants booked
+     * after the snapshot may be rolled back - earlier bookings are
+     * below the saved frontier and stay untouched.
+     */
+    struct Frontier
+    {
+        std::vector<Tick> laneBusyUntil;
+    };
+
+    /** Capture the current lane frontier. */
+    Frontier snapshot() const;
+
+    /**
+     * Truncate every lane's busy-until to
+     * max(@p cutoff, its snapshot value), reclaiming the occupancy
+     * booked past that point since @p snap was taken. Returns the
+     * reclaimed lane-ticks (also subtracted from busyTicks()).
+     */
+    Tick rollbackTo(const Frontier &snap, Tick cutoff);
+
   private:
     std::string _name;
     std::vector<Tick> _laneBusyUntil;

@@ -1,0 +1,22 @@
+#include "sim/walltime.hh"
+
+// The one sanctioned wall-clock read in the tree: a report-only cost
+// stamp, never consulted by any model. Everything it feeds is marked
+// NEUTRAL in baselines and filtered from byte-identity comparisons.
+// centaur-lint: allow(determinism)
+#include <chrono>
+
+namespace centaur {
+
+std::uint64_t
+wallMicros()
+{
+    // centaur-lint: allow(determinism)
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now.time_since_epoch())
+            .count());
+}
+
+} // namespace centaur

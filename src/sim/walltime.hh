@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Host wall-clock sampling for bench-report cost stamps.
+ *
+ * The simulator itself never reads the host clock (the determinism
+ * lint bans ambient time sources); this helper exists solely so the
+ * bench driver can stamp "sim_wall_us" next to the deterministic
+ * "sim_events" counter. Consumers treat it as NEUTRAL: baselines
+ * ignore it and the CI byte-identity comparison filters it out.
+ */
+
+#ifndef CENTAUR_SIM_WALLTIME_HH
+#define CENTAUR_SIM_WALLTIME_HH
+
+#include <cstdint>
+
+namespace centaur {
+
+/** Monotonic host time in microseconds since an arbitrary origin. */
+std::uint64_t wallMicros();
+
+} // namespace centaur
+
+#endif // CENTAUR_SIM_WALLTIME_HH

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Golden-schema test for the slo_matrix suite (schema v1.6): the
+ * stamped envelope with its cost counters, every slo_entry /
+ * slo_check / hedge_check / scale_check key tools/check_bench.py
+ * gates on, the headline closed-loop invariants, and byte-equal
+ * JSON at --jobs 1 vs --jobs 4 (controllers run in request-id /
+ * tick order, so parallelism must never change a record).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+#include "suite.hh"
+
+using namespace centaur;
+using namespace centaur::bench;
+
+namespace {
+
+/** Run slo_matrix quietly and hand back the parsed envelope. */
+Json
+runSloMatrix(std::uint32_t jobs)
+{
+    const Suite *suite = findSuite("slo_matrix");
+    if (suite == nullptr) {
+        ADD_FAILURE() << "slo_matrix not registered";
+        return Json::object();
+    }
+    SuiteContext ctx(nullptr, 0, {}, 0, {}, {}, jobs);
+    const Json envelope = runSuite(*suite, ctx);
+    // Schema checks run on what a JSON consumer would actually see.
+    Json doc;
+    std::string err;
+    EXPECT_TRUE(Json::parse(envelope.dump(2), doc, &err)) << err;
+    return doc;
+}
+
+/** The serial run, shared across tests (the suite is not free). */
+const Json &
+serialDoc()
+{
+    static const Json doc = runSloMatrix(1);
+    return doc;
+}
+
+TEST(CtrlSchemaTest, SloMatrixIsRegistered)
+{
+    const Suite *s = findSuite("slo_matrix");
+    ASSERT_NE(s, nullptr);
+    EXPECT_STREQ(s->name, "slo_matrix");
+    ASSERT_NE(s->specs, nullptr);
+    // --list documents the control-plane grammar axis.
+    EXPECT_NE(std::string(s->specs).find("ctrl:"),
+              std::string::npos);
+}
+
+TEST(CtrlSchemaTest, SloMatrixGoldenSchema)
+{
+    const Json &doc = serialDoc();
+
+    // Stamped v1.6 envelope, including the cost counters every
+    // suite cell now carries.
+    ASSERT_NE(doc.find("schema_version"), nullptr);
+    EXPECT_EQ(doc.find("schema_version")->asInt(),
+              kReportSchemaVersion);
+    ASSERT_NE(doc.find("schema_minor"), nullptr);
+    EXPECT_EQ(doc.find("schema_minor")->asInt(),
+              kReportSchemaMinorVersion);
+    EXPECT_GE(kReportSchemaMinorVersion, 6);
+    EXPECT_EQ(doc.find("kind")->asString(), "suite");
+    EXPECT_EQ(doc.find("suite")->asString(), "slo_matrix");
+    ASSERT_NE(doc.find("sim_events"), nullptr);
+    EXPECT_GT(doc.find("sim_events")->asDouble(), 0.0);
+    ASSERT_NE(doc.find("sim_wall_us"), nullptr);
+    EXPECT_GE(doc.find("sim_wall_us")->asDouble(), 0.0);
+
+    const Json *data = doc.find("data");
+    ASSERT_NE(data, nullptr);
+    for (const char *key :
+         {"node_spec", "cluster_spec", "model", "policies_run",
+          "workloads_run", "records", "slo_checks", "hedge_checks",
+          "scale_checks"})
+        ASSERT_NE(data->find(key), nullptr) << key;
+
+    // Default matrix: 4 policies x 2 workloads x 2 scopes.
+    const Json *records = data->find("records");
+    ASSERT_TRUE(records->isArray());
+    EXPECT_EQ(records->size(),
+              data->find("policies_run")->size() *
+                  data->find("workloads_run")->size() * 2);
+
+    for (const Json &rec : records->elements()) {
+        ASSERT_EQ(rec.find("kind")->asString(), "slo_entry");
+        for (const char *key :
+             {"schema_version", "schema_minor", "seed", "model",
+              "spec", "workload", "policy", "scope", "pool"})
+            ASSERT_NE(rec.find(key), nullptr) << key;
+
+        const Json *stats = rec.find("stats");
+        ASSERT_NE(stats, nullptr);
+        // Every record carries the full control block, stamped with
+        // the canonical policy it executed...
+        const Json *ctrl = stats->find("ctrl");
+        ASSERT_NE(ctrl, nullptr);
+        EXPECT_EQ(ctrl->find("policy")->asString(),
+                  rec.find("policy")->asString());
+        for (const char *key :
+             {"window_updates", "window_min_us", "window_mean_us",
+              "window_max_us", "window_final_us", "hedge_dispatches",
+              "hedge_wins", "hedge_losses", "hedge_wasted_us",
+              "hedge_energy_joules", "scale_ups", "scale_downs",
+              "active_min", "active_max", "mean_active_workers"})
+            ASSERT_NE(ctrl->find(key), nullptr) << key;
+
+        // ...and per-class accounting for both SLO classes.
+        const Json *per_class = stats->find("per_class");
+        ASSERT_NE(per_class, nullptr);
+        ASSERT_EQ(per_class->size(), 2u);
+        for (const Json &cls : per_class->elements())
+            for (const char *key : {"name", "target_us", "offered",
+                                    "served", "p99_us", "attainment"})
+                ASSERT_NE(cls.find(key), nullptr) << key;
+
+        // v1.6 energy attribution on the serving aggregate.
+        for (const char *key :
+             {"p999_us", "idle_energy_joules", "joules_per_query"})
+            ASSERT_NE(stats->find(key), nullptr) << key;
+    }
+
+    // The CI invariants hold on the default matrix: the closed loop
+    // earns its keep in at least one cell, regresses nowhere, and
+    // the hedger/scaler stay inside their budgets.
+    const Json *slo = data->find("slo_checks");
+    EXPECT_GT(slo->size(), 0u);
+    bool adaptive_earns_keep = false;
+    for (const Json &chk : slo->elements()) {
+        for (const char *key :
+             {"scope", "workload", "slo_class", "target_us",
+              "fixed_p99_us", "adaptive_p99_us", "fixed_meets",
+              "adaptive_meets", "no_regression"})
+            ASSERT_NE(chk.find(key), nullptr) << key;
+        EXPECT_TRUE(chk.find("no_regression")->asBool())
+            << chk.find("slo_class")->asString() << " @ "
+            << chk.find("scope")->asString();
+        if (chk.find("adaptive_meets")->asBool() &&
+            !chk.find("fixed_meets")->asBool())
+            adaptive_earns_keep = true;
+    }
+    EXPECT_TRUE(adaptive_earns_keep);
+
+    const Json *hedge = data->find("hedge_checks");
+    EXPECT_GT(hedge->size(), 0u);
+    bool p999_reduced = false;
+    for (const Json &chk : hedge->elements()) {
+        for (const char *key :
+             {"scope", "workload", "fixed_p999_us", "hedged_p999_us",
+              "fixed_joules_per_query", "hedged_joules_per_query",
+              "hedge_dispatches", "p999_reduced", "p999_not_worse",
+              "joules_ok"})
+            ASSERT_NE(chk.find(key), nullptr) << key;
+        EXPECT_TRUE(chk.find("joules_ok")->asBool())
+            << chk.find("workload")->asString();
+        if (chk.find("p999_reduced")->asBool())
+            p999_reduced = true;
+    }
+    EXPECT_TRUE(p999_reduced);
+
+    const Json *scale = data->find("scale_checks");
+    EXPECT_GT(scale->size(), 0u);
+    for (const Json &chk : scale->elements()) {
+        for (const char *key :
+             {"scope", "workload", "pool", "active_min", "active_max",
+              "scale_ups", "scale_downs", "mean_active", "band_ok"})
+            ASSERT_NE(chk.find(key), nullptr) << key;
+        // The scaler never drains the last worker and never books
+        // more than the pool.
+        EXPECT_TRUE(chk.find("band_ok")->asBool())
+            << chk.find("workload")->asString();
+        EXPECT_GE(chk.find("active_min")->asInt(), 1);
+        EXPECT_LE(chk.find("active_max")->asInt(),
+                  chk.find("pool")->asInt());
+    }
+}
+
+TEST(CtrlSchemaTest, JobsDoNotChangeTheJson)
+{
+    // Controllers are fed in request-id / tick order with
+    // fixed-point state, so the emitted document must be
+    // byte-identical at any --jobs. sim_wall_us is the one
+    // sanctioned host-time stamp (NEUTRAL, filtered by CI's
+    // byte-identity cmp too); normalize it away.
+    Json serial = serialDoc();
+    Json parallel = runSloMatrix(4);
+    serial["sim_wall_us"] = 0;
+    parallel["sim_wall_us"] = 0;
+    EXPECT_EQ(serial.dump(2), parallel.dump(2));
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Burst x load-shedding interplay regression tests. Arrivals are
+ * drawn up front, so shedding a request must never perturb the
+ * arrival draw stream — the per-state drop counters
+ * (droppedBurstArrivals / droppedIdleArrivals) are a pure
+ * classification of the fixed stream, deterministic across runs and
+ * across shedding policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/server.hh"
+#include "dlrm/model_config.hh"
+
+namespace centaur {
+namespace {
+
+/** Bursty traffic hot enough that a bounded queue must shed. */
+ServingConfig
+burstConfig()
+{
+    ServingConfig cfg;
+    cfg.arrivalRatePerSec = 8000.0;
+    cfg.batchPerRequest = 8;
+    cfg.requests = 400;
+    cfg.workers = 2;
+    cfg.maxCoalescedBatch = 4;
+    cfg.arrival = ArrivalProcess::Burst;
+    cfg.burstFactor = 8.0;
+    cfg.seed = 4242;
+    return cfg;
+}
+
+TEST(BurstShed, DropsAreClassifiedByArrivalState)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    ServingConfig cfg = burstConfig();
+    cfg.maxQueueDepth = 6;
+    const ServingStats s = runServingSim("cpu", model, cfg);
+
+    // The cap bites, and every drop is classified exactly once.
+    EXPECT_GT(s.droppedQueueFull, 0u);
+    EXPECT_EQ(s.droppedBurstArrivals + s.droppedIdleArrivals,
+              s.droppedQueueFull + s.droppedTimeout);
+    // Overflow clusters where the queue actually fills: inside the
+    // bursts, not the idle gaps.
+    EXPECT_GT(s.droppedBurstArrivals, s.droppedIdleArrivals);
+    // Shedding never loses a request: offered = served + dropped.
+    EXPECT_EQ(s.offered, cfg.requests);
+    EXPECT_EQ(s.served + s.droppedQueueFull + s.droppedTimeout,
+              s.offered);
+}
+
+TEST(BurstShed, TimeoutShedsAreClassifiedToo)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    ServingConfig cfg = burstConfig();
+    cfg.workers = 1;
+    cfg.queueTimeoutUs = 150.0;
+    const ServingStats s = runServingSim("cpu", model, cfg);
+    EXPECT_GT(s.droppedTimeout, 0u);
+    EXPECT_EQ(s.droppedBurstArrivals + s.droppedIdleArrivals,
+              s.droppedQueueFull + s.droppedTimeout);
+}
+
+TEST(BurstShed, ClassificationIsDeterministic)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    ServingConfig cfg = burstConfig();
+    cfg.maxQueueDepth = 6;
+    const ServingStats a = runServingSim("cpu", model, cfg);
+    const ServingStats b = runServingSim("cpu", model, cfg);
+    EXPECT_EQ(a.droppedQueueFull, b.droppedQueueFull);
+    EXPECT_EQ(a.droppedTimeout, b.droppedTimeout);
+    EXPECT_EQ(a.droppedBurstArrivals, b.droppedBurstArrivals);
+    EXPECT_EQ(a.droppedIdleArrivals, b.droppedIdleArrivals);
+    EXPECT_DOUBLE_EQ(a.meanLatencyUs, b.meanLatencyUs);
+    EXPECT_DOUBLE_EQ(a.p99Us, b.p99Us);
+}
+
+// The anchor of the interplay: shed requests still advance the
+// arrival draw stream. Tightening the queue cap sheds more, but the
+// offered stream — count, rate, and the per-request service the
+// survivors observe at the head of each burst — comes from the same
+// precomputed draws, so the burst/idle split only ever grows with
+// the drop count, never reshuffles.
+TEST(BurstShed, SheddingDoesNotPerturbTheArrivalStream)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    ServingConfig open = burstConfig();
+    ServingConfig tight = burstConfig();
+    tight.maxQueueDepth = 8;
+    ServingConfig tighter = burstConfig();
+    tighter.maxQueueDepth = 4;
+
+    const ServingStats o = runServingSim("cpu", model, open);
+    const ServingStats t = runServingSim("cpu", model, tight);
+    const ServingStats t2 = runServingSim("cpu", model, tighter);
+
+    // Same draw stream: same offered count and rate everywhere.
+    EXPECT_EQ(o.offered, t.offered);
+    EXPECT_EQ(t.offered, t2.offered);
+    EXPECT_DOUBLE_EQ(o.offeredRps, t.offeredRps);
+
+    // The unbounded queue sheds nothing and classifies nothing.
+    EXPECT_EQ(o.droppedQueueFull + o.droppedTimeout, 0u);
+    EXPECT_EQ(o.droppedBurstArrivals + o.droppedIdleArrivals, 0u);
+
+    // Tightening the cap monotonically sheds more, and the burst
+    // share of the classification never shrinks: the same bursts
+    // overflow earlier.
+    EXPECT_GT(t2.droppedQueueFull, t.droppedQueueFull);
+    EXPECT_GE(t2.droppedBurstArrivals, t.droppedBurstArrivals);
+}
+
+// Poisson traffic has no burst state: the classifiers stay zero
+// even when the queue sheds.
+TEST(BurstShed, PoissonDropsAreNeverClassified)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    ServingConfig cfg = burstConfig();
+    cfg.arrival = ArrivalProcess::Poisson;
+    cfg.burstFactor = 1.0;
+    cfg.arrivalRatePerSec = 20000.0;
+    cfg.maxQueueDepth = 4;
+    const ServingStats s = runServingSim("cpu", model, cfg);
+    EXPECT_GT(s.droppedQueueFull, 0u);
+    EXPECT_EQ(s.droppedBurstArrivals, 0u);
+    EXPECT_EQ(s.droppedIdleArrivals, 0u);
+}
+
+} // namespace
+} // namespace centaur

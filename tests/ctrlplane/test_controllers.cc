@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the closed-loop controllers
+ * (ctrlplane/controllers.hh): the streaming service quantile, the
+ * fixed-point adaptive batcher (asymmetric miss-only-integral law),
+ * and the utilization-band autoscaler. Every controller is plain
+ * integer/IEEE arithmetic, so two instances fed the same sequence
+ * must produce bit-identical trajectories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ctrlplane/controllers.hh"
+
+namespace centaur {
+namespace {
+
+// ---------------------------------------------------------------
+// ServiceQuantile
+// ---------------------------------------------------------------
+
+TEST(ServiceQuantile, EmptyReportsZeroAndNotReady)
+{
+    const ServiceQuantile q;
+    EXPECT_FALSE(q.ready());
+    EXPECT_EQ(q.samples(), 0u);
+    EXPECT_DOUBLE_EQ(q.quantileUs(0.95), 0.0);
+}
+
+TEST(ServiceQuantile, ReadyAfterMinSamples)
+{
+    ServiceQuantile q;
+    for (std::size_t i = 0; i + 1 < ServiceQuantile::kMinSamples; ++i)
+        q.add(100.0);
+    EXPECT_FALSE(q.ready());
+    q.add(100.0);
+    EXPECT_TRUE(q.ready());
+    EXPECT_EQ(q.samples(), ServiceQuantile::kMinSamples);
+}
+
+TEST(ServiceQuantile, QuantilesOfAKnownSampleSet)
+{
+    // Insert 1..9 out of order; the sorted-insert must not care.
+    ServiceQuantile q;
+    for (double v : {5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0})
+        q.add(v);
+    // pos = q * (n - 1), idx = ceil(pos): the conservative (upper)
+    // sample of the bracketing pair.
+    EXPECT_DOUBLE_EQ(q.quantileUs(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(q.quantileUs(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(q.quantileUs(0.95), 9.0);
+    EXPECT_DOUBLE_EQ(q.quantileUs(1.0), 9.0);
+    // Monotone in q.
+    EXPECT_LE(q.quantileUs(0.25), q.quantileUs(0.75));
+}
+
+// ---------------------------------------------------------------
+// AdaptiveBatcher
+// ---------------------------------------------------------------
+
+TEST(AdaptiveBatcher, ConstructionClampsIntoRange)
+{
+    // Negative windows floor at zero.
+    EXPECT_DOUBLE_EQ(AdaptiveBatcher(-5.0, 2000.0).windowUs(), 0.0);
+    // The cap floors at 1 ms of headroom, and the initial window is
+    // clamped under it.
+    EXPECT_DOUBLE_EQ(AdaptiveBatcher(5000.0, 10.0).windowUs(), 1000.0);
+    EXPECT_DOUBLE_EQ(AdaptiveBatcher(300.0, 2000.0).windowUs(), 300.0);
+}
+
+TEST(AdaptiveBatcher, MissesNarrowMeetsProbeSlowly)
+{
+    const std::uint32_t max_batch = 8;
+    // queue_depth = max_batch - 1 zeroes the depth tie-breaker, so
+    // these trajectories isolate the latency loop.
+    AdaptiveBatcher miss(1000.0, 2000.0);
+    miss.update(max_batch - 1, max_batch, /*worst=*/2000.0,
+                /*target=*/1000.0);
+    const double after_one_miss = miss.windowUs();
+    EXPECT_LT(after_one_miss, 1000.0);
+    // A miss bites at least the window/4 multiplicative term.
+    EXPECT_LE(after_one_miss, 1000.0 - 1000.0 / 4.0);
+
+    AdaptiveBatcher meet(1000.0, 2000.0);
+    meet.update(max_batch - 1, max_batch, /*worst=*/500.0,
+                /*target=*/1000.0);
+    const double after_one_meet = meet.windowUs();
+    EXPECT_GT(after_one_meet, 1000.0);
+    // The upward probe is deliberately slow: kP = 1/64 on 500 us of
+    // headroom is ~7.8 us.
+    EXPECT_LT(after_one_meet - 1000.0, 20.0);
+    // Asymmetry: one miss moves the window much further than one
+    // meet of the same magnitude.
+    EXPECT_GT(1000.0 - after_one_miss,
+              8.0 * (after_one_meet - 1000.0));
+}
+
+TEST(AdaptiveBatcher, SustainedMissesParkNearZeroWithoutEscaping)
+{
+    AdaptiveBatcher b(1500.0, 3000.0);
+    for (int i = 0; i < 200; ++i)
+        b.update(7, 8, 4000.0, 1000.0);
+    EXPECT_LT(b.windowUs(), 10.0);
+    EXPECT_GE(b.windowUs(), 0.0);
+
+    // Recovery: sustained headroom probes the window back up, but
+    // never past the cap.
+    for (int i = 0; i < 20000; ++i)
+        b.update(7, 8, 100.0, 1000.0);
+    EXPECT_GT(b.windowUs(), 100.0);
+    EXPECT_LE(b.windowUs(), 3000.0);
+}
+
+TEST(AdaptiveBatcher, WithoutTargetsQueueDepthOwnsTheWindow)
+{
+    // Underfull queue: the window is what fills batches, so widen.
+    AdaptiveBatcher idle(100.0, 2000.0);
+    idle.update(/*depth=*/0, /*max_batch=*/8, 0.0, /*target=*/0.0);
+    EXPECT_GT(idle.windowUs(), 100.0);
+
+    // Saturated backlog: waiting buys nothing, so narrow.
+    AdaptiveBatcher busy(100.0, 2000.0);
+    busy.update(/*depth=*/32, /*max_batch=*/8, 0.0, /*target=*/0.0);
+    EXPECT_LT(busy.windowUs(), 100.0);
+}
+
+TEST(AdaptiveBatcher, TrajectoriesAreBitReproducible)
+{
+    AdaptiveBatcher a(800.0, 4000.0);
+    AdaptiveBatcher b(800.0, 4000.0);
+    // A deterministic pseudo-random-ish update sequence.
+    for (int i = 0; i < 500; ++i) {
+        const std::size_t depth = (i * 7) % 13;
+        const double worst = 200.0 + (i * 97) % 1900;
+        const double target = (i % 3) ? 1200.0 : 0.0;
+        a.update(depth, 8, worst, target);
+        b.update(depth, 8, worst, target);
+        ASSERT_DOUBLE_EQ(a.windowUs(), b.windowUs()) << "step " << i;
+    }
+    CtrlStats sa, sb;
+    a.fill(&sa);
+    b.fill(&sb);
+    EXPECT_EQ(sa.windowUpdates, sb.windowUpdates);
+    EXPECT_DOUBLE_EQ(sa.windowMinUs, sb.windowMinUs);
+    EXPECT_DOUBLE_EQ(sa.windowMeanUs, sb.windowMeanUs);
+    EXPECT_DOUBLE_EQ(sa.windowMaxUs, sb.windowMaxUs);
+    EXPECT_DOUBLE_EQ(sa.windowFinalUs, sb.windowFinalUs);
+}
+
+TEST(AdaptiveBatcher, FillReportsACoherentTrajectory)
+{
+    AdaptiveBatcher b(500.0, 2000.0);
+    for (int i = 0; i < 50; ++i)
+        b.update(i % 10, 8, 600.0 + i, 800.0);
+    CtrlStats s;
+    b.fill(&s);
+    EXPECT_EQ(s.windowUpdates, 50u);
+    EXPECT_LE(s.windowMinUs, s.windowMeanUs);
+    EXPECT_LE(s.windowMeanUs, s.windowMaxUs);
+    EXPECT_DOUBLE_EQ(s.windowFinalUs, b.windowUs());
+    EXPECT_GE(s.windowMinUs, 0.0);
+    EXPECT_LE(s.windowMaxUs, 2000.0);
+}
+
+// ---------------------------------------------------------------
+// Autoscaler
+// ---------------------------------------------------------------
+
+CtrlConfig
+scaleBand(double lo, double hi)
+{
+    CtrlConfig cfg;
+    cfg.scale = true;
+    cfg.scaleLoUtil = lo;
+    cfg.scaleHiUtil = hi;
+    return cfg;
+}
+
+TEST(Autoscaler, StartsWithTheFullPool)
+{
+    const Autoscaler s(scaleBand(0.3, 0.8), 4, 1000.0);
+    EXPECT_EQ(s.active(), 4u);
+    EXPECT_DOUBLE_EQ(s.intervalUs(), 1000.0);
+    EXPECT_FALSE(s.due(999.9));
+    EXPECT_TRUE(s.due(1000.0));
+}
+
+TEST(Autoscaler, DrainsBelowTheBandButNeverBelowOne)
+{
+    Autoscaler s(scaleBand(0.3, 0.8), 4, 1000.0);
+    EXPECT_EQ(s.decide(/*busy_us=*/0.0), -1);
+    EXPECT_EQ(s.active(), 3u);
+    EXPECT_EQ(s.decide(0.0), -1);
+    EXPECT_EQ(s.decide(0.0), -1);
+    EXPECT_EQ(s.active(), 1u);
+    // The last worker is never drained.
+    EXPECT_EQ(s.decide(0.0), 0);
+    EXPECT_EQ(s.active(), 1u);
+}
+
+TEST(Autoscaler, ReAddsAboveTheBandUpToThePool)
+{
+    Autoscaler s(scaleBand(0.3, 0.8), 3, 1000.0);
+    while (s.active() > 1)
+        s.decide(0.0);
+    // Saturated: busy time equals the active capacity.
+    EXPECT_EQ(s.decide(1.0 * 1000.0), 1);
+    EXPECT_EQ(s.active(), 2u);
+    EXPECT_EQ(s.decide(2.0 * 1000.0), 1);
+    EXPECT_EQ(s.active(), 3u);
+    // The pool is the ceiling.
+    EXPECT_EQ(s.decide(3.0 * 1000.0), 0);
+    EXPECT_EQ(s.active(), 3u);
+}
+
+TEST(Autoscaler, HoldsInsideTheBand)
+{
+    Autoscaler s(scaleBand(0.3, 0.8), 4, 1000.0);
+    // 50% utilization of 4 workers: inside [0.3, 0.8].
+    EXPECT_EQ(s.decide(0.5 * 4.0 * 1000.0), 0);
+    EXPECT_EQ(s.active(), 4u);
+}
+
+TEST(Autoscaler, ControlBoundaryAdvancesPerDecision)
+{
+    Autoscaler s(scaleBand(0.3, 0.8), 2, 500.0);
+    EXPECT_TRUE(s.due(500.0));
+    s.decide(0.5 * 2.0 * 500.0);
+    EXPECT_FALSE(s.due(999.9));
+    EXPECT_TRUE(s.due(1000.0));
+}
+
+TEST(Autoscaler, FillReportsTheTrajectory)
+{
+    Autoscaler s(scaleBand(0.3, 0.8), 4, 1000.0);
+    s.decide(0.0);               // 4 -> 3 (down)
+    s.decide(0.0);               // 3 -> 2 (down)
+    s.decide(2.0 * 1000.0);      // 2 -> 3 (up, util 1.0)
+    s.decide(0.5 * 3.0 * 1000.0); // hold
+    CtrlStats stats;
+    s.fill(&stats);
+    EXPECT_EQ(stats.scaleDowns, 2u);
+    EXPECT_EQ(stats.scaleUps, 1u);
+    EXPECT_EQ(stats.activeMin, 2u);
+    EXPECT_EQ(stats.activeMax, 4u);
+    // Mean over the post-decision actives: (3 + 2 + 3 + 3) / 4.
+    EXPECT_DOUBLE_EQ(stats.meanActiveWorkers, 11.0 / 4.0);
+}
+
+} // namespace
+} // namespace centaur

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The control plane's anchor guarantee: "ctrl:fixed" is the
+ * open-loop engine. Appending "/ctrl:fixed" to any registered
+ * backend spec — and to a cluster spec — must reproduce the bare
+ * spec's serving run tick for tick, field for field. This is what
+ * lets the closed-loop controllers ride on the serving engines
+ * without forking them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/engine.hh"
+#include "core/backend.hh"
+#include "core/scenario.hh"
+#include "core/server.hh"
+#include "dlrm/model_config.hh"
+
+namespace centaur {
+namespace {
+
+ServingConfig
+baseConfig()
+{
+    ServingConfig cfg;
+    cfg.arrivalRatePerSec = 2000.0;
+    cfg.batchPerRequest = 8;
+    cfg.requests = 100;
+    cfg.workers = 2;
+    cfg.maxCoalescedBatch = 4;
+    cfg.coalesceWindowUs = 300.0;
+    cfg.seed = 99;
+    cfg.contend = true;
+    return cfg;
+}
+
+/** Every field that feeds the report schema matches exactly. */
+void
+expectIdentical(const ServingStats &a, const ServingStats &b)
+{
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.droppedQueueFull, b.droppedQueueFull);
+    EXPECT_EQ(a.droppedTimeout, b.droppedTimeout);
+    EXPECT_EQ(a.droppedBurstArrivals, b.droppedBurstArrivals);
+    EXPECT_EQ(a.droppedIdleArrivals, b.droppedIdleArrivals);
+    EXPECT_DOUBLE_EQ(a.meanServiceUs, b.meanServiceUs);
+    EXPECT_DOUBLE_EQ(a.meanQueueUs, b.meanQueueUs);
+    EXPECT_DOUBLE_EQ(a.meanLatencyUs, b.meanLatencyUs);
+    EXPECT_DOUBLE_EQ(a.p50Us, b.p50Us);
+    EXPECT_DOUBLE_EQ(a.p95Us, b.p95Us);
+    EXPECT_DOUBLE_EQ(a.p99Us, b.p99Us);
+    EXPECT_DOUBLE_EQ(a.p999Us, b.p999Us);
+    EXPECT_DOUBLE_EQ(a.maxLatencyUs, b.maxLatencyUs);
+    EXPECT_DOUBLE_EQ(a.throughputRps, b.throughputRps);
+    EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+    EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules);
+    EXPECT_DOUBLE_EQ(a.idleEnergyJoules, b.idleEnergyJoules);
+    EXPECT_DOUBLE_EQ(a.joulesPerQuery, b.joulesPerQuery);
+    EXPECT_EQ(a.dispatches, b.dispatches);
+    EXPECT_DOUBLE_EQ(a.meanCoalescedRequests, b.meanCoalescedRequests);
+    EXPECT_DOUBLE_EQ(a.fabricWaitUs, b.fabricWaitUs);
+    ASSERT_EQ(a.perWorker.size(), b.perWorker.size());
+    for (std::size_t w = 0; w < a.perWorker.size(); ++w) {
+        SCOPED_TRACE("worker " + std::to_string(w));
+        EXPECT_EQ(a.perWorker[w].served, b.perWorker[w].served);
+        EXPECT_EQ(a.perWorker[w].dispatches,
+                  b.perWorker[w].dispatches);
+        EXPECT_DOUBLE_EQ(a.perWorker[w].busyUs, b.perWorker[w].busyUs);
+        EXPECT_DOUBLE_EQ(a.perWorker[w].energyJoules,
+                         b.perWorker[w].energyJoules);
+        EXPECT_DOUBLE_EQ(a.perWorker[w].fabricWaitUs,
+                         b.perWorker[w].fabricWaitUs);
+    }
+    // The control block itself: both are the disabled policy with
+    // no controller activity.
+    EXPECT_EQ(a.ctrl.policy, b.ctrl.policy);
+    EXPECT_EQ(a.ctrl.windowUpdates, b.ctrl.windowUpdates);
+    EXPECT_EQ(a.ctrl.hedgeDispatches, b.ctrl.hedgeDispatches);
+    EXPECT_EQ(a.ctrl.scaleUps, b.ctrl.scaleUps);
+    EXPECT_EQ(a.ctrl.scaleDowns, b.ctrl.scaleDowns);
+}
+
+TEST(CtrlIdentity, CtrlFixedMatchesEveryRegisteredSpecTickForTick)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    const ServingConfig cfg = baseConfig();
+    for (const std::string &spec : registeredSpecs()) {
+        SCOPED_TRACE(spec);
+        const ServingStats bare = runServingSim(spec, model, cfg);
+        const ServingStats fixed =
+            runServingSim(spec + "/ctrl:fixed", model, cfg);
+        expectIdentical(bare, fixed);
+        EXPECT_EQ(fixed.ctrl.policy, "ctrl:fixed");
+        EXPECT_EQ(fixed.ctrl.hedgeDispatches, 0u);
+        EXPECT_EQ(fixed.ctrl.scaleUps + fixed.ctrl.scaleDowns, 0u);
+    }
+}
+
+TEST(CtrlIdentity, ClusterCtrlFixedMatchesTheBareCluster)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    const ServingConfig cfg = baseConfig();
+    const ClusterStats bare = runClusterSim(
+        parseClusterSpec("cluster:2x(cpu+fpga)"), model, cfg);
+    const ClusterStats fixed = runClusterSim(
+        parseClusterSpec("cluster:2x(cpu+fpga)/ctrl:fixed"), model,
+        cfg);
+    expectIdentical(bare.total, fixed.total);
+    EXPECT_EQ(bare.remoteReads, fixed.remoteReads);
+    EXPECT_EQ(bare.remoteReadBytes, fixed.remoteReadBytes);
+    EXPECT_DOUBLE_EQ(bare.stragglerWaitUs, fixed.stragglerWaitUs);
+    EXPECT_EQ(fixed.total.ctrl.policy, "ctrl:fixed");
+}
+
+// SLO classes are a pure labeling: stamping requests with "/slo:"
+// classes must not move a single tick of the open-loop run — the
+// class axis never consumes RNG draws — while per-class accounting
+// appears in the output.
+TEST(CtrlIdentity, SloClassesObserveWithoutPerturbing)
+{
+    ServingConfig cfg = baseConfig();
+    Scenario plain;
+    plain.spec = "cpu+fpga";
+    plain.model = "dlrm1";
+    plain.workload = "zipf:0.9@poisson:2000";
+    Scenario classed = plain;
+    classed.workload =
+        "zipf:0.9@poisson:2000/slo:rt:1500/slo:batch:20000";
+
+    const ServingStats p = runServingSim(plain, cfg);
+    const ServingStats c = runServingSim(classed, cfg);
+    expectIdentical(p, c);
+
+    EXPECT_TRUE(p.perClass.empty());
+    ASSERT_EQ(c.perClass.size(), 2u);
+    EXPECT_EQ(c.perClass[0].name, "rt");
+    EXPECT_DOUBLE_EQ(c.perClass[0].targetUs, 1500.0);
+    EXPECT_EQ(c.perClass[1].name, "batch");
+    // Round-robin stamping splits the offered stream evenly.
+    EXPECT_EQ(c.perClass[0].offered + c.perClass[1].offered,
+              c.offered);
+    EXPECT_LE(c.perClass[0].offered,
+              c.perClass[1].offered + 1);
+    // Attainment is measured against offered requests, so it lives
+    // in [0, 1].
+    for (const SloClassStats &cls : c.perClass) {
+        EXPECT_GE(cls.attainment, 0.0);
+        EXPECT_LE(cls.attainment, 1.0);
+        EXPECT_GT(cls.p99Us, 0.0);
+    }
+}
+
+// The adaptive batcher must actually close the loop: under the same
+// traffic its window trajectory departs from the configured window.
+TEST(CtrlIdentity, AdaptivePolicyActuallyMoves)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    ServingConfig cfg = baseConfig();
+    cfg.sloClasses = {{"rt", 800.0}};
+    const ServingStats s =
+        runServingSim("cpu+fpga/ctrl:adaptive", model, cfg);
+    EXPECT_EQ(s.ctrl.policy, "ctrl:adaptive");
+    EXPECT_GT(s.ctrl.windowUpdates, 0u);
+    // The trajectory left the configured 300 us window in at least
+    // one direction.
+    EXPECT_TRUE(s.ctrl.windowMinUs < cfg.coalesceWindowUs ||
+                s.ctrl.windowMaxUs > cfg.coalesceWindowUs);
+}
+
+} // namespace
+} // namespace centaur

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Determinism and accounting tests for hedged duplicate dispatches:
+ * repeated runs are bit-identical, every hedge resolves to exactly
+ * one winner, loser time/energy is booked as hedge waste (and into
+ * joules-per-query), and cancelling the loser's residual fabric
+ * occupancy never corrupts the node's resource accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/server.hh"
+#include "dlrm/model_config.hh"
+
+namespace centaur {
+namespace {
+
+/** Straggler-rich traffic: bursty zipf on a contended 4-worker node,
+ *  with a low arming quantile so hedges actually fire. */
+ServingConfig
+hedgeConfig()
+{
+    ServingConfig cfg;
+    cfg.arrivalRatePerSec = 6000.0;
+    cfg.batchPerRequest = 8;
+    cfg.requests = 300;
+    cfg.workers = 4;
+    cfg.maxCoalescedBatch = 4;
+    cfg.coalesceWindowUs = 100.0;
+    cfg.dist = IndexDistribution::Zipf;
+    cfg.zipfSkew = 0.9;
+    cfg.arrival = ArrivalProcess::Burst;
+    cfg.burstFactor = 8.0;
+    cfg.seed = 1234;
+    cfg.contend = true;
+    return cfg;
+}
+
+TEST(Hedging, RunsAreBitIdentical)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    const ServingConfig cfg = hedgeConfig();
+    const ServingStats a =
+        runServingSim("cpu/ctrl:fixed:hedge:0.5", model, cfg);
+    const ServingStats b =
+        runServingSim("cpu/ctrl:fixed:hedge:0.5", model, cfg);
+
+    // The hedge path replays exactly: same dispatches, same
+    // winners, same burned time, bit for bit.
+    EXPECT_EQ(a.ctrl.hedgeDispatches, b.ctrl.hedgeDispatches);
+    EXPECT_EQ(a.ctrl.hedgeWins, b.ctrl.hedgeWins);
+    EXPECT_EQ(a.ctrl.hedgeLosses, b.ctrl.hedgeLosses);
+    EXPECT_DOUBLE_EQ(a.ctrl.hedgeWastedUs, b.ctrl.hedgeWastedUs);
+    EXPECT_DOUBLE_EQ(a.ctrl.hedgeEnergyJoules,
+                     b.ctrl.hedgeEnergyJoules);
+    EXPECT_DOUBLE_EQ(a.meanLatencyUs, b.meanLatencyUs);
+    EXPECT_DOUBLE_EQ(a.p99Us, b.p99Us);
+    EXPECT_DOUBLE_EQ(a.p999Us, b.p999Us);
+    EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules);
+    EXPECT_DOUBLE_EQ(a.joulesPerQuery, b.joulesPerQuery);
+    EXPECT_DOUBLE_EQ(a.fabricWaitUs, b.fabricWaitUs);
+    ASSERT_EQ(a.perWorker.size(), b.perWorker.size());
+    for (std::size_t w = 0; w < a.perWorker.size(); ++w) {
+        EXPECT_EQ(a.perWorker[w].served, b.perWorker[w].served);
+        EXPECT_DOUBLE_EQ(a.perWorker[w].busyUs,
+                         b.perWorker[w].busyUs);
+    }
+}
+
+TEST(Hedging, EveryHedgeResolvesAndWasteIsAccounted)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    const ServingStats s = runServingSim("cpu/ctrl:fixed:hedge:0.5",
+                                         model, hedgeConfig());
+    EXPECT_EQ(s.ctrl.policy, "ctrl:fixed:hedge:0.5");
+
+    // The config is engineered to straggle; the trigger must fire.
+    ASSERT_GT(s.ctrl.hedgeDispatches, 0u);
+    // First completion wins, the other side is cancelled: every
+    // dispatch is exactly one win or one loss.
+    EXPECT_EQ(s.ctrl.hedgeWins + s.ctrl.hedgeLosses,
+              s.ctrl.hedgeDispatches);
+    // A resolved hedge always burns loser time (the clone only
+    // launches when it could finish before the primary).
+    EXPECT_GT(s.ctrl.hedgeWastedUs, 0.0);
+    EXPECT_GT(s.ctrl.hedgeEnergyJoules, 0.0);
+
+    // Cancelled-loser energy is real spend: it lands in
+    // joules-per-query on top of useful and idle energy.
+    ASSERT_GT(s.served, 0u);
+    EXPECT_NEAR(s.joulesPerQuery,
+                (s.energyJoules + s.idleEnergyJoules +
+                 s.ctrl.hedgeEnergyJoules) /
+                    static_cast<double>(s.served),
+                1e-12);
+    // Every request is still served exactly once.
+    EXPECT_EQ(s.served + s.droppedQueueFull + s.droppedTimeout,
+              s.offered);
+}
+
+TEST(Hedging, LoserCancellationKeepsFabricAccountingSane)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    const ServingStats s = runServingSim("cpu/ctrl:fixed:hedge:0.5",
+                                         model, hedgeConfig());
+    ASSERT_GT(s.ctrl.hedgeDispatches, 0u);
+    // Rolling residual occupancy back at the winner tick must leave
+    // every shared resource with non-negative busy/wait time and a
+    // utilization that never exceeds its capacity.
+    ASSERT_FALSE(s.fabric.empty());
+    for (const FabricResourceStats &r : s.fabric) {
+        SCOPED_TRACE(r.resource);
+        EXPECT_GE(r.busyUs, 0.0);
+        EXPECT_GE(r.waitUs, 0.0);
+        EXPECT_GE(r.utilization, 0.0);
+        EXPECT_LE(r.utilization, 1.0 + 1e-9);
+    }
+    EXPECT_GE(s.fabricWaitUs, 0.0);
+}
+
+TEST(Hedging, SingleWorkerNeverHedges)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    ServingConfig cfg = hedgeConfig();
+    cfg.workers = 1;
+    const ServingStats s =
+        runServingSim("cpu/ctrl:fixed:hedge:0.5", model, cfg);
+    // There is no second worker to clone onto.
+    EXPECT_EQ(s.ctrl.hedgeDispatches, 0u);
+    EXPECT_DOUBLE_EQ(s.ctrl.hedgeWastedUs, 0.0);
+}
+
+TEST(Hedging, HigherQuantileArmsLessOften)
+{
+    const DlrmConfig model = dlrmPreset(1);
+    const ServingConfig cfg = hedgeConfig();
+    const ServingStats lo =
+        runServingSim("cpu/ctrl:fixed:hedge:0.5", model, cfg);
+    const ServingStats hi =
+        runServingSim("cpu/ctrl:fixed:hedge:0.99", model, cfg);
+    // A 0.99 trigger fires on at most as many dispatches as a 0.5
+    // trigger under identical traffic.
+    EXPECT_LE(hi.ctrl.hedgeDispatches, lo.ctrl.hedgeDispatches);
+}
+
+} // namespace
+} // namespace centaur

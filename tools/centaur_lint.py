@@ -30,7 +30,8 @@ Rules (see src/sim/lint.hh for the in-tree documentation):
                       body that is not indexed by the loop variable
   schema-sync         every metric key the sim/json writers emit in
                       bench/suites/*, src/core/report.cc,
-                      src/cachetier/* and src/cluster/* must appear
+                      src/cachetier/*, src/cluster/* and
+                      src/ctrlplane/* must appear
                       in check_bench.py's
                       key tables, and every key the Python gate names
                       must still exist in the C++ tree
@@ -710,6 +711,7 @@ def is_emission_file(rel):
     return rel.startswith("bench/suites/") or \
         rel.startswith("src/cachetier/") or \
         rel.startswith("src/cluster/") or \
+        rel.startswith("src/ctrlplane/") or \
         rel.endswith("core/report.cc")
 
 

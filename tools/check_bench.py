@@ -46,7 +46,18 @@ Checks performed:
      skew at every fixed capacity, a cached run's serving p50 never
      loses to the cache-less anchor on the same request stream, a
      /cache:0 spec is identical to the bare spec, and a hit-rate
-     knee is found for every (model, workload) cell (v1.5).
+     knee is found for every (model, workload) cell (v1.5), and in
+     the slo_matrix (v1.6) the control plane earns its keep on
+     streams the open-loop anchor replays identically: the adaptive
+     batcher meets a per-class p99 target the fixed window misses in
+     at least one cell and never turns a met target into a miss
+     (slo_checks), hedged duplicates cut the p999 tail in at least
+     one cell and never raise joules-per-query by more than 10%
+     (hedge_checks), and the autoscaler's active-count trajectory
+     stays inside [1, pool] in every scaled cell (scale_checks).
+     v1.6 also stamps every suite envelope with its simulation cost:
+     sim_events (deterministic, jobs-independent) and sim_wall_us
+     (host time, NEUTRAL).
 
 With --baseline OLD.json the run is also diffed against a previous
 report: the largest relative deltas are printed, and with
@@ -62,7 +73,7 @@ import math
 import sys
 
 SCHEMA_VERSION = 1
-SCHEMA_MINOR = 5
+SCHEMA_MINOR = 6
 
 EXPECTED_SUITES = [
     "table1",
@@ -84,6 +95,7 @@ EXPECTED_SUITES = [
     "contention_matrix",
     "cluster_matrix",
     "cache_matrix",
+    "slo_matrix",
 ]
 
 # Backend specs every full spec_matrix run must cover.
@@ -114,12 +126,14 @@ POSITIVE_KEYS = {
     "p50_us",
     "p95_us",
     "p99_us",
+    "p999_us",
     "max_latency_us",
     "throughput_rps",
     "throughput_inf_per_sec",
     "effective_emb_gbps",
     "speedup",
     "energy_joules",
+    "joules_per_query",
     "power_watts",
 }
 
@@ -139,9 +153,11 @@ HIGHER_IS_WORSE = {
     "p50_us",
     "p95_us",
     "p99_us",
+    "p999_us",
     "max_latency_us",
     "normalized_latency",
     "energy_joules",
+    "joules_per_query",
     "drop_rate",
     "fabric_wait_us",
     "package_degradation",
@@ -163,6 +179,7 @@ LOWER_IS_WORSE = {
     "throughput_1w",
     "throughput_2w",
     "throughput_4w",
+    "attainment",
     "effective_emb_gbps",
     "improvement",
     "mean_improvement_arith",
@@ -234,6 +251,33 @@ NEUTRAL_KEYS = {
     "cache_saved_us",
     "cached_p50_us",
     "uncached_p50_us",
+    # Control-plane records (v1.6). SLO budgets echoed from the
+    # workload grammar; the adaptive batcher's window trajectory and
+    # hedging's time/energy spend, which scale with policy choices;
+    # idle energy, which the autoscaler trades against capacity; and
+    # the slo_matrix invariant-block inputs, gated by their boolean
+    # verdicts (adaptive_meets / no_regression / p999_reduced /
+    # joules_ok / band_ok), not by baseline drift. sim_wall_us is the
+    # one sanctioned host-time stamp and never comparable.
+    "target_us",
+    "p99_target_us",
+    "diurnal_amplitude",
+    "diurnal_period_sec",
+    "idle_energy_joules",
+    "window_min_us",
+    "window_mean_us",
+    "window_max_us",
+    "window_final_us",
+    "hedge_wasted_us",
+    "hedge_energy_joules",
+    "fixed_p99_us",
+    "adaptive_p99_us",
+    "fixed_p999_us",
+    "hedged_p999_us",
+    "fixed_joules_per_query",
+    "hedged_joules_per_query",
+    "sim_events",
+    "sim_wall_us",
 }
 
 
@@ -301,6 +345,14 @@ def check_schema(chk, doc):
                   f"suite {name}: schema_minor != {SCHEMA_MINOR}")
         chk.check(isinstance(env.get("data"), dict),
                   f"suite {name}: missing data payload")
+        # v1.6 cost stamps on every suite envelope: sim_events is a
+        # deterministic function of the simulated work (identical at
+        # any --jobs), sim_wall_us is host time (NEUTRAL).
+        for stamp in ("sim_events", "sim_wall_us"):
+            value = env.get(stamp)
+            chk.check(isinstance(value, (int, float))
+                      and not isinstance(value, bool) and value >= 0,
+                      f"suite {name}: missing cost stamp {stamp}")
     return suites
 
 
@@ -578,6 +630,68 @@ def check_invariants(chk, suites):
                   f" {entry.get('workload')}")
     knees = data.get("knee_points", [])
     chk.check(len(knees) > 0, "cache_matrix: no knee_points")
+
+    # slo_matrix (v1.6): every record carries the control-plane
+    # surface (a ctrl object and a per-class SLO array), the adaptive
+    # batcher meets a p99 target the fixed window misses in at least
+    # one cell without ever regressing a met target, hedging cuts the
+    # p999 tail somewhere and stays within the 10% energy budget
+    # everywhere, and the autoscaler never leaves the [1, pool] band.
+    data = suites.get("slo_matrix", {}).get("data", {})
+    records = data.get("records", [])
+    chk.check(len(records) > 0, "slo_matrix: no records")
+    for rec in records:
+        stats = rec.get("stats", {})
+        label = f"{rec.get('scope')} / {rec.get('policy')}"
+        ctrl = stats.get("ctrl")
+        if chk.check(isinstance(ctrl, dict),
+                     f"slo_matrix: {label}: record without ctrl"
+                     " stats"):
+            chk.check(ctrl.get("policy") == rec.get("policy"),
+                      f"slo_matrix: {label}: ctrl.policy"
+                      f" {ctrl.get('policy')} != spec policy")
+        per_class = stats.get("per_class", [])
+        chk.check(len(per_class) > 0,
+                  f"slo_matrix: {label}: record without per_class"
+                  " SLO stats")
+    checks = data.get("slo_checks", [])
+    chk.check(len(checks) > 0, "slo_matrix: no slo_checks")
+    adaptive_earns_keep = False
+    for entry in checks:
+        if entry.get("adaptive_meets") and not entry.get("fixed_meets"):
+            adaptive_earns_keep = True
+        chk.check(entry.get("no_regression") is True,
+                  f"slo_matrix: adaptive turns a met {entry.get('slo_class')}"
+                  f" target into a miss on {entry.get('scope')} /"
+                  f" {entry.get('workload')}"
+                  f" ({entry.get('fixed_p99_us')} ->"
+                  f" {entry.get('adaptive_p99_us')} us p99)")
+    chk.check(adaptive_earns_keep,
+              "slo_matrix: no cell where adaptive batching meets a"
+              " p99 target the fixed window misses")
+    checks = data.get("hedge_checks", [])
+    chk.check(len(checks) > 0, "slo_matrix: no hedge_checks")
+    hedge_earns_keep = False
+    for entry in checks:
+        if entry.get("p999_reduced"):
+            hedge_earns_keep = True
+        chk.check(entry.get("joules_ok") is True,
+                  f"slo_matrix: hedging raises joules-per-query by"
+                  f" more than 10% on {entry.get('scope')} /"
+                  f" {entry.get('workload')}"
+                  f" ({entry.get('fixed_joules_per_query')} ->"
+                  f" {entry.get('hedged_joules_per_query')})")
+    chk.check(hedge_earns_keep,
+              "slo_matrix: no cell where hedging cuts the p999 tail")
+    checks = data.get("scale_checks", [])
+    chk.check(len(checks) > 0, "slo_matrix: no scale_checks")
+    for entry in checks:
+        chk.check(entry.get("band_ok") is True,
+                  f"slo_matrix: autoscaler left the [1, pool] band on"
+                  f" {entry.get('scope')} / {entry.get('workload')}"
+                  f" (active [{entry.get('active_min')},"
+                  f" {entry.get('active_max')}] of"
+                  f" {entry.get('pool')})")
 
 
 def diff_baseline(chk, doc, baseline, threshold, top=10):
