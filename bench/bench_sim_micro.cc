@@ -35,6 +35,67 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueScheduleRun);
 
+// The allocation-free schedule path: POD fn+ctx events into a
+// reserved heap, the representation every engine hot loop uses. The
+// gap to BM_EventQueueScheduleRun is the boxed-lambda overhead.
+void
+BM_EventQueueScheduleDrain(benchmark::State &state)
+{
+    struct Ctx
+    {
+        std::uint64_t sink = 0;
+        static void
+        fire(void *p)
+        {
+            ++static_cast<Ctx *>(p)->sink;
+        }
+    };
+    for (auto _ : state) {
+        EventQueue q;
+        q.reserve(1024);
+        Ctx ctx;
+        for (int i = 0; i < 1024; ++i)
+            q.schedule(static_cast<Tick>((i * 7919) % 100000),
+                       &Ctx::fire, &ctx);
+        q.run();
+        benchmark::DoNotOptimize(ctx.sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleDrain);
+
+// The cluster engine's kernel: per-shard heaps merged by lowest
+// (tick, seq). Events land round-robin so every step exercises the
+// cross-shard merge scan.
+void
+BM_ShardedEventQueueScheduleDrain(benchmark::State &state)
+{
+    const auto shards = static_cast<std::uint32_t>(state.range(0));
+    struct Ctx
+    {
+        std::uint64_t sink = 0;
+        static void
+        fire(void *p)
+        {
+            ++static_cast<Ctx *>(p)->sink;
+        }
+    };
+    for (auto _ : state) {
+        ShardedEventQueue q(shards);
+        for (std::uint32_t s = 0; s < shards; ++s)
+            q.reserve(s, 1024 / shards + 1);
+        Ctx ctx;
+        for (int i = 0; i < 1024; ++i)
+            q.schedule(static_cast<std::uint32_t>(i) % shards,
+                       static_cast<Tick>((i * 7919) % 100000),
+                       &Ctx::fire, &ctx);
+        q.run();
+        benchmark::DoNotOptimize(ctx.sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ShardedEventQueueScheduleDrain)->Arg(4)->Arg(16);
+
 void
 BM_CacheRandomAccess(benchmark::State &state)
 {

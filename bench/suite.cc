@@ -131,6 +131,7 @@ allSuites()
         registerClusterSuites(s);
         registerCacheSuites(s);
         registerCtrlSuites(s);
+        registerSimPerfSuites(s);
         return s;
     }();
     return suites;

@@ -177,6 +177,7 @@ void registerContentionSuites(std::vector<Suite> &suites);
 void registerClusterSuites(std::vector<Suite> &suites);
 void registerCacheSuites(std::vector<Suite> &suites);
 void registerCtrlSuites(std::vector<Suite> &suites);
+void registerSimPerfSuites(std::vector<Suite> &suites);
 
 } // namespace centaur::bench
 

@@ -68,8 +68,20 @@ struct NodeState
     std::uint64_t remoteReads = 0;
     std::uint64_t remoteReadBytes = 0;
     double remoteGatherUs = 0.0;
+    /**
+     * The node's round body, built once per run. Events carry only
+     * a trampoline + NodeState pointer (below), so re-firing a
+     * round never copies this closure.
+     */
     std::function<void()> round;
 };
+
+/** Captureless trampoline: one POD event per round, no closure copy. */
+void
+invokeNodeRound(void *p)
+{
+    static_cast<NodeState *>(p)->round();
+}
 
 std::uint64_t
 nameHash(const std::string &name)
@@ -279,16 +291,20 @@ ClusterEngine::run()
         }
     };
 
-    // One shared event queue carries every node's scheduling rounds,
-    // so cross-node interleaving is fixed by tick + insertion order
-    // and the run is deterministic at any --jobs count.
-    EventQueue events;
+    // Per-node event shards merged by lowest (tick, seq): the seq
+    // counter is global, so cross-node interleaving is the exact
+    // total order one shared queue would produce and the run stays
+    // deterministic at any --jobs count - while each push/pop sifts
+    // a heap holding one node's events instead of the cluster's.
+    ShardedEventQueue events(nodes);
+    for (std::uint32_t n = 0; n < nodes; ++n)
+        events.reserve(n, 4); // own round + drain wakes
     const auto scheduleRound = [&](std::uint32_t n) {
         NodeState &s = ns[n];
         const double next_us = *std::min_element(
             s.workerFree.begin(), s.workerFree.end());
-        events.schedule(
-            std::max(events.now(), ticksFromUs(next_us)), s.round);
+        events.schedule(n, std::max(events.now(), ticksFromUs(next_us)),
+                        &invokeNodeRound, &s);
     };
 
     // Autoscaler victims are whole nodes. Draining stops accruing
@@ -337,8 +353,8 @@ ClusterEngine::run()
             // drained) must re-examine its id list; an extra round
             // on a busy receiver is a harmless no-op.
             events.schedule(
-                std::max(events.now(), ticksFromUs(now_us)),
-                r.round);
+                rn, std::max(events.now(), ticksFromUs(now_us)),
+                &invokeNodeRound, &r);
         }
     };
     const auto wakeNode = [&](double now_us) {
@@ -378,7 +394,8 @@ ClusterEngine::run()
                 // unchanged - they read the microsecond state - so a
                 // 1-node run stays tick-identical.
                 if (ticksFromUs(t) > events.now()) {
-                    events.schedule(ticksFromUs(t), s.round);
+                    events.schedule(n, ticksFromUs(t),
+                                    &invokeNodeRound, &s);
                     return;
                 }
                 admitUpTo(s, t);
@@ -705,7 +722,7 @@ ClusterEngine::run()
     }
 
     for (std::uint32_t n = 0; n < nodes; ++n)
-        events.schedule(0, ns[n].round);
+        events.schedule(n, 0, &invokeNodeRound, &ns[n]);
     events.run();
 
     ClusterStats out;

@@ -77,8 +77,14 @@ constexpr int kReportSchemaVersion = 1;
  * when the control plane is disabled, so open-loop reports stay
  * field-for-field comparable. Serving-config echoes gain the
  * diurnal-arrival and SLO-class knobs.
+ * v1.7 adds the simulator self-measurement suite (sim_perf):
+ * per-cell records carry `requests_per_sec`, `sim_events_per_sec`,
+ * `legacy_sim_events_per_sec`, `kernel_speedup`, `events_replayed`
+ * and `speedup_floor`. All wall-derived rates are host time and
+ * never byte-identity-comparable, like sim_wall_us; the CI gate
+ * diffs them only loosely and asserts the floor_checks verdicts.
  */
-constexpr int kReportSchemaMinorVersion = 6;
+constexpr int kReportSchemaMinorVersion = 7;
 
 /** Common stamp: schema version (major+minor), kind and seed. */
 Json reportStamp(const std::string &kind, std::uint64_t seed);

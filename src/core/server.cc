@@ -255,8 +255,14 @@ ServingEngine::run()
     // stamps, so future event sources (deadline timers, per-segment
     // completions, cross-node traffic) can be scheduled against the
     // same queue instead of being bolted onto a private while-loop.
+    //
+    // When nothing consults the event clock - no shared fabric, no
+    // ctrl policy armed - the chain of rounds is closed-form: each
+    // round's decisions read only the microsecond state, so the
+    // whole run collapses to a plain loop over the same body
+    // (tick-identical by the tests above, and one simulated event
+    // per round is still booked so sim_events stays byte-identical).
     EventQueue events;
-    std::function<void()> round;
 
     // Earliest-free *active* worker, ascending index on ties - with
     // every worker active this is exactly std::min_element over
@@ -273,20 +279,17 @@ ServingEngine::run()
         return best;
     };
 
-    const auto scheduleRound = [&]() {
-        const double next_us = worker_free[earliestActive()];
-        events.schedule(
-            std::max(events.now(), ticksFromUs(next_us)), round);
-    };
-
-    round = [&]() {
+    // One scheduling round; returns false once the run has drained
+    // (nothing admitted, nothing left to arrive). The caller - event
+    // chain or closed-form loop - re-fires it while it returns true.
+    const auto round_body = [&]() -> bool {
         // The earliest-free active worker claims the next dispatch.
         const std::size_t w = earliestActive();
         double t = worker_free[w];
         admitUpTo(t);
         if (queue.empty()) {
             if (next_arrival >= num_requests)
-                return; // drained: nothing left to schedule
+                return false; // drained: nothing left to schedule
             t = arrival_us[next_arrival];
             admitUpTo(t);
         }
@@ -338,8 +341,7 @@ ServingEngine::run()
             // Everything popped had timed out; the worker idles at
             // the dispatch point and retries next round.
             worker_free[w] = std::max(worker_free[w], dispatch_us);
-            scheduleRound();
-            return;
+            return true;
         }
 
         const InferenceBatch merged =
@@ -537,11 +539,60 @@ ServingEngine::run()
                 }
             }
         }
-        scheduleRound();
+        return true;
     };
 
-    events.schedule(0, round);
-    events.run();
+    // Event-chain driver: a captureless trampoline pointed at the
+    // one persistent round closure, so scheduling a round copies a
+    // 32-byte POD event - never a closure, never an allocation.
+    using RoundBody = std::decay_t<decltype(round_body)>;
+    struct RoundChain
+    {
+        const RoundBody *body;
+        EventQueue *events;
+        const std::vector<double> *workerFree;
+        const std::function<std::size_t()> *earliest;
+
+        static void
+        fire(void *p)
+        {
+            auto *c = static_cast<RoundChain *>(p);
+            if (!(*c->body)())
+                return; // drained: nothing left to schedule
+            const double next_us = (*c->workerFree)[(*c->earliest)()];
+            c->events->schedule(std::max(c->events->now(),
+                                         ticksFromUs(next_us)),
+                                &RoundChain::fire, p);
+        }
+    };
+    const std::function<std::size_t()> earliest_fn = earliestActive;
+    RoundChain chain{&round_body, &events, &worker_free,
+                     &earliest_fn};
+
+    const bool fast_path = _fabric == nullptr && !adaptive &&
+                           !hedging && !scaling &&
+                           !_cfg.forceEventQueue;
+    if (fast_path) {
+        // Closed-form fast path: the round chain is self-contained
+        // (no other event source, no event-clock reads in the body),
+        // so the event loop degenerates to this plain loop. Each
+        // iteration is exactly one event of the reference path;
+        // credit them so sim_events stays byte-identical.
+        std::uint64_t rounds = 0;
+        bool more = true;
+        while (more) {
+            more = round_body();
+            ++rounds;
+        }
+        addGlobalSimEvents(rounds);
+    } else {
+        // The chain keeps one round outstanding; size the heap from
+        // the admission side anyway so co-scheduled event sources
+        // (hedge timers, future deadline events) never reallocate.
+        events.reserve(_workers.size() + 1);
+        events.schedule(0, &RoundChain::fire, &chain);
+        events.run();
+    }
 
     ServingStats out;
     out.offered = num_requests;

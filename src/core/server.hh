@@ -114,6 +114,15 @@ struct ServingConfig
      * keeps the open-loop engine tick-identical.
      */
     CtrlConfig ctrl;
+
+    /**
+     * Pin the event-driven reference path even when the closed-form
+     * fast path applies (no fabric, no ctrl policy armed). The two
+     * paths are asserted tick-identical on every registered spec
+     * (tests/core/test_server.cc); this knob exists so those tests
+     * and A/B measurements can drive the event path explicitly.
+     */
+    bool forceEventQueue = false;
 };
 
 /** Per-worker serving results. */

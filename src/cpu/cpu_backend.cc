@@ -34,9 +34,11 @@ CpuGatherBackend::run(const InferenceBatch &batch, Tick start,
             charge(NodeResource::HostDram, start,
                    fabric()->dramOccupancy(g.bytesGathered), res);
         end = std::max(cores, dram);
+        // g.cachedLookups was counted once by the gather engine;
+        // re-calling batch.cachedLookups() would re-scan the whole
+        // per-lookup hit mask.
         res.cacheSavedTicks += fabric()->dramOccupancy(
-            batch.cachedLookups() *
-            _model.config().vectorBytes());
+            g.cachedLookups * _model.config().vectorBytes());
     }
     res.phase[static_cast<std::size_t>(Phase::Emb)] = end - start;
     res.effectiveEmbGBps = gbPerSec(g.bytesGathered, end - start);

@@ -59,8 +59,9 @@ GatherEngine::run(const ReferenceModel &model,
     // Lookups resident in the hot-row cache tier (batch.cacheHit,
     // annotated before the backend runs) never touch the memory
     // system: their bytes drop out of the DRAM-side total.
+    res.cachedLookups = batch.cachedLookups();
     res.bytesGathered =
-        (res.lookups - batch.cachedLookups()) * vec_bytes;
+        (res.lookups - res.cachedLookups) * vec_bytes;
 
     // PyTorch's EmbeddingBag runs tables as sequential operators and
     // parallelizes each over the batch dimension (at::parallel_for),
@@ -82,6 +83,18 @@ GatherEngine::run(const ReferenceModel &model,
 
         const auto &indices = batch.indices[t];
         const VirtualEmbeddingTable &table = model.table(t);
+
+        // Flattened per-table invariants: the loop below runs once
+        // per lookup, so the cache-tier hit mask (batch.rowCached
+        // re-runs three bounds checks per call), the index-stream
+        // base and the per-sample lookup count are hoisted here.
+        const std::uint8_t *hit_mask =
+            t < batch.cacheHit.size() ? batch.cacheHit[t].data()
+                                      : nullptr;
+        const std::size_t hit_mask_size =
+            t < batch.cacheHit.size() ? batch.cacheHit[t].size() : 0;
+        const Addr idx_base = layout.indexArrayBase + lookup_seq * 4;
+        const std::uint32_t lookups_per_table = batch.lookupsPerTable;
 
         std::vector<ThreadCursor> cursor(threads);
         for (std::uint32_t th = 0; th < threads; ++th) {
@@ -105,14 +118,15 @@ GatherEngine::run(const ReferenceModel &model,
 
             const std::uint32_t b = tc->sample;
             const std::uint32_t j = tc->lookup;
+            const std::size_t flat =
+                static_cast<std::size_t>(b) * lookups_per_table + j;
 
             // Sparse-index fetch: a perfectly sequential 4 B stream.
             // The L2 stream prefetcher hides the DRAM round trip, so
             // cold lines cost DRAM bandwidth but only L2-ish latency
             // on the demand path.
-            const Addr idx_addr = layout.indexArrayBase +
-                                  (lookup_seq + static_cast<std::uint64_t>(b) *
-                                       batch.lookupsPerTable + j) * 4;
+            const Addr idx_addr =
+                idx_base + static_cast<Addr>(flat) * 4;
             const auto idx_res = _hier.access(idx_addr);
             if (idx_res.level == HitLevel::Memory) {
                 _dram.access(idx_addr, tc->now + idx_res.latency);
@@ -121,16 +135,12 @@ GatherEngine::run(const ReferenceModel &model,
 
             tc->now += lookup_instr_ticks;
 
-            const std::size_t flat =
-                static_cast<std::size_t>(b) *
-                    batch.lookupsPerTable + j;
-
             // A cache-tier hit skips the row's line fetches
             // entirely (the tier's own lookup cost is charged by
             // ComposedSystem); the index fetch and the per-lookup
             // instruction stream are still paid above.
-            if (batch.rowCached(t, flat)) {
-                if (++tc->lookup == batch.lookupsPerTable) {
+            if (hit_mask && flat < hit_mask_size && hit_mask[flat]) {
+                if (++tc->lookup == lookups_per_table) {
                     tc->lookup = 0;
                     ++tc->sample;
                     tc->now += store_ticks;

@@ -30,6 +30,7 @@ struct GatherResult
     Tick start = 0;
     Tick end = 0;
     std::uint64_t lookups = 0;
+    std::uint64_t cachedLookups = 0; //!< lookups served by the tier
     std::uint64_t bytesGathered = 0; //!< useful embedding bytes
     std::uint64_t instructions = 0;
     std::uint64_t llcAccesses = 0;

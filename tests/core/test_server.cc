@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/backend.hh"
 #include "core/server.hh"
 #include "core/system_builder.hh"
 
@@ -143,6 +144,38 @@ TEST(Server, CentaurSustainsHigherLoadThanCpuOnly)
     const auto sf = InferenceServer(*cen, cfg).run();
     EXPECT_LT(sf.p99Us, sc.p99Us);
     EXPECT_LT(sf.utilization, sc.utilization);
+}
+
+TEST(Server, FastPathMatchesEventPathOnEverySpec)
+{
+    // The closed-form fast path (core/server.cc) must be
+    // tick-identical to the event-driven reference: same stats, to
+    // the bit, on every registered backend spec. forceEventQueue
+    // pins the reference path for the B side of the comparison.
+    ServingConfig cfg;
+    cfg.arrivalRatePerSec = 20000.0; // some queueing, some idle
+    cfg.batchPerRequest = 4;
+    cfg.requests = 40;
+    cfg.workers = 2;
+    cfg.maxCoalescedBatch = 2;
+    for (const std::string &spec : registeredSpecs()) {
+        ServingConfig fast = cfg;
+        ServingConfig event = cfg;
+        event.forceEventQueue = true;
+        const ServingStats a =
+            runServingSim(spec, smallModel(), fast);
+        const ServingStats b =
+            runServingSim(spec, smallModel(), event);
+        EXPECT_EQ(a.served, b.served) << spec;
+        EXPECT_EQ(a.dispatches, b.dispatches) << spec;
+        EXPECT_DOUBLE_EQ(a.meanLatencyUs, b.meanLatencyUs) << spec;
+        EXPECT_DOUBLE_EQ(a.meanQueueUs, b.meanQueueUs) << spec;
+        EXPECT_DOUBLE_EQ(a.p99Us, b.p99Us) << spec;
+        EXPECT_DOUBLE_EQ(a.maxLatencyUs, b.maxLatencyUs) << spec;
+        EXPECT_DOUBLE_EQ(a.utilization, b.utilization) << spec;
+        EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules) << spec;
+        EXPECT_DOUBLE_EQ(a.throughputRps, b.throughputRps) << spec;
+    }
 }
 
 TEST(ServerDeath, RejectsBadConfig)

@@ -1,0 +1,24 @@
+// Fixture: std::function variables scheduled by name. Each schedule
+// re-boxes the closure into the queue's arena — the per-event copy
+// the POD fn+ctx event representation exists to avoid. The
+// event-capture rule must fire on both call sites below.
+
+#include <functional>
+
+#include "sim/event_queue.hh"
+
+namespace centaur {
+
+void
+badRoundLoop(EventQueue &q)
+{
+    int fired = 0;
+    std::function<void()> round = [&fired] { ++fired; };
+    for (int i = 0; i < 100; ++i)
+        q.schedule(static_cast<Tick>(i), round); // re-boxes 100x
+
+    std::function<void()> wake = [&fired] { ++fired; };
+    q.scheduleIn(5, wake);
+}
+
+} // namespace centaur

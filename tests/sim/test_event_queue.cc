@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -113,6 +115,187 @@ TEST(EventQueueDeath, SchedulingInThePastPanics)
     EventQueue q;
     q.advanceTo(100);
     EXPECT_DEATH(q.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueue, RunUntilExecutesEventExactlyAtLimit)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule(20, [&] { ++ran; });
+    q.schedule(21, [&] { ++ran; });
+    q.runUntil(20);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilWithPendingBeyondLimitHoldsClock)
+{
+    // With work still queued past the limit the clock must not jump
+    // to the limit - the pending event defines the next tick.
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runUntil(40);
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, AdvanceToKeepsPendingEventsRunnable)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule(100, [&] { ++ran; });
+    q.advanceTo(50);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, SameTickFifoSurvivesInterleavedTicks)
+{
+    // Stress the quaternary heap's stability contract: many events
+    // across a few ticks, inserted round-robin, must still execute in
+    // per-tick insertion order.
+    EventQueue q;
+    std::vector<std::pair<Tick, int>> order;
+    for (int i = 0; i < 64; ++i) {
+        const Tick when = 10 * (static_cast<Tick>(i) % 4);
+        q.schedule(when, [&order, when, i] {
+            order.emplace_back(when, i);
+        });
+    }
+    q.run();
+    ASSERT_EQ(order.size(), 64u);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        EXPECT_GE(order[i].first, order[i - 1].first);
+        if (order[i].first == order[i - 1].first) {
+            EXPECT_GT(order[i].second, order[i - 1].second);
+        }
+    }
+}
+
+namespace {
+struct CountCtx
+{
+    std::uint64_t fired = 0;
+    static void
+    bump(void *p)
+    {
+        ++static_cast<CountCtx *>(p)->fired;
+    }
+};
+} // namespace
+
+TEST(EventQueue, RawFnCtxEventsInterleaveWithBoxedLambdas)
+{
+    EventQueue q;
+    q.reserve(8);
+    CountCtx ctx;
+    std::vector<int> order;
+    q.schedule(10, &CountCtx::bump, &ctx);
+    q.schedule(10, [&] { order.push_back(1); });
+    q.scheduleIn(10, &CountCtx::bump, &ctx);
+    q.schedule(5, [&] { order.push_back(0); });
+    q.run();
+    EXPECT_EQ(ctx.fired, 2u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(q.executed(), 4u);
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbOrdering)
+{
+    EventQueue q;
+    q.reserve(256);
+    std::vector<int> order;
+    for (int i = 255; i >= 0; --i)
+        q.schedule(static_cast<Tick>(i), [&order, i] {
+            order.push_back(i);
+        });
+    q.run();
+    ASSERT_EQ(order.size(), 256u);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ShardedEventQueue, MatchesSingleQueueTotalOrder)
+{
+    // The merge contract: whatever shard each event lands on, the
+    // execution order equals a single shared queue's order for the
+    // same schedule calls. Ticks come from a fixed LCG so the
+    // schedule includes same-tick collisions across shards.
+    constexpr std::uint32_t kShards = 4;
+    constexpr int kEvents = 200;
+    std::uint64_t lcg = 12345;
+    std::vector<Tick> ticks;
+    for (int i = 0; i < kEvents; ++i) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        ticks.push_back(static_cast<Tick>((lcg >> 33) % 50));
+    }
+
+    EventQueue ref;
+    std::vector<int> ref_order;
+    for (int i = 0; i < kEvents; ++i)
+        ref.schedule(ticks[static_cast<std::size_t>(i)],
+                     [&ref_order, i] { ref_order.push_back(i); });
+    ref.run();
+
+    ShardedEventQueue sq(kShards);
+    std::vector<int> sharded_order;
+    for (int i = 0; i < kEvents; ++i)
+        sq.schedule(static_cast<std::uint32_t>(i) % kShards,
+                    ticks[static_cast<std::size_t>(i)],
+                    [&sharded_order, i] { sharded_order.push_back(i); });
+    sq.run();
+
+    EXPECT_EQ(sharded_order, ref_order);
+    EXPECT_EQ(sq.now(), ref.now());
+    EXPECT_EQ(sq.executed(), ref.executed());
+}
+
+TEST(ShardedEventQueue, EmptyShardsNeverWinTheMerge)
+{
+    ShardedEventQueue q(8);
+    std::vector<int> order;
+    q.schedule(6, 30, [&] { order.push_back(2); });
+    q.schedule(2, 10, [&] { order.push_back(1); });
+    EXPECT_EQ(q.pending(), 2u);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(ShardedEventQueue, EventsCanScheduleAcrossShards)
+{
+    ShardedEventQueue q(2);
+    CountCtx ctx;
+    q.reserve(0, 2);
+    q.reserve(1, 2);
+    q.schedule(0, 5, [&] {
+        q.schedule(1, q.now() + 5, &CountCtx::bump, &ctx);
+    });
+    q.run();
+    EXPECT_EQ(ctx.fired, 1u);
+    EXPECT_EQ(q.now(), 10u);
+    EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(ShardedEventQueueDeath, BadShardPanics)
+{
+    ShardedEventQueue q(2);
+    EXPECT_DEATH(q.schedule(2, 0, [] {}), "shard");
+}
+
+TEST(ShardedEventQueueDeath, SchedulingInThePastPanics)
+{
+    ShardedEventQueue q(2);
+    int ran = 0;
+    q.schedule(0, 10, [&] { ++ran; });
+    q.run();
+    EXPECT_DEATH(q.schedule(1, 5, [] {}), "past");
 }
 
 } // namespace

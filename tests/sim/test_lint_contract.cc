@@ -1,6 +1,6 @@
 // Compile-level checks on the lint contract header: the rule-id
 // table sim/lint.hh exports for tooling must stay well-formed and in
-// sync with the six rules tools/centaur_lint.py enforces (the
+// sync with the seven rules tools/centaur_lint.py enforces (the
 // runtime half of this contract — every rule firing on its fixture —
 // is the lint_selftest CTest).
 
@@ -15,9 +15,9 @@
 namespace centaur {
 namespace {
 
-TEST(LintContract, SixRules)
+TEST(LintContract, SevenRules)
 {
-    EXPECT_EQ(kLintRuleCount, 6);
+    EXPECT_EQ(kLintRuleCount, 7);
 }
 
 TEST(LintContract, IdsAreUniqueKebabCase)

@@ -38,6 +38,11 @@ Rules (see src/sim/lint.hh for the in-tree documentation):
   header-hygiene      include guards present, matching the
                       CENTAUR_<PATH>_HH convention; no `using
                       namespace` in headers
+  event-capture       a std::function-typed variable passed to an
+                      event-queue schedule()/scheduleIn() call: each
+                      schedule re-boxes the closure (one arena copy
+                      per event); hot paths must pass a captureless
+                      trampoline + context pointer instead
 
 Suppression: a finding is silenced by a pragma comment
 
@@ -68,6 +73,7 @@ RULES = {
     "parallel-reduction": "unsafe accumulation in parallelFor body",
     "schema-sync": "C++ metric keys vs check_bench.py tables",
     "header-hygiene": "include guards / using-namespace in headers",
+    "event-capture": "std::function re-boxed per schedule() call",
 }
 
 # ---------------------------------------------------------------------
@@ -696,6 +702,56 @@ def rule_header_hygiene(ctx, rel, toks, directives, pragmas):
 
 
 # ---------------------------------------------------------------------
+# Rule: event-capture
+# ---------------------------------------------------------------------
+
+# The kernel itself boxes callables by design; everything else that
+# schedules a std::function by name on the hot path gets flagged.
+EVENT_CAPTURE_EXEMPT = (
+    os.path.join("src", "sim", "event_queue.hh"),
+    os.path.join("src", "sim", "event_queue.cc"),
+)
+
+
+def rule_event_capture(ctx, rel, toks, directives, pragmas):
+    """A std::function variable handed to schedule()/scheduleIn()
+    re-boxes its closure into the queue's arena on every call - the
+    exact per-event copy the POD fn+ctx representation exists to
+    avoid. Engines re-firing a long-lived round body must pass a
+    captureless trampoline plus a context pointer (see
+    cluster/engine.cc's invokeNodeRound); passing a lambda directly
+    is fine because it boxes once at the call site by construction."""
+    if rel in EVENT_CAPTURE_EXEMPT:
+        return
+    fn_vars = set()
+    for i, t in enumerate(toks):
+        if t.text != "function" or i < 2 or \
+                toks[i - 1].text != "::" or toks[i - 2].text != "std":
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "<":
+            continue
+        close = find_matching(toks, i + 1, "<", ">")
+        if close + 1 < len(toks) and toks[close + 1].kind == "id":
+            fn_vars.add(toks[close + 1].text)
+    if not fn_vars:
+        return
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text not in ("schedule", "scheduleIn"):
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        end = find_matching(toks, i + 1, "(", ")")
+        for a in toks[i + 2:end]:
+            if a.kind == "id" and a.text in fn_vars:
+                ctx.report(rel, a.line, "event-capture",
+                           f"std::function '{a.text}' passed to "
+                           f"{t.text}(): the closure is re-boxed on "
+                           "every call; schedule a captureless "
+                           "trampoline + context pointer for "
+                           "re-fired round bodies", pragmas)
+
+
+# ---------------------------------------------------------------------
 # Rule: schema-sync (cross-file)
 # ---------------------------------------------------------------------
 
@@ -802,6 +858,7 @@ PER_FILE_RULES = [
     rule_unit_suffix,
     rule_parallel_reduction,
     rule_header_hygiene,
+    rule_event_capture,
 ]
 
 

@@ -57,7 +57,13 @@ Checks performed:
      stays inside [1, pool] in every scaled cell (scale_checks).
      v1.6 also stamps every suite envelope with its simulation cost:
      sim_events (deterministic, jobs-independent) and sim_wall_us
-     (host time, NEUTRAL).
+     (host time, NEUTRAL). v1.7 adds the sim_perf suite: the arena
+     event kernel must clear its replay-speedup floors (>= 3x on
+     contended serving, >= 2x on the 8-node cluster; floor_checks),
+     while its wall-derived rates (requests_per_sec,
+     sim_events_per_sec, kernel_speedup, ...) diff against the
+     baseline only loosely - they move with the host, so only an
+     order-of-magnitude collapse fails the gate.
 
 With --baseline OLD.json the run is also diffed against a previous
 report: the largest relative deltas are printed, and with
@@ -73,7 +79,7 @@ import math
 import sys
 
 SCHEMA_VERSION = 1
-SCHEMA_MINOR = 6
+SCHEMA_MINOR = 7
 
 EXPECTED_SUITES = [
     "table1",
@@ -96,6 +102,7 @@ EXPECTED_SUITES = [
     "cluster_matrix",
     "cache_matrix",
     "slo_matrix",
+    "sim_perf",
 ]
 
 # Backend specs every full spec_matrix run must cover.
@@ -135,6 +142,10 @@ POSITIVE_KEYS = {
     "energy_joules",
     "joules_per_query",
     "power_watts",
+    "requests_per_sec",
+    "sim_events_per_sec",
+    "legacy_sim_events_per_sec",
+    "kernel_speedup",
 }
 
 # Baseline-diff classification by exact key name (substring matching
@@ -197,7 +208,24 @@ LOWER_IS_WORSE = {
     "cpu_gbps",
     "centaur_gbps",
     "channel_effective_gbps",
+    # sim_perf rates (v1.7): lower is worse, but these are host-time
+    # measurements - see WALL_RATE_KEYS for their loosened gate.
+    "requests_per_sec",
+    "sim_events_per_sec",
+    "kernel_speedup",
 }
+
+# Wall-derived rates (sim_perf, v1.7): real regressions matter, but
+# the absolute values move with the host the report was produced on,
+# so the baseline gate only fires on an order-of-magnitude collapse
+# (> 90% drop) rather than the regular --threshold.
+WALL_RATE_KEYS = {
+    "requests_per_sec",
+    "sim_events_per_sec",
+    "legacy_sim_events_per_sec",
+    "kernel_speedup",
+}
+WALL_RATE_THRESHOLD = 0.90
 
 # Known metric keys that are reported but never gate a baseline diff:
 # configuration knobs echoed into records (peak bandwidths, SLA and
@@ -278,6 +306,11 @@ NEUTRAL_KEYS = {
     "hedged_joules_per_query",
     "sim_events",
     "sim_wall_us",
+    # sim_perf (v1.7). The legacy reference kernel's rate is context
+    # for kernel_speedup, and the floor is a configuration echo; the
+    # floor_checks booleans gate the suite, not baseline drift.
+    "legacy_sim_events_per_sec",
+    "speedup_floor",
 }
 
 
@@ -693,6 +726,22 @@ def check_invariants(chk, suites):
                   f" {entry.get('active_max')}] of"
                   f" {entry.get('pool')})")
 
+    # sim_perf (v1.7): the arena kernel must clear its replay-speedup
+    # floors on the headline cells - >= 3x on contended serving,
+    # >= 2x on the 8-node cluster. The floors compare two in-process
+    # replays of the same schedule on the same host, so they hold
+    # wherever the report was produced, unlike the absolute rates.
+    data = suites.get("sim_perf", {}).get("data", {})
+    records = data.get("records", [])
+    chk.check(len(records) > 0, "sim_perf: no records")
+    checks = data.get("floor_checks", [])
+    chk.check(len(checks) > 0, "sim_perf: no floor_checks")
+    for entry in checks:
+        chk.check(entry.get("floor_ok") is True,
+                  f"sim_perf: {entry.get('cell')} kernel speedup"
+                  f" {entry.get('kernel_speedup')} below floor"
+                  f" {entry.get('speedup_floor')}")
+
 
 def diff_baseline(chk, doc, baseline, threshold, top=10):
     current = {p: v for p, k, v in walk_numeric(doc.get("suites", {}))
@@ -722,6 +771,14 @@ def diff_baseline(chk, doc, baseline, threshold, top=10):
         key = path.rsplit(".", 1)[-1].split("[", 1)[0]
         worse_up = key in HIGHER_IS_WORSE
         worse_down = key in LOWER_IS_WORSE
+        if key in WALL_RATE_KEYS:
+            # Host-time rate: gate only on a collapse, not on the
+            # machine the baseline happened to be recorded on.
+            if rel < -WALL_RATE_THRESHOLD:
+                chk.fail(f"wall-rate collapse vs baseline: {path} "
+                         f"{a:g} -> {b:g} ({rel:+.1%} < "
+                         f"-{WALL_RATE_THRESHOLD:.0%})")
+            continue
         if worse_up and rel > threshold:
             chk.fail(f"regression vs baseline: {path} "
                      f"{a:g} -> {b:g} ({rel:+.1%} > {threshold:.0%})")
